@@ -1,0 +1,118 @@
+//! Criterion ablations over the design choices DESIGN.md calls out:
+//! implicit vs explicit transient integration, local vs uniform oil `h`,
+//! the secondary path's assembly/solve cost, and grid resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotiron_floorplan::{library, GridMapping};
+use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+use hotiron_thermal::solve::{BackwardEuler, Rk4Adaptive};
+use hotiron_thermal::{
+    ModelConfig, OilSiliconPackage, Package, PowerMap, SecondaryPath, ThermalModel,
+};
+use std::hint::black_box;
+
+fn die() -> DieGeometry {
+    DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 }
+}
+
+/// Backward Euler vs adaptive RK4 integrating the same 10 ms window.
+fn bench_be_vs_rk4(c: &mut Criterion) {
+    let plan = library::ev6();
+    let mapping = GridMapping::new(&plan, 16, 16);
+    let circuit =
+        build_circuit(&mapping, die(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+    let p = vec![40.0 / 256.0; 256];
+    let mut g = c.benchmark_group("transient_10ms");
+    g.sample_size(10);
+    g.bench_function("backward_euler_dt100us", |b| {
+        let be = BackwardEuler::new(&circuit, 1e-4);
+        b.iter(|| {
+            let mut s = vec![318.15; circuit.node_count()];
+            be.advance(black_box(&mut s), &p, 318.15, 0.01).unwrap();
+            s
+        })
+    });
+    g.bench_function("rk4_adaptive", |b| {
+        let rk = Rk4Adaptive::new(&circuit);
+        b.iter(|| {
+            let mut s = vec![318.15; circuit.node_count()];
+            rk.advance(black_box(&mut s), &p, 318.15, 0.01);
+            s
+        })
+    });
+    g.finish();
+}
+
+/// Does modeling the flow-direction-dependent h(x) cost anything at solve
+/// time? (It should not: same sparsity, different coefficients.)
+fn bench_local_vs_uniform_h(c: &mut Criterion) {
+    let plan = library::ev6();
+    let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+    let mut g = c.benchmark_group("oil_h_model");
+    for (label, local) in [("local_hx", true), ("uniform_h", false)] {
+        let pkg = OilSiliconPackage {
+            local_h: local,
+            local_boundary_layer: local,
+            ..OilSiliconPackage::paper_default()
+        };
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(pkg),
+            ModelConfig::paper_default().with_grid(32, 32),
+        )
+        .unwrap();
+        g.bench_function(label, |b| b.iter(|| model.steady_state(black_box(&power)).unwrap()));
+    }
+    g.finish();
+}
+
+/// Cost of the secondary heat-transfer path (6 extra layers).
+fn bench_secondary_path(c: &mut Criterion) {
+    let plan = library::ev6();
+    let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+    let mut g = c.benchmark_group("secondary_path");
+    g.sample_size(20);
+    for (label, secondary) in
+        [("without", None), ("with", Some(SecondaryPath::for_oil_rig()))]
+    {
+        let mut pkg = OilSiliconPackage::paper_default();
+        pkg.secondary = secondary;
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(pkg),
+            ModelConfig::paper_default().with_grid(32, 32),
+        )
+        .unwrap();
+        g.bench_function(label, |b| b.iter(|| model.steady_state(black_box(&power)).unwrap()));
+    }
+    g.finish();
+}
+
+/// Steady-solve cost vs grid resolution (convergence study companion).
+fn bench_grid_resolution(c: &mut Criterion) {
+    let plan = library::ev6();
+    let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+    let mut g = c.benchmark_group("grid_resolution");
+    g.sample_size(10);
+    for grid in [8usize, 16, 32, 64] {
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(grid, grid),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| model.steady_state(black_box(&power)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_be_vs_rk4,
+    bench_local_vs_uniform_h,
+    bench_secondary_path,
+    bench_grid_resolution
+);
+criterion_main!(benches);

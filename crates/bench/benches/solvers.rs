@@ -1,0 +1,140 @@
+//! Criterion benchmarks: cost of the core solver paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotiron_floorplan::{library, GridMapping};
+use hotiron_refsim::{RefSim, RefSimConfig};
+use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+use hotiron_thermal::solve::{solve_steady, BackwardEuler};
+use hotiron_thermal::{
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+};
+use std::hint::black_box;
+
+fn die() -> DieGeometry {
+    DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 }
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let plan = library::ev6();
+    let mut g = c.benchmark_group("assembly");
+    for grid in [16usize, 32, 64] {
+        let mapping = GridMapping::new(&plan, grid, grid);
+        g.bench_with_input(BenchmarkId::new("oil", grid), &grid, |b, _| {
+            b.iter(|| {
+                build_circuit(
+                    black_box(&mapping),
+                    die(),
+                    &Package::OilSilicon(OilSiliconPackage::paper_default()),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("air", grid), &grid, |b, _| {
+            b.iter(|| {
+                build_circuit(
+                    black_box(&mapping),
+                    die(),
+                    &Package::AirSink(AirSinkPackage::paper_default()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_steady(c: &mut Criterion) {
+    let plan = library::ev6();
+    let mut g = c.benchmark_group("steady");
+    g.sample_size(20);
+    for grid in [16usize, 32, 64] {
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(grid, grid),
+        )
+        .unwrap();
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+        g.bench_with_input(BenchmarkId::new("oil_cg", grid), &grid, |b, _| {
+            b.iter(|| model.steady_state(black_box(&power)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_transient_step(c: &mut Criterion) {
+    let plan = library::ev6();
+    let mut g = c.benchmark_group("transient_step");
+    for grid in [16usize, 32] {
+        for (label, pkg) in [
+            ("oil", Package::OilSilicon(OilSiliconPackage::paper_default())),
+            ("air", Package::AirSink(AirSinkPackage::paper_default())),
+        ] {
+            let mapping = GridMapping::new(&plan, grid, grid);
+            let circuit = build_circuit(&mapping, die(), &pkg);
+            let be = BackwardEuler::new(&circuit, 1e-4);
+            let p = vec![40.0 / (grid * grid) as f64; grid * grid];
+            let mut state = vec![318.15; circuit.node_count()];
+            // Warm the state so each iteration measures a converged-regime step.
+            for _ in 0..10 {
+                be.step(&mut state, &p, 318.15).unwrap();
+            }
+            g.bench_with_input(BenchmarkId::new(label, grid), &grid, |b, _| {
+                b.iter(|| {
+                    let mut s = state.clone();
+                    be.step(black_box(&mut s), &p, 318.15).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_refsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refsim_steady");
+    g.sample_size(10);
+    for grid in [12usize, 20] {
+        let sim = RefSim::new(RefSimConfig::paper_validation().with_grid(grid, grid, 2, 3));
+        let p = sim.uniform_power(200.0);
+        g.bench_with_input(BenchmarkId::new("gs", grid), &grid, |b, _| {
+            b.iter(|| sim.solve_steady(black_box(&p), 20_000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_steady_warm_vs_cold(c: &mut Criterion) {
+    // Warm-started CG (used by the trace loops) vs cold starts.
+    let plan = library::ev6();
+    let model = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        ModelConfig::paper_default().with_grid(32, 32),
+    )
+    .unwrap();
+    let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+    let p = model.cell_power(&power);
+    let solved = model.steady_state(&power).unwrap().into_state();
+    let mut g = c.benchmark_group("steady_warmstart");
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut s = model.initial_state();
+            solve_steady(model.circuit(), black_box(&p), 318.15, &mut s).unwrap()
+        })
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut s = solved.clone();
+            solve_steady(model.circuit(), black_box(&p), 318.15, &mut s).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assembly,
+    bench_steady,
+    bench_transient_step,
+    bench_refsim,
+    bench_steady_warm_vs_cold
+);
+criterion_main!(benches);

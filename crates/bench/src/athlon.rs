@@ -1,0 +1,166 @@
+//! Figs 4–5: the AMD Athlon64 die under the oil rig and the necessity of
+//! the secondary heat-transfer path.
+
+use crate::common::{athlon_gcc, Fidelity};
+use hotiron_thermal::units::celsius_to_kelvin;
+use crate::report::{Row, Table};
+use hotiron_thermal::{
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, SecondaryPath, ThermalModel,
+};
+
+/// Fig 4: steady-state block temperatures of the Athlon64 under
+/// OIL-SILICON with the secondary path (what the IR camera sees).
+pub fn fig4(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(16, 40);
+    let (plan, power) = athlon_gcc();
+    let model = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(
+            OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
+        ),
+        ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0)),
+    )
+    .expect("valid model");
+    let sol = model.steady_state(&power).expect("steady solve");
+    let temps = sol.block_celsius();
+    let mut table = Table::new(
+        "Fig 4: Athlon64 steady temperatures, OIL-SILICON w/ secondary (°C)",
+        "block",
+        vec!["T (°C)".into()],
+    );
+    for (i, b) in plan.iter().enumerate() {
+        table.push(Row::new(b.name(), vec![temps[i]]));
+    }
+    let (hot, th) = sol.hottest_block();
+    let (cool, tc) = sol.coolest_block();
+    table.note(format!("hottest {hot} = {th:.1} °C (paper: sched ≈ 73 °C)"));
+    table.note(format!("coolest {cool} = {tc:.1} °C (paper: ≈ 45 °C)"));
+    table
+}
+
+/// Fig 5(a): OIL-SILICON block temperatures with vs without the secondary
+/// path — omitting it overpredicts by >10 °C.
+pub fn fig5a(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(16, 40);
+    let (plan, power) = athlon_gcc();
+    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0));
+    let with = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(
+            OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
+        ),
+        cfg,
+    )
+    .expect("valid model");
+    let without = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        cfg,
+    )
+    .expect("valid model");
+    let tw = with.steady_state(&power).expect("steady").block_celsius();
+    let to = without.steady_state(&power).expect("steady").block_celsius();
+    let mut table = Table::new(
+        "Fig 5(a): OIL-SILICON with vs without the secondary path (°C)",
+        "block",
+        vec!["w/ secondary".into(), "w/o secondary".into(), "error".into()],
+    );
+    for (i, b) in plan.iter().enumerate() {
+        table.push(Row::new(b.name(), vec![tw[i], to[i], to[i] - tw[i]]));
+    }
+    let worst = table
+        .rows
+        .iter()
+        .map(|r| r.values[2])
+        .fold(f64::MIN, f64::max);
+    table.note(format!(
+        "worst overprediction without the secondary path: {worst:.1} K (paper: >10 K)"
+    ));
+    table
+}
+
+/// Fig 5(b): AIR-SINK with vs without the secondary path — the difference
+/// is negligible (<1%).
+pub fn fig5b(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(16, 40);
+    let (plan, power) = athlon_gcc();
+    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0));
+    // A production heatsink (0.3 K/W), unlike the 1.0 K/W used for the
+    // rig-matched comparisons.
+    let with = ThermalModel::new(
+        plan.clone(),
+        Package::AirSink(
+            AirSinkPackage::paper_default()
+                .with_r_convec(0.3)
+                .with_secondary(SecondaryPath::for_air_system()),
+        ),
+        cfg,
+    )
+    .expect("valid model");
+    let without = ThermalModel::new(
+        plan.clone(),
+        Package::AirSink(AirSinkPackage::paper_default().with_r_convec(0.3)),
+        cfg,
+    )
+    .expect("valid model");
+    let tw = with.steady_state(&power).expect("steady").block_celsius();
+    let to = without.steady_state(&power).expect("steady").block_celsius();
+    let mut table = Table::new(
+        "Fig 5(b): AIR-SINK with vs without the secondary path (°C)",
+        "block",
+        vec!["w/ secondary".into(), "w/o secondary".into(), "error".into()],
+    );
+    for (i, b) in plan.iter().enumerate() {
+        table.push(Row::new(b.name(), vec![tw[i], to[i], to[i] - tw[i]]));
+    }
+    let worst = table
+        .rows
+        .iter()
+        .map(|r| r.values[2].abs())
+        .fold(f64::MIN, f64::max);
+    table.note(format!("worst difference: {worst:.2} K (paper: negligible, <1%)"));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_sched_is_hottest_and_blanks_cool() {
+        let t = fig4(Fidelity::Fast);
+        let temp = |name: &str| {
+            t.rows.iter().find(|r| r.label == name).expect("row exists").values[0]
+        };
+        let sched = temp("sched");
+        for r in &t.rows {
+            assert!(r.values[0] <= sched + 1e-9, "{} hotter than sched", r.label);
+        }
+        assert!(temp("blank1") < sched - 5.0, "blank silicon must run cool");
+    }
+
+    #[test]
+    fn fig5a_secondary_path_matters_under_oil() {
+        let t = fig5a(Fidelity::Fast);
+        let worst = t.rows.iter().map(|r| r.values[2]).fold(f64::MIN, f64::max);
+        assert!(worst > 5.0, "secondary path must remove noticeable heat, worst {worst}");
+        // Errors all positive: omitting a heat path can only overpredict.
+        for r in &t.rows {
+            assert!(r.values[2] > -0.5, "{}: {}", r.label, r.values[2]);
+        }
+    }
+
+    #[test]
+    fn fig5b_secondary_path_negligible_under_air() {
+        let a = fig5a(Fidelity::Fast);
+        let b = fig5b(Fidelity::Fast);
+        let worst_oil = a.rows.iter().map(|r| r.values[2].abs()).fold(f64::MIN, f64::max);
+        let worst_air = b.rows.iter().map(|r| r.values[2].abs()).fold(f64::MIN, f64::max);
+        assert!(
+            worst_air < 0.2 * worst_oil,
+            "air effect ({worst_air}) must be far below oil effect ({worst_oil})"
+        );
+        // Paper: less than 1% (a couple of kelvin at most here).
+        assert!(worst_air < 3.0, "air-sink secondary effect should be small: {worst_air}");
+    }
+}

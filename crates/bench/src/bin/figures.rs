@@ -1,0 +1,102 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hotiron-bench --bin figures -- all
+//! cargo run --release -p hotiron-bench --bin figures -- fig6 fig11
+//! cargo run --release -p hotiron-bench --bin figures -- --fast all
+//! ```
+//!
+//! Each experiment prints an aligned table and writes a CSV under
+//! `results/`.
+
+use hotiron_bench::report::Table;
+use hotiron_bench::traces::TraceConfig;
+use hotiron_bench::{arch, athlon, steady, traces, transients, validation, Fidelity};
+use std::path::PathBuf;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "sensing", "placement", "inversion", "tau", "sweep", "translate", "dtm",
+];
+
+fn run(name: &str, fidelity: Fidelity, out_dir: &PathBuf) {
+    let tables: Vec<(String, Table)> = match name {
+        "fig2" => vec![("fig02".into(), validation::fig2(fidelity))],
+        "fig3" => vec![("fig03".into(), validation::fig3(fidelity))],
+        "fig4" => vec![("fig04".into(), athlon::fig4(fidelity))],
+        "fig5" => vec![
+            ("fig05a".into(), athlon::fig5a(fidelity)),
+            ("fig05b".into(), athlon::fig5b(fidelity)),
+        ],
+        "fig6" => vec![("fig06".into(), transients::fig6(fidelity))],
+        "fig8" => vec![("fig08".into(), transients::fig8(fidelity))],
+        "fig9" => vec![("fig09".into(), transients::fig9(fidelity))],
+        "fig10" => {
+            let (air, oil, rows, cols) = steady::fig10_grids(fidelity);
+            write_grid(out_dir, "fig10_map_air", &air, rows, cols);
+            write_grid(out_dir, "fig10_map_oil", &oil, rows, cols);
+            vec![("fig10".into(), steady::fig10(fidelity))]
+        }
+        "fig11" => vec![("fig11".into(), steady::fig11(fidelity))],
+        "fig12" => vec![
+            ("fig12a".into(), traces::fig12(fidelity, TraceConfig::AirSink)),
+            ("fig12b".into(), traces::fig12(fidelity, TraceConfig::OilSilicon)),
+        ],
+        "sensing" => vec![("sensing".into(), arch::sensing(fidelity))],
+        "placement" => vec![("placement".into(), arch::placement_study(fidelity))],
+        "inversion" => vec![("inversion".into(), arch::inversion_study(fidelity))],
+        "tau" => vec![("tau".into(), arch::tau())],
+        "sweep" => vec![("sweep".into(), arch::rconv_sweep(fidelity))],
+        "translate" => vec![("translate".into(), arch::translation_study(fidelity))],
+        "dtm" => vec![("dtm".into(), arch::dtm_study(fidelity))],
+        other => {
+            eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    };
+    for (stem, table) in tables {
+        print!("{}", table.render());
+        println!();
+        if let Err(e) = table.write_csv(out_dir, &stem) {
+            eprintln!("warning: could not write {stem}.csv: {e}");
+        }
+    }
+}
+
+fn write_grid(dir: &PathBuf, stem: &str, grid: &[f64], rows: usize, cols: usize) {
+    let mut csv = String::new();
+    for r in 0..rows {
+        let cells: Vec<String> =
+            (0..cols).map(|c| format!("{:.3}", grid[r * cols + c])).collect();
+        csv.push_str(&cells.join(","));
+        csv.push('\n');
+    }
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{stem}.csv")), csv);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fidelity = Fidelity::Paper;
+    let mut names: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--fast" => fidelity = Fidelity::Fast,
+            "all" => names.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!(
+            "usage: figures [--fast] <experiment...|all>\navailable: {}",
+            EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let out_dir = PathBuf::from("results");
+    for n in &names {
+        run(n, fidelity, &out_dir);
+    }
+    println!("CSV results written to {}/", out_dir.display());
+}

@@ -1,0 +1,70 @@
+//! Shared experiment scaffolding.
+
+use hotiron_floorplan::{library, Floorplan};
+use hotiron_powersim::{engine::SyntheticCpu, uarch, workload};
+use hotiron_thermal::{PowerMap, units::celsius_to_kelvin};
+
+/// The paper's ambient: 45 °C.
+pub const AMBIENT_C: f64 = 45.0;
+
+/// Ambient in kelvin.
+pub fn ambient_k() -> f64 {
+    celsius_to_kelvin(AMBIENT_C)
+}
+
+/// Experiment fidelity: `Paper` reproduces the published setup; `Fast`
+/// shrinks grids and durations so the full suite runs in CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Reduced resolution for tests.
+    Fast,
+    /// Full published setup.
+    Paper,
+}
+
+impl Fidelity {
+    /// Picks `fast` or `paper` by variant.
+    pub fn pick<T>(self, fast: T, paper: T) -> T {
+        match self {
+            Fidelity::Fast => fast,
+            Fidelity::Paper => paper,
+        }
+    }
+}
+
+/// The EV6 floorplan with its time-averaged gcc power map (deterministic).
+pub fn ev6_gcc() -> (Floorplan, PowerMap) {
+    let plan = library::ev6();
+    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let avg = cpu.simulate(8_000).average();
+    let power = PowerMap::from_vec(&plan, avg);
+    (plan, power)
+}
+
+/// The Athlon64 floorplan with its time-averaged gcc power map.
+pub fn athlon_gcc() -> (Floorplan, PowerMap) {
+    let plan = library::athlon64();
+    let cpu = SyntheticCpu::new(uarch::athlon64_units(&plan), workload::gcc(), 7);
+    let avg = cpu.simulate(6_000).average();
+    let power = PowerMap::from_vec(&plan, avg);
+    (plan, power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcc_powers_are_deterministic() {
+        let (_, a) = ev6_gcc();
+        let (_, b) = ev6_gcc();
+        assert_eq!(a, b);
+        assert!(a.total() > 20.0 && a.total() < 70.0);
+    }
+
+    #[test]
+    fn fidelity_pick() {
+        assert_eq!(Fidelity::Fast.pick(1, 2), 1);
+        assert_eq!(Fidelity::Paper.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation, plus the §5 architectural analyses.
+//!
+//! Each experiment is a function returning [`report::Table`]s so the
+//! `figures` binary, the Criterion benches and the test-suite all share one
+//! implementation. Experiments take a [`common::Fidelity`]: `Paper` runs the
+//! published configuration, `Fast` a reduced one for CI.
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | Fig 2 | [`validation::fig2`] |
+//! | Fig 3 | [`validation::fig3`] |
+//! | Fig 4 | [`athlon::fig4`] |
+//! | Fig 5(a)/(b) | [`athlon::fig5a`] / [`athlon::fig5b`] |
+//! | Fig 6 | [`transients::fig6`] |
+//! | Fig 8 | [`transients::fig8`] |
+//! | Fig 9 | [`transients::fig9`] |
+//! | Fig 10 | [`steady::fig10`] |
+//! | Fig 11 | [`steady::fig11`] |
+//! | Fig 12(a)/(b) | [`traces::fig12`] |
+//! | §5.1–5.2 | [`arch::sensing`] |
+//! | §5.3 | [`arch::placement_study`] |
+//! | §5.4 | [`arch::inversion_study`] |
+//! | §4.1.2 | [`arch::tau`] |
+
+pub mod arch;
+pub mod athlon;
+pub mod common;
+pub mod report;
+pub mod steady;
+pub mod traces;
+pub mod transients;
+pub mod validation;
+
+pub use common::Fidelity;
+pub use report::{Row, Table};

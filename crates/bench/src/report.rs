@@ -1,0 +1,183 @@
+//! Uniform tabular results: aligned console printing and CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One labeled row of numeric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (block name, time point, metric…).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { label: label.into(), values }
+    }
+}
+
+/// A titled table of labeled numeric rows — the unit every experiment
+/// returns, so the `figures` binary can print and archive them uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. "Fig 6(a): hot-spot warmup").
+    pub title: String,
+    /// Label-column header.
+    pub label_header: String,
+    /// Value-column headers.
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        label_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            label_header: label_header.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.values.len(), self.columns.len(), "row width mismatch in `{}`", self.title);
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the aligned console form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([self.label_header.len()])
+            .max()
+            .unwrap_or(8)
+            .max(6);
+        let _ = write!(out, "{:<label_w$}", self.label_header);
+        for c in &self.columns {
+            let _ = write!(out, " {:>14}", c);
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:-<width$}", "", width = label_w + 15 * self.columns.len());
+        for r in &self.rows {
+            let _ = write!(out, "{:<label_w$}", r.label);
+            for v in &r.values {
+                let _ = write!(out, " {:>14.3}", v);
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Renders CSV (label column first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.label_header));
+        for c in &self.columns {
+            let _ = write!(out, ",{}", csv_escape(c));
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{}", csv_escape(&r.label));
+            for v in &r.values {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV next to the other results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.csv")), self.to_csv())
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("T", "unit", vec!["a".into(), "b".into()]);
+        t.push(Row::new("x", vec![1.0, 2.0]));
+        t.push(Row::new("y", vec![3.5, -4.25]));
+        t.note("hello");
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = table().render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("unit"));
+        assert!(s.contains('x'));
+        assert!(s.contains("-4.250"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "unit,a,b");
+        assert_eq!(lines[1], "x,1,2");
+        assert_eq!(lines[2], "y,3.5,-4.25");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("T", "l", vec!["a,b".into()]);
+        t.push(Row::new("r\"1", vec![1.0]));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"r\"\"1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_checks_width() {
+        let mut t = table();
+        t.push(Row::new("z", vec![1.0]));
+    }
+}

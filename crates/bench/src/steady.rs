@@ -1,0 +1,176 @@
+//! Figs 10–11: steady-state maps and the oil-flow-direction table.
+
+use crate::common::{ambient_k, ev6_gcc, Fidelity};
+use crate::report::{Row, Table};
+use hotiron_thermal::{
+    AirSinkPackage, FlowDirection, ModelConfig, OilSiliconPackage, Package, ThermalModel,
+};
+
+/// Fig 10: EV6/gcc steady-state summary for both packages (the paper shows
+/// full-color maps; we report per-block temperatures plus map statistics —
+/// the CSV written by the `figures` binary carries the full grids).
+pub fn fig10(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(16, 32);
+    let (plan, power) = ev6_gcc();
+    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k());
+    let air = ThermalModel::new(
+        plan.clone(),
+        Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)),
+        cfg,
+    )
+    .expect("valid air model");
+    let oil = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default().with_target_r_convec(1.0)),
+        cfg,
+    )
+    .expect("valid oil model");
+    let sa = air.steady_state(&power).expect("steady");
+    let so = oil.steady_state(&power).expect("steady");
+
+    let mut table = Table::new(
+        "Fig 10: EV6/gcc steady state, AIR-SINK vs OIL-SILICON (°C)",
+        "block",
+        vec!["AIR-SINK".into(), "OIL-SILICON".into()],
+    );
+    let ta = sa.block_celsius();
+    let to = so.block_celsius();
+    for (i, b) in plan.iter().enumerate() {
+        table.push(Row::new(b.name(), vec![ta[i], to[i]]));
+    }
+    table.push(Row::new("— Tmax", vec![sa.max_celsius(), so.max_celsius()]));
+    table.push(Row::new("— dT", vec![sa.gradient(), so.gradient()]));
+    table.note(format!(
+        "OIL hot spot is {:.0} K hotter and its gradient {:.0} K larger (paper: ~30 K and ~55 K)",
+        so.max_celsius() - sa.max_celsius(),
+        so.gradient() - sa.gradient()
+    ));
+    table
+}
+
+/// The silicon °C grids behind Fig 10, for CSV export: `(air, oil, rows, cols)`.
+pub fn fig10_grids(fidelity: Fidelity) -> (Vec<f64>, Vec<f64>, usize, usize) {
+    let grid = fidelity.pick(16, 32);
+    let (plan, power) = ev6_gcc();
+    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k());
+    let air = ThermalModel::new(
+        plan.clone(),
+        Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)),
+        cfg,
+    )
+    .expect("valid air model");
+    let oil = ThermalModel::new(
+        plan,
+        Package::OilSilicon(OilSiliconPackage::paper_default().with_target_r_convec(1.0)),
+        cfg,
+    )
+    .expect("valid oil model");
+    (
+        air.steady_state(&power).expect("steady").celsius_grid(),
+        oil.steady_state(&power).expect("steady").celsius_grid(),
+        grid,
+        grid,
+    )
+}
+
+/// Fig 11: EV6/gcc steady temperatures under the four oil-flow directions.
+pub fn fig11(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(16, 32);
+    let (plan, power) = ev6_gcc();
+    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k());
+    let mut columns = Vec::new();
+    let mut per_dir = Vec::new();
+    for dir in FlowDirection::ALL {
+        columns.push(dir.label().to_owned());
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default().with_direction(dir)),
+            cfg,
+        )
+        .expect("valid model");
+        per_dir.push(model.steady_state(&power).expect("steady").block_celsius());
+    }
+    let mut table = Table::new(
+        "Fig 11: EV6/gcc steady temperatures, four oil flow directions (°C)",
+        "unit",
+        columns,
+    );
+    for (i, b) in plan.iter().enumerate() {
+        table.push(Row::new(b.name(), per_dir.iter().map(|d| d[i]).collect()));
+    }
+    for (d, dir) in per_dir.iter().zip(FlowDirection::ALL) {
+        let (bi, t) = d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        table.note(format!(
+            "hottest under {}: {} ({:.2} °C)",
+            dir.label(),
+            plan.blocks()[bi].name(),
+            t
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_oil_hotter_and_steeper() {
+        let t = fig10(Fidelity::Fast);
+        let tmax = t.rows.iter().find(|r| r.label == "— Tmax").expect("row");
+        let dt = t.rows.iter().find(|r| r.label == "— dT").expect("row");
+        assert!(tmax.values[1] > tmax.values[0] + 15.0, "Tmax: {:?}", tmax.values);
+        assert!(dt.values[1] > dt.values[0] + 30.0, "dT: {:?}", dt.values);
+    }
+
+    #[test]
+    fn fig11_top_to_bottom_dethrones_intreg() {
+        let t = fig11(Fidelity::Fast);
+        let row = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.label == name)
+                .expect("row exists")
+                .values
+                .clone()
+        };
+        let intreg = row("IntReg");
+        let dcache = row("Dcache");
+        // Columns: L2R, R2L, B2T, T2B.
+        // Under bottom-to-top flow IntReg (top edge) is worst-cooled.
+        assert!(intreg[2] > intreg[3] + 5.0, "b2t {} vs t2b {}", intreg[2], intreg[3]);
+        // Under top-to-bottom flow IntReg is no longer the hottest unit.
+        let hottest_note = &t.notes[3];
+        assert!(
+            !hottest_note.contains("IntReg"),
+            "top-to-bottom hottest must not be IntReg: {hottest_note}"
+        );
+        // Dcache cools less dramatically (it sits mid-die).
+        let dcache_drop = dcache[2] - dcache[3];
+        let intreg_drop = intreg[2] - intreg[3];
+        assert!(intreg_drop > dcache_drop, "IntReg benefits most from t2b flow");
+    }
+
+    #[test]
+    fn fig11_left_right_symmetry_is_broken_by_layout() {
+        let t = fig11(Fidelity::Fast);
+        let intreg =
+            &t.rows.iter().find(|r| r.label == "IntReg").expect("row exists").values;
+        // IntReg sits right of center: left-to-right flow leaves it
+        // downstream (hotter) vs right-to-left (upstream, cooler).
+        assert!(intreg[0] > intreg[1], "l2r {} vs r2l {}", intreg[0], intreg[1]);
+    }
+
+    #[test]
+    fn fig10_grids_have_expected_shape() {
+        let (air, oil, rows, cols) = fig10_grids(Fidelity::Fast);
+        assert_eq!(air.len(), rows * cols);
+        assert_eq!(oil.len(), rows * cols);
+        let max = |g: &[f64]| g.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max(&oil) > max(&air));
+    }
+}

@@ -1,0 +1,261 @@
+//! Figs 6, 8, 9: transient comparisons of AIR-SINK and OIL-SILICON.
+
+use crate::common::{ambient_k, Fidelity, AMBIENT_C};
+use crate::report::{Row, Table};
+use hotiron_floorplan::library;
+use hotiron_thermal::{
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+};
+
+/// The Fig 6/8 hot block: Icache at the paper's 2.0 W/mm² power density.
+const HOT_BLOCK: &str = "Icache";
+
+fn hot_block_power(plan: &hotiron_floorplan::Floorplan) -> PowerMap {
+    let area = plan.block(HOT_BLOCK).expect("block exists").area();
+    PowerMap::from_pairs(plan, [(HOT_BLOCK, 2.0e6 * area)]).expect("valid power")
+}
+
+fn ev6_pair(grid: usize) -> (ThermalModel, ThermalModel) {
+    let plan = library::ev6();
+    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k());
+    let air = ThermalModel::new(
+        plan.clone(),
+        Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)),
+        cfg,
+    )
+    .expect("valid air model");
+    let oil = ThermalModel::new(
+        plan,
+        Package::OilSilicon(OilSiliconPackage::paper_default().with_target_r_convec(1.0)),
+        cfg,
+    )
+    .expect("valid oil model");
+    (air, oil)
+}
+
+/// Fig 6: warmup from ambient with a constant hot block (2 W/mm²), both
+/// packages at Rconv = 1.0 K/W. Columns: hot-block and coolest-block
+/// temperatures for each package (°C).
+pub fn fig6(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(12, 24);
+    let duration: f64 = fidelity.pick(2.0, 6.0);
+    let dt = fidelity.pick(0.01, 0.002);
+    let sample: f64 = fidelity.pick(0.2, 0.05);
+    let (air, oil) = ev6_pair(grid);
+    let plan = air.floorplan().clone();
+    let power = hot_block_power(&plan);
+
+    let mut sim_a = air.transient(dt);
+    let mut sim_o = oil.transient(dt);
+    let mut table = Table::new(
+        "Fig 6: warmup transients, hot block @2 W/mm², Rconv=1.0 both (°C)",
+        "time (s)",
+        vec![
+            "AIR hot".into(),
+            "AIR cool".into(),
+            "OIL hot".into(),
+            "OIL cool".into(),
+        ],
+    );
+    table.push(Row::new("0.00", vec![AMBIENT_C; 4]));
+    let n = (duration / sample).round() as usize;
+    for s in 1..=n {
+        sim_a.run(&power, sample).expect("air step");
+        sim_o.run(&power, sample).expect("oil step");
+        let sa = sim_a.solution();
+        let so = sim_o.solution();
+        table.push(Row::new(
+            format!("{:.2}", s as f64 * sample),
+            vec![
+                sa.block(HOT_BLOCK),
+                sa.coolest_block().1,
+                so.block(HOT_BLOCK),
+                so.coolest_block().1,
+            ],
+        ));
+    }
+    table.note("paper: OIL reaches steady state sooner (smaller long-term tau) but ends far hotter at the hot spot and cooler at the cool spot");
+    table
+}
+
+/// Fig 8: short-term oscillation around the periodic steady state — the hot
+/// block pulses 15 ms on / 85 ms off. Columns: hot-block temperature *rise*
+/// above ambient for each package (K).
+pub fn fig8(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(12, 24);
+    let dt = fidelity.pick(1e-3, 5e-4);
+    let duration = 0.1; // one full period
+    let (air, oil) = ev6_pair(grid);
+    let plan = air.floorplan().clone();
+    let peak = hot_block_power(&plan);
+    let avg = peak.scaled(0.15); // 15 ms / 100 ms duty cycle
+    let off = PowerMap::zeros(&plan);
+
+    let run = |model: &ThermalModel| -> Vec<(f64, f64)> {
+        let mut sim = model.transient(dt);
+        sim.init_steady(&avg).expect("steady init");
+        let mut out = Vec::new();
+        let n = (duration / dt).round() as usize;
+        for i in 0..n {
+            let t = i as f64 * dt;
+            let p = if t < 0.015 { &peak } else { &off };
+            sim.run(p, dt).expect("transient step");
+            out.push((t + dt, sim.solution().block(HOT_BLOCK) - AMBIENT_C));
+        }
+        out
+    };
+    let a = run(&air);
+    let o = run(&oil);
+
+    let mut table = Table::new(
+        "Fig 8: short-term transient, 15 ms on / 85 ms off (K above ambient)",
+        "time (ms)",
+        vec!["oil flow".into(), "heatsink".into()],
+    );
+    let stride = fidelity.pick(5, 4);
+    for i in (0..a.len()).step_by(stride) {
+        table.push(Row::new(format!("{:.1}", a[i].0 * 1e3), vec![o[i].1, a[i].1]));
+    }
+    table.note("paper: AIR-SINK returns to baseline within ~3 ms of power-off; OIL-SILICON cools far slower and quasi-linearly");
+    table
+}
+
+/// Fig 9: hot-spot migration — 2 W on IntReg for 10 ms, then 2 W on FPMap.
+/// Reports both block temperatures at 14 ms and which is hottest.
+pub fn fig9(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(16, 32);
+    let dt = 2.5e-4;
+    let (air, oil) = ev6_pair(grid);
+    let plan = air.floorplan().clone();
+    let p_int = PowerMap::from_pairs(&plan, [("IntReg", 2.0)]).expect("valid power");
+    let p_fp = PowerMap::from_pairs(&plan, [("FPMap", 2.0)]).expect("valid power");
+
+    let run = |model: &ThermalModel| -> Vec<(f64, f64, f64)> {
+        let mut sim = model.transient(dt);
+        sim.init_steady(&p_int).expect("steady init");
+        let mut out = Vec::new();
+        let n = (0.015 / dt).round() as usize;
+        for i in 0..n {
+            let t = i as f64 * dt;
+            let p = if t < 0.010 { &p_int } else { &p_fp };
+            sim.run(p, dt).expect("transient step");
+            let sol = sim.solution();
+            out.push((t + dt, sol.block("IntReg") - AMBIENT_C, sol.block("FPMap") - AMBIENT_C));
+        }
+        out
+    };
+    let a = run(&air);
+    let o = run(&oil);
+
+    let mut table = Table::new(
+        "Fig 9: hot-spot migration, IntReg 2 W (0-10 ms) then FPMap 2 W (K above ambient)",
+        "time (ms)",
+        vec![
+            "AIR IntReg".into(),
+            "AIR FPMap".into(),
+            "OIL IntReg".into(),
+            "OIL FPMap".into(),
+        ],
+    );
+    for i in (0..a.len()).step_by(2) {
+        table.push(Row::new(
+            format!("{:.2}", a[i].0 * 1e3),
+            vec![a[i].1, a[i].2, o[i].1, o[i].2],
+        ));
+    }
+    let at = |series: &[(f64, f64, f64)], t: f64| {
+        series
+            .iter()
+            .min_by(|x, y| (x.0 - t).abs().total_cmp(&(y.0 - t).abs()))
+            .copied()
+            .expect("series non-empty")
+    };
+    let (_, ai, af) = at(&a, 0.014);
+    let (_, oi, of) = at(&o, 0.014);
+    table.note(format!(
+        "at 14 ms — AIR: IntReg {ai:.2} K vs FPMap {af:.2} K ({}); OIL: IntReg {oi:.2} K vs FPMap {of:.2} K ({})",
+        if af > ai { "FPMap now hottest ✓ paper" } else { "IntReg still hottest" },
+        if oi > of { "IntReg still hottest ✓ paper" } else { "FPMap now hottest" },
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &Table, idx: usize) -> Vec<f64> {
+        t.rows.iter().map(|r| r.values[idx]).collect()
+    }
+
+    #[test]
+    fn fig6_oil_hot_spot_far_hotter() {
+        // Within the plotted window OIL is near steady while AIR's huge sink
+        // capacitance keeps it far below its own steady state.
+        let t = fig6(Fidelity::Fast);
+        let last = t.rows.last().expect("rows");
+        let (air_hot, oil_hot) = (last.values[0], last.values[2]);
+        assert!(oil_hot > air_hot + 20.0, "oil hot {oil_hot} vs air hot {air_hot}");
+    }
+
+    #[test]
+    fn fig6_steady_cool_block_is_warmer_under_air() {
+        // The paper's caption: "for AIR-SINK, the steady-state temperature at
+        // the cool block is actually higher than OIL-SILICON" — copper
+        // spreading warms the whole die, the oil leaves remote blocks cool.
+        let (air, oil) = ev6_pair(12);
+        let power = hot_block_power(air.floorplan());
+        let sa = air.steady_state(&power).expect("steady");
+        let so = oil.steady_state(&power).expect("steady");
+        assert!(
+            sa.coolest_block().1 > so.coolest_block().1,
+            "air cool {:?} vs oil cool {:?}",
+            sa.coolest_block(),
+            so.coolest_block()
+        );
+        assert!(so.hottest_block().1 > sa.hottest_block().1 + 30.0);
+    }
+
+    #[test]
+    fn fig6_oil_reaches_steady_sooner() {
+        let t = fig6(Fidelity::Fast);
+        // Fraction of final rise reached halfway through the window.
+        let frac = |c: &[f64]| {
+            let end = c.last().expect("values") - AMBIENT_C;
+            let mid = c[c.len() / 2] - AMBIENT_C;
+            mid / end
+        };
+        let air = frac(&col(&t, 0));
+        let oil = frac(&col(&t, 2));
+        assert!(oil > air, "oil settles faster during warmup: {oil} vs {air}");
+    }
+
+    #[test]
+    fn fig8_oil_cools_slower() {
+        let t = fig8(Fidelity::Fast);
+        // Find the peak, then compare the decay 10 ms later (relative).
+        let oil = col(&t, 0);
+        let air = col(&t, 1);
+        let times: Vec<f64> = t.rows.iter().map(|r| r.label.parse::<f64>().unwrap()).collect();
+        let peak_i =
+            air.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("rows").0;
+        let later_i = times
+            .iter()
+            .position(|&x| x >= times[peak_i] + 10.0)
+            .unwrap_or(times.len() - 1);
+        let air_decay = (air[peak_i] - air[later_i]) / air[peak_i];
+        let oil_decay = (oil[peak_i] - oil[later_i]) / oil[peak_i].max(1e-9);
+        assert!(
+            air_decay > oil_decay + 0.1,
+            "air must shed its pulse much faster: {air_decay} vs {oil_decay}"
+        );
+    }
+
+    #[test]
+    fn fig9_hotspot_migrates_only_under_air() {
+        let t = fig9(Fidelity::Fast);
+        let note = t.notes.last().expect("note");
+        assert!(note.contains("FPMap now hottest ✓ paper"), "air migration: {note}");
+        assert!(note.contains("IntReg still hottest ✓ paper"), "oil persistence: {note}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Figs 2–3: compact model vs the independent reference solver
+//! (the paper's ANSYS validation).
+
+use crate::common::{ambient_k, Fidelity};
+use crate::report::{Row, Table};
+use hotiron_floorplan::library;
+use hotiron_refsim::{RefSim, RefSimConfig};
+use hotiron_thermal::{
+    solve::BackwardEuler, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+};
+
+/// Fig 2: transient response at the die center — 20x20x0.5 mm silicon,
+/// uniform 200 W step, 10 m/s oil. Columns: compact model and refsim, K.
+pub fn fig2(fidelity: Fidelity) -> Table {
+    let duration = fidelity.pick(1.0, 5.0);
+    let sample = fidelity.pick(0.25, 0.1);
+    let grid = fidelity.pick(12, 32);
+
+    // Compact model.
+    let plan = library::uniform_die(0.02, 0.02);
+    let model = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k()),
+    )
+    .expect("valid model");
+    let power = PowerMap::from_pairs(&plan, [("die", 200.0)]).expect("die block exists");
+    let cell_power = model.cell_power(&power);
+    let circuit = model.circuit();
+    let dt = fidelity.pick(0.02, 0.01);
+    let be = BackwardEuler::new(circuit, dt);
+    let mut state = model.initial_state();
+    let m = model.mapping();
+    let center = m.cell_index(grid / 2, grid / 2);
+
+    let mut compact = vec![(0.0, ambient_k())];
+    let steps_per_sample = (sample / dt).round() as usize;
+    let n_samples = (duration / sample).round() as usize;
+    for s in 1..=n_samples {
+        for _ in 0..steps_per_sample {
+            be.step(&mut state, &cell_power, ambient_k()).expect("BE step converges");
+        }
+        compact.push((s as f64 * sample, circuit.silicon_slice(&state)[center]));
+    }
+
+    // Reference solver.
+    let rs_grid = fidelity.pick(12, 32);
+    let sim = RefSim::new(
+        RefSimConfig::paper_validation().with_grid(rs_grid, rs_grid, 3, fidelity.pick(3, 5)),
+    );
+    let p = sim.uniform_power(200.0);
+    let mut reference = vec![(0.0, ambient_k())];
+    sim.run_transient(&p, duration, sample, |t, f| reference.push((t, f.center())));
+
+    let mut table = Table::new(
+        "Fig 2: transient @ die center, 200 W uniform step, 10 m/s oil (K)",
+        "time (s)",
+        vec!["hotiron (compact)".into(), "refsim (fine 3-D)".into()],
+    );
+    for (t, tc) in &compact {
+        // Nearest reference sample.
+        let tr = reference
+            .iter()
+            .min_by(|a, b| (a.0 - t).abs().total_cmp(&(b.0 - t).abs()))
+            .expect("reference has samples")
+            .1;
+        table.push(Row::new(format!("{t:.2}"), vec![*tc, tr]));
+    }
+    table.note("paper: both settle near ~520 K with a thermal time constant on the order of a second");
+    table
+}
+
+/// Fig 3: steady state with a 2x2 mm, 10 W center source. Rows: Tmax, Tmin,
+/// dT as *rises* above ambient (K), matching the paper's bar chart.
+pub fn fig3(fidelity: Fidelity) -> Table {
+    let grid = fidelity.pick(20, 40);
+
+    // Compact model on the 9-block center-source floorplan.
+    let plan = library::center_source_die();
+    let model = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k()),
+    )
+    .expect("valid model");
+    let power = PowerMap::from_pairs(&plan, [("center", 10.0)]).expect("center block exists");
+    let sol = model.steady_state(&power).expect("steady solve");
+    let (c_max, c_min) =
+        (sol.max_celsius() - 45.0, sol.min_celsius() - 45.0);
+
+    // Reference solver.
+    let sim =
+        RefSim::new(RefSimConfig::paper_validation().with_grid(grid, grid, 3, fidelity.pick(4, 6)));
+    let p = sim.center_source_power(2e-3, 10.0);
+    let f = sim.solve_steady(&p, fidelity.pick(20_000, 60_000));
+    let (r_max, r_min) = (f.max() - ambient_k(), f.min() - ambient_k());
+
+    let mut table = Table::new(
+        "Fig 3: steady rises, 2x2 mm / 10 W center source (K above ambient)",
+        "metric",
+        vec!["hotiron (compact)".into(), "refsim (fine 3-D)".into()],
+    );
+    table.push(Row::new("Tmax", vec![c_max, r_max]));
+    table.push(Row::new("Tmin", vec![c_min, r_min]));
+    table.push(Row::new("dT", vec![c_max - c_min, r_max - r_min]));
+    table.note("paper: the two solvers agree closely on all three bars");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_models_agree_on_shape() {
+        let t = fig2(Fidelity::Fast);
+        assert!(t.rows.len() >= 4);
+        // Both columns rise monotonically from ambient.
+        let first = &t.rows[0];
+        let last = t.rows.last().expect("rows");
+        assert!(last.values[0] > first.values[0] + 50.0, "compact must heat substantially");
+        assert!(last.values[1] > first.values[1] + 50.0, "refsim must heat substantially");
+        // End-point agreement within 25% (coarse fast grids).
+        let rel = (last.values[0] - last.values[1]).abs() / (last.values[1] - 318.15);
+        assert!(rel < 0.25, "end-point mismatch {rel}");
+    }
+
+    #[test]
+    fn fig3_rises_agree_in_shape() {
+        let t = fig3(Fidelity::Fast);
+        assert_eq!(t.rows.len(), 3);
+        let tmax = &t.rows[0].values;
+        let dt = &t.rows[2].values;
+        assert!(tmax[0] > 50.0 && tmax[1] > 50.0, "hot center: {tmax:?}");
+        // dT dominates Tmin: a sharply peaked field in both solvers.
+        assert!(dt[0] > 0.5 * tmax[0]);
+        assert!(dt[1] > 0.5 * tmax[1]);
+        // Cross-solver agreement within 35% on Tmax (coarse fast settings).
+        let rel = (tmax[0] - tmax[1]).abs() / tmax[1];
+        assert!(rel < 0.35, "Tmax mismatch {rel}");
+    }
+}

@@ -1,0 +1,223 @@
+//! IR thermal camera model.
+//!
+//! An IR camera does not see the instantaneous temperature field: it
+//! integrates over an exposure window at a finite frame rate, and its optics
+//! blur the image. §5.1 of the paper points out that a typical frame
+//! interval is *longer* than the ~3 ms thermal emergencies an AIR-SINK chip
+//! exhibits, so IR recordings can miss violations entirely. This module
+//! makes that concrete.
+
+/// An IR thermal camera observing the die surface grid.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_dtm::IrCamera;
+///
+/// let cam = IrCamera::new(1.0 / 30.0, 0.5e-3); // 30 fps, 0.5 mm optical blur
+/// let frame = cam.capture(&[40.0, 60.0, 40.0, 60.0], 2, 2, 1e-3, 1e-3);
+/// // Blur pulls the extremes together.
+/// let max = frame.iter().cloned().fold(f64::MIN, f64::max);
+/// assert!(max < 60.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrCamera {
+    /// Time between frames, s.
+    pub frame_interval: f64,
+    /// Gaussian point-spread-function σ, m.
+    pub psf_sigma: f64,
+}
+
+impl IrCamera {
+    /// Creates a camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame interval is not positive or the PSF is negative.
+    pub fn new(frame_interval: f64, psf_sigma: f64) -> Self {
+        assert!(frame_interval > 0.0, "frame interval must be positive");
+        assert!(psf_sigma >= 0.0, "PSF sigma must be non-negative");
+        Self { frame_interval, psf_sigma }
+    }
+
+    /// A typical mid-2000s research IR camera: 30 fps, 0.2 mm blur.
+    pub fn typical() -> Self {
+        Self::new(1.0 / 30.0, 0.2e-3)
+    }
+
+    /// Captures one frame from a row-major temperature grid (°C), applying
+    /// the optical blur. `cell_w`/`cell_h` are the grid pitches in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid.len() != rows*cols`.
+    pub fn capture(
+        &self,
+        grid: &[f64],
+        rows: usize,
+        cols: usize,
+        cell_w: f64,
+        cell_h: f64,
+    ) -> Vec<f64> {
+        assert_eq!(grid.len(), rows * cols, "grid dims mismatch");
+        if self.psf_sigma == 0.0 {
+            return grid.to_vec();
+        }
+        // Separable Gaussian blur, truncated at 3σ.
+        let blur_1d = |field: &[f64], n_major: usize, n_minor: usize, pitch: f64, row_major: bool| {
+            let radius = ((3.0 * self.psf_sigma / pitch).ceil() as isize).max(1);
+            let kernel: Vec<f64> = (-radius..=radius)
+                .map(|k| {
+                    let d = k as f64 * pitch;
+                    (-d * d / (2.0 * self.psf_sigma * self.psf_sigma)).exp()
+                })
+                .collect();
+            let ksum: f64 = kernel.iter().sum();
+            let mut out = vec![0.0; field.len()];
+            for maj in 0..n_major {
+                for min in 0..n_minor {
+                    let mut acc = 0.0;
+                    for (ki, kv) in kernel.iter().enumerate() {
+                        let off = ki as isize - radius;
+                        let m = (min as isize + off).clamp(0, n_minor as isize - 1) as usize;
+                        let idx = if row_major { maj * n_minor + m } else { m * n_major + maj };
+                        acc += kv * field[idx];
+                    }
+                    let idx = if row_major { maj * n_minor + min } else { min * n_major + maj };
+                    out[idx] = acc / ksum;
+                }
+            }
+            out
+        };
+        let pass_x = blur_1d(grid, rows, cols, cell_w, true);
+        blur_1d(&pass_x, cols, rows, cell_h, false)
+    }
+
+    /// Records a sequence of instantaneous fields sampled every `dt` seconds
+    /// into camera frames: each frame is the time-average of the fields in
+    /// its exposure window, blurred. Returns `(frame_time, frame)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fields are empty or sizes disagree.
+    pub fn record(
+        &self,
+        fields: &[Vec<f64>],
+        dt: f64,
+        rows: usize,
+        cols: usize,
+        cell_w: f64,
+        cell_h: f64,
+    ) -> Vec<(f64, Vec<f64>)> {
+        assert!(!fields.is_empty(), "need at least one field");
+        let per_frame = (self.frame_interval / dt).round().max(1.0) as usize;
+        let mut frames = Vec::new();
+        let mut i = 0;
+        while i + per_frame <= fields.len() {
+            let mut acc = vec![0.0; fields[i].len()];
+            for f in &fields[i..i + per_frame] {
+                assert_eq!(f.len(), acc.len(), "field sizes must agree");
+                for (a, v) in acc.iter_mut().zip(f) {
+                    *a += v;
+                }
+            }
+            for a in &mut acc {
+                *a /= per_frame as f64;
+            }
+            frames.push((
+                (i + per_frame) as f64 * dt,
+                self.capture(&acc, rows, cols, cell_w, cell_h),
+            ));
+            i += per_frame;
+        }
+        frames
+    }
+
+    /// The worst transient overshoot the camera *misses*: the difference
+    /// between the true peak of `peak_series` (one value per instantaneous
+    /// sample) and the peak of the per-frame time-averages.
+    pub fn missed_overshoot(&self, peak_series: &[f64], dt: f64) -> f64 {
+        assert!(!peak_series.is_empty(), "need samples");
+        let true_peak = peak_series.iter().cloned().fold(f64::MIN, f64::max);
+        let per_frame = (self.frame_interval / dt).round().max(1.0) as usize;
+        let mut cam_peak = f64::MIN;
+        let mut i = 0;
+        while i + per_frame <= peak_series.len() {
+            let avg: f64 =
+                peak_series[i..i + per_frame].iter().sum::<f64>() / per_frame as f64;
+            cam_peak = cam_peak.max(avg);
+            i += per_frame;
+        }
+        if cam_peak == f64::MIN {
+            // Trace shorter than one frame: the camera records nothing.
+            return true_peak;
+        }
+        true_peak - cam_peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_psf_is_identity() {
+        let cam = IrCamera::new(0.01, 0.0);
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cam.capture(&g, 2, 2, 1e-3, 1e-3), g);
+    }
+
+    #[test]
+    fn blur_conserves_uniform_field() {
+        let cam = IrCamera::new(0.01, 1e-3);
+        let g = vec![50.0; 64];
+        let f = cam.capture(&g, 8, 8, 0.5e-3, 0.5e-3);
+        for v in f {
+            assert!((v - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blur_reduces_peak() {
+        let cam = IrCamera::new(0.01, 1e-3);
+        let mut g = vec![40.0; 81];
+        g[40] = 90.0; // single hot pixel
+        let f = cam.capture(&g, 9, 9, 0.5e-3, 0.5e-3);
+        let max = f.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max < 70.0, "peak must be smeared: {max}");
+        assert!(max > 40.0);
+    }
+
+    #[test]
+    fn record_time_averages_frames() {
+        let cam = IrCamera::new(0.02, 0.0);
+        // 1 ms fields; 20 per frame. Field alternates 0/10 → frame avg 5.
+        let fields: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![if i % 2 == 0 { 0.0 } else { 10.0 }]).collect();
+        let frames = cam.record(&fields, 1e-3, 1, 1, 1e-3, 1e-3);
+        assert_eq!(frames.len(), 2);
+        assert!((frames[0].1[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn camera_misses_short_spikes() {
+        // §5.1: a 3 ms spike vanishes at a 33 ms frame interval.
+        let cam = IrCamera::typical();
+        let dt = 1e-3;
+        let mut series = vec![60.0; 100];
+        for s in series.iter_mut().take(53).skip(50) {
+            *s = 85.0; // 3 ms excursion
+        }
+        let missed = cam.missed_overshoot(&series, dt);
+        assert!(missed > 20.0, "camera must miss most of the spike, missed {missed}");
+    }
+
+    #[test]
+    fn camera_sees_long_plateaus() {
+        let cam = IrCamera::typical();
+        let dt = 1e-3;
+        let series = vec![85.0; 200]; // constant: nothing to miss
+        let missed = cam.missed_overshoot(&series, dt);
+        assert!(missed.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! Temperature→power reverse engineering (§5.4).
+//!
+//! IR studies (Hamann et al., Mesa-Martinez et al.) invert measured thermal
+//! maps into per-block power estimates. Because the steady compact model is
+//! *linear* in block power, the silicon field is `T = A·p + T_amb` where
+//! column `j` of `A` is the unit response of block `j`. The inverter builds
+//! `A` with one steady solve per block and recovers `p` by least squares.
+//!
+//! The paper's warning: if the inversion model ignores the oil-flow
+//! direction (uniform `h`), downstream cores *appear* to burn more power —
+//! an artifact this module reproduces (see the `figures inversion` bench).
+
+use hotiron_thermal::{PowerMap, ThermalError, ThermalModel};
+
+/// Least-squares power estimator for a given (assumed) thermal model.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_floorplan::library;
+/// use hotiron_dtm::PowerInverter;
+/// use hotiron_thermal::{ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel};
+///
+/// let plan = library::multicore(2, 2, 0.016, 0.016);
+/// let model = ThermalModel::new(
+///     plan.clone(),
+///     Package::OilSilicon(OilSiliconPackage::paper_default()),
+///     ModelConfig::paper_default().with_grid(8, 8),
+/// )?;
+/// let truth = PowerMap::from_vec(&plan, vec![5.0, 3.0, 4.0, 6.0]);
+/// let observed = model.steady_state(&truth)?;
+/// let inv = PowerInverter::new(&model)?;
+/// let est = inv.invert(observed.silicon_cells())?;
+/// for (e, t) in est.iter().zip(truth.values()) {
+///     assert!((e - t).abs() < 0.2, "estimate {e} vs truth {t}");
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PowerInverter<'m> {
+    model: &'m ThermalModel,
+    /// Unit responses: `basis[j][cell]` = silicon rise (K) for 1 W in block j.
+    basis: Vec<Vec<f64>>,
+}
+
+impl<'m> PowerInverter<'m> {
+    /// Precomputes the unit-response basis (one steady solve per block).
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-solve failures.
+    pub fn new(model: &'m ThermalModel) -> Result<Self, ThermalError> {
+        let plan = model.floorplan();
+        let ambient = model.ambient();
+        let mut basis = Vec::with_capacity(plan.len());
+        for j in 0..plan.len() {
+            let mut values = vec![0.0; plan.len()];
+            values[j] = 1.0;
+            let p = PowerMap::from_vec(plan, values);
+            let sol = model.steady_state(&p)?;
+            basis.push(sol.silicon_cells().iter().map(|t| t - ambient).collect());
+        }
+        Ok(Self { model, basis })
+    }
+
+    /// Estimates per-block powers (W) from an observed silicon temperature
+    /// field (kelvin, one entry per grid cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the normal equations are singular (degenerate
+    /// floorplan/grid combination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed_cells` has the wrong length.
+    pub fn invert(&self, observed_cells: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        let n_cells = self.model.mapping().cell_count();
+        assert_eq!(observed_cells.len(), n_cells, "one temperature per grid cell");
+        let nb = self.basis.len();
+        let ambient = self.model.ambient();
+        let rise: Vec<f64> = observed_cells.iter().map(|t| t - ambient).collect();
+        // Ridge-regularized normal equations: (AᵀA + λI) p = Aᵀ r. Blocks
+        // smaller than a grid cell produce nearly collinear unit responses;
+        // the tiny λ selects the minimum-norm split instead of huge
+        // cancelling estimates, at negligible bias for well-conditioned
+        // systems.
+        let mut ata = vec![vec![0.0; nb]; nb];
+        let mut atr = vec![0.0; nb];
+        #[allow(clippy::needless_range_loop)] // symmetric fill touches two rows per entry
+        for i in 0..nb {
+            for j in i..nb {
+                let v: f64 = self.basis[i].iter().zip(&self.basis[j]).map(|(a, b)| a * b).sum();
+                ata[i][j] = v;
+                if i != j {
+                    ata[j][i] = v;
+                }
+            }
+            atr[i] = self.basis[i].iter().zip(&rise).map(|(a, r)| a * r).sum();
+        }
+        let mean_diag: f64 = (0..nb).map(|i| ata[i][i]).sum::<f64>() / nb as f64;
+        let lambda = 1e-6 * mean_diag;
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        solve_dense(ata, atr)
+            .ok_or_else(|| ThermalError::Config("singular inversion system".into()))
+    }
+}
+
+/// Gaussian elimination with partial pivoting for the small dense normal
+/// equations. Returns `None` if singular.
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    #[allow(clippy::needless_range_loop)] // column-major elimination reads/writes many rows
+    for col in 0..n {
+        // Pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-30 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_floorplan::library;
+    use hotiron_thermal::{FlowDirection, ModelConfig, OilSiliconPackage, Package, ThermalModel};
+
+    #[test]
+    fn solve_dense_basic() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_dense(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn self_inversion_recovers_power() {
+        let plan = library::multicore(2, 2, 0.016, 0.016);
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(12, 12),
+        )
+        .unwrap();
+        let truth = PowerMap::from_vec(&plan, vec![2.0, 8.0, 5.0, 3.0]);
+        let obs = model.steady_state(&truth).unwrap();
+        let inv = PowerInverter::new(&model).unwrap();
+        let est = inv.invert(obs.silicon_cells()).unwrap();
+        for (e, t) in est.iter().zip(truth.values()) {
+            assert!((e - t).abs() < 0.05, "est {e} vs truth {t}");
+        }
+    }
+
+    #[test]
+    fn direction_unaware_inversion_biases_downstream_cores() {
+        // The §5.4 artifact: chip cooled with left→right oil flow, but the
+        // inversion model assumes uniform h. Each core truly burns the same
+        // power; the estimate must inflate downstream (right) cores.
+        let plan = library::multicore(4, 1, 0.02, 0.01);
+        let cfg = ModelConfig::paper_default().with_grid(8, 16);
+        let real = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(
+                OilSiliconPackage::paper_default().with_direction(FlowDirection::LeftToRight),
+            ),
+            cfg,
+        )
+        .unwrap();
+        let assumed = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default().with_uniform_h()),
+            cfg,
+        )
+        .unwrap();
+        let truth = PowerMap::from_vec(&plan, vec![4.0; 4]);
+        let obs = real.steady_state(&truth).unwrap();
+        let inv = PowerInverter::new(&assumed).unwrap();
+        let est = inv.invert(obs.silicon_cells()).unwrap();
+        assert!(
+            est[3] > est[0] * 1.05,
+            "downstream core must look hotter → more estimated power: {est:?}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Sensor placement and error analysis (§5.3–5.4).
+//!
+//! The paper's argument: OIL-SILICON has much steeper on-die gradients, so
+//! a sensor placed off the hot spot under-reads by more, which forces either
+//! more sensors or larger guard margins (and hence more DTM false triggers).
+//! These helpers quantify that trade-off on a solved temperature field.
+
+use hotiron_thermal::Solution;
+
+/// Worst-case under-read (°C) of a single sensor displaced by `offset`
+/// meters from the hottest cell, probing the 8 compass directions.
+pub fn misplacement_error(sol: &Solution<'_>, offset: f64) -> f64 {
+    let (hx, hy) = sol.hottest_cell_position();
+    let t_max = sol.celsius_at(hx, hy);
+    let mut worst: f64 = 0.0;
+    let d = std::f64::consts::FRAC_1_SQRT_2;
+    for (dx, dy) in [
+        (1.0, 0.0),
+        (-1.0, 0.0),
+        (0.0, 1.0),
+        (0.0, -1.0),
+        (d, d),
+        (-d, d),
+        (d, -d),
+        (-d, -d),
+    ] {
+        let t = sol.celsius_at(hx + dx * offset, hy + dy * offset);
+        worst = worst.max(t_max - t);
+    }
+    worst
+}
+
+/// Under-read (°C) of a uniform `m x m` ideal sensor grid: the difference
+/// between the true maximum and the hottest grid reading.
+pub fn grid_under_read(sol: &Solution<'_>, m: usize, width: f64, height: f64) -> f64 {
+    assert!(m > 0, "grid must have at least one sensor");
+    let t_max = {
+        let (hx, hy) = sol.hottest_cell_position();
+        sol.celsius_at(hx, hy)
+    };
+    let mut best = f64::MIN;
+    for iy in 0..m {
+        for ix in 0..m {
+            let x = (ix as f64 + 0.5) * width / m as f64;
+            let y = (iy as f64 + 0.5) * height / m as f64;
+            best = best.max(sol.celsius_at(x, y));
+        }
+    }
+    t_max - best
+}
+
+/// The smallest uniform sensor grid (`m x m`) whose under-read is at most
+/// `max_error` °C, up to `m_max` per side. Returns the total sensor count,
+/// or `None` if even `m_max x m_max` is insufficient.
+pub fn sensors_needed(
+    sol: &Solution<'_>,
+    max_error: f64,
+    width: f64,
+    height: f64,
+    m_max: usize,
+) -> Option<usize> {
+    (1..=m_max).find(|&m| grid_under_read(sol, m, width, height) <= max_error).map(|m| m * m)
+}
+
+/// Sensor placement derived from a *measurement* field (e.g. an IR run in
+/// the oil rig): the hottest cell position of `measured` — then evaluated on
+/// the *operating* field. Returns `(under-read °C, measured position)`.
+///
+/// This is the §5.4 hazard: place the sensor where the oil rig says the hot
+/// spot is, and in the real AIR-SINK package it under-reads.
+pub fn cross_package_under_read(
+    measured: &Solution<'_>,
+    operating: &Solution<'_>,
+) -> (f64, (f64, f64)) {
+    let pos = measured.hottest_cell_position();
+    let (ox, oy) = operating.hottest_cell_position();
+    let true_max = operating.celsius_at(ox, oy);
+    let read = operating.celsius_at(pos.0, pos.1);
+    (true_max - read, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_floorplan::library;
+    use hotiron_thermal::{
+        AirSinkPackage, FlowDirection, ModelConfig, OilSiliconPackage, Package, PowerMap,
+        ThermalModel,
+    };
+
+    fn model(pkg: Package) -> ThermalModel {
+        ThermalModel::new(library::ev6(), pkg, ModelConfig::paper_default().with_grid(16, 16))
+            .unwrap()
+    }
+
+    fn power(plan: &hotiron_floorplan::Floorplan) -> PowerMap {
+        PowerMap::from_pairs(plan, [("IntReg", 4.0), ("Dcache", 5.0), ("L2", 8.0)]).unwrap()
+    }
+
+    #[test]
+    fn misplacement_error_grows_with_offset() {
+        let m = model(Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let sol = m.steady_state(&power(m.floorplan())).unwrap();
+        let e1 = misplacement_error(&sol, 1e-3);
+        let e3 = misplacement_error(&sol, 3e-3);
+        assert!(e3 >= e1, "larger offset, larger error: {e1} vs {e3}");
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn oil_needs_more_sensors_than_air() {
+        // §5.3's claim, made quantitative.
+        let oil = model(Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let air = model(Package::AirSink(AirSinkPackage::paper_default()));
+        let p_oil = power(oil.floorplan());
+        let s_oil = oil.steady_state(&p_oil).unwrap();
+        let s_air = air.steady_state(&p_oil).unwrap();
+        let (w, h) = (0.016, 0.016);
+        for m in [2usize, 4, 6] {
+            let e_oil = grid_under_read(&s_oil, m, w, h);
+            let e_air = grid_under_read(&s_air, m, w, h);
+            assert!(
+                e_oil >= e_air,
+                "m={m}: oil error {e_oil} must be >= air error {e_air}"
+            );
+        }
+        let n_oil = sensors_needed(&s_oil, 3.0, w, h, 16);
+        let n_air = sensors_needed(&s_air, 3.0, w, h, 16);
+        assert!(n_air.is_some());
+        if let (Some(no), Some(na)) = (n_oil, n_air) {
+            assert!(no >= na, "oil {no} vs air {na}");
+        }
+    }
+
+    #[test]
+    fn denser_grid_reduces_error() {
+        let m = model(Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let sol = m.steady_state(&power(m.floorplan())).unwrap();
+        let e2 = grid_under_read(&sol, 2, 0.016, 0.016);
+        let e8 = grid_under_read(&sol, 8, 0.016, 0.016);
+        assert!(e8 <= e2, "denser grid can't be worse: {e8} vs {e2}");
+    }
+
+    #[test]
+    fn cross_package_placement_under_reads() {
+        // Sensor placed from a top-to-bottom oil measurement misses the
+        // AIR-SINK hot spot (§5.4's Dcache-vs-IntReg example).
+        let oil = model(Package::OilSilicon(
+            OilSiliconPackage::paper_default().with_direction(FlowDirection::TopToBottom),
+        ));
+        let air = model(Package::AirSink(AirSinkPackage::paper_default()));
+        let p = power(oil.floorplan());
+        let s_oil = oil.steady_state(&p).unwrap();
+        let s_air = air.steady_state(&p).unwrap();
+        let (err, _) = cross_package_under_read(&s_oil, &s_air);
+        assert!(err >= 0.0, "under-read cannot be negative: {err}");
+    }
+}
+
+/// Greedily places `k` sensors to minimize the worst under-read across a
+/// *set* of thermal solutions (e.g. several workloads): each step adds the
+/// candidate cell position that most reduces the maximum over solutions of
+/// `Tmax − best sensor reading`. Returns the chosen `(x, y)` positions and
+/// the final worst under-read (K).
+///
+/// This is the design flow §5.3 implies: sensors must cover every workload
+/// the chip will run, not just one thermal map.
+///
+/// # Panics
+///
+/// Panics if `solutions` is empty or `k` is zero.
+pub fn greedy_placement(solutions: &[&Solution<'_>], k: usize) -> (Vec<(f64, f64)>, f64) {
+    assert!(!solutions.is_empty(), "need at least one solution");
+    assert!(k > 0, "need at least one sensor");
+    // Candidates: the hottest cell of each solution plus a coarse grid.
+    let mut candidates: Vec<(f64, f64)> = solutions
+        .iter()
+        .map(|s| s.hottest_cell_position())
+        .collect();
+    let (w, h) = solutions[0].die_size();
+    let m = 8;
+    for iy in 0..m {
+        for ix in 0..m {
+            candidates.push((
+                (ix as f64 + 0.5) * w / m as f64,
+                (iy as f64 + 0.5) * h / m as f64,
+            ));
+        }
+    }
+    let worst_under_read = |chosen: &[(f64, f64)]| -> f64 {
+        solutions
+            .iter()
+            .map(|s| {
+                let (hx, hy) = s.hottest_cell_position();
+                let t_max = s.celsius_at(hx, hy);
+                let best = chosen
+                    .iter()
+                    .map(|&(x, y)| s.celsius_at(x, y))
+                    .fold(f64::MIN, f64::max);
+                t_max - best
+            })
+            .fold(f64::MIN, f64::max)
+    };
+    // Cover-the-worst greedy: each step serves the solution with the
+    // largest remaining under-read, choosing the candidate that helps that
+    // solution most (ties broken by the overall minimax objective). With
+    // k >= #solutions this provably reaches zero error, which the 1-step
+    // minimax greedy does not.
+    let mut chosen: Vec<(f64, f64)> = Vec::with_capacity(k);
+    for _ in 0..k {
+        // Which solution is worst-covered right now?
+        let worst_sol = solutions
+            .iter()
+            .max_by(|a, b| {
+                let under = |s: &Solution<'_>| {
+                    let (hx, hy) = s.hottest_cell_position();
+                    let t_max = s.celsius_at(hx, hy);
+                    let best = chosen
+                        .iter()
+                        .map(|&(x, y)| s.celsius_at(x, y))
+                        .fold(f64::MIN, f64::max);
+                    if chosen.is_empty() { f64::MAX } else { t_max - best }
+                };
+                under(a).total_cmp(&under(b))
+            })
+            .expect("solutions non-empty");
+        // Candidate that reads hottest on that solution.
+        let best_c = candidates
+            .iter()
+            .copied()
+            .max_by(|&(ax, ay), &(bx, by)| {
+                worst_sol
+                    .celsius_at(ax, ay)
+                    .total_cmp(&worst_sol.celsius_at(bx, by))
+            })
+            .expect("candidates non-empty");
+        chosen.push(best_c);
+    }
+    let err = worst_under_read(&chosen);
+    (chosen, err)
+}
+
+#[cfg(test)]
+mod greedy_tests {
+    use super::*;
+    use hotiron_floorplan::library;
+    use hotiron_thermal::{ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel};
+
+    #[test]
+    fn greedy_covers_multiple_workloads() {
+        let plan = library::ev6();
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(16, 16),
+        )
+        .unwrap();
+        // Two very different hot spots.
+        let p1 = PowerMap::from_pairs(&plan, [("IntReg", 5.0)]).unwrap();
+        let p2 = PowerMap::from_pairs(&plan, [("Icache", 8.0)]).unwrap();
+        let s1 = model.steady_state(&p1).unwrap();
+        let s2 = model.steady_state(&p2).unwrap();
+        let sols = [&s1, &s2];
+        let (pos1, err1) = greedy_placement(&sols, 1);
+        let (pos2, err2) = greedy_placement(&sols, 2);
+        assert_eq!(pos1.len(), 1);
+        assert_eq!(pos2.len(), 2);
+        // Two sensors cover two disjoint hot spots almost perfectly.
+        assert!(err2 < 0.5, "two sensors suffice: {err2}");
+        assert!(err2 <= err1 + 1e-9, "more sensors never hurt");
+        assert!(err1 > err2, "one sensor cannot cover both: {err1}");
+    }
+
+    #[test]
+    fn greedy_single_workload_hits_the_hot_spot() {
+        let plan = library::ev6();
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(16, 16),
+        )
+        .unwrap();
+        let p = PowerMap::from_pairs(&plan, [("IntReg", 5.0)]).unwrap();
+        let s = model.steady_state(&p).unwrap();
+        let (pos, err) = greedy_placement(&[&s], 1);
+        assert!(err < 1e-9, "single hot spot found exactly: {err}");
+        let (hx, hy) = s.hottest_cell_position();
+        assert!((pos[0].0 - hx).abs() < 1e-9 && (pos[0].1 - hy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! On-die thermal sensors.
+
+use hotiron_thermal::Solution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single point thermal sensor at die coordinates `(x, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensor {
+    /// Label for reports.
+    pub name: String,
+    /// x position on the die, m.
+    pub x: f64,
+    /// y position on the die, m.
+    pub y: f64,
+    /// Gaussian read noise, °C (1σ).
+    pub noise_sigma: f64,
+    /// Static calibration offset, °C.
+    pub offset: f64,
+}
+
+impl Sensor {
+    /// A noiseless, offset-free sensor.
+    pub fn ideal(name: impl Into<String>, x: f64, y: f64) -> Self {
+        Self { name: name.into(), x, y, noise_sigma: 0.0, offset: 0.0 }
+    }
+
+    /// Adds read noise (1σ, °C).
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise must be non-negative");
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Adds a static offset (°C).
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+}
+
+/// A set of sensors with shared sampling characteristics.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_dtm::{Sensor, SensorArray};
+///
+/// let arr = SensorArray::new(
+///     vec![Sensor::ideal("s0", 1e-3, 1e-3)],
+///     60e-6, // §5.2's 60 µs sampling interval
+///     0.1,   // 0.1 °C quantization
+///     42,
+/// );
+/// assert_eq!(arr.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SensorArray {
+    sensors: Vec<Sensor>,
+    /// Minimum time between samples, s.
+    sample_interval: f64,
+    /// Reading quantization step, °C (0 = continuous).
+    quantization: f64,
+    rng: StdRng,
+}
+
+impl SensorArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensors` is empty, the interval is not positive, or the
+    /// quantization is negative.
+    pub fn new(sensors: Vec<Sensor>, sample_interval: f64, quantization: f64, seed: u64) -> Self {
+        assert!(!sensors.is_empty(), "need at least one sensor");
+        assert!(sample_interval > 0.0, "sample interval must be positive");
+        assert!(quantization >= 0.0, "quantization must be non-negative");
+        Self { sensors, sample_interval, quantization, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the array is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// The sensors.
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// Minimum time between samples, s.
+    pub fn sample_interval(&self) -> f64 {
+        self.sample_interval
+    }
+
+    /// Reads every sensor from a thermal solution, applying offset, noise
+    /// and quantization. Returns °C per sensor.
+    pub fn read(&mut self, sol: &Solution<'_>) -> Vec<f64> {
+        let q = self.quantization;
+        self.sensors
+            .iter()
+            .map(|s| {
+                let mut t = sol.celsius_at(s.x, s.y) + s.offset;
+                if s.noise_sigma > 0.0 {
+                    // Box–Muller from two uniforms; StdRng is deterministic.
+                    let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = self.rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    t += s.noise_sigma * z;
+                }
+                if q > 0.0 {
+                    t = (t / q).round() * q;
+                }
+                t
+            })
+            .collect()
+    }
+
+    /// The hottest reading across the array, °C.
+    pub fn read_max(&mut self, sol: &Solution<'_>) -> f64 {
+        self.read(sol).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// A uniform `m x m` grid of ideal sensors over a `width x height` die.
+    pub fn uniform_grid(m: usize, width: f64, height: f64, seed: u64) -> Self {
+        assert!(m > 0, "grid must have at least one sensor");
+        let mut sensors = Vec::with_capacity(m * m);
+        for iy in 0..m {
+            for ix in 0..m {
+                sensors.push(Sensor::ideal(
+                    format!("s{ix}_{iy}"),
+                    (ix as f64 + 0.5) * width / m as f64,
+                    (iy as f64 + 0.5) * height / m as f64,
+                ));
+            }
+        }
+        Self::new(sensors, 60e-6, 0.0, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_floorplan::library;
+    use hotiron_thermal::{ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel};
+
+    fn solved_model() -> (ThermalModel, PowerMap) {
+        let plan = library::ev6();
+        let model = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(16, 16),
+        )
+        .unwrap();
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 3.0)]).unwrap();
+        (model, power)
+    }
+
+    #[test]
+    fn ideal_sensor_reads_field() {
+        let (model, power) = solved_model();
+        let sol = model.steady_state(&power).unwrap();
+        let plan = model.floorplan();
+        let (x, y) = plan.block("IntReg").unwrap().center();
+        let mut arr = SensorArray::new(vec![Sensor::ideal("hot", x, y)], 60e-6, 0.0, 1);
+        let r = arr.read(&sol);
+        assert!((r[0] - sol.celsius_at(x, y)).abs() < 1e-12);
+        assert!(r[0] > sol.celsius_at(1e-3, 1e-3), "hot-spot sensor reads hotter than corner");
+    }
+
+    #[test]
+    fn offset_and_quantization_apply() {
+        let (model, power) = solved_model();
+        let sol = model.steady_state(&power).unwrap();
+        let mut arr = SensorArray::new(
+            vec![Sensor::ideal("s", 8e-3, 8e-3).with_offset(5.0)],
+            60e-6,
+            1.0,
+            1,
+        );
+        let r = arr.read(&sol)[0];
+        let truth = sol.celsius_at(8e-3, 8e-3) + 5.0;
+        assert!((r - truth).abs() <= 0.5 + 1e-12, "quantized to 1 °C: {r} vs {truth}");
+        assert!((r - r.round()).abs() < 1e-9, "reading lies on the 1 °C grid");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let (model, power) = solved_model();
+        let sol = model.steady_state(&power).unwrap();
+        let mk = |seed| {
+            SensorArray::new(
+                vec![Sensor::ideal("s", 8e-3, 8e-3).with_noise(0.5)],
+                60e-6,
+                0.0,
+                seed,
+            )
+        };
+        let a = mk(9).read(&sol);
+        let b = mk(9).read(&sol);
+        let c = mk(10).read(&sol);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_has_plausible_spread() {
+        let (model, power) = solved_model();
+        let sol = model.steady_state(&power).unwrap();
+        let mut arr = SensorArray::new(
+            vec![Sensor::ideal("s", 8e-3, 8e-3).with_noise(1.0)],
+            60e-6,
+            0.0,
+            3,
+        );
+        let truth = sol.celsius_at(8e-3, 8e-3);
+        let n = 500;
+        let readings: Vec<f64> = (0..n).map(|_| arr.read(&sol)[0]).collect();
+        let mean = readings.iter().sum::<f64>() / n as f64;
+        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - truth).abs() < 0.2, "mean {mean} truth {truth}");
+        assert!((var.sqrt() - 1.0).abs() < 0.25, "σ {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_grid_covers_die() {
+        let arr = SensorArray::uniform_grid(4, 0.016, 0.016, 1);
+        assert_eq!(arr.len(), 16);
+        for s in arr.sensors() {
+            assert!(s.x > 0.0 && s.x < 0.016);
+            assert!(s.y > 0.0 && s.y < 0.016);
+        }
+    }
+
+    #[test]
+    fn read_max_picks_hottest() {
+        let (model, power) = solved_model();
+        let sol = model.steady_state(&power).unwrap();
+        let plan = model.floorplan();
+        let (hx, hy) = plan.block("IntReg").unwrap().center();
+        let mut arr = SensorArray::new(
+            vec![Sensor::ideal("cold", 1e-3, 1e-3), Sensor::ideal("hot", hx, hy)],
+            60e-6,
+            0.0,
+            1,
+        );
+        let max = arr.read_max(&sol);
+        assert!((max - sol.celsius_at(hx, hy)).abs() < 1e-12);
+    }
+}

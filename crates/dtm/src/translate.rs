@@ -1,0 +1,209 @@
+//! Cross-package translation (the paper's §6 future-work goal).
+//!
+//! *"It could be useful to ascertain the thermal response of a chip with
+//! air-cooled heatsink based on the IR measurements from an oil-cooled bare
+//! silicon die."*
+//!
+//! Because the steady compact model is linear in block power, a measured
+//! OIL-SILICON thermal map can be inverted to a power map
+//! ([`crate::inversion`]) and *re-simulated* under the AIR-SINK package —
+//! turning the IR rig's misleading temperatures into package-correct
+//! predictions. This is exactly the "simulation and measurement are
+//! complementary" workflow the paper advocates.
+
+use crate::inversion::PowerInverter;
+use hotiron_thermal::{PowerMap, Solution, ThermalError, ThermalModel};
+
+/// Translates steady thermal fields measured in one package (the rig) into
+/// predicted fields for another (the target).
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_dtm::translate::PackageTranslator;
+/// use hotiron_floorplan::library;
+/// use hotiron_thermal::{
+///     AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+/// };
+///
+/// let plan = library::multicore(2, 2, 0.016, 0.016);
+/// let cfg = ModelConfig::paper_default().with_grid(8, 8);
+/// let rig = ThermalModel::new(
+///     plan.clone(),
+///     Package::OilSilicon(OilSiliconPackage::paper_default()),
+///     cfg,
+/// )?;
+/// let target = ThermalModel::new(
+///     plan.clone(),
+///     Package::AirSink(AirSinkPackage::paper_default()),
+///     cfg,
+/// )?;
+/// let truth = PowerMap::from_vec(&plan, vec![2.0, 4.0, 3.0, 5.0]);
+/// let measured = rig.steady_state(&truth)?;
+///
+/// let translator = PackageTranslator::new(&rig, &target)?;
+/// let predicted = translator.translate_steady(measured.silicon_cells())?;
+/// let direct = target.steady_state(&truth)?;
+/// assert!((predicted.max_celsius() - direct.max_celsius()).abs() < 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PackageTranslator<'a> {
+    target: &'a ThermalModel,
+    inverter: PowerInverter<'a>,
+}
+
+impl<'a> PackageTranslator<'a> {
+    /// Builds a translator from the measurement-rig model to the target
+    /// package model. Both must share the same floorplan and grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-solve failures while building the inversion basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two models' floorplans or grids differ.
+    pub fn new(rig: &'a ThermalModel, target: &'a ThermalModel) -> Result<Self, ThermalError> {
+        assert_eq!(
+            rig.floorplan(),
+            target.floorplan(),
+            "rig and target must share a floorplan"
+        );
+        assert_eq!(rig.mapping().rows(), target.mapping().rows(), "grid rows must match");
+        assert_eq!(rig.mapping().cols(), target.mapping().cols(), "grid cols must match");
+        Ok(Self { target, inverter: PowerInverter::new(rig)? })
+    }
+
+    /// Recovers the per-block power (W) behind a rig measurement. Negative
+    /// least-squares estimates (measurement noise) are clamped to zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inversion failures.
+    pub fn recover_power(&self, observed_cells: &[f64]) -> Result<PowerMap, ThermalError> {
+        let est = self.inverter.invert(observed_cells)?;
+        let clamped: Vec<f64> = est.into_iter().map(|p| p.max(0.0)).collect();
+        Ok(PowerMap::from_vec(self.target.floorplan(), clamped))
+    }
+
+    /// Predicts the target package's steady state from a rig measurement
+    /// (silicon temperatures, kelvin, one per grid cell).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inversion or steady-solve failures.
+    pub fn translate_steady(
+        &self,
+        observed_cells: &[f64],
+    ) -> Result<Solution<'a>, ThermalError> {
+        let power = self.recover_power(observed_cells)?;
+        self.target.steady_state(&power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_floorplan::library;
+    use hotiron_thermal::{
+        AirSinkPackage, FlowDirection, ModelConfig, OilSiliconPackage, Package,
+    };
+
+    fn models() -> (ThermalModel, ThermalModel) {
+        let plan = library::ev6();
+        let cfg = ModelConfig::paper_default().with_grid(12, 12);
+        let rig = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(
+                OilSiliconPackage::paper_default().with_direction(FlowDirection::TopToBottom),
+            ),
+            cfg,
+        )
+        .unwrap();
+        let target = ThermalModel::new(
+            plan,
+            Package::AirSink(AirSinkPackage::paper_default()),
+            cfg,
+        )
+        .unwrap();
+        (rig, target)
+    }
+
+    #[test]
+    fn translation_matches_direct_simulation() {
+        let (rig, target) = models();
+        let plan = rig.floorplan().clone();
+        let truth = PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Dcache", 5.0), ("L2", 8.0)])
+            .unwrap();
+        let measured = rig.steady_state(&truth).unwrap();
+        let translator = PackageTranslator::new(&rig, &target).unwrap();
+        let predicted = translator.translate_steady(measured.silicon_cells()).unwrap();
+        let direct = target.steady_state(&truth).unwrap();
+        for name in ["IntReg", "Dcache", "L2", "FPMap"] {
+            let a = predicted.block(name);
+            let b = direct.block(name);
+            assert!((a - b).abs() < 0.2, "{name}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn recovered_power_matches_truth() {
+        let (rig, target) = models();
+        let plan = rig.floorplan().clone();
+        let truth =
+            PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Icache", 6.0)]).unwrap();
+        let measured = rig.steady_state(&truth).unwrap();
+        let translator = PackageTranslator::new(&rig, &target).unwrap();
+        let power = translator.recover_power(measured.silicon_cells()).unwrap();
+        assert!((power.total() - truth.total()).abs() < 0.05 * truth.total());
+    }
+
+    #[test]
+    fn translation_fixes_the_rigs_misleading_hot_spot() {
+        // Under a top-to-bottom rig flow the hot spot is NOT where it will
+        // be in the product package; translation restores the truth.
+        let (rig, target) = models();
+        let plan = rig.floorplan().clone();
+        let cpu = hotiron_powersim::SyntheticCpu::new(
+            hotiron_powersim::uarch::ev6_units(&plan),
+            hotiron_powersim::workload::gcc(),
+            42,
+        );
+        let truth = PowerMap::from_vec(&plan, cpu.simulate(4_000).average());
+        let measured = rig.steady_state(&truth).unwrap();
+        let direct = target.steady_state(&truth).unwrap();
+        let translator = PackageTranslator::new(&rig, &target).unwrap();
+        let predicted = translator.translate_steady(measured.silicon_cells()).unwrap();
+        // The raw rig temperatures are wildly off for the product package;
+        // the translated prediction restores both the hot-spot identity and
+        // its magnitude.
+        assert!(
+            (measured.hottest_block().1 - direct.hottest_block().1).abs() > 20.0,
+            "rig reading must be unusable as-is: {:?} vs {:?}",
+            measured.hottest_block(),
+            direct.hottest_block()
+        );
+        assert_eq!(predicted.hottest_block().0, direct.hottest_block().0);
+        assert!((predicted.hottest_block().1 - direct.hottest_block().1).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a floorplan")]
+    fn rejects_mismatched_floorplans() {
+        let cfg = ModelConfig::paper_default().with_grid(8, 8);
+        let a = ThermalModel::new(
+            library::ev6(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            cfg,
+        )
+        .unwrap();
+        let b = ThermalModel::new(
+            library::athlon64(),
+            Package::AirSink(AirSinkPackage::paper_default()),
+            cfg,
+        )
+        .unwrap();
+        let _ = PackageTranslator::new(&a, &b);
+    }
+}

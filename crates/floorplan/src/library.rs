@@ -1,0 +1,270 @@
+//! Built-in floorplans used by the ISPASS'09 experiments.
+//!
+//! Geometry notes:
+//!
+//! * [`ev6`] follows the Alpha EV6 (21264) organization used by the HotSpot
+//!   distribution: a 16 mm x 16 mm die, L2 cache wrapping the bottom/left/
+//!   right of the core, floating-point cluster on the left, integer cluster
+//!   on the right with **IntReg on the top edge** (the fact the paper's
+//!   Fig 11 flow-direction experiment relies on) and **Dcache lower in the
+//!   core**, further from the top edge.
+//! * [`athlon64`] is re-derived from the block list of the paper's Fig 5
+//!   (the die photo itself is not available): a 14 mm x 14 mm die with the
+//!   L2 cache in a bottom strip, blank silicon at the edges, and the
+//!   scheduler (`sched`, the paper's hottest block) in the core cluster.
+//!
+//! Both floorplans tile their dies exactly; the test-suite asserts full
+//! coverage so no injected power can leak into "gap" silicon.
+
+use crate::block::Block;
+use crate::plan::Floorplan;
+
+/// mm → m helper for the tables below.
+fn b(name: &str, w_mm: f64, h_mm: f64, x_mm: f64, y_mm: f64) -> Block {
+    Block::new(name, w_mm * 1e-3, h_mm * 1e-3, x_mm * 1e-3, y_mm * 1e-3)
+}
+
+/// Alpha EV6 (21264)-class floorplan, 16 mm x 16 mm, 18 blocks.
+///
+/// # Examples
+///
+/// ```
+/// let plan = hotiron_floorplan::library::ev6();
+/// assert_eq!(plan.len(), 18);
+/// // IntReg touches the top edge of the die.
+/// let int_reg = plan.block("IntReg").unwrap();
+/// assert!((int_reg.top() - plan.height()).abs() < 1e-12);
+/// ```
+pub fn ev6() -> Floorplan {
+    Floorplan::new(vec![
+        // L2 wrapper.
+        b("L2", 16.0, 9.8, 0.0, 0.0),
+        b("L2_left", 4.9, 6.2, 0.0, 9.8),
+        b("L2_right", 4.9, 6.2, 11.1, 9.8),
+        // L1 caches at the bottom of the core.
+        b("Icache", 3.1, 2.6, 4.9, 9.8),
+        b("Dcache", 3.1, 2.6, 8.0, 9.8),
+        // Floating-point cluster (left half of the core); the branch
+        // predictor and data TLB share the core's bottom-left row, as in
+        // the EV6 die.
+        b("Bpred", 2.0, 0.7, 4.9, 12.4),
+        b("DTB", 1.1, 0.7, 6.9, 12.4),
+        b("FPAdd", 1.55, 0.9, 4.9, 13.1),
+        b("FPMul", 1.55, 0.9, 6.45, 13.1),
+        b("FPReg", 1.55, 0.8, 4.9, 14.0),
+        b("FPQ", 1.55, 0.8, 6.45, 14.0),
+        b("FPMap", 1.55, 1.2, 4.9, 14.8),
+        b("IntMap", 1.55, 1.2, 6.45, 14.8),
+        // Integer cluster (right half of the core).
+        b("LdStQ", 3.1, 1.2, 8.0, 12.4),
+        b("IntQ", 1.4, 0.7, 8.0, 13.6),
+        b("ITB", 1.7, 0.7, 9.4, 13.6),
+        b("IntReg", 1.4, 1.7, 8.0, 14.3),
+        b("IntExec", 1.7, 1.7, 9.4, 14.3),
+    ])
+    .expect("built-in EV6 floorplan is valid")
+}
+
+/// AMD Athlon64-class floorplan, 14 mm x 14 mm, 22 blocks
+/// (the block list of the paper's Fig 5).
+///
+/// # Examples
+///
+/// ```
+/// let plan = hotiron_floorplan::library::athlon64();
+/// assert_eq!(plan.len(), 22);
+/// assert!(plan.block("sched").is_some());
+/// ```
+pub fn athlon64() -> Floorplan {
+    let third = 4.0 / 3.0;
+    Floorplan::new(vec![
+        // Bottom strip: L2 cache with blank silicon at both edges.
+        b("blank1", 1.0, 6.0, 0.0, 0.0),
+        b("l2cache", 12.0, 6.0, 1.0, 0.0),
+        b("blank2", 1.0, 6.0, 13.0, 0.0),
+        // Top strip: memory controller flanked by blank pads.
+        b("blank3", 4.0, 1.5, 0.0, 12.5),
+        b("mem_ctl", 6.0, 1.5, 4.0, 12.5),
+        b("blank4", 4.0, 1.5, 10.0, 12.5),
+        // Vertical edge strips.
+        b("bus_etc", 1.5, 6.5, 0.0, 6.0),
+        b("clock", 1.5, 6.5, 12.5, 6.0),
+        // Core row A (y 6..8.5): load/store + L1 caches.
+        b("l1d", 3.5, 2.5, 1.5, 6.0),
+        b("lsq", 2.0, 2.5, 5.0, 6.0),
+        b("dtlb", 1.5, 2.5, 7.0, 6.0),
+        b("l1i", 4.0, 2.5, 8.5, 6.0),
+        // Core row B (y 8.5..10.5): ROB / clock drivers / scheduler / fetch.
+        // The scheduler sits mid-die, away from any flow's leading edge,
+        // matching its role as the hot spot in the paper's Fig 4.
+        b("rob_irf", 2.5, 2.0, 1.5, 8.5),
+        b("clockd1", third, 2.0, 4.0, 8.5),
+        b("clockd2", third, 2.0, 4.0 + third, 8.5),
+        b("clockd3", third, 2.0, 4.0 + 2.0 * third, 8.5),
+        b("sched", 2.0, 2.0, 8.0, 8.5),
+        b("fetch", 2.5, 2.0, 10.0, 8.5),
+        // Core row C (y 10.5..12.5): FP cluster and SSE.
+        b("fp_sched", 2.5, 2.0, 1.5, 10.5),
+        b("frf", 2.5, 2.0, 4.0, 10.5),
+        b("fp0", 3.0, 2.0, 6.5, 10.5),
+        b("sse", 3.0, 2.0, 9.5, 10.5),
+    ])
+    .expect("built-in Athlon64 floorplan is valid")
+}
+
+/// A single-block uniform die, used by the paper's validation experiments
+/// (Figs 2 and 3): `width` x `height` meters, one block named `die`.
+///
+/// # Examples
+///
+/// ```
+/// let plan = hotiron_floorplan::library::uniform_die(0.02, 0.02);
+/// assert_eq!(plan.len(), 1);
+/// ```
+pub fn uniform_die(width: f64, height: f64) -> Floorplan {
+    Floorplan::new(vec![Block::new("die", width, height, 0.0, 0.0)])
+        .expect("uniform die floorplan is valid")
+}
+
+/// The Fig 3 validation die: 20 mm x 20 mm silicon with a 2 mm x 2 mm
+/// `center` heat source and a surrounding frame of 8 `rim_*` blocks.
+///
+/// # Examples
+///
+/// ```
+/// let plan = hotiron_floorplan::library::center_source_die();
+/// assert_eq!(plan.len(), 9);
+/// assert!((plan.coverage() - 1.0).abs() < 1e-9);
+/// ```
+pub fn center_source_die() -> Floorplan {
+    Floorplan::new(vec![
+        b("center", 2.0, 2.0, 9.0, 9.0),
+        b("rim_sw", 9.0, 9.0, 0.0, 0.0),
+        b("rim_s", 2.0, 9.0, 9.0, 0.0),
+        b("rim_se", 9.0, 9.0, 11.0, 0.0),
+        b("rim_w", 9.0, 2.0, 0.0, 9.0),
+        b("rim_e", 9.0, 2.0, 11.0, 9.0),
+        b("rim_nw", 9.0, 9.0, 0.0, 11.0),
+        b("rim_n", 2.0, 9.0, 9.0, 11.0),
+        b("rim_ne", 9.0, 9.0, 11.0, 11.0),
+    ])
+    .expect("center-source floorplan is valid")
+}
+
+/// A `cores_x` x `cores_y` homogeneous multi-core floorplan on a
+/// `width` x `height` meter die; cores are named `core_<ix>_<iy>`.
+///
+/// Used by the §5.4 power-inversion artifact experiment.
+///
+/// # Examples
+///
+/// ```
+/// let plan = hotiron_floorplan::library::multicore(2, 2, 0.016, 0.016);
+/// assert_eq!(plan.len(), 4);
+/// assert!(plan.block("core_1_0").is_some());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cores_x` or `cores_y` is zero.
+pub fn multicore(cores_x: usize, cores_y: usize, width: f64, height: f64) -> Floorplan {
+    assert!(cores_x > 0 && cores_y > 0, "need at least one core");
+    let w = width / cores_x as f64;
+    let h = height / cores_y as f64;
+    let mut blocks = Vec::with_capacity(cores_x * cores_y);
+    for iy in 0..cores_y {
+        for ix in 0..cores_x {
+            blocks.push(Block::new(
+                format!("core_{ix}_{iy}"),
+                w,
+                h,
+                ix as f64 * w,
+                iy as f64 * h,
+            ));
+        }
+    }
+    Floorplan::new(blocks).expect("multicore floorplan is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ev6_tiles_die_exactly() {
+        let p = ev6();
+        assert_eq!(p.len(), 18);
+        assert!((p.width() - 0.016).abs() < 1e-12);
+        assert!((p.height() - 0.016).abs() < 1e-12);
+        assert!((p.coverage() - 1.0).abs() < 1e-9, "coverage {}", p.coverage());
+    }
+
+    #[test]
+    fn ev6_spatial_facts_for_fig11() {
+        let p = ev6();
+        let int_reg = p.block("IntReg").unwrap();
+        let dcache = p.block("Dcache").unwrap();
+        // IntReg on the top edge, Dcache well below it: top-to-bottom oil flow
+        // cools IntReg first.
+        assert!((int_reg.top() - p.height()).abs() < 1e-12);
+        assert!(dcache.top() < int_reg.bottom());
+        // FP cluster left, INT cluster right.
+        assert!(p.block("FPMap").unwrap().right() <= int_reg.left() + 1e-12);
+    }
+
+    #[test]
+    fn ev6_block_names_match_fig11() {
+        let p = ev6();
+        for name in [
+            "L2_left", "L2", "L2_right", "Icache", "Dcache", "Bpred", "DTB", "FPAdd", "FPReg",
+            "FPMul", "FPMap", "IntMap", "IntQ", "IntReg", "IntExec", "FPQ", "LdStQ", "ITB",
+        ] {
+            assert!(p.block(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn athlon64_tiles_die_exactly() {
+        let p = athlon64();
+        assert_eq!(p.len(), 22);
+        assert!((p.coverage() - 1.0).abs() < 1e-9, "coverage {}", p.coverage());
+    }
+
+    #[test]
+    fn athlon64_block_names_match_fig5() {
+        let p = athlon64();
+        for name in [
+            "blank1", "blank2", "blank3", "blank4", "mem_ctl", "clock", "l2cache", "fetch",
+            "rob_irf", "sched", "clockd1", "clockd2", "clockd3", "lsq", "dtlb", "fp_sched", "frf",
+            "sse", "l1i", "bus_etc", "l1d", "fp0",
+        ] {
+            assert!(p.block(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn center_source_die_geometry() {
+        let p = center_source_die();
+        let c = p.block("center").unwrap();
+        assert!((c.area() - 4e-6).abs() < 1e-12);
+        let (x, y) = c.center();
+        assert!((x - 0.01).abs() < 1e-12 && (y - 0.01).abs() < 1e-12);
+        assert!((p.coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multicore_grid() {
+        let p = multicore(4, 2, 0.02, 0.01);
+        assert_eq!(p.len(), 8);
+        assert!((p.coverage() - 1.0).abs() < 1e-9);
+        let c = p.block("core_3_1").unwrap();
+        assert!((c.left() - 0.015).abs() < 1e-12);
+        assert!((c.bottom() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_die_single_block() {
+        let p = uniform_die(0.02, 0.02);
+        assert!((p.die_area() - 4e-4).abs() < 1e-12);
+    }
+}

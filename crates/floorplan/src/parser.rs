@@ -1,0 +1,147 @@
+//! HotSpot `.flp` text format support.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! <name>\t<width>\t<height>\t<left-x>\t<bottom-y>
+//! ```
+//!
+//! with all dimensions in meters. Any run of whitespace separates fields,
+//! blank lines and `#` comments are ignored, matching HotSpot's reader.
+
+use crate::block::Block;
+use crate::error::FloorplanError;
+use crate::plan::Floorplan;
+use std::fmt::Write as _;
+
+/// Parses HotSpot `.flp` text into a validated [`Floorplan`].
+///
+/// # Errors
+///
+/// Returns [`FloorplanError::Parse`] for malformed lines, or any validation
+/// error from [`Floorplan::new`].
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_floorplan::parser::parse_flp;
+///
+/// let text = "# die\nCore\t1e-3\t2e-3\t0\t0\nL2\t1e-3\t2e-3\t1e-3\t0\n";
+/// let plan = parse_flp(text)?;
+/// assert_eq!(plan.len(), 2);
+/// # Ok::<(), hotiron_floorplan::FloorplanError>(())
+/// ```
+pub fn parse_flp(text: &str) -> Result<Floorplan, FloorplanError> {
+    let mut blocks = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(FloorplanError::Parse {
+                line: ln + 1,
+                message: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let mut nums = [0.0f64; 4];
+        for (i, f) in fields[1..5].iter().enumerate() {
+            nums[i] = f.parse().map_err(|_| FloorplanError::Parse {
+                line: ln + 1,
+                message: format!("cannot parse `{f}` as a number"),
+            })?;
+        }
+        let block = Block::try_new(fields[0], nums[0], nums[1], nums[2], nums[3])
+            .map_err(|message| FloorplanError::Parse { line: ln + 1, message })?;
+        blocks.push(block);
+    }
+    Floorplan::new(blocks)
+}
+
+/// Serializes a floorplan back to `.flp` text.
+///
+/// The output round-trips through [`parse_flp`].
+pub fn to_flp(plan: &Floorplan) -> String {
+    let mut out = String::new();
+    out.push_str("# hotiron floorplan\n");
+    out.push_str("# <name>\t<width>\t<height>\t<left-x>\t<bottom-y> (meters)\n");
+    for b in plan.iter() {
+        let _ = writeln!(
+            out,
+            "{}\t{:.9e}\t{:.9e}\t{:.9e}\t{:.9e}",
+            b.name(),
+            b.width(),
+            b.height(),
+            b.left(),
+            b.bottom()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal() {
+        let plan = parse_flp("A 1.0 1.0 0.0 0.0").unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.block("A").unwrap().area(), 1.0);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "\n# header\n  \nA\t1\t1\t0\t0\n#tail\n";
+        assert_eq!(parse_flp(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_flp("A 1 1 0 0\nB nope 1 0 0").unwrap_err();
+        match err {
+            FloorplanError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let err = parse_flp("A 1 1 0").unwrap_err();
+        assert!(matches!(err, FloorplanError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_geometry_with_location() {
+        let err = parse_flp("A -1 1 0 0").unwrap_err();
+        assert!(matches!(err, FloorplanError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn surfaces_validation_errors() {
+        let err = parse_flp("A 1 1 0 0\nA 1 1 1 0").unwrap_err();
+        assert!(matches!(err, FloorplanError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn round_trip() {
+        let plan = crate::library::ev6();
+        let text = to_flp(&plan);
+        let back = parse_flp(&text).unwrap();
+        assert_eq!(back.len(), plan.len());
+        for (a, b) in plan.iter().zip(back.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert!((a.width() - b.width()).abs() < 1e-12);
+            assert!((a.left() - b.left()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extra_fields_are_ignored() {
+        // HotSpot .flp files may carry trailing resistivity columns.
+        let plan = parse_flp("A 1 1 0 0 1.7 2.5").unwrap();
+        assert_eq!(plan.len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Program characteristics for the cycle-approximate pipeline.
+//!
+//! Where [`crate::workload`] describes *activity* phases directly, a
+//! [`ProgramProfile`] describes the *program*: instruction mix, cache miss
+//! rates and branch behavior per phase. The pipeline engine
+//! ([`crate::pipeline`]) turns these into cycle-level events, from which
+//! per-unit activities — and hence power — emerge rather than being
+//! asserted.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions of each instruction type; must sum to ~1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstructionMix {
+    /// Integer ALU operations.
+    pub int_ops: f64,
+    /// Floating-point operations.
+    pub fp_ops: f64,
+    /// Loads.
+    pub loads: f64,
+    /// Stores.
+    pub stores: f64,
+    /// Branches.
+    pub branches: f64,
+}
+
+impl InstructionMix {
+    /// Creates a mix, validating it sums to 1 within 1 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the sum is not ≈1.
+    pub fn new(int_ops: f64, fp_ops: f64, loads: f64, stores: f64, branches: f64) -> Self {
+        for (name, v) in [
+            ("int", int_ops),
+            ("fp", fp_ops),
+            ("loads", loads),
+            ("stores", stores),
+            ("branches", branches),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} fraction out of range: {v}");
+        }
+        let sum = int_ops + fp_ops + loads + stores + branches;
+        assert!((sum - 1.0).abs() < 0.01, "mix must sum to 1, got {sum}");
+        Self { int_ops, fp_ops, loads, stores, branches }
+    }
+
+    /// A typical integer-code mix.
+    pub fn integer_code() -> Self {
+        Self::new(0.42, 0.02, 0.26, 0.12, 0.18)
+    }
+
+    /// A floating-point streaming mix.
+    pub fn fp_code() -> Self {
+        Self::new(0.20, 0.38, 0.26, 0.10, 0.06)
+    }
+}
+
+/// One phase of program behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramPhase {
+    /// Phase length in cycles.
+    pub cycles: u64,
+    /// Instruction mix.
+    pub mix: InstructionMix,
+    /// L1 D-cache miss rate per memory access.
+    pub l1d_miss: f64,
+    /// L2 miss rate per L1 miss (these go to memory).
+    pub l2_miss: f64,
+    /// L1 I-cache miss rate per fetch group.
+    pub l1i_miss: f64,
+    /// Branch misprediction rate per branch.
+    pub mispredict: f64,
+}
+
+/// A repeating sequence of program phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramProfile {
+    /// Name for reports.
+    pub name: String,
+    /// The repeating phases.
+    pub phases: Vec<ProgramPhase>,
+}
+
+impl ProgramProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has zero cycles.
+    pub fn new(name: impl Into<String>, phases: Vec<ProgramPhase>) -> Self {
+        assert!(!phases.is_empty(), "profile needs at least one phase");
+        assert!(phases.iter().all(|p| p.cycles > 0), "phases need cycles");
+        Self { name: name.into(), phases }
+    }
+
+    /// Total cycles in one pass of the sequence.
+    pub fn period_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// The phase active at absolute cycle `c`.
+    pub fn phase_at(&self, c: u64) -> &ProgramPhase {
+        let mut r = c % self.period_cycles();
+        for p in &self.phases {
+            if r < p.cycles {
+                return p;
+            }
+            r -= p.cycles;
+        }
+        unreachable!("phase_at arithmetic is exhaustive")
+    }
+}
+
+/// `gcc`-like program: integer-heavy with miss-rate phases.
+pub fn gcc_program() -> ProgramProfile {
+    ProgramProfile::new(
+        "gcc",
+        vec![
+            ProgramPhase {
+                cycles: 26_000_000 / 1000,
+                mix: InstructionMix::integer_code(),
+                l1d_miss: 0.03,
+                l2_miss: 0.10,
+                l1i_miss: 0.01,
+                mispredict: 0.06,
+            },
+            ProgramPhase {
+                cycles: 12_000_000 / 1000,
+                mix: InstructionMix::new(0.38, 0.02, 0.30, 0.12, 0.18),
+                l1d_miss: 0.06,
+                l2_miss: 0.20,
+                l1i_miss: 0.02,
+                mispredict: 0.08,
+            },
+            ProgramPhase {
+                cycles: 7_000_000 / 1000,
+                mix: InstructionMix::new(0.30, 0.01, 0.40, 0.12, 0.17),
+                l1d_miss: 0.18,
+                l2_miss: 0.55,
+                l1i_miss: 0.01,
+                mispredict: 0.05,
+            },
+        ],
+    )
+}
+
+/// `mcf`-like program: pointer chasing, dominated by memory misses.
+pub fn mcf_program() -> ProgramProfile {
+    ProgramProfile::new(
+        "mcf",
+        vec![ProgramPhase {
+            cycles: 40_000,
+            mix: InstructionMix::new(0.30, 0.01, 0.42, 0.10, 0.17),
+            l1d_miss: 0.25,
+            l2_miss: 0.60,
+            l1i_miss: 0.005,
+            mispredict: 0.05,
+        }],
+    )
+}
+
+/// `art`-like program: floating-point streaming.
+pub fn art_program() -> ProgramProfile {
+    ProgramProfile::new(
+        "art",
+        vec![ProgramPhase {
+            cycles: 30_000,
+            mix: InstructionMix::fp_code(),
+            l1d_miss: 0.08,
+            l2_miss: 0.30,
+            l1i_miss: 0.002,
+            mispredict: 0.02,
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_validates() {
+        let m = InstructionMix::integer_code();
+        let sum = m.int_ops + m.fp_ops + m.loads + m.stores + m.branches;
+        assert!((sum - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_mix_rejected() {
+        let _ = InstructionMix::new(0.5, 0.5, 0.5, 0.0, 0.0);
+    }
+
+    #[test]
+    fn phase_at_walks() {
+        let p = gcc_program();
+        assert_eq!(p.phase_at(0).cycles, 26_000);
+        assert_eq!(p.phase_at(26_000).l1d_miss, 0.06);
+        let period = p.period_cycles();
+        assert_eq!(p.phase_at(period).cycles, 26_000);
+    }
+
+    #[test]
+    fn presets_have_expected_character() {
+        assert!(mcf_program().phases[0].l1d_miss > gcc_program().phases[0].l1d_miss);
+        assert!(art_program().phases[0].mix.fp_ops > 0.3);
+    }
+}

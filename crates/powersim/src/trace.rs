@@ -1,0 +1,389 @@
+//! Power traces: time series of per-block power.
+
+use hotiron_floorplan::Floorplan;
+use serde::{Deserialize, Serialize};
+
+/// A time series of per-block power samples.
+///
+/// Samples are uniformly spaced `dt` seconds apart; each sample holds one
+/// wattage per floorplan block, in floorplan order.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_floorplan::library;
+/// use hotiron_powersim::PowerTrace;
+///
+/// let plan = library::ev6();
+/// // The paper's Fig 8 load: 2 W/mm² on the hot block, 15 ms on / 85 ms off.
+/// let t = PowerTrace::square_wave(&plan, "Icache", 16.0, 0.015, 0.085, 1e-3, 0.2);
+/// assert_eq!(t.len(), 200);
+/// let avg = t.average();
+/// let icache = plan.block_index("Icache").unwrap();
+/// assert!((avg[icache] - 16.0 * 0.15).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    dt: f64,
+    block_count: usize,
+    /// Flattened `len x block_count`.
+    data: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive or `block_count` is zero.
+    pub fn new(dt: f64, block_count: usize) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive");
+        assert!(block_count > 0, "need at least one block");
+        Self { dt, block_count, data: Vec::new() }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len()` differs from the block count.
+    pub fn push(&mut self, sample: &[f64]) {
+        assert_eq!(sample.len(), self.block_count, "one value per block");
+        self.data.extend_from_slice(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.block_count
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Seconds between samples.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of blocks per sample.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Total trace duration, s.
+    pub fn duration(&self) -> f64 {
+        self.len() as f64 * self.dt
+    }
+
+    /// Sample `i` as a slice of per-block watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        let lo = i * self.block_count;
+        &self.data[lo..lo + self.block_count]
+    }
+
+    /// Per-block time-average power.
+    pub fn average(&self) -> Vec<f64> {
+        let n = self.len().max(1) as f64;
+        let mut avg = vec![0.0; self.block_count];
+        for i in 0..self.len() {
+            for (a, v) in avg.iter_mut().zip(self.sample(i)) {
+                *a += v;
+            }
+        }
+        for a in &mut avg {
+            *a /= n;
+        }
+        avg
+    }
+
+    /// Total chip power of sample `i`, W.
+    pub fn total(&self, i: usize) -> f64 {
+        self.sample(i).iter().sum()
+    }
+
+    /// A constant trace holding `powers` for `duration` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` is empty.
+    pub fn constant(powers: &[f64], dt: f64, duration: f64) -> Self {
+        let mut t = Self::new(dt, powers.len());
+        let n = (duration / dt).round().max(1.0) as usize;
+        for _ in 0..n {
+            t.push(powers);
+        }
+        t
+    }
+
+    /// A square wave on one block: `watts` for `on` seconds, 0 for `off`
+    /// seconds, repeating over `duration` (all other blocks 0 W) — the
+    /// paper's Fig 8 load shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is unknown or timings are not positive.
+    pub fn square_wave(
+        plan: &Floorplan,
+        block: &str,
+        watts: f64,
+        on: f64,
+        off: f64,
+        dt: f64,
+        duration: f64,
+    ) -> Self {
+        assert!(on > 0.0 && off >= 0.0, "on/off durations must be positive");
+        let bi = plan.block_index(block).unwrap_or_else(|| panic!("unknown block `{block}`"));
+        let mut t = Self::new(dt, plan.len());
+        let period = on + off;
+        let n = (duration / dt).round().max(1.0) as usize;
+        let mut sample = vec![0.0; plan.len()];
+        for i in 0..n {
+            let phase = (i as f64 * dt) % period;
+            sample[bi] = if phase < on { watts } else { 0.0 };
+            t.push(&sample);
+        }
+        t
+    }
+
+    /// A two-stage handoff: `block_a` dissipates `watts` for `t_switch`
+    /// seconds, then `block_b` does for the remainder — the paper's Fig 9
+    /// IntReg→FPMap experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown blocks or non-positive timings.
+    pub fn handoff(
+        plan: &Floorplan,
+        block_a: &str,
+        block_b: &str,
+        watts: f64,
+        t_switch: f64,
+        dt: f64,
+        duration: f64,
+    ) -> Self {
+        assert!(t_switch > 0.0 && duration > t_switch, "switch must fall inside the trace");
+        let a = plan.block_index(block_a).unwrap_or_else(|| panic!("unknown block `{block_a}`"));
+        let b = plan.block_index(block_b).unwrap_or_else(|| panic!("unknown block `{block_b}`"));
+        let mut t = Self::new(dt, plan.len());
+        let n = (duration / dt).round().max(1.0) as usize;
+        for i in 0..n {
+            let mut sample = vec![0.0; plan.len()];
+            if (i as f64) * dt < t_switch {
+                sample[a] = watts;
+            } else {
+                sample[b] = watts;
+            }
+            t.push(&sample);
+        }
+        t
+    }
+
+    /// Re-samples to a coarser period by averaging whole groups of
+    /// `factor` samples (an anti-aliased decimation, as an IR camera's
+    /// integration time effectively performs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn decimate(&self, factor: usize) -> Self {
+        assert!(factor > 0, "factor must be positive");
+        let mut out = Self::new(self.dt * factor as f64, self.block_count);
+        let mut i = 0;
+        while i + factor <= self.len() {
+            let mut acc = vec![0.0; self.block_count];
+            for j in i..i + factor {
+                for (a, v) in acc.iter_mut().zip(self.sample(j)) {
+                    *a += v;
+                }
+            }
+            for a in &mut acc {
+                *a /= factor as f64;
+            }
+            out.push(&acc);
+            i += factor;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_floorplan::library;
+
+    #[test]
+    fn push_and_sample() {
+        let mut t = PowerTrace::new(1e-6, 2);
+        t.push(&[1.0, 2.0]);
+        t.push(&[3.0, 4.0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.sample(1), &[3.0, 4.0]);
+        assert_eq!(t.total(0), 3.0);
+        assert!((t.duration() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn average_over_samples() {
+        let mut t = PowerTrace::new(1.0, 1);
+        t.push(&[2.0]);
+        t.push(&[4.0]);
+        assert_eq!(t.average(), vec![3.0]);
+    }
+
+    #[test]
+    fn square_wave_duty_cycle() {
+        let plan = library::ev6();
+        let t = PowerTrace::square_wave(&plan, "IntReg", 10.0, 0.015, 0.085, 1e-3, 1.0);
+        let bi = plan.block_index("IntReg").unwrap();
+        let avg = t.average()[bi];
+        assert!((avg - 1.5).abs() < 0.1, "avg {avg}");
+        // Other blocks stay dark.
+        assert_eq!(t.average()[plan.block_index("L2").unwrap()], 0.0);
+    }
+
+    #[test]
+    fn handoff_switches_block() {
+        let plan = library::ev6();
+        let t = PowerTrace::handoff(&plan, "IntReg", "FPMap", 2.0, 0.01, 1e-3, 0.02);
+        let a = plan.block_index("IntReg").unwrap();
+        let b = plan.block_index("FPMap").unwrap();
+        assert_eq!(t.sample(0)[a], 2.0);
+        assert_eq!(t.sample(0)[b], 0.0);
+        assert_eq!(t.sample(15)[a], 0.0);
+        assert_eq!(t.sample(15)[b], 2.0);
+    }
+
+    #[test]
+    fn decimate_averages_groups() {
+        let mut t = PowerTrace::new(1.0, 1);
+        for v in [1.0, 3.0, 5.0, 7.0] {
+            t.push(&[v]);
+        }
+        let d = t.decimate(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.sample(0), &[2.0]);
+        assert_eq!(d.sample(1), &[6.0]);
+        assert_eq!(d.dt(), 2.0);
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = PowerTrace::constant(&[1.0, 2.0], 0.5, 2.0);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sample(3), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn square_wave_unknown_block() {
+        let plan = library::ev6();
+        let _ = PowerTrace::square_wave(&plan, "nope", 1.0, 0.1, 0.1, 0.01, 1.0);
+    }
+}
+
+/// HotSpot `.ptrace` text format support: a header line of block names
+/// followed by one whitespace-separated power sample per line.
+impl PowerTrace {
+    /// Serializes to HotSpot's `.ptrace` text format.
+    pub fn to_ptrace(&self, plan: &Floorplan) -> String {
+        assert_eq!(plan.len(), self.block_count, "floorplan/block-count mismatch");
+        let mut out = String::new();
+        let names: Vec<&str> = plan.names().collect();
+        out.push_str(&names.join("\t"));
+        out.push('\n');
+        for i in 0..self.len() {
+            let row: Vec<String> = self.sample(i).iter().map(|v| format!("{v:.6}")).collect();
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses HotSpot `.ptrace` text; columns are matched to the floorplan's
+    /// blocks by name (any column order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown block, malformed value or
+    /// short row.
+    pub fn from_ptrace(plan: &Floorplan, text: &str, dt: f64) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty ptrace")?;
+        let cols: Vec<usize> = header
+            .split_whitespace()
+            .map(|name| {
+                plan.block_index(name).ok_or_else(|| format!("unknown block `{name}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        if cols.len() != plan.len() {
+            return Err(format!(
+                "ptrace has {} columns, floorplan has {} blocks",
+                cols.len(),
+                plan.len()
+            ));
+        }
+        let mut trace = PowerTrace::new(dt, plan.len());
+        for (ln, line) in lines.enumerate() {
+            let vals: Vec<f64> = line
+                .split_whitespace()
+                .map(|v| v.parse().map_err(|_| format!("bad value `{v}` at line {}", ln + 2)))
+                .collect::<Result<_, _>>()?;
+            if vals.len() != cols.len() {
+                return Err(format!("short row at line {}", ln + 2));
+            }
+            let mut sample = vec![0.0; plan.len()];
+            for (v, &bi) in vals.iter().zip(&cols) {
+                sample[bi] = *v;
+            }
+            trace.push(&sample);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod ptrace_tests {
+    use super::*;
+    use hotiron_floorplan::library;
+
+    #[test]
+    fn ptrace_round_trips() {
+        let plan = library::ev6();
+        let t = PowerTrace::square_wave(&plan, "IntReg", 2.0, 0.01, 0.01, 1e-3, 0.05);
+        let text = t.to_ptrace(&plan);
+        let back = PowerTrace::from_ptrace(&plan, &text, 1e-3).unwrap();
+        assert_eq!(back.len(), t.len());
+        for i in 0..t.len() {
+            for (a, b) in t.sample(i).iter().zip(back.sample(i)) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ptrace_header_order_is_flexible() {
+        let plan = library::uniform_die(0.01, 0.01);
+        let text = "die\n1.5\n2.5\n";
+        let t = PowerTrace::from_ptrace(&plan, text, 1e-3).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.sample(1)[0], 2.5);
+    }
+
+    #[test]
+    fn ptrace_rejects_unknown_blocks_and_bad_rows() {
+        let plan = library::uniform_die(0.01, 0.01);
+        assert!(PowerTrace::from_ptrace(&plan, "nope\n1.0\n", 1e-3)
+            .unwrap_err()
+            .contains("unknown block"));
+        assert!(PowerTrace::from_ptrace(&plan, "die\nx\n", 1e-3)
+            .unwrap_err()
+            .contains("bad value"));
+        assert!(PowerTrace::from_ptrace(&plan, "", 1e-3).is_err());
+    }
+}

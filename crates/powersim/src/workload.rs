@@ -1,0 +1,337 @@
+//! Phase-structured synthetic workloads.
+//!
+//! Real programs execute in *phases* — bursts of high IPC, memory-stall
+//! regions, FP kernels — and the per-phase mix is what shapes the on-chip
+//! temperature traces of the paper's Fig 12. A [`Workload`] is a repeating
+//! sequence of [`Phase`]s, each holding an activity level per
+//! [`UnitClass`] plus a dithering amplitude.
+
+use crate::uarch::UnitClass;
+use serde::{Deserialize, Serialize};
+
+/// Activity levels (each in `[0, 1]`) for every unit class during one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Fetch/I-cache/branch.
+    pub fetch: f64,
+    /// Rename/issue.
+    pub schedule: f64,
+    /// Integer execution.
+    pub int_exec: f64,
+    /// Floating-point execution.
+    pub fp_exec: f64,
+    /// Load/store and D-cache.
+    pub load_store: f64,
+    /// L2 cache.
+    pub l2: f64,
+    /// Clock tree (1.0 unless gated).
+    pub clock: f64,
+    /// Controllers/pads.
+    pub other: f64,
+}
+
+impl Activity {
+    /// All-idle activity (clock still running).
+    pub fn idle() -> Self {
+        Self {
+            fetch: 0.05,
+            schedule: 0.05,
+            int_exec: 0.03,
+            fp_exec: 0.01,
+            load_store: 0.03,
+            l2: 0.02,
+            clock: 1.0,
+            other: 0.1,
+        }
+    }
+
+    /// The level for a unit class.
+    pub fn level(&self, class: UnitClass) -> f64 {
+        match class {
+            UnitClass::Fetch => self.fetch,
+            UnitClass::Schedule => self.schedule,
+            UnitClass::IntExec => self.int_exec,
+            UnitClass::FpExec => self.fp_exec,
+            UnitClass::LoadStore => self.load_store,
+            UnitClass::L2 => self.l2,
+            UnitClass::Clock => self.clock,
+            UnitClass::Other => self.other,
+            UnitClass::Blank => 0.0,
+        }
+    }
+}
+
+/// One workload phase: a duration (in samples) and an activity vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in power samples.
+    pub samples: usize,
+    /// Mean activity per class.
+    pub activity: Activity,
+    /// Multiplicative dithering amplitude (0 = deterministic, 0.2 = ±20%).
+    pub dither: f64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero or `dither` is negative.
+    pub fn new(samples: usize, activity: Activity, dither: f64) -> Self {
+        assert!(samples > 0, "phase must span at least one sample");
+        assert!((0.0..=1.0).contains(&dither), "dither must be in [0,1]");
+        Self { samples, activity, dither }
+    }
+}
+
+/// A repeating sequence of phases with a sampling period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Name for reports.
+    pub name: String,
+    /// Seconds per power sample (the paper: 10 K cycles at 3 GHz ≈ 3.33 µs).
+    pub sample_period: f64,
+    /// The repeating phase sequence.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// The paper's sampling period: 10 K cycles at 3 GHz.
+    pub const PAPER_SAMPLE_PERIOD: f64 = 10_000.0 / 3.0e9;
+
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or the period is not positive.
+    pub fn new(name: impl Into<String>, sample_period: f64, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "workload needs at least one phase");
+        assert!(sample_period.is_finite() && sample_period > 0.0, "period must be positive");
+        Self { name: name.into(), sample_period, phases }
+    }
+
+    /// Total samples in one pass through the phase sequence.
+    pub fn period_samples(&self) -> usize {
+        self.phases.iter().map(|p| p.samples).sum()
+    }
+
+    /// The phase active at absolute sample `n` (sequence repeats).
+    pub fn phase_at(&self, n: usize) -> &Phase {
+        let mut r = n % self.period_samples();
+        for p in &self.phases {
+            if r < p.samples {
+                return p;
+            }
+            r -= p.samples;
+        }
+        unreachable!("phase_at: index arithmetic is exhaustive")
+    }
+}
+
+/// `gcc`: integer-dominant, bursty, with periodic L2-miss stall regions —
+/// the workload behind the paper's Figs 10 and 12.
+pub fn gcc() -> Workload {
+    let hot = Activity {
+        fetch: 0.85,
+        schedule: 0.9,
+        int_exec: 0.95,
+        fp_exec: 0.04,
+        load_store: 0.8,
+        l2: 0.25,
+        clock: 1.0,
+        other: 0.3,
+    };
+    let warm = Activity {
+        fetch: 0.6,
+        schedule: 0.6,
+        int_exec: 0.62,
+        fp_exec: 0.03,
+        load_store: 0.55,
+        l2: 0.3,
+        clock: 1.0,
+        other: 0.3,
+    };
+    let stall = Activity {
+        fetch: 0.15,
+        schedule: 0.12,
+        int_exec: 0.1,
+        fp_exec: 0.01,
+        load_store: 0.25,
+        l2: 0.7,
+        clock: 1.0,
+        other: 0.3,
+    };
+    Workload::new(
+        "gcc",
+        Workload::PAPER_SAMPLE_PERIOD,
+        vec![
+            Phase::new(2600, hot, 0.12),
+            Phase::new(1200, warm, 0.15),
+            Phase::new(700, stall, 0.10),
+            Phase::new(2200, hot, 0.12),
+            Phase::new(900, stall, 0.10),
+            Phase::new(1400, warm, 0.15),
+        ],
+    )
+}
+
+/// `mcf`: memory-bound — long stalls, hot L2, cool core.
+pub fn mcf() -> Workload {
+    let stall = Activity {
+        fetch: 0.12,
+        schedule: 0.1,
+        int_exec: 0.12,
+        fp_exec: 0.01,
+        load_store: 0.35,
+        l2: 0.85,
+        clock: 1.0,
+        other: 0.3,
+    };
+    let burst = Activity {
+        fetch: 0.5,
+        schedule: 0.5,
+        int_exec: 0.55,
+        fp_exec: 0.02,
+        load_store: 0.6,
+        l2: 0.5,
+        clock: 1.0,
+        other: 0.3,
+    };
+    Workload::new(
+        "mcf",
+        Workload::PAPER_SAMPLE_PERIOD,
+        vec![Phase::new(4000, stall, 0.08), Phase::new(800, burst, 0.12)],
+    )
+}
+
+/// `art`: floating-point streaming — hot FP cluster.
+pub fn art() -> Workload {
+    let fp = Activity {
+        fetch: 0.55,
+        schedule: 0.6,
+        int_exec: 0.25,
+        fp_exec: 0.9,
+        load_store: 0.65,
+        l2: 0.4,
+        clock: 1.0,
+        other: 0.3,
+    };
+    let drain = Activity {
+        fetch: 0.3,
+        schedule: 0.3,
+        int_exec: 0.15,
+        fp_exec: 0.45,
+        load_store: 0.4,
+        l2: 0.5,
+        clock: 1.0,
+        other: 0.3,
+    };
+    Workload::new(
+        "art",
+        Workload::PAPER_SAMPLE_PERIOD,
+        vec![Phase::new(3000, fp, 0.1), Phase::new(1000, drain, 0.1)],
+    )
+}
+
+/// `bzip2`: compression — steady integer activity, few stalls.
+pub fn bzip2() -> Workload {
+    let steady = Activity {
+        fetch: 0.75,
+        schedule: 0.75,
+        int_exec: 0.8,
+        fp_exec: 0.02,
+        load_store: 0.7,
+        l2: 0.2,
+        clock: 1.0,
+        other: 0.3,
+    };
+    Workload::new(
+        "bzip2",
+        Workload::PAPER_SAMPLE_PERIOD,
+        vec![Phase::new(5000, steady, 0.08)],
+    )
+}
+
+/// A constant full-activity workload (no phases, no dithering) for
+/// steady-state experiments.
+pub fn flat_out() -> Workload {
+    let max = Activity {
+        fetch: 1.0,
+        schedule: 1.0,
+        int_exec: 1.0,
+        fp_exec: 1.0,
+        load_store: 1.0,
+        l2: 1.0,
+        clock: 1.0,
+        other: 1.0,
+    };
+    Workload::new("flat-out", Workload::PAPER_SAMPLE_PERIOD, vec![Phase::new(1000, max, 0.0)])
+}
+
+/// An idle workload (clock running, everything else quiescent).
+pub fn idle() -> Workload {
+    Workload::new(
+        "idle",
+        Workload::PAPER_SAMPLE_PERIOD,
+        vec![Phase::new(1000, Activity::idle(), 0.0)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_at_walks_the_sequence() {
+        let w = gcc();
+        assert_eq!(w.phase_at(0).samples, 2600);
+        assert_eq!(w.phase_at(2599).samples, 2600);
+        assert_eq!(w.phase_at(2600).samples, 1200);
+        // Wraps around.
+        let period = w.period_samples();
+        assert_eq!(w.phase_at(period).samples, 2600);
+    }
+
+    #[test]
+    fn gcc_is_integer_dominant() {
+        let w = gcc();
+        for p in &w.phases {
+            assert!(p.activity.int_exec > p.activity.fp_exec);
+        }
+    }
+
+    #[test]
+    fn art_is_fp_dominant() {
+        let w = art();
+        for p in &w.phases {
+            assert!(p.activity.fp_exec > p.activity.int_exec);
+        }
+    }
+
+    #[test]
+    fn mcf_stall_phase_is_l2_heavy() {
+        let w = mcf();
+        assert!(w.phases[0].activity.l2 > 0.8);
+        assert!(w.phases[0].activity.int_exec < 0.2);
+    }
+
+    #[test]
+    fn paper_sample_period() {
+        assert!((Workload::PAPER_SAMPLE_PERIOD - 3.333e-6).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_workload_rejected() {
+        let _ = Workload::new("x", 1e-6, vec![]);
+    }
+
+    #[test]
+    fn activity_levels_by_class() {
+        let a = Activity::idle();
+        assert_eq!(a.level(UnitClass::Clock), 1.0);
+        assert_eq!(a.level(UnitClass::Blank), 0.0);
+        assert!(a.level(UnitClass::IntExec) < 0.1);
+    }
+}

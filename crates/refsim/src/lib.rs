@@ -1,0 +1,38 @@
+//! Independent fine-grid 3-D reference thermal solver.
+//!
+//! The paper validates its modified HotSpot against ANSYS, a commercial
+//! finite-element package with computational fluid dynamics (§3.2, Figs 2–3).
+//! ANSYS is unavailable here, so this crate provides the closest open
+//! substitute: a structured **finite-volume** solver that
+//!
+//! * resolves the silicon die in all three dimensions (several cells through
+//!   the thickness, a fine in-plane grid),
+//! * resolves the oil film above the die as discrete layers with **upwind
+//!   streamwise advection** and a near-wall velocity profile, rather than a
+//!   lumped convection resistance, and
+//! * shares *no code* with `hotiron-thermal` — independent discretization,
+//!   independent solvers (Gauss–Seidel steady, explicit FTCS transient) —
+//!   so agreement between the two is a genuine cross-check, exactly the role
+//!   ANSYS plays in the paper.
+//!
+//! See `DESIGN.md` (substitutions) for the full rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotiron_refsim::{OilProperties, RefSim, RefSimConfig};
+//!
+//! // A coarse version of the paper's Fig 3 setup.
+//! let cfg = RefSimConfig::paper_validation().with_grid(16, 16, 2, 3);
+//! let sim = RefSim::new(cfg);
+//! let power = sim.center_source_power(2e-3, 10.0);
+//! let field = sim.solve_steady(&power, 20_000);
+//! assert!(field.max() > field.min());
+//! let _ = OilProperties::mineral_oil();
+//! ```
+
+mod sim;
+mod stack;
+
+pub use sim::{OilModel, OilProperties, RefSim, RefSimConfig, TemperatureField};
+pub use stack::{Slab, StackSim, StackSimConfig};

@@ -1,0 +1,607 @@
+//! The finite-volume mesh and solvers.
+//!
+//! Geometry (z grows upward, matching the IR rig where oil washes the die's
+//! exposed back):
+//!
+//! ```text
+//!   ambient (Dirichlet)            ← top of oil film
+//!   oil layer n_oil-1  → advection u(z), conduction
+//!   ...
+//!   oil layer 0
+//!   ─────────────────── oil–silicon interface
+//!   silicon layer n_si-1
+//!   ...
+//!   silicon layer 0     ← heat injected here (transistor layer)
+//!   adiabatic bottom / sides
+//! ```
+//!
+//! Flow is along +x. The inlet face (x = 0) of the oil is held at ambient;
+//! the outlet is zero-gradient (pure outflow).
+
+/// Oil thermophysical properties. Deliberately *duplicated* from
+/// `hotiron-thermal` so the two solvers share no code (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OilProperties {
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Density, kg/m³.
+    pub density: f64,
+    /// Specific heat, J/(kg·K).
+    pub specific_heat: f64,
+    /// Dynamic viscosity, Pa·s.
+    pub dynamic_viscosity: f64,
+}
+
+impl OilProperties {
+    /// The IR-transparent mineral oil of the paper's measurement rig.
+    pub fn mineral_oil() -> Self {
+        Self { conductivity: 0.13, density: 870.0, specific_heat: 1900.0, dynamic_viscosity: 0.03 }
+    }
+
+    /// Prandtl number.
+    pub fn prandtl(&self) -> f64 {
+        self.dynamic_viscosity * self.specific_heat / self.conductivity
+    }
+
+    /// Kinematic viscosity, m²/s.
+    pub fn kinematic_viscosity(&self) -> f64 {
+        self.dynamic_viscosity / self.density
+    }
+
+    /// Volumetric heat capacity, J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+
+    /// Thermal boundary-layer thickness at distance `x` for bulk velocity
+    /// `u` (laminar flat plate).
+    pub fn thermal_boundary_layer(&self, u: f64, x: f64) -> f64 {
+        let re = u * x / self.kinematic_viscosity();
+        4.91 * x / (self.prandtl().cbrt() * re.sqrt())
+    }
+}
+
+/// How the oil above the die is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OilModel {
+    /// Resolve the film: discrete oil layers, conduction + upwind advection
+    /// with a near-wall velocity profile (the "CFD" mode; default).
+    ResolvedFilm,
+    /// Robin boundary condition with the local laminar-plate coefficient
+    /// `h(x)` applied directly at the silicon surface (no oil cells). An
+    /// independent reimplementation of the same correlation theory; useful
+    /// for tighter steady-state cross-checks.
+    RobinCorrelation,
+}
+
+/// Reference-simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefSimConfig {
+    /// In-plane cells along x.
+    pub nx: usize,
+    /// In-plane cells along y.
+    pub ny: usize,
+    /// Cells through the silicon thickness.
+    pub n_si_z: usize,
+    /// Cells through the oil film ([`OilModel::ResolvedFilm`] only).
+    pub n_oil_z: usize,
+    /// Die width (x), m.
+    pub width: f64,
+    /// Die height (y), m.
+    pub height: f64,
+    /// Die thickness, m.
+    pub thickness: f64,
+    /// Silicon conductivity, W/(m·K).
+    pub si_conductivity: f64,
+    /// Silicon volumetric heat capacity, J/(m³·K).
+    pub si_heat_capacity: f64,
+    /// Coolant.
+    pub oil: OilProperties,
+    /// Bulk oil velocity, m/s.
+    pub velocity: f64,
+    /// Oil film thickness as a multiple of the trailing-edge thermal
+    /// boundary layer.
+    pub film_factor: f64,
+    /// Oil treatment.
+    pub oil_model: OilModel,
+    /// Ambient / inlet temperature, K.
+    pub ambient: f64,
+}
+
+impl RefSimConfig {
+    /// The paper's §3.2 validation setup: 20 mm x 20 mm x 0.5 mm die under
+    /// 10 m/s mineral oil, 45 °C ambient.
+    pub fn paper_validation() -> Self {
+        Self {
+            nx: 40,
+            ny: 40,
+            n_si_z: 4,
+            n_oil_z: 6,
+            width: 0.02,
+            height: 0.02,
+            thickness: 0.5e-3,
+            si_conductivity: 100.0,
+            si_heat_capacity: 1.75e6,
+            oil: OilProperties::mineral_oil(),
+            velocity: 10.0,
+            film_factor: 2.0,
+            oil_model: OilModel::ResolvedFilm,
+            ambient: 318.15,
+        }
+    }
+
+    /// Overrides the mesh resolution.
+    pub fn with_grid(mut self, nx: usize, ny: usize, n_si_z: usize, n_oil_z: usize) -> Self {
+        self.nx = nx;
+        self.ny = ny;
+        self.n_si_z = n_si_z;
+        self.n_oil_z = n_oil_z;
+        self
+    }
+
+    /// Overrides the oil treatment.
+    pub fn with_oil_model(mut self, m: OilModel) -> Self {
+        self.oil_model = m;
+        self
+    }
+}
+
+/// A solved 3-D temperature field restricted to the silicon heat-source
+/// layer (the layer the IR camera effectively images).
+#[derive(Debug, Clone)]
+pub struct TemperatureField {
+    nx: usize,
+    ny: usize,
+    /// Kelvin, row-major by y then x.
+    values: Vec<f64>,
+}
+
+impl TemperatureField {
+    /// Cell temperature at `(ix, iy)`, K.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.values[iy * self.nx + ix]
+    }
+
+    /// Temperature at the die center, K.
+    pub fn center(&self) -> f64 {
+        self.at(self.nx / 2, self.ny / 2)
+    }
+
+    /// Maximum temperature, K.
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    }
+
+    /// Minimum temperature, K.
+    pub fn min(&self) -> f64 {
+        self.values.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+    }
+
+    /// Mean temperature, K.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// The raw per-cell values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// The reference finite-volume simulator.
+#[derive(Debug)]
+pub struct RefSim {
+    cfg: RefSimConfig,
+    dx: f64,
+    dy: f64,
+    dz_si: f64,
+    dz_oil: f64,
+    nz: usize,
+    /// Streamwise velocity of each oil layer, m/s.
+    u_layer: Vec<f64>,
+    /// Robin-mode local heat-transfer coefficient per x column, W/(m²·K).
+    robin_h: Vec<f64>,
+}
+
+impl RefSim {
+    /// Builds the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mesh dimension is zero or geometry is non-positive.
+    pub fn new(cfg: RefSimConfig) -> Self {
+        assert!(cfg.nx > 0 && cfg.ny > 0 && cfg.n_si_z > 0, "mesh dims must be positive");
+        assert!(cfg.width > 0.0 && cfg.height > 0.0 && cfg.thickness > 0.0);
+        let dx = cfg.width / cfg.nx as f64;
+        let dy = cfg.height / cfg.ny as f64;
+        let dz_si = cfg.thickness / cfg.n_si_z as f64;
+        let delta_t = cfg.oil.thermal_boundary_layer(cfg.velocity, cfg.width);
+        let film = cfg.film_factor * delta_t;
+        let (n_oil, dz_oil) = match cfg.oil_model {
+            OilModel::ResolvedFilm => {
+                assert!(cfg.n_oil_z > 0, "resolved film needs oil layers");
+                (cfg.n_oil_z, film / cfg.n_oil_z as f64)
+            }
+            OilModel::RobinCorrelation => (0, 0.0),
+        };
+        // Near-wall velocity: the laminar velocity boundary layer is thicker
+        // than the thermal one by ~Pr^(1/3); approximate with a linear
+        // profile capped at the bulk velocity.
+        let delta_v = delta_t * cfg.oil.prandtl().cbrt();
+        let u_layer: Vec<f64> = (0..n_oil)
+            .map(|k| {
+                let z = (k as f64 + 0.5) * dz_oil;
+                cfg.velocity * (z / delta_v).min(1.0)
+            })
+            .collect();
+        // Robin-mode h(x) at each column center (independent evaluation of
+        // the flat-plate correlation).
+        let robin_h: Vec<f64> = (0..cfg.nx)
+            .map(|i| {
+                let x = (i as f64 + 0.5) * dx;
+                let re_x = cfg.velocity * x / cfg.oil.kinematic_viscosity();
+                0.332 * (cfg.oil.conductivity / x) * re_x.sqrt() * cfg.oil.prandtl().cbrt()
+            })
+            .collect();
+        let nz = cfg.n_si_z + n_oil;
+        Self { cfg, dx, dy, dz_si, dz_oil, nz, u_layer, robin_h }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RefSimConfig {
+        &self.cfg
+    }
+
+    /// Total cell count of the mesh.
+    pub fn cell_count(&self) -> usize {
+        self.cfg.nx * self.cfg.ny * self.nz
+    }
+
+    fn idx(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.cfg.ny + iy) * self.cfg.nx + ix
+    }
+
+    fn is_oil(&self, iz: usize) -> bool {
+        iz >= self.cfg.n_si_z
+    }
+
+    fn dz(&self, iz: usize) -> f64 {
+        if self.is_oil(iz) {
+            self.dz_oil
+        } else {
+            self.dz_si
+        }
+    }
+
+    fn k_of(&self, iz: usize) -> f64 {
+        if self.is_oil(iz) {
+            self.cfg.oil.conductivity
+        } else {
+            self.cfg.si_conductivity
+        }
+    }
+
+    fn vol_cap(&self, iz: usize) -> f64 {
+        if self.is_oil(iz) {
+            self.cfg.oil.volumetric_heat_capacity()
+        } else {
+            self.cfg.si_heat_capacity
+        }
+    }
+
+    /// A uniform volumetric power map: `total_watts` spread over the whole
+    /// die (the Fig 2 load). One entry per in-plane cell (W).
+    pub fn uniform_power(&self, total_watts: f64) -> Vec<f64> {
+        vec![total_watts / (self.cfg.nx * self.cfg.ny) as f64; self.cfg.nx * self.cfg.ny]
+    }
+
+    /// A centered square source of side `side` m dissipating `watts`
+    /// (the Fig 3 load). One entry per in-plane cell (W).
+    pub fn center_source_power(&self, side: f64, watts: f64) -> Vec<f64> {
+        let mut p = vec![0.0; self.cfg.nx * self.cfg.ny];
+        let (cx, cy) = (self.cfg.width / 2.0, self.cfg.height / 2.0);
+        let mut covered = 0usize;
+        for iy in 0..self.cfg.ny {
+            for ix in 0..self.cfg.nx {
+                let x = (ix as f64 + 0.5) * self.dx;
+                let y = (iy as f64 + 0.5) * self.dy;
+                if (x - cx).abs() <= side / 2.0 && (y - cy).abs() <= side / 2.0 {
+                    p[iy * self.cfg.nx + ix] = 1.0;
+                    covered += 1;
+                }
+            }
+        }
+        assert!(covered > 0, "source smaller than one mesh cell; refine the mesh");
+        let w = watts / covered as f64;
+        for v in &mut p {
+            *v *= w;
+        }
+        p
+    }
+
+    /// Builds the per-cell coefficient view and runs Gauss–Seidel sweeps to
+    /// steady state. `power` has one entry per in-plane cell (W), injected
+    /// in the bottom silicon layer. Returns the silicon heat-source-layer
+    /// temperature field.
+    pub fn solve_steady(&self, power: &[f64], max_sweeps: usize) -> TemperatureField {
+        assert_eq!(power.len(), self.cfg.nx * self.cfg.ny, "one power entry per column");
+        let n = self.cell_count();
+        let mut t = vec![self.cfg.ambient; n];
+        let mut max_delta;
+        let mut sweeps = 0;
+        loop {
+            max_delta = 0.0f64;
+            for iz in 0..self.nz {
+                for iy in 0..self.cfg.ny {
+                    for ix in 0..self.cfg.nx {
+                        let (num, den) = self.cell_balance(&t, power, ix, iy, iz);
+                        let i = self.idx(ix, iy, iz);
+                        let t_new = num / den;
+                        max_delta = max_delta.max((t_new - t[i]).abs());
+                        t[i] = t_new;
+                    }
+                }
+            }
+            sweeps += 1;
+            if max_delta < 1e-7 || sweeps >= max_sweeps {
+                break;
+            }
+        }
+        self.source_layer_field(&t)
+    }
+
+    /// Explicit transient integration over `duration` seconds from the
+    /// all-ambient state, calling `probe` after every `sample_every`
+    /// interval with `(time, source-layer field)`.
+    pub fn run_transient(
+        &self,
+        power: &[f64],
+        duration: f64,
+        sample_every: f64,
+        mut probe: impl FnMut(f64, &TemperatureField),
+    ) {
+        assert_eq!(power.len(), self.cfg.nx * self.cfg.ny);
+        let n = self.cell_count();
+        let mut t = vec![self.cfg.ambient; n];
+        let dt = 0.4 * self.stable_dt();
+        let mut time = 0.0;
+        let mut next_sample = 0.0;
+        let mut t_new = t.clone();
+        while time < duration {
+            for iz in 0..self.nz {
+                for iy in 0..self.cfg.ny {
+                    for ix in 0..self.cfg.nx {
+                        let (num, den) = self.cell_balance(&t, power, ix, iy, iz);
+                        let i = self.idx(ix, iy, iz);
+                        // num - den*T is the net inflow (W); C dT/dt = inflow.
+                        let cap = self.vol_cap(iz) * self.dx * self.dy * self.dz(iz);
+                        t_new[i] = t[i] + dt * (num - den * t[i]) / cap;
+                    }
+                }
+            }
+            std::mem::swap(&mut t, &mut t_new);
+            time += dt;
+            if time >= next_sample {
+                probe(time, &self.source_layer_field(&t));
+                next_sample += sample_every;
+            }
+        }
+        probe(time, &self.source_layer_field(&t));
+    }
+
+    /// Largest stable explicit step, s.
+    pub fn stable_dt(&self) -> f64 {
+        let mut min_tau = f64::INFINITY;
+        // Probe a representative set of cells (interior + boundaries).
+        let dummy_power = vec![0.0; self.cfg.nx * self.cfg.ny];
+        let t = vec![self.cfg.ambient; self.cell_count()];
+        for iz in 0..self.nz {
+            for iy in [0, self.cfg.ny / 2, self.cfg.ny - 1] {
+                for ix in [0, self.cfg.nx / 2, self.cfg.nx - 1] {
+                    let (_, den) = self.cell_balance(&t, &dummy_power, ix, iy, iz);
+                    let cap = self.vol_cap(iz) * self.dx * self.dy * self.dz(iz);
+                    min_tau = min_tau.min(cap / den);
+                }
+            }
+        }
+        min_tau
+    }
+
+    /// Flux balance of one cell: returns `(num, den)` such that the steady
+    /// update is `T = num/den` and the net inflow is `num − den·T`.
+    fn cell_balance(&self, t: &[f64], power: &[f64], ix: usize, iy: usize, iz: usize) -> (f64, f64) {
+        let cfg = &self.cfg;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let k_c = self.k_of(iz);
+        let dz_c = self.dz(iz);
+
+        // x neighbors (conduction).
+        let g_x = |k_a: f64, k_b: f64| {
+            let k_h = 2.0 * k_a * k_b / (k_a + k_b);
+            k_h * self.dy * dz_c / self.dx
+        };
+        if ix > 0 {
+            let g = g_x(k_c, k_c);
+            num += g * t[self.idx(ix - 1, iy, iz)];
+            den += g;
+        }
+        if ix + 1 < cfg.nx {
+            let g = g_x(k_c, k_c);
+            num += g * t[self.idx(ix + 1, iy, iz)];
+            den += g;
+        }
+        // y neighbors.
+        let g_y = k_c * self.dx * dz_c / self.dy;
+        if iy > 0 {
+            num += g_y * t[self.idx(ix, iy - 1, iz)];
+            den += g_y;
+        }
+        if iy + 1 < cfg.ny {
+            num += g_y * t[self.idx(ix, iy + 1, iz)];
+            den += g_y;
+        }
+        // z neighbors (harmonic mean across material change).
+        if iz > 0 {
+            let k_b = self.k_of(iz - 1);
+            let dz_b = self.dz(iz - 1);
+            let r = dz_c / (2.0 * k_c) + dz_b / (2.0 * k_b);
+            let g = self.dx * self.dy / r;
+            num += g * t[self.idx(ix, iy, iz - 1)];
+            den += g;
+        }
+        if iz + 1 < self.nz {
+            let k_a = self.k_of(iz + 1);
+            let dz_a = self.dz(iz + 1);
+            let r = dz_c / (2.0 * k_c) + dz_a / (2.0 * k_a);
+            let g = self.dx * self.dy / r;
+            num += g * t[self.idx(ix, iy, iz + 1)];
+            den += g;
+        } else if self.is_oil(iz) {
+            // Top of the oil film: Dirichlet ambient half a cell away.
+            let g = k_c * self.dx * self.dy / (dz_c / 2.0);
+            num += g * cfg.ambient;
+            den += g;
+        }
+        // Top of silicon in Robin mode: correlation boundary condition.
+        if !self.is_oil(iz) && iz + 1 == cfg.n_si_z && cfg.oil_model == OilModel::RobinCorrelation {
+            // Series: half silicon cell + film coefficient.
+            let h = self.robin_h[ix];
+            let r = dz_c / (2.0 * k_c) + 1.0 / h;
+            let g = self.dx * self.dy / r;
+            num += g * cfg.ambient;
+            den += g;
+        }
+        // Oil advection (upwind, +x flow).
+        if self.is_oil(iz) {
+            let u = self.u_layer[iz - cfg.n_si_z];
+            let g_adv = cfg.oil.volumetric_heat_capacity() * u * self.dy * dz_c;
+            let upstream = if ix > 0 { t[self.idx(ix - 1, iy, iz)] } else { cfg.ambient };
+            num += g_adv * upstream;
+            den += g_adv;
+        }
+        // Heat injection in the bottom silicon layer.
+        if iz == 0 {
+            num += power[iy * cfg.nx + ix];
+        }
+        (num, den)
+    }
+
+    fn source_layer_field(&self, t: &[f64]) -> TemperatureField {
+        let mut values = vec![0.0; self.cfg.nx * self.cfg.ny];
+        for iy in 0..self.cfg.ny {
+            for ix in 0..self.cfg.nx {
+                values[iy * self.cfg.nx + ix] = t[self.idx(ix, iy, 0)];
+            }
+        }
+        TemperatureField { nx: self.cfg.nx, ny: self.cfg.ny, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coarse() -> RefSimConfig {
+        RefSimConfig::paper_validation().with_grid(16, 16, 2, 4)
+    }
+
+    #[test]
+    fn zero_power_stays_ambient() {
+        let sim = RefSim::new(coarse());
+        let f = sim.solve_steady(&sim.uniform_power(0.0), 5_000);
+        assert!((f.max() - 318.15).abs() < 1e-6);
+        assert!((f.min() - 318.15).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_power_rises_like_rconv() {
+        // 200 W with Rconv ≈ 1 K/W should produce a mean rise within a broad
+        // band of 200 K (the film model need not match the correlation
+        // exactly; the paper's Fig 2 comparison tolerates similar slack).
+        let sim = RefSim::new(coarse());
+        let f = sim.solve_steady(&sim.uniform_power(200.0), 20_000);
+        let rise = f.mean() - 318.15;
+        assert!(rise > 100.0 && rise < 350.0, "mean rise {rise}");
+    }
+
+    #[test]
+    fn robin_mode_rise_is_bracketed_by_theory() {
+        // With local h(x) and uniform power the mean rise is bounded below
+        // by the isothermal-plate value P·Rconv = 200 K (Jensen) and above
+        // by the no-lateral-spreading value (P/A)·mean(1/h) = (4/3)·200 K.
+        let cfg = coarse().with_oil_model(OilModel::RobinCorrelation);
+        let sim = RefSim::new(cfg);
+        let f = sim.solve_steady(&sim.uniform_power(200.0), 20_000);
+        let rise = f.mean() - 318.15;
+        assert!(rise > 200.0 && rise < (4.0 / 3.0) * 200.0 + 15.0, "mean rise {rise}");
+    }
+
+    #[test]
+    fn center_source_creates_gradient() {
+        let sim = RefSim::new(coarse());
+        let p = sim.center_source_power(2e-3, 10.0);
+        assert!((p.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        let f = sim.solve_steady(&p, 20_000);
+        assert!(f.center() > f.at(0, 0) + 1.0, "center {} corner {}", f.center(), f.at(0, 0));
+        assert!(f.max() - f.min() > 5.0);
+    }
+
+    #[test]
+    fn downstream_is_hotter_than_upstream() {
+        // Advection carries heat downstream: with uniform power the
+        // downstream (high-x) edge runs hotter than the leading edge.
+        let sim = RefSim::new(coarse());
+        let f = sim.solve_steady(&sim.uniform_power(100.0), 20_000);
+        let iy = 8;
+        assert!(
+            f.at(14, iy) > f.at(1, iy) + 0.5,
+            "downstream {} vs upstream {}",
+            f.at(14, iy),
+            f.at(1, iy)
+        );
+    }
+
+    #[test]
+    fn transient_approaches_steady() {
+        let cfg = RefSimConfig::paper_validation().with_grid(10, 10, 2, 3);
+        let sim = RefSim::new(cfg);
+        let p = sim.uniform_power(200.0);
+        let steady = sim.solve_steady(&p, 20_000);
+        let mut last = TemperatureField { nx: 10, ny: 10, values: vec![0.0; 100] };
+        // The paper's Fig 2 time constant is ~1 s; run 4 s.
+        sim.run_transient(&p, 4.0, 1.0, |_, f| last = f.clone());
+        let err = (last.center() - steady.center()).abs();
+        assert!(err < 0.05 * (steady.center() - 318.15), "err {err}");
+    }
+
+    #[test]
+    fn transient_is_monotonic_under_step_power() {
+        let cfg = RefSimConfig::paper_validation().with_grid(8, 8, 2, 3);
+        let sim = RefSim::new(cfg);
+        let p = sim.uniform_power(50.0);
+        let mut prev = 0.0;
+        let mut ok = true;
+        sim.run_transient(&p, 0.2, 0.02, |_, f| {
+            if f.center() < prev - 1e-9 {
+                ok = false;
+            }
+            prev = f.center();
+        });
+        assert!(ok, "warmup must be monotonic");
+    }
+
+    #[test]
+    fn stable_dt_is_positive_and_small() {
+        let sim = RefSim::new(coarse());
+        let dt = sim.stable_dt();
+        assert!(dt > 0.0 && dt < 0.1, "dt {dt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one mesh cell")]
+    fn center_source_requires_resolution() {
+        let sim = RefSim::new(RefSimConfig::paper_validation().with_grid(4, 4, 1, 1));
+        let _ = sim.center_source_power(1e-6, 1.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Fine-grid 3-D solver for the *solid* package stack (die → TIM →
+//! spreader → heatsink → convection).
+//!
+//! The paper validated only the oil configuration against ANSYS; this
+//! module extends the reference solver to the AIR-SINK stack so the compact
+//! model's ring-node treatment of the spreader/heatsink overhang can be
+//! cross-checked the same way. Layers have different lateral extents; cells
+//! outside a layer's plate are inactive (adiabatic), and the heatsink's top
+//! face sheds heat through an equivalent film coefficient
+//! `h = 1/(R_conv · A_sink)`.
+
+/// One solid slab of the stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slab {
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric heat capacity, J/(m³·K).
+    pub heat_capacity: f64,
+    /// Slab thickness, m.
+    pub thickness: f64,
+    /// Square side of the slab's lateral extent, m (centered on the die).
+    pub side: f64,
+    /// Cells through the slab thickness.
+    pub nz: usize,
+}
+
+/// Configuration of the solid-stack reference simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSimConfig {
+    /// In-plane cells along x (over the *largest* plate).
+    pub nx: usize,
+    /// In-plane cells along y.
+    pub ny: usize,
+    /// Slabs bottom-to-top. Slab 0 is the die: heat is injected into its
+    /// bottom cell layer.
+    pub slabs: Vec<Slab>,
+    /// Die side (heat-source extent), m.
+    pub die_side: f64,
+    /// Total convection resistance from the top slab's face to ambient, K/W.
+    pub r_convec: f64,
+    /// Ambient, K.
+    pub ambient: f64,
+}
+
+impl StackSimConfig {
+    /// The AIR-SINK paper package over a 20 mm die: 0.5 mm silicon, 20 µm
+    /// TIM, 30 mm x 1 mm copper spreader, 60 mm x 6.9 mm copper sink.
+    pub fn air_sink_validation(r_convec: f64) -> Self {
+        Self {
+            nx: 30,
+            ny: 30,
+            slabs: vec![
+                Slab { conductivity: 100.0, heat_capacity: 1.75e6, thickness: 0.5e-3, side: 0.02, nz: 2 },
+                Slab { conductivity: 4.0, heat_capacity: 4.0e6, thickness: 20e-6, side: 0.02, nz: 1 },
+                Slab { conductivity: 400.0, heat_capacity: 3.55e6, thickness: 1.0e-3, side: 0.03, nz: 2 },
+                Slab { conductivity: 400.0, heat_capacity: 3.55e6, thickness: 6.9e-3, side: 0.06, nz: 3 },
+            ],
+            die_side: 0.02,
+            r_convec,
+            ambient: 318.15,
+        }
+    }
+
+    /// Side of the simulated domain (largest plate), m.
+    pub fn domain_side(&self) -> f64 {
+        self.slabs.iter().map(|s| s.side).fold(0.0, f64::max)
+    }
+}
+
+/// The solid-stack finite-volume simulator.
+#[derive(Debug)]
+pub struct StackSim {
+    cfg: StackSimConfig,
+    dx: f64,
+    dy: f64,
+    /// Per-z-layer: slab index.
+    layer_slab: Vec<usize>,
+    /// Per-z-layer: cell thickness.
+    layer_dz: Vec<f64>,
+    /// Per-z-layer: active mask (true inside the slab's plate).
+    active: Vec<Vec<bool>>,
+    nz: usize,
+    /// Equivalent top-face film coefficient, W/(m²·K).
+    h_top: f64,
+}
+
+impl StackSim {
+    /// Builds the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty slabs or non-positive geometry.
+    pub fn new(cfg: StackSimConfig) -> Self {
+        assert!(!cfg.slabs.is_empty(), "need at least one slab");
+        assert!(cfg.nx > 1 && cfg.ny > 1, "mesh too coarse");
+        let side = cfg.domain_side();
+        let dx = side / cfg.nx as f64;
+        let dy = side / cfg.ny as f64;
+        let mut layer_slab = Vec::new();
+        let mut layer_dz = Vec::new();
+        for (si, s) in cfg.slabs.iter().enumerate() {
+            assert!(s.nz > 0 && s.thickness > 0.0 && s.side > 0.0, "bad slab {si}");
+            for _ in 0..s.nz {
+                layer_slab.push(si);
+                layer_dz.push(s.thickness / s.nz as f64);
+            }
+        }
+        let nz = layer_slab.len();
+        // Active masks: a cell is active if its center falls inside the
+        // slab's centered square plate.
+        let mut active = Vec::with_capacity(nz);
+        for &si in &layer_slab {
+            let half = cfg.slabs[si].side / 2.0;
+            let mut mask = vec![false; cfg.nx * cfg.ny];
+            for iy in 0..cfg.ny {
+                for ix in 0..cfg.nx {
+                    let x = (ix as f64 + 0.5) * dx - side / 2.0;
+                    let y = (iy as f64 + 0.5) * dy - side / 2.0;
+                    mask[iy * cfg.nx + ix] = x.abs() <= half && y.abs() <= half;
+                }
+            }
+            active.push(mask);
+        }
+        let top_slab = &cfg.slabs[cfg.slabs.len() - 1];
+        let h_top = 1.0 / (cfg.r_convec * top_slab.side * top_slab.side);
+        Self { cfg, dx, dy, layer_slab, layer_dz, active, nz, h_top }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StackSimConfig {
+        &self.cfg
+    }
+
+    fn idx(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.cfg.ny + iy) * self.cfg.nx + ix
+    }
+
+    fn is_active(&self, ix: usize, iy: usize, iz: usize) -> bool {
+        self.active[iz][iy * self.cfg.nx + ix]
+    }
+
+    /// Uniform power over the die footprint, W total. Returns the per-cell
+    /// injection for the bottom layer.
+    pub fn uniform_die_power(&self, watts: f64) -> Vec<f64> {
+        let half = self.cfg.die_side / 2.0;
+        let side = self.cfg.domain_side();
+        let mut cells = Vec::new();
+        for iy in 0..self.cfg.ny {
+            for ix in 0..self.cfg.nx {
+                let x = (ix as f64 + 0.5) * self.dx - side / 2.0;
+                let y = (iy as f64 + 0.5) * self.dy - side / 2.0;
+                if x.abs() <= half && y.abs() <= half {
+                    cells.push(iy * self.cfg.nx + ix);
+                }
+            }
+        }
+        assert!(!cells.is_empty(), "die smaller than one cell");
+        let w = watts / cells.len() as f64;
+        let mut p = vec![0.0; self.cfg.nx * self.cfg.ny];
+        for c in cells {
+            p[c] = w;
+        }
+        p
+    }
+
+    /// SOR steady solve (ω = 1.7). Returns `(die-layer mean, die-layer
+    /// max)` in kelvin over the *die footprint*.
+    pub fn solve_steady(&self, power: &[f64], max_sweeps: usize) -> (f64, f64) {
+        assert_eq!(power.len(), self.cfg.nx * self.cfg.ny);
+        let n = self.cfg.nx * self.cfg.ny * self.nz;
+        let omega = 1.7;
+        let mut t = vec![self.cfg.ambient; n];
+        for _ in 0..max_sweeps {
+            let mut max_delta = 0.0f64;
+            for iz in 0..self.nz {
+                for iy in 0..self.cfg.ny {
+                    for ix in 0..self.cfg.nx {
+                        if !self.is_active(ix, iy, iz) {
+                            continue;
+                        }
+                        let (num, den) = self.balance(&t, power, ix, iy, iz);
+                        if den > 0.0 {
+                            let i = self.idx(ix, iy, iz);
+                            let t_new = t[i] + omega * (num / den - t[i]);
+                            max_delta = max_delta.max((t_new - t[i]).abs());
+                            t[i] = t_new;
+                        }
+                    }
+                }
+            }
+            if max_delta < 1e-9 {
+                break;
+            }
+        }
+        // Die-footprint statistics on the bottom (source) layer.
+        let half = self.cfg.die_side / 2.0;
+        let side = self.cfg.domain_side();
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut max = f64::MIN;
+        for iy in 0..self.cfg.ny {
+            for ix in 0..self.cfg.nx {
+                let x = (ix as f64 + 0.5) * self.dx - side / 2.0;
+                let y = (iy as f64 + 0.5) * self.dy - side / 2.0;
+                if x.abs() <= half && y.abs() <= half {
+                    let v = t[self.idx(ix, iy, 0)];
+                    sum += v;
+                    count += 1;
+                    max = max.max(v);
+                }
+            }
+        }
+        (sum / count.max(1) as f64, max)
+    }
+
+    fn balance(&self, t: &[f64], power: &[f64], ix: usize, iy: usize, iz: usize) -> (f64, f64) {
+        let cfg = &self.cfg;
+        let k_c = cfg.slabs[self.layer_slab[iz]].conductivity;
+        let dz_c = self.layer_dz[iz];
+        let mut num = 0.0;
+        let mut den = 0.0;
+        // Lateral neighbors within the same layer (only if active).
+        let mut lateral = |jx: isize, jy: isize, g: f64| {
+            if jx >= 0 && jy >= 0 && (jx as usize) < cfg.nx && (jy as usize) < cfg.ny {
+                let (jx, jy) = (jx as usize, jy as usize);
+                if self.is_active(jx, jy, iz) {
+                    num += g * t[self.idx(jx, jy, iz)];
+                    den += g;
+                }
+            }
+        };
+        let gx = k_c * self.dy * dz_c / self.dx;
+        let gy = k_c * self.dx * dz_c / self.dy;
+        lateral(ix as isize - 1, iy as isize, gx);
+        lateral(ix as isize + 1, iy as isize, gx);
+        lateral(ix as isize, iy as isize - 1, gy);
+        lateral(ix as isize, iy as isize + 1, gy);
+        // Vertical neighbors (harmonic mean across slabs), only if active.
+        if iz > 0 && self.is_active(ix, iy, iz - 1) {
+            let k_b = cfg.slabs[self.layer_slab[iz - 1]].conductivity;
+            let dz_b = self.layer_dz[iz - 1];
+            let g = self.dx * self.dy / (dz_c / (2.0 * k_c) + dz_b / (2.0 * k_b));
+            num += g * t[self.idx(ix, iy, iz - 1)];
+            den += g;
+        }
+        if iz + 1 < self.nz && self.is_active(ix, iy, iz + 1) {
+            let k_a = cfg.slabs[self.layer_slab[iz + 1]].conductivity;
+            let dz_a = self.layer_dz[iz + 1];
+            let g = self.dx * self.dy / (dz_c / (2.0 * k_c) + dz_a / (2.0 * k_a));
+            num += g * t[self.idx(ix, iy, iz + 1)];
+            den += g;
+        }
+        // Convective top face.
+        if iz + 1 == self.nz {
+            let r = dz_c / (2.0 * k_c) + 1.0 / self.h_top;
+            let g = self.dx * self.dy / r;
+            num += g * cfg.ambient;
+            den += g;
+        }
+        // Power injection in the die's bottom layer.
+        if iz == 0 {
+            num += power[iy * cfg.nx + ix];
+        }
+        (num, den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_rise_matches_lumped_resistance() {
+        // 50 W through Rconv = 1.0 K/W: the die mean must sit near
+        // ambient + 50 K + the small conduction/spreading drops.
+        let sim = StackSim::new(StackSimConfig::air_sink_validation(1.0));
+        let p = sim.uniform_die_power(50.0);
+        let (mean, max) = sim.solve_steady(&p, 20_000);
+        let rise = mean - 318.15;
+        assert!(rise > 50.0 && rise < 62.0, "mean rise {rise}");
+        assert!(max >= mean);
+        // Copper spreading keeps the die nearly isothermal.
+        assert!(max - mean < 4.0, "die gradient {}", max - mean);
+    }
+
+    #[test]
+    fn zero_power_stays_ambient() {
+        let sim = StackSim::new(StackSimConfig::air_sink_validation(1.0));
+        let p = sim.uniform_die_power(0.0);
+        let (mean, max) = sim.solve_steady(&p, 2_000);
+        assert!((mean - 318.15).abs() < 1e-6);
+        assert!((max - 318.15).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_rconv_is_cooler() {
+        let hot = {
+            let sim = StackSim::new(StackSimConfig::air_sink_validation(1.0));
+            let p = sim.uniform_die_power(40.0);
+            sim.solve_steady(&p, 20_000).0
+        };
+        let cool = {
+            let sim = StackSim::new(StackSimConfig::air_sink_validation(0.3));
+            let p = sim.uniform_die_power(40.0);
+            sim.solve_steady(&p, 20_000).0
+        };
+        assert!(hot - cool > 20.0, "hot {hot} cool {cool}");
+    }
+
+    #[test]
+    fn masks_respect_plate_extents() {
+        let sim = StackSim::new(StackSimConfig::air_sink_validation(1.0));
+        // Bottom layer (die, 20 mm of 60 mm domain): corners inactive.
+        assert!(!sim.is_active(0, 0, 0));
+        assert!(sim.is_active(sim.cfg.nx / 2, sim.cfg.ny / 2, 0));
+        // Top layer (sink, full domain): corners active.
+        assert!(sim.is_active(0, 0, sim.nz - 1));
+    }
+}

@@ -1,0 +1,226 @@
+//! Closed-form reference solutions for solver verification.
+//!
+//! The circuit assembly and solvers are cross-checked against textbook
+//! analytic results in the test-suite:
+//!
+//! * [`slab_steady_profile`] — 1-D conduction through a slab with a heat
+//!   flux at one face and convection at the other;
+//! * [`lumped_step_response`] — first-order RC step response, the backbone
+//!   of every time-constant argument in the paper's §4.1.2;
+//! * [`two_node_step_response`] — the paper's Fig 7 circuits: silicon +
+//!   coolant two-node ladders, solved exactly by eigen-decomposition.
+
+/// Steady temperature at depth `z` (m, measured from the heated face) of a
+/// slab of thickness `t` and conductivity `k` carrying a uniform flux
+/// `q''` (W/m²) toward a convective face with coefficient `h` into ambient
+/// `t_amb` (K).
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_thermal::analytic::slab_steady_profile;
+///
+/// // Paper numbers: 0.5 mm silicon, k = 100, h for Rconv = 1 K/W over 4 cm².
+/// let t_hot = slab_steady_profile(0.0, 0.5e-3, 100.0, 500_000.0, 2500.0, 318.15);
+/// let t_cold = slab_steady_profile(0.5e-3, 0.5e-3, 100.0, 500_000.0, 2500.0, 318.15);
+/// assert!(t_hot > t_cold);
+/// ```
+pub fn slab_steady_profile(z: f64, t: f64, k: f64, q_flux: f64, h: f64, t_amb: f64) -> f64 {
+    assert!((0.0..=t).contains(&z), "depth must lie within the slab");
+    // Linear conduction profile on top of the convective film drop.
+    t_amb + q_flux / h + q_flux * (t - z) / k
+}
+
+/// First-order step response: temperature rise at time `t` of a lumped
+/// capacitance `c` (J/K) heated by `p` watts through resistance `r` (K/W)
+/// to ambient: `ΔT(t) = p·r·(1 − e^(−t/rc))`.
+pub fn lumped_step_response(p: f64, r: f64, c: f64, t: f64) -> f64 {
+    p * r * (1.0 - (-t / (r * c)).exp())
+}
+
+/// Exact step response of the paper's Fig 7(b) two-node ladder: heat `p`
+/// into node 1 (capacitance `c1`), which couples through `r12` to node 2
+/// (capacitance `c2`), which couples through `r2a` to ambient. Returns the
+/// rise of node 1 at time `t`.
+///
+/// Solved by eigen-decomposition of the 2x2 system; used to verify the
+/// transient solvers beyond single-RC accuracy.
+pub fn two_node_step_response(p: f64, c1: f64, r12: f64, c2: f64, r2a: f64, t: f64) -> f64 {
+    let g12 = 1.0 / r12;
+    let g2a = 1.0 / r2a;
+    // dT/dt = A·T + b with T as rises over ambient.
+    let a11 = -g12 / c1;
+    let a12 = g12 / c1;
+    let a21 = g12 / c2;
+    let a22 = -(g12 + g2a) / c2;
+    let b1 = p / c1;
+    // Steady state: A·T∞ = −b.
+    let det = a11 * a22 - a12 * a21;
+    let t1_inf = (-b1 * a22) / det;
+    let t2_inf = (b1 * a21) / det;
+    // Eigenvalues of A.
+    let tr = a11 + a22;
+    let disc = (tr * tr - 4.0 * det).sqrt();
+    let l1 = (tr + disc) / 2.0;
+    let l2 = (tr - disc) / 2.0;
+    // x(t) = T − T∞ obeys x' = A x with x(0) = −T∞. Decompose x(0) on the
+    // eigenvectors v_i = (a12, l_i − a11).
+    let v1 = (a12, l1 - a11);
+    let v2 = (a12, l2 - a11);
+    // Solve alpha1·v1 + alpha2·v2 = (−t1_inf, −t2_inf).
+    let det_v = v1.0 * v2.1 - v2.0 * v1.1;
+    let alpha1 = (-t1_inf * v2.1 - (-t2_inf) * v2.0) / det_v;
+    let alpha2 = (v1.0 * (-t2_inf) - v1.1 * (-t1_inf)) / det_v;
+    t1_inf + alpha1 * v1.0 * (l1 * t).exp() + alpha2 * v2.0 * (l2 * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{build_circuit, DieGeometry};
+    use crate::package::{OilSiliconPackage, Package};
+    use crate::solve::{solve_steady, BackwardEuler, Rk4Adaptive};
+    use crate::sparse::TripletMatrix;
+    use hotiron_floorplan::{library, GridMapping};
+
+    #[test]
+    fn lumped_step_limits() {
+        assert_eq!(lumped_step_response(10.0, 2.0, 1.0, 0.0), 0.0);
+        let t_inf = lumped_step_response(10.0, 2.0, 1.0, 1e6);
+        assert!((t_inf - 20.0).abs() < 1e-9);
+        // At one time constant: 63.2 % of the way.
+        let at_tau = lumped_step_response(10.0, 2.0, 1.0, 2.0);
+        assert!((at_tau / 20.0 - 0.6321).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_node_limits_and_monotonicity() {
+        let (p, c1, r12, c2, r2a) = (5.0, 0.35, 0.0125, 90.0, 1.0);
+        assert!(two_node_step_response(p, c1, r12, c2, r2a, 0.0).abs() < 1e-9);
+        let t_inf = two_node_step_response(p, c1, r12, c2, r2a, 1e5);
+        assert!((t_inf - p * (r12 + r2a)).abs() < 1e-6, "{t_inf}");
+        let mut last = 0.0;
+        for i in 1..50 {
+            let v = two_node_step_response(p, c1, r12, c2, r2a, i as f64 * 2.0);
+            assert!(v >= last - 1e-9, "monotone rise");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn backward_euler_matches_two_node_analytic() {
+        // Build the Fig 7(b) OIL circuit by hand and integrate it.
+        let (p, c1, r12, c2, r2a) = (5.0, 0.35, 0.2, 0.1, 1.0);
+        let mut tm = TripletMatrix::new(2);
+        tm.stamp_conductance(0, 1, 1.0 / r12);
+        tm.stamp_grounded_conductance(1, 1.0 / r2a);
+        let g = tm.to_csr();
+        // Emulate BE manually: (C/dt + G) x+ = C/dt x + b.
+        let dt = 1e-3;
+        let c_over_dt = vec![c1 / dt, c2 / dt];
+        let a = g.add_diagonal(&c_over_dt);
+        let mut x = vec![0.0, 0.0];
+        let t_end = 0.5;
+        let steps = (t_end / dt) as usize;
+        for _ in 0..steps {
+            let b = vec![p + c_over_dt[0] * x[0], c_over_dt[1] * x[1]];
+            let stats =
+                crate::sparse::conjugate_gradient(&a, &b, &mut x, 1e-12, 1000);
+            assert!(stats.converged);
+        }
+        let exact = two_node_step_response(p, c1, r12, c2, r2a, t_end);
+        assert!(
+            (x[0] - exact).abs() < 0.02 * exact,
+            "BE {} vs analytic {exact}",
+            x[0]
+        );
+    }
+
+    #[test]
+    fn circuit_uniform_power_matches_lumped_rc_warmup() {
+        // A uniform die under uniform (non-local) oil behaves like the
+        // paper's single-RC oil circuit: tau ≈ Rconv·(C_si + C_oil).
+        let plan = library::uniform_die(0.02, 0.02);
+        let map = GridMapping::new(&plan, 8, 8);
+        let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+        let pkg = OilSiliconPackage {
+            local_h: false,
+            local_boundary_layer: false,
+            ..OilSiliconPackage::paper_default()
+        };
+        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg));
+        let p_total = 100.0;
+        let p = vec![p_total / 64.0; 64];
+        // The circuit is exactly a two-node ladder when power and h are
+        // uniform: silicon --Rconv/2-- oil film --Rconv/2-- ambient.
+        let r_half = 1.0 / circuit.total_ambient_conductance();
+        let c_si = 0.35;
+        let c_oil: f64 = circuit.capacitance()[64..].iter().sum();
+
+        let be = BackwardEuler::new(&circuit, 0.002);
+        let mut state = vec![318.15; circuit.node_count()];
+        let probe_at = [0.2, 0.5, 1.0];
+        let mut t_now = 0.0;
+        for &t_probe in &probe_at {
+            be.advance(&mut state, &p, 318.15, t_probe - t_now).unwrap();
+            t_now = t_probe;
+            let avg: f64 =
+                circuit.silicon_slice(&state).iter().sum::<f64>() / 64.0 - 318.15;
+            let exact =
+                two_node_step_response(p_total, c_si, r_half, c_oil, r_half, t_probe);
+            let rel = (avg - exact).abs() / exact;
+            assert!(rel < 0.05, "t={t_probe}: circuit {avg} vs ladder {exact}");
+        }
+    }
+
+    #[test]
+    fn rk4_matches_analytic_single_rc() {
+        // One silicon node + uniform oil: compare RK4 against the lumped
+        // response over a short window.
+        let plan = library::uniform_die(0.02, 0.02);
+        let map = GridMapping::new(&plan, 4, 4);
+        let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+        let pkg = OilSiliconPackage {
+            local_h: false,
+            local_boundary_layer: false,
+            ..OilSiliconPackage::paper_default()
+        };
+        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg));
+        let p = vec![100.0 / 16.0; 16];
+        let rk = Rk4Adaptive::new(&circuit);
+        let mut state = vec![318.15; circuit.node_count()];
+        rk.advance(&mut state, &p, 318.15, 0.2);
+        let avg: f64 = circuit.silicon_slice(&state).iter().sum::<f64>() / 16.0 - 318.15;
+        let r_half = 1.0 / circuit.total_ambient_conductance();
+        let c_oil: f64 = circuit.capacitance()[16..].iter().sum();
+        let exact = two_node_step_response(100.0, 0.35, r_half, c_oil, r_half, 0.2);
+        assert!((avg - exact).abs() < 0.05 * exact, "RK4 {avg} vs ladder {exact}");
+    }
+
+    #[test]
+    fn steady_slab_face_temperature() {
+        // Uniform die + uniform oil: the hot-face temperature matches the
+        // 1-D slab solution (lateral terms vanish by symmetry).
+        let plan = library::uniform_die(0.02, 0.02);
+        let map = GridMapping::new(&plan, 8, 8);
+        let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+        let pkg = OilSiliconPackage {
+            local_h: false,
+            local_boundary_layer: false,
+            ..OilSiliconPackage::paper_default()
+        };
+        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg));
+        let p = vec![200.0 / 64.0; 64];
+        let mut state = vec![318.15; circuit.node_count()];
+        solve_steady(&circuit, &p, 318.15, &mut state).unwrap();
+        let avg: f64 = circuit.silicon_slice(&state).iter().sum::<f64>() / 64.0;
+        // h from the circuit's total conductance: G_total = 2·h·A.
+        let h = circuit.total_ambient_conductance() / 2.0 / 4e-4;
+        let q_flux = 200.0 / 4e-4;
+        // The single-node-through-thickness model reads the slab's mean
+        // (mid-depth-ish) temperature; compare to the analytic band.
+        let t_face = 318.15 + q_flux / h;
+        let t_back = t_face + q_flux * 0.5e-3 / 100.0;
+        assert!(avg >= t_face - 0.5 && avg <= t_back + 0.5, "avg {avg} in [{t_face}, {t_back}]");
+    }
+}

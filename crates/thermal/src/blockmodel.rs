@@ -1,0 +1,480 @@
+//! Block-granularity compact model (HotSpot's "block mode").
+//!
+//! One RC node per floorplan block instead of a grid: orders of magnitude
+//! fewer unknowns, at the cost of intra-block temperature detail. Useful
+//! for design-space sweeps and as an independent coarse cross-check of the
+//! grid model (`crate::model::ThermalModel`).
+//!
+//! Simplifications relative to the grid model (documented deviations, both
+//! in the spirit of HotSpot's own block mode):
+//!
+//! * the spreader and heatsink are single isothermal nodes (copper's
+//!   conductivity makes this a good approximation — §4.2 of the paper);
+//! * each block couples to the oil through the local coefficient `h(x)`
+//!   evaluated at the block center, so flow-direction effects survive.
+
+use crate::convection::LaminarFlow;
+use crate::materials::SILICON;
+use crate::package::{AirSinkPackage, OilSiliconPackage, Package};
+use crate::power::PowerMap;
+use crate::solve::SolveError;
+use crate::sparse::{CsrMatrix, TripletMatrix};
+use crate::units::kelvin_to_celsius;
+use hotiron_floorplan::{Block, Floorplan};
+
+/// Edge-adjacency tolerance as a fraction of the die's smaller dimension.
+const EDGE_TOL: f64 = 1e-9;
+
+/// A block-granularity thermal model of one die in one package.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_floorplan::library;
+/// use hotiron_thermal::blockmodel::BlockModel;
+/// use hotiron_thermal::package::{OilSiliconPackage, Package};
+/// use hotiron_thermal::power::PowerMap;
+///
+/// let plan = library::ev6();
+/// let model = BlockModel::new(
+///     plan.clone(),
+///     Package::OilSilicon(OilSiliconPackage::paper_default()),
+///     0.5e-3,
+///     318.15,
+/// );
+/// let power = PowerMap::from_pairs(&plan, [("IntReg", 2.0)])?;
+/// let temps = model.steady_celsius(&power)?;
+/// let int_reg = temps[plan.block_index("IntReg").unwrap()];
+/// assert!(int_reg > 45.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct BlockModel {
+    plan: Floorplan,
+    g: CsrMatrix,
+    ambient_g: Vec<f64>,
+    cap: Vec<f64>,
+    ambient: f64,
+    node_count: usize,
+}
+
+impl BlockModel {
+    /// Builds the block-granularity network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_thickness` or `ambient` is not positive.
+    pub fn new(plan: Floorplan, package: Package, die_thickness: f64, ambient: f64) -> Self {
+        assert!(die_thickness > 0.0, "die thickness must be positive");
+        assert!(ambient > 0.0, "ambient must be positive kelvin");
+        let nb = plan.len();
+        // Worst case: one oil node per block plus a few lumped nodes.
+        let max_nodes = 2 * nb + 8;
+        let mut t = TripletMatrix::new(max_nodes);
+        let mut cap = vec![0.0; max_nodes];
+        let mut ambient_g = vec![0.0; max_nodes];
+        let next = nb;
+
+        // Silicon block nodes: capacitance + lateral couplings.
+        for (i, b) in plan.iter().enumerate() {
+            cap[i] = SILICON.capacitance(b.area() * die_thickness);
+            for (j, other) in plan.iter().enumerate().skip(i + 1) {
+                if let Some(g) = lateral_conductance(b, other, die_thickness) {
+                    t.stamp_conductance(i, j, g);
+                }
+            }
+        }
+
+        let used = match package {
+            Package::AirSink(p) => {
+                stamp_air(&plan, &p, die_thickness, &mut t, &mut cap, &mut ambient_g, next)
+            }
+            Package::OilSilicon(p) => {
+                stamp_oil(&plan, &p, die_thickness, &mut t, &mut cap, &mut ambient_g, next)
+            }
+        };
+
+        // Shrink to the used node count.
+        let full = t.to_csr();
+        let mut t2 = TripletMatrix::new(used);
+        for i in 0..used {
+            for (j, v) in full.row(i) {
+                if j < used && v != 0.0 {
+                    t2.add(i, j, v);
+                }
+            }
+        }
+        cap.truncate(used);
+        ambient_g.truncate(used);
+        Self { plan, g: t2.to_csr(), ambient_g, cap, ambient, node_count: used }
+    }
+
+    /// The floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// Number of RC nodes (blocks + package).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Per-node heat capacities, J/K (blocks first, package nodes after).
+    pub fn capacitance(&self) -> &[f64] {
+        &self.cap
+    }
+
+    /// Steady-state block temperatures, °C, floorplan order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotConverged`] if CG stalls.
+    pub fn steady_celsius(&self, power: &PowerMap) -> Result<Vec<f64>, SolveError> {
+        assert_eq!(power.len(), self.plan.len(), "one power per block");
+        let n = self.node_count;
+        let mut b: Vec<f64> = self.ambient_g.iter().map(|g| g * self.ambient).collect();
+        for (i, p) in power.values().iter().enumerate() {
+            b[i] += p;
+        }
+        let mut state = vec![self.ambient; n];
+        let stats = crate::sparse::conjugate_gradient(&self.g, &b, &mut state, 1e-11, 20 * n + 500);
+        if !stats.converged {
+            return Err(SolveError::NotConverged { stats });
+        }
+        Ok(state[..self.plan.len()].iter().map(|&k| kelvin_to_celsius(k)).collect())
+    }
+}
+
+/// Conductance between two blocks sharing an edge, or `None`.
+fn lateral_conductance(a: &Block, b: &Block, t_si: f64) -> Option<f64> {
+    let k = SILICON.conductivity();
+    // Vertical shared edge (a right of b or b right of a).
+    let share_y = (a.top().min(b.top()) - a.bottom().max(b.bottom())).max(0.0);
+    let share_x = (a.right().min(b.right()) - a.left().max(b.left())).max(0.0);
+    let touches_x = (a.right() - b.left()).abs() < EDGE_TOL + 1e-9
+        || (b.right() - a.left()).abs() < EDGE_TOL + 1e-9;
+    if touches_x && share_y > 0.0 {
+        let dist = (a.width() + b.width()) / 2.0;
+        return Some(k * t_si * share_y / dist);
+    }
+    // Horizontal shared edge.
+    let touches_y = (a.top() - b.bottom()).abs() < EDGE_TOL + 1e-9
+        || (b.top() - a.bottom()).abs() < EDGE_TOL + 1e-9;
+    if touches_y && share_x > 0.0 {
+        let dist = (a.height() + b.height()) / 2.0;
+        return Some(k * t_si * share_x / dist);
+    }
+    None
+}
+
+/// Stamps the AIR-SINK package: per-block TIM, isothermal spreader + sink,
+/// half-split convection. Returns the node count used.
+fn stamp_air(
+    plan: &Floorplan,
+    p: &AirSinkPackage,
+    _t_si: f64,
+    t: &mut TripletMatrix,
+    cap: &mut [f64],
+    ambient_g: &mut [f64],
+    next: usize,
+) -> usize {
+    let spreader = next;
+    let sink = next + 1;
+    let coolant = next + 2;
+    cap[spreader] = p
+        .spreader
+        .material
+        .capacitance(p.spreader.side * p.spreader.side * p.spreader.thickness);
+    cap[sink] = p.sink.material.capacitance(p.sink.side * p.sink.side * p.sink.thickness);
+    cap[coolant] = p.c_convec.max(1e-9);
+    for (i, b) in plan.iter().enumerate() {
+        // Half die + TIM + half spreader, per block area.
+        let r = 0.5 * SILICON.vertical_resistance(_t_si, b.area())
+            + p.interface_material.vertical_resistance(p.interface_thickness, b.area())
+            + 0.5
+                * p.spreader
+                    .material
+                    .vertical_resistance(p.spreader.thickness, b.area());
+        t.stamp_conductance(i, spreader, 1.0 / r);
+    }
+    let die_area = plan.width() * plan.height();
+    let r_sp_sink = 0.5 * p.spreader.material.vertical_resistance(p.spreader.thickness, die_area)
+        + 0.5 * p.sink.material.vertical_resistance(p.sink.thickness, p.spreader.side.powi(2));
+    t.stamp_conductance(spreader, sink, 1.0 / r_sp_sink);
+    // Half-split convection, as in the grid model.
+    t.stamp_conductance(sink, coolant, 2.0 / p.r_convec);
+    t.stamp_grounded_conductance(coolant, 2.0 / p.r_convec);
+    ambient_g[coolant] = 2.0 / p.r_convec;
+    next + 3
+}
+
+/// Stamps the OIL-SILICON package: one oil node per block at the block
+/// center's `h(x)`. Returns the node count used.
+fn stamp_oil(
+    plan: &Floorplan,
+    p: &OilSiliconPackage,
+    _t_si: f64,
+    t: &mut TripletMatrix,
+    cap: &mut [f64],
+    ambient_g: &mut [f64],
+    next: usize,
+) -> usize {
+    let (w, h) = (plan.width(), plan.height());
+    let length = p.direction.flow_length(w, h);
+    let mut velocity = p.velocity;
+    if let Some(target) = p.target_r_convec {
+        let base = LaminarFlow::new(p.oil, p.velocity, length);
+        velocity = base.velocity_for_resistance(target, w * h);
+    }
+    let flow = LaminarFlow::new(p.oil, velocity, length);
+    let mut node = next;
+    for (i, b) in plan.iter().enumerate() {
+        let (cx, cy) = b.center();
+        let x = p
+            .direction
+            .distance_from_leading_edge(cx, cy, w, h)
+            .max(length / 1000.0);
+        let h_loc = if p.local_h { flow.local_h(x) } else { flow.average_h() };
+        let delta = if p.local_boundary_layer {
+            flow.local_boundary_layer_thickness(x)
+        } else {
+            flow.boundary_layer_thickness()
+        };
+        let g = 2.0 * h_loc * b.area();
+        cap[node] = (p.oil.volumetric_heat_capacity() * b.area() * delta).max(1e-12);
+        t.stamp_conductance(i, node, g);
+        t.stamp_grounded_conductance(node, g);
+        ambient_g[node] = g;
+        node += 1;
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelConfig, ThermalModel};
+    use hotiron_floorplan::library;
+
+    const AMBIENT: f64 = 318.15;
+
+    #[test]
+    fn oil_block_model_matches_grid_model_ordering() {
+        let plan = library::ev6();
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Dcache", 5.0)]).unwrap();
+        let bm = BlockModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            0.5e-3,
+            AMBIENT,
+        );
+        let bt = bm.steady_celsius(&power).unwrap();
+        let gm = ThermalModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default().with_grid(16, 16),
+        )
+        .unwrap();
+        let gt = gm.steady_state(&power).unwrap().block_celsius();
+        // Hottest and coolest blocks agree between the two discretizations.
+        let argmax = |v: &[f64]| {
+            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        assert_eq!(argmax(&bt), argmax(&gt));
+        // Powered blocks agree within a generous compact-vs-compact band.
+        for name in ["IntReg", "Dcache"] {
+            let i = plan.block_index(name).unwrap();
+            let (a, b) = (bt[i] - 45.0, gt[i] - 45.0);
+            let rel = (a - b).abs() / b.max(1.0);
+            assert!(rel < 0.5, "{name}: block {a} vs grid {b}");
+        }
+    }
+
+    #[test]
+    fn air_block_model_energy_balance() {
+        let plan = library::ev6();
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+        let bm = BlockModel::new(
+            plan.clone(),
+            Package::AirSink(AirSinkPackage::paper_default()),
+            0.5e-3,
+            AMBIENT,
+        );
+        let temps = bm.steady_celsius(&power).unwrap();
+        // Average rise ≈ P·Rconv since the sink is isothermal.
+        let avg_rise = {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (i, b) in plan.iter().enumerate() {
+                num += temps[i] * b.area();
+                den += b.area();
+            }
+            num / den - 45.0
+        };
+        assert!((avg_rise - 14.0).abs() < 4.0, "avg rise {avg_rise} vs P*Rconv = 14");
+    }
+
+    #[test]
+    fn block_model_flow_direction_effects_survive() {
+        let plan = library::ev6();
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 3.0)]).unwrap();
+        let t_for = |dir| {
+            let bm = BlockModel::new(
+                plan.clone(),
+                Package::OilSilicon(OilSiliconPackage::paper_default().with_direction(dir)),
+                0.5e-3,
+                AMBIENT,
+            );
+            let i = plan.block_index("IntReg").unwrap();
+            bm.steady_celsius(&power).unwrap()[i]
+        };
+        use crate::convection::FlowDirection::*;
+        assert!(t_for(TopToBottom) < t_for(BottomToTop) - 2.0);
+    }
+
+    #[test]
+    fn block_model_is_small_and_fast() {
+        let plan = library::ev6();
+        let bm = BlockModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            0.5e-3,
+            AMBIENT,
+        );
+        // 18 blocks + 18 oil nodes.
+        assert_eq!(bm.node_count(), 36);
+        let gm = ThermalModel::new(
+            plan,
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            ModelConfig::paper_default(),
+        )
+        .unwrap();
+        assert!(bm.node_count() < gm.circuit().node_count() / 10);
+    }
+
+    #[test]
+    fn lateral_conductance_detects_shared_edges() {
+        let a = Block::new("a", 1e-3, 1e-3, 0.0, 0.0);
+        let b = Block::new("b", 1e-3, 1e-3, 1e-3, 0.0);
+        let c = Block::new("c", 1e-3, 1e-3, 5e-3, 0.0);
+        assert!(lateral_conductance(&a, &b, 0.5e-3).is_some());
+        assert!(lateral_conductance(&a, &c, 0.5e-3).is_none());
+        // Corner contact only: zero shared length, no coupling.
+        let d = Block::new("d", 1e-3, 1e-3, 1e-3, 1e-3);
+        assert!(lateral_conductance(&a, &d, 0.5e-3).is_none());
+        // Symmetric.
+        let g1 = lateral_conductance(&a, &b, 0.5e-3).unwrap();
+        let g2 = lateral_conductance(&b, &a, 0.5e-3).unwrap();
+        assert!((g1 - g2).abs() < 1e-15);
+    }
+}
+
+impl BlockModel {
+    /// Advances a transient state by `duration` seconds under constant
+    /// power using backward Euler with step `dt`. `state` holds kelvin per
+    /// node ([`BlockModel::initial_state`] to start from ambient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotConverged`] if an inner solve stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong length or `dt`/`duration` are not
+    /// positive.
+    pub fn advance(
+        &self,
+        state: &mut [f64],
+        power: &PowerMap,
+        dt: f64,
+        duration: f64,
+    ) -> Result<(), SolveError> {
+        assert_eq!(state.len(), self.node_count, "state length mismatch");
+        assert!(dt > 0.0 && duration >= 0.0, "dt and duration must be positive");
+        let c_over_dt: Vec<f64> = self.cap.iter().map(|c| c / dt).collect();
+        let a = self.g.add_diagonal(&c_over_dt);
+        let steps = (duration / dt).round().max(1.0) as usize;
+        for _ in 0..steps {
+            let mut b: Vec<f64> = self.ambient_g.iter().map(|g| g * self.ambient).collect();
+            for (i, p) in power.values().iter().enumerate() {
+                b[i] += p;
+            }
+            for i in 0..b.len() {
+                b[i] += c_over_dt[i] * state[i];
+            }
+            let stats = crate::sparse::conjugate_gradient(
+                &a,
+                &b,
+                state,
+                1e-11,
+                20 * self.node_count + 500,
+            );
+            if !stats.converged {
+                return Err(SolveError::NotConverged { stats });
+            }
+        }
+        Ok(())
+    }
+
+    /// An all-ambient state vector.
+    pub fn initial_state(&self) -> Vec<f64> {
+        vec![self.ambient; self.node_count]
+    }
+
+    /// Block temperatures (°C) from a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong length.
+    pub fn block_celsius_of(&self, state: &[f64]) -> Vec<f64> {
+        assert_eq!(state.len(), self.node_count);
+        state[..self.plan.len()].iter().map(|&k| kelvin_to_celsius(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod transient_tests {
+    use super::*;
+    use hotiron_floorplan::library;
+
+    #[test]
+    fn block_transient_approaches_block_steady() {
+        let plan = library::ev6();
+        let bm = BlockModel::new(
+            plan.clone(),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            0.5e-3,
+            318.15,
+        );
+        let power = PowerMap::from_pairs(&plan, [("Icache", 10.0)]).unwrap();
+        let steady = bm.steady_celsius(&power).unwrap();
+        let mut state = bm.initial_state();
+        bm.advance(&mut state, &power, 0.02, 8.0).unwrap();
+        let now = bm.block_celsius_of(&state);
+        let i = plan.block_index("Icache").unwrap();
+        assert!((now[i] - steady[i]).abs() < 1.0, "{} vs {}", now[i], steady[i]);
+    }
+
+    #[test]
+    fn block_transient_short_term_difference_survives() {
+        // The paper's headline transient asymmetry is visible even at block
+        // granularity: after 3 ms of cooling AIR sheds far more of its rise.
+        let plan = library::ev6();
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0)]).unwrap();
+        let zero = PowerMap::zeros(&plan);
+        let recovery = |pkg: Package| {
+            let bm = BlockModel::new(plan.clone(), pkg, 0.5e-3, 318.15);
+            let mut state = bm.initial_state();
+            // Warm to steady, then 3 ms off.
+            bm.advance(&mut state, &power, 0.05, 400.0).unwrap();
+            let i = plan.block_index("IntReg").unwrap();
+            let t0 = bm.block_celsius_of(&state)[i];
+            bm.advance(&mut state, &zero, 2.5e-4, 3e-3).unwrap();
+            let t1 = bm.block_celsius_of(&state)[i];
+            (t0 - t1) / (t0 - 45.0)
+        };
+        let air = recovery(Package::AirSink(AirSinkPackage::paper_default()));
+        let oil = recovery(Package::OilSilicon(OilSiliconPackage::paper_default()));
+        assert!(air > 2.0 * oil, "air {air:.3} vs oil {oil:.3}");
+    }
+}

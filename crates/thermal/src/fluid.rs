@@ -1,0 +1,160 @@
+//! Coolant fluid properties.
+
+/// Thermophysical properties of a coolant fluid.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_thermal::fluid::MINERAL_OIL;
+///
+/// // IR-transparent mineral oil is a poor conductor but very viscous,
+/// // giving the laminar flow regime the paper's correlations assume.
+/// assert!(MINERAL_OIL.prandtl() > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fluid {
+    name: &'static str,
+    /// Thermal conductivity, W/(m·K).
+    conductivity: f64,
+    /// Density, kg/m³.
+    density: f64,
+    /// Specific heat, J/(kg·K).
+    specific_heat: f64,
+    /// Dynamic viscosity, Pa·s.
+    dynamic_viscosity: f64,
+}
+
+impl Fluid {
+    /// Creates a fluid from its four thermophysical properties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any property is not strictly positive.
+    pub const fn new(
+        name: &'static str,
+        conductivity: f64,
+        density: f64,
+        specific_heat: f64,
+        dynamic_viscosity: f64,
+    ) -> Self {
+        assert!(conductivity > 0.0, "conductivity must be positive");
+        assert!(density > 0.0, "density must be positive");
+        assert!(specific_heat > 0.0, "specific heat must be positive");
+        assert!(dynamic_viscosity > 0.0, "viscosity must be positive");
+        Self { name, conductivity, density, specific_heat, dynamic_viscosity }
+    }
+
+    /// Fluid name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Thermal conductivity, W/(m·K).
+    pub const fn conductivity(&self) -> f64 {
+        self.conductivity
+    }
+
+    /// Density, kg/m³.
+    pub const fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Specific heat, J/(kg·K).
+    pub const fn specific_heat(&self) -> f64 {
+        self.specific_heat
+    }
+
+    /// Dynamic viscosity, Pa·s.
+    pub const fn dynamic_viscosity(&self) -> f64 {
+        self.dynamic_viscosity
+    }
+
+    /// Kinematic viscosity `ν = μ/ρ`, m²/s.
+    pub fn kinematic_viscosity(&self) -> f64 {
+        self.dynamic_viscosity / self.density
+    }
+
+    /// Prandtl number `Pr = μ·cp / k` (dimensionless).
+    pub fn prandtl(&self) -> f64 {
+        self.dynamic_viscosity * self.specific_heat / self.conductivity
+    }
+
+    /// Volumetric heat capacity `ρ·cp`, J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+
+    /// Reynolds number for flow at `velocity` (m/s) over a plate of length
+    /// `length` (m): `Re = u·L/ν`.
+    pub fn reynolds(&self, velocity: f64, length: f64) -> f64 {
+        velocity * length / self.kinematic_viscosity()
+    }
+}
+
+/// IR-transparent mineral oil, as used for infrared thermal imaging of bare
+/// dice (the cooling setup of Mesa-Martinez et al. that the paper models).
+///
+/// With these properties a 10 m/s flow over a 20 mm die gives an equivalent
+/// convection resistance of ≈1.0 K/W and a thermal boundary layer of
+/// ≈170 µm, matching the paper's §3.2 validation setup and its "about
+/// 100 µm thick" remark in §4.1.2.
+pub const MINERAL_OIL: Fluid = Fluid::new("mineral-oil", 0.13, 870.0, 1900.0, 0.03);
+
+/// Dry air at ≈40 °C (forced-air heatsink coolant).
+pub const AIR: Fluid = Fluid::new("air", 0.027, 1.127, 1007.0, 1.9e-5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let f = Fluid::new("f", 0.5, 1000.0, 2000.0, 0.01);
+        assert!((f.kinematic_viscosity() - 1e-5).abs() < 1e-12);
+        assert!((f.prandtl() - 40.0).abs() < 1e-9);
+        assert!((f.volumetric_heat_capacity() - 2e6).abs() < 1.0);
+        assert!((f.reynolds(2.0, 0.05) - 1e4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mineral_oil_regime() {
+        // High-Pr, laminar at the paper's 10 m/s over 20 mm.
+        let re = MINERAL_OIL.reynolds(10.0, 0.02);
+        assert!(re < 5e5, "flow must be laminar, Re = {re}");
+        assert!(re > 1e3);
+        assert!(MINERAL_OIL.prandtl() > 100.0);
+    }
+
+    #[test]
+    fn air_is_low_prandtl() {
+        let pr = AIR.prandtl();
+        assert!(pr > 0.6 && pr < 0.8, "air Pr = {pr}");
+    }
+}
+
+/// Water at ≈40 °C (forced liquid cooling, §2.1's taxonomy).
+pub const WATER: Fluid = Fluid::new("water", 0.63, 992.0, 4180.0, 6.5e-4);
+
+#[cfg(test)]
+mod water_tests {
+    use super::*;
+    use crate::convection::LaminarFlow;
+
+    #[test]
+    fn water_cools_far_better_than_oil_at_equal_speed() {
+        // §2.1: forced water cooling is the serious-overclocker option.
+        // Same 2 m/s flow over the same 20 mm plate (both laminar).
+        let water = LaminarFlow::new(WATER, 2.0, 0.02);
+        let oil = LaminarFlow::new(MINERAL_OIL, 2.0, 0.02);
+        assert!(water.is_laminar() && oil.is_laminar());
+        let rw = water.overall_resistance(4e-4);
+        let ro = oil.overall_resistance(4e-4);
+        assert!(rw < 0.35 * ro, "water {rw} vs oil {ro} K/W");
+    }
+
+    #[test]
+    fn water_properties_are_physical() {
+        assert!((WATER.prandtl() - 4.3).abs() < 1.0, "Pr {}", WATER.prandtl());
+        assert!(WATER.volumetric_heat_capacity() > 4.0e6);
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-block power assignments.
+
+use hotiron_floorplan::{Floorplan, FloorplanError};
+use serde::{Deserialize, Serialize};
+
+/// Power dissipated by each floorplan block, in watts, aligned with the
+/// floorplan's block order.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_floorplan::library;
+/// use hotiron_thermal::power::PowerMap;
+///
+/// let plan = library::ev6();
+/// let mut p = PowerMap::zeros(&plan);
+/// p.set(&plan, "IntReg", 2.0)?;
+/// assert!((p.total() - 2.0).abs() < 1e-12);
+/// # Ok::<(), hotiron_floorplan::FloorplanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMap {
+    values: Vec<f64>,
+}
+
+impl PowerMap {
+    /// All-zero power map for a floorplan.
+    pub fn zeros(plan: &Floorplan) -> Self {
+        Self { values: vec![0.0; plan.len()] }
+    }
+
+    /// Builds from `(block name, watts)` pairs; unnamed blocks get 0 W.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::UnknownBlock`] for names not in the plan.
+    pub fn from_pairs<'a>(
+        plan: &Floorplan,
+        pairs: impl IntoIterator<Item = (&'a str, f64)>,
+    ) -> Result<Self, FloorplanError> {
+        let mut map = Self::zeros(plan);
+        for (name, w) in pairs {
+            map.set(plan, name, w)?;
+        }
+        Ok(map)
+    }
+
+    /// Builds from a raw per-block vector in floorplan order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the plan's block count or any value
+    /// is negative or non-finite.
+    pub fn from_vec(plan: &Floorplan, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), plan.len(), "one power value per block");
+        for (i, v) in values.iter().enumerate() {
+            assert!(v.is_finite() && *v >= 0.0, "block {i}: power must be non-negative, got {v}");
+        }
+        Self { values }
+    }
+
+    /// Uniform power density `density` (W/m²) over every block.
+    pub fn uniform_density(plan: &Floorplan, density: f64) -> Self {
+        assert!(density.is_finite() && density >= 0.0, "density must be non-negative");
+        Self { values: plan.iter().map(|b| b.area() * density).collect() }
+    }
+
+    /// Sets one block's power in watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::UnknownBlock`] if the name is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or non-finite.
+    pub fn set(&mut self, plan: &Floorplan, name: &str, watts: f64) -> Result<(), FloorplanError> {
+        assert!(watts.is_finite() && watts >= 0.0, "power must be non-negative, got {watts}");
+        let i = plan.require_block_index(name)?;
+        self.values[i] = watts;
+        Ok(())
+    }
+
+    /// Power of block `index`, W.
+    pub fn get(&self, index: usize) -> f64 {
+        self.values[index]
+    }
+
+    /// The per-block values in floorplan order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total chip power, W.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Returns a new map with every block scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        Self { values: self.values.iter().map(|v| v * factor).collect() }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the map has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_floorplan::library;
+
+    #[test]
+    fn from_pairs_and_total() {
+        let plan = library::ev6();
+        let p = PowerMap::from_pairs(&plan, [("IntReg", 2.0), ("Dcache", 3.0)]).unwrap();
+        assert!((p.total() - 5.0).abs() < 1e-12);
+        assert_eq!(p.get(plan.block_index("IntReg").unwrap()), 2.0);
+    }
+
+    #[test]
+    fn unknown_block_errors() {
+        let plan = library::ev6();
+        assert!(PowerMap::from_pairs(&plan, [("Nope", 1.0)]).is_err());
+    }
+
+    #[test]
+    fn uniform_density_total_matches_area() {
+        let plan = library::uniform_die(0.02, 0.02);
+        let p = PowerMap::uniform_density(&plan, 200.0 / 4e-4);
+        assert!((p.total() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled() {
+        let plan = library::ev6();
+        let p = PowerMap::from_pairs(&plan, [("L2", 10.0)]).unwrap().scaled(0.5);
+        assert!((p.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        let plan = library::ev6();
+        let mut p = PowerMap::zeros(&plan);
+        let _ = p.set(&plan, "L2", -1.0);
+    }
+}

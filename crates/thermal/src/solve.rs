@@ -1,0 +1,438 @@
+//! Steady-state and transient solvers for the assembled RC network.
+//!
+//! * [`solve_steady`] — conjugate gradients on `G·T = P + G_amb·T_amb`.
+//! * [`BackwardEuler`] — unconditionally stable implicit stepper, the
+//!   workhorse for long traces (the oil nodes make the system mildly stiff).
+//! * [`Rk4Adaptive`] — HotSpot's native explicit adaptive scheme, kept as an
+//!   independent cross-check of the implicit path.
+
+use crate::circuit::ThermalCircuit;
+use crate::sparse::{conjugate_gradient, CsrMatrix, SolveStats};
+use std::error::Error;
+use std::fmt;
+
+/// Default relative tolerance for linear solves.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Error from a thermal solve.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The iterative linear solver did not reach the tolerance.
+    NotConverged {
+        /// Iterations and final residual.
+        stats: SolveStats,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotConverged { stats } => write!(
+                f,
+                "linear solve did not converge: {} iterations, residual {:.3e}",
+                stats.iterations, stats.relative_residual
+            ),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Solves the steady-state system `G·T = P + G_amb·T_amb`.
+///
+/// `state` is used as the warm start and holds the solution (kelvin) on
+/// success.
+///
+/// # Errors
+///
+/// [`SolveError::NotConverged`] if CG stalls (which indicates a floating
+/// node or an extremely ill-conditioned package configuration).
+pub fn solve_steady(
+    circuit: &ThermalCircuit,
+    si_cell_power: &[f64],
+    ambient: f64,
+    state: &mut [f64],
+) -> Result<SolveStats, SolveError> {
+    let b = circuit.rhs(si_cell_power, ambient);
+    let n = circuit.node_count();
+    let stats = conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, 40 * n + 1000);
+    if stats.converged {
+        Ok(stats)
+    } else {
+        Err(SolveError::NotConverged { stats })
+    }
+}
+
+/// Implicit backward-Euler transient stepper with a fixed time step.
+///
+/// Each step solves `(C/dt + G)·T⁺ = C/dt·T + P + G_amb·T_amb`, an SPD
+/// system handled by warm-started CG. Unconditionally stable, first-order
+/// accurate; choose `dt` well below the fastest time constant you care to
+/// resolve.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_floorplan::{library, GridMapping};
+/// use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+/// use hotiron_thermal::package::{OilSiliconPackage, Package};
+/// use hotiron_thermal::solve::BackwardEuler;
+///
+/// let plan = library::uniform_die(0.02, 0.02);
+/// let map = GridMapping::new(&plan, 4, 4);
+/// let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+/// let circuit = build_circuit(&map, die, &Package::OilSilicon(OilSiliconPackage::paper_default()));
+/// let mut stepper = BackwardEuler::new(&circuit, 1e-3);
+/// let mut state = vec![318.15; circuit.node_count()];
+/// let power = vec![200.0 / 16.0; 16];
+/// stepper.step(&mut state, &power, 318.15)?;
+/// assert!(state[0] > 318.15); // the die started heating
+/// # Ok::<(), hotiron_thermal::solve::SolveError>(())
+/// ```
+#[derive(Debug)]
+pub struct BackwardEuler<'c> {
+    circuit: &'c ThermalCircuit,
+    dt: f64,
+    a: CsrMatrix,
+    c_over_dt: Vec<f64>,
+}
+
+impl<'c> BackwardEuler<'c> {
+    /// Creates a stepper with time step `dt` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive and finite.
+    pub fn new(circuit: &'c ThermalCircuit, dt: f64) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive, got {dt}");
+        let c_over_dt: Vec<f64> = circuit.capacitance().iter().map(|c| c / dt).collect();
+        let a = circuit.conductance().add_diagonal(&c_over_dt);
+        Self { circuit, dt, a, c_over_dt }
+    }
+
+    /// The fixed time step, s.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances `state` (kelvin) by one step under the given per-silicon-cell
+    /// power (W) and ambient (K).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NotConverged`] if the inner CG stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong length.
+    pub fn step(
+        &self,
+        state: &mut [f64],
+        si_cell_power: &[f64],
+        ambient: f64,
+    ) -> Result<SolveStats, SolveError> {
+        assert_eq!(state.len(), self.circuit.node_count());
+        let mut b = self.circuit.rhs(si_cell_power, ambient);
+        for i in 0..b.len() {
+            b[i] += self.c_over_dt[i] * state[i];
+        }
+        let n = state.len();
+        let stats = conjugate_gradient(&self.a, &b, state, DEFAULT_TOL, 40 * n + 1000);
+        if stats.converged {
+            Ok(stats)
+        } else {
+            Err(SolveError::NotConverged { stats })
+        }
+    }
+
+    /// Advances `state` by `duration` seconds in fixed steps (the trailing
+    /// partial step, if any, uses a temporary stepper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first convergence failure.
+    pub fn advance(
+        &self,
+        state: &mut [f64],
+        si_cell_power: &[f64],
+        ambient: f64,
+        duration: f64,
+    ) -> Result<(), SolveError> {
+        assert!(duration >= 0.0, "duration must be non-negative");
+        let whole = (duration / self.dt).floor() as usize;
+        for _ in 0..whole {
+            self.step(state, si_cell_power, ambient)?;
+        }
+        let rem = duration - whole as f64 * self.dt;
+        if rem > 1e-12 * self.dt.max(1.0) {
+            let tail = BackwardEuler::new(self.circuit, rem);
+            tail.step(state, si_cell_power, ambient)?;
+        }
+        Ok(())
+    }
+}
+
+/// Explicit adaptive 4th-order Runge-Kutta stepper (HotSpot's scheme).
+///
+/// Accuracy-adaptive via step doubling; stability-limited by the network's
+/// fastest time constant, so it is best for short windows and as an
+/// independent check on [`BackwardEuler`].
+#[derive(Debug)]
+pub struct Rk4Adaptive<'c> {
+    circuit: &'c ThermalCircuit,
+    /// Per-node inverse capacitance, 1/(J/K).
+    inv_cap: Vec<f64>,
+    /// Local error tolerance (kelvin) per step used by the doubling test.
+    pub tolerance: f64,
+}
+
+impl<'c> Rk4Adaptive<'c> {
+    /// Creates the stepper with a default 0.001 K local error tolerance.
+    pub fn new(circuit: &'c ThermalCircuit) -> Self {
+        let inv_cap = circuit.capacitance().iter().map(|c| 1.0 / c).collect();
+        Self { circuit, inv_cap, tolerance: 1e-3 }
+    }
+
+    /// dT/dt = (P + b − G·T) / C.
+    fn derivative(&self, state: &[f64], b: &[f64], out: &mut [f64]) {
+        self.circuit.conductance().mul_vec_into(state, out);
+        for i in 0..state.len() {
+            out[i] = (b[i] - out[i]) * self.inv_cap[i];
+        }
+    }
+
+    fn rk4_step(&self, state: &[f64], b: &[f64], h: f64, out: &mut Vec<f64>) {
+        let n = state.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        self.derivative(state, b, &mut k1);
+        for i in 0..n {
+            tmp[i] = state[i] + 0.5 * h * k1[i];
+        }
+        self.derivative(&tmp, b, &mut k2);
+        for i in 0..n {
+            tmp[i] = state[i] + 0.5 * h * k2[i];
+        }
+        self.derivative(&tmp, b, &mut k3);
+        for i in 0..n {
+            tmp[i] = state[i] + h * k3[i];
+        }
+        self.derivative(&tmp, b, &mut k4);
+        out.clear();
+        out.extend(
+            (0..n).map(|i| state[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i])),
+        );
+    }
+
+    /// A conservative stability-based initial step: the smallest `C/G_ii`.
+    pub fn suggested_step(&self) -> f64 {
+        let g = self.circuit.conductance();
+        let mut min_tau = f64::INFINITY;
+        for i in 0..g.dim() {
+            let tau = self.circuit.capacitance()[i] / g.diagonal(i);
+            min_tau = min_tau.min(tau);
+        }
+        min_tau / 2.0
+    }
+
+    /// Advances `state` by `duration` seconds, adapting the internal step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapted step underflows (network too stiff for an
+    /// explicit scheme — use [`BackwardEuler`]).
+    pub fn advance(
+        &self,
+        state: &mut Vec<f64>,
+        si_cell_power: &[f64],
+        ambient: f64,
+        duration: f64,
+    ) {
+        let b = self.circuit.rhs(si_cell_power, ambient);
+        let mut remaining = duration;
+        let mut h = self.suggested_step().min(duration.max(1e-30));
+        let mut full = Vec::new();
+        let mut half1 = Vec::new();
+        let mut half2 = Vec::new();
+        while remaining > 1e-15 * duration.max(1.0) {
+            let step = h.min(remaining);
+            self.rk4_step(state, &b, step, &mut full);
+            self.rk4_step(state, &b, step / 2.0, &mut half1);
+            self.rk4_step(&half1, &b, step / 2.0, &mut half2);
+            let err = full
+                .iter()
+                .zip(&half2)
+                .map(|(a, c)| (a - c).abs())
+                .fold(0.0f64, f64::max);
+            if err <= self.tolerance || step < 1e-12 {
+                assert!(step >= 1e-12 || err.is_finite(), "RK4 step underflow: system too stiff");
+                *state = half2.clone();
+                remaining -= step;
+                if err < self.tolerance / 4.0 {
+                    h = step * 2.0;
+                }
+            } else {
+                h = step / 2.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{build_circuit, DieGeometry};
+    use crate::package::{AirSinkPackage, OilSiliconPackage, Package};
+    use hotiron_floorplan::{library, GridMapping};
+
+    const AMBIENT: f64 = 318.15; // 45 °C
+
+    fn oil_circuit(rows: usize) -> ThermalCircuit {
+        let plan = library::uniform_die(0.02, 0.02);
+        let map = GridMapping::new(&plan, rows, rows);
+        let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+        build_circuit(&map, die, &Package::OilSilicon(OilSiliconPackage::paper_default()))
+    }
+
+    fn air_circuit(rows: usize) -> ThermalCircuit {
+        let plan = library::uniform_die(0.02, 0.02);
+        let map = GridMapping::new(&plan, rows, rows);
+        let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+        build_circuit(&map, die, &Package::AirSink(AirSinkPackage::paper_default()))
+    }
+
+    #[test]
+    fn steady_energy_balance() {
+        // In steady state, total heat into ambient equals total power.
+        let c = oil_circuit(8);
+        let p = vec![200.0 / 64.0; 64];
+        let mut state = vec![AMBIENT; c.node_count()];
+        solve_steady(&c, &p, AMBIENT, &mut state).unwrap();
+        let q_out: f64 = state
+            .iter()
+            .zip(c.ambient_conductance())
+            .map(|(t, g)| g * (t - AMBIENT))
+            .sum();
+        assert!((q_out - 200.0).abs() < 0.01, "q_out = {q_out}");
+    }
+
+    #[test]
+    fn steady_uniform_power_matches_lumped_rconv() {
+        // Uniform 200 W over the die with Rconv ≈ 1.0 K/W: the average die
+        // temperature rise is ≈ 200 K (the Fig 2 scenario, which settles
+        // around 520 K from a 318 K ambient in the paper's plot).
+        let c = oil_circuit(16);
+        let p = vec![200.0 / 256.0; 256];
+        let mut state = vec![AMBIENT; c.node_count()];
+        solve_steady(&c, &p, AMBIENT, &mut state).unwrap();
+        let si = c.silicon_slice(&state);
+        let avg: f64 = si.iter().sum::<f64>() / si.len() as f64;
+        let rise = avg - AMBIENT;
+        assert!(rise > 160.0 && rise < 260.0, "avg rise = {rise} K");
+    }
+
+    #[test]
+    fn steady_zero_power_is_ambient() {
+        let c = air_circuit(6);
+        let p = vec![0.0; 36];
+        let mut state = vec![300.0; c.node_count()];
+        solve_steady(&c, &p, AMBIENT, &mut state).unwrap();
+        for t in &state {
+            assert!((t - AMBIENT).abs() < 1e-6, "{t}");
+        }
+    }
+
+    #[test]
+    fn air_steady_energy_balance() {
+        let c = air_circuit(8);
+        let p = vec![50.0 / 64.0; 64];
+        let mut state = vec![AMBIENT; c.node_count()];
+        solve_steady(&c, &p, AMBIENT, &mut state).unwrap();
+        let q_out: f64 = state
+            .iter()
+            .zip(c.ambient_conductance())
+            .map(|(t, g)| g * (t - AMBIENT))
+            .sum();
+        assert!((q_out - 50.0).abs() < 0.005, "q_out = {q_out}");
+    }
+
+    #[test]
+    fn backward_euler_approaches_steady_state() {
+        let c = oil_circuit(8);
+        let p = vec![200.0 / 64.0; 64];
+        let mut steady = vec![AMBIENT; c.node_count()];
+        solve_steady(&c, &p, AMBIENT, &mut steady).unwrap();
+
+        let be = BackwardEuler::new(&c, 0.05);
+        let mut state = vec![AMBIENT; c.node_count()];
+        // The paper's Fig 2 shows settling within ~2-3 s; integrate 20 s to
+        // be safely converged.
+        be.advance(&mut state, &p, AMBIENT, 20.0).unwrap();
+        let avg_err = state
+            .iter()
+            .zip(&steady)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / state.len() as f64;
+        assert!(avg_err < 1.0, "avg |T - T_steady| = {avg_err} K");
+    }
+
+    #[test]
+    fn backward_euler_conserves_monotonic_warmup() {
+        let c = oil_circuit(6);
+        let p = vec![100.0 / 36.0; 36];
+        let be = BackwardEuler::new(&c, 0.01);
+        let mut state = vec![AMBIENT; c.node_count()];
+        let mut last = AMBIENT;
+        for _ in 0..20 {
+            be.step(&mut state, &p, AMBIENT).unwrap();
+            let t = state[0];
+            assert!(t >= last - 1e-9, "warmup must be monotonic");
+            last = t;
+        }
+        assert!(last > AMBIENT + 1.0);
+    }
+
+    #[test]
+    fn rk4_agrees_with_backward_euler() {
+        let c = oil_circuit(4);
+        let p = vec![50.0 / 16.0; 16];
+        let mut s_be = vec![AMBIENT; c.node_count()];
+        let mut s_rk = s_be.clone();
+        // Short window with a small BE step so first-order error is small.
+        let be = BackwardEuler::new(&c, 1e-4);
+        be.advance(&mut s_be, &p, AMBIENT, 0.05).unwrap();
+        let rk = Rk4Adaptive::new(&c);
+        rk.advance(&mut s_rk, &p, AMBIENT, 0.05);
+        for (a, b) in s_be.iter().zip(&s_rk) {
+            assert!((a - b).abs() < 0.25, "BE {a} vs RK4 {b}");
+        }
+    }
+
+    #[test]
+    fn advance_handles_partial_steps() {
+        let c = oil_circuit(4);
+        let p = vec![10.0 / 16.0; 16];
+        let be = BackwardEuler::new(&c, 0.01);
+        let mut a = vec![AMBIENT; c.node_count()];
+        be.advance(&mut a, &p, AMBIENT, 0.025).unwrap();
+        // Same total duration in uneven chunks.
+        let mut b = vec![AMBIENT; c.node_count()];
+        be.advance(&mut b, &p, AMBIENT, 0.02).unwrap();
+        be.advance(&mut b, &p, AMBIENT, 0.005).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn backward_euler_rejects_bad_dt() {
+        let c = oil_circuit(2);
+        let _ = BackwardEuler::new(&c, 0.0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Minimal sparse linear algebra for thermal RC networks.
+//!
+//! The conductance matrix of an RC thermal network is symmetric positive
+//! definite (strictly diagonally dominant once every node has a path to the
+//! ambient), so a Jacobi-preconditioned conjugate-gradient solver is both
+//! simple and robust. A triplet-based [`TripletMatrix`] builder assembles the
+//! network; [`CsrMatrix`] is the compressed solve-time form.
+
+use std::fmt;
+
+/// Coordinate-format builder for a square sparse matrix.
+///
+/// Duplicate entries are summed on conversion to CSR, which makes circuit
+/// "stamping" (adding each conductance to four entries) natural.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_thermal::sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2);
+/// // Stamp a 1 S conductance between nodes 0 and 1.
+/// t.add(0, 0, 1.0);
+/// t.add(1, 1, 1.0);
+/// t.add(0, 1, -1.0);
+/// t.add(1, 0, -1.0);
+/// let m = t.to_csr();
+/// assert_eq!(m.mul_vec(&[1.0, 0.0]), vec![1.0, -1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripletMatrix {
+    n: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `n x n` builder.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "matrix too large for u32 indices");
+        Self { n, entries: Vec::new() }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `value` at `(row, col)`; repeated additions accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds or `value` is not finite.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index ({row},{col}) out of bounds for n={}", self.n);
+        assert!(value.is_finite(), "matrix entries must be finite");
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Stamps a two-terminal conductance `g` (S ≡ W/K) between nodes `a`
+    /// and `b`: adds `+g` to both diagonals and `-g` off-diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is negative, non-finite, or `a == b`.
+    pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) {
+        assert!(g.is_finite() && g >= 0.0, "conductance must be non-negative, got {g}");
+        assert_ne!(a, b, "conductance endpoints must differ");
+        if g == 0.0 {
+            return;
+        }
+        self.add(a, a, g);
+        self.add(b, b, g);
+        self.add(a, b, -g);
+        self.add(b, a, -g);
+    }
+
+    /// Stamps a conductance from node `a` to a Dirichlet (fixed-temperature)
+    /// ground node: only the diagonal gets `+g`; the right-hand side
+    /// contribution `g·T_ground` is the caller's responsibility.
+    pub fn stamp_grounded_conductance(&mut self, a: usize, g: f64) {
+        assert!(g.is_finite() && g >= 0.0, "conductance must be non-negative, got {g}");
+        if g > 0.0 {
+            self.add(a, a, g);
+        }
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut row_counts = vec![0u32; self.n + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &(r, c, v) in &sorted {
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("entry exists when prev is set") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_counts[r as usize + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        for i in 0..self.n {
+            row_counts[i + 1] += row_counts[i];
+        }
+        CsrMatrix { n: self.n, row_ptr: row_counts, col_idx, values }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Clone)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrMatrix")
+            .field("n", &self.n)
+            .field("nnz", &self.values.len())
+            .finish()
+    }
+}
+
+impl CsrMatrix {
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The entries of row `i` as `(column, value)` pairs.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// The diagonal entry of row `i` (0 if absent).
+    pub fn diagonal(&self, i: usize) -> f64 {
+        self.row(i).find(|&(c, _)| c == i).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Dense matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A·x` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `dim()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Returns `A + D` where `D` is a diagonal given as a vector (used to
+    /// form the backward-Euler operator `G + C/dt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag.len() != dim()`.
+    pub fn add_diagonal(&self, diag: &[f64]) -> CsrMatrix {
+        assert_eq!(diag.len(), self.n);
+        let mut t = TripletMatrix::new(self.n);
+        for (i, d) in diag.iter().enumerate() {
+            for (c, v) in self.row(i) {
+                t.add(i, c, v);
+            }
+            t.add(i, i, *d);
+        }
+        t.to_csr()
+    }
+
+    /// Checks symmetry within a relative tolerance (debug aid).
+    pub fn is_symmetric(&self, rel_tol: f64) -> bool {
+        for i in 0..self.n {
+            for (j, v) in self.row(i) {
+                let vt = self.row(j).find(|&(c, _)| c == i).map_or(0.0, |(_, v)| v);
+                let scale = v.abs().max(vt.abs()).max(1e-300);
+                if (v - vt).abs() / scale > rel_tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Jacobi-preconditioned conjugate gradient for SPD systems.
+///
+/// Solves `A·x = b`, starting from the provided `x` (warm start). Returns
+/// solve statistics; `x` holds the solution on return.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or the matrix has a non-positive diagonal
+/// entry (which would mean a floating node in the thermal network).
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_thermal::sparse::{TripletMatrix, conjugate_gradient};
+///
+/// let mut t = TripletMatrix::new(2);
+/// t.add(0, 0, 4.0);
+/// t.add(1, 1, 3.0);
+/// t.add(0, 1, 1.0);
+/// t.add(1, 0, 1.0);
+/// let a = t.to_csr();
+/// let mut x = vec![0.0; 2];
+/// let stats = conjugate_gradient(&a, &[1.0, 2.0], &mut x, 1e-12, 100);
+/// assert!(stats.converged);
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-9);
+/// ```
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_iter: usize,
+) -> SolveStats {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let mut inv_diag = vec![0.0; n];
+    for (i, slot) in inv_diag.iter_mut().enumerate() {
+        let d = a.diagonal(i);
+        assert!(d > 0.0, "node {i} has non-positive diagonal {d}: floating node?");
+        *slot = 1.0 / d;
+    }
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return SolveStats { iterations: 0, relative_residual: 0.0, converged: true };
+    }
+
+    let mut r = vec![0.0; n];
+    a.mul_vec_into(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(&ri, &di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut res = norm2(&r) / b_norm;
+    if res <= rel_tol {
+        return SolveStats { iterations: 0, relative_residual: res, converged: true };
+    }
+    for it in 1..=max_iter {
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Numerical breakdown; report divergence.
+            return SolveStats { iterations: it, relative_residual: res, converged: false };
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        res = norm2(&r) / b_norm;
+        if res <= rel_tol {
+            return SolveStats { iterations: it, relative_residual: res, converged: true };
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    SolveStats { iterations: max_iter, relative_residual: res, converged: false }
+}
+
+/// Gauss–Seidel sweeps for the same systems; slower than CG but useful as an
+/// independent cross-check in tests.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or a zero diagonal.
+pub fn gauss_seidel(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_sweeps: usize,
+) -> SolveStats {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let b_norm = norm2(b).max(1e-300);
+    let mut res = f64::INFINITY;
+    for sweep in 1..=max_sweeps {
+        for i in 0..n {
+            let mut sigma = 0.0;
+            let mut diag = 0.0;
+            for (j, v) in a.row(i) {
+                if j == i {
+                    diag = v;
+                } else {
+                    sigma += v * x[j];
+                }
+            }
+            assert!(diag != 0.0, "zero diagonal at row {i}");
+            x[i] = (b[i] - sigma) / diag;
+        }
+        // Residual check every few sweeps to amortize the SpMV.
+        if sweep % 4 == 0 || sweep == max_sweeps {
+            let ax = a.mul_vec(x);
+            let r: f64 = ax.iter().zip(b).map(|(axi, bi)| (bi - axi) * (bi - axi)).sum();
+            res = r.sqrt() / b_norm;
+            if res <= rel_tol {
+                return SolveStats { iterations: sweep, relative_residual: res, converged: true };
+            }
+        }
+    }
+    SolveStats { iterations: max_sweeps, relative_residual: res, converged: false }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Tridiagonal [-1, 2, -1] plus a ground at both ends: SPD.
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            t.add(i, i, 2.0);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn csr_conversion_sums_duplicates() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.5);
+        t.add(1, 0, -1.0);
+        let m = t.to_csr();
+        assert_eq!(m.diagonal(0), 3.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn csr_handles_empty_rows() {
+        let mut t = TripletMatrix::new(4);
+        t.add(0, 0, 1.0);
+        t.add(3, 3, 1.0);
+        let m = t.to_csr();
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).count(), 0);
+        let y = m.mul_vec(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn stamp_conductance_is_symmetric() {
+        let mut t = TripletMatrix::new(3);
+        t.stamp_conductance(0, 1, 2.0);
+        t.stamp_conductance(1, 2, 0.5);
+        t.stamp_grounded_conductance(2, 1.0);
+        let m = t.to_csr();
+        assert!(m.is_symmetric(1e-12));
+        // Row sums: grounded node keeps positive row sum.
+        let ones = vec![1.0; 3];
+        let y = m.mul_vec(&ones);
+        assert!((y[0]).abs() < 1e-12);
+        assert!((y[1]).abs() < 1e-12);
+        assert!((y[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 200;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = conjugate_gradient(&a, &b, &mut x, 1e-10, 10 * n);
+        assert!(stats.converged, "{stats:?}");
+        let ax = a.mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cg_warm_start_uses_fewer_iterations() {
+        let n = 300;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let mut x_cold = vec![0.0; n];
+        let cold = conjugate_gradient(&a, &b, &mut x_cold, 1e-10, 10 * n);
+        // Warm start at the solution: immediate convergence.
+        let mut x_warm = x_cold.clone();
+        let warm = conjugate_gradient(&a, &b, &mut x_warm, 1e-8, 10 * n);
+        assert_eq!(warm.iterations, 0, "cold {cold:?} warm {warm:?}");
+        assert!(cold.iterations > 0);
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = laplacian_1d(10);
+        let mut x = vec![5.0; 10];
+        let stats = conjugate_gradient(&a, &[0.0; 10], &mut x, 1e-12, 100);
+        assert!(stats.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gauss_seidel_agrees_with_cg() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        assert!(conjugate_gradient(&a, &b, &mut x1, 1e-12, 10000).converged);
+        assert!(gauss_seidel(&a, &b, &mut x2, 1e-12, 100000).converged);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn add_diagonal_changes_only_diagonal() {
+        let a = laplacian_1d(5);
+        let d = vec![10.0; 5];
+        let b = a.add_diagonal(&d);
+        for i in 0..5 {
+            assert!((b.diagonal(i) - (a.diagonal(i) + 10.0)).abs() < 1e-12);
+        }
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_checked() {
+        let mut t = TripletMatrix::new(2);
+        t.add(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive diagonal")]
+    fn cg_rejects_floating_node() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        // Node 1 has no diagonal: floating.
+        let a = t.to_csr();
+        let mut x = vec![0.0; 2];
+        let _ = conjugate_gradient(&a, &[1.0, 1.0], &mut x, 1e-10, 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! Temperature unit helpers.
+//!
+//! The solvers work in kelvin throughout; the paper reports everything in
+//! degrees Celsius. These helpers keep the conversions in one place.
+
+/// 0 °C in kelvin.
+pub const ZERO_CELSIUS: f64 = 273.15;
+
+/// Converts °C to K.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hotiron_thermal::units::celsius_to_kelvin(45.0), 318.15);
+/// ```
+pub fn celsius_to_kelvin(c: f64) -> f64 {
+    c + ZERO_CELSIUS
+}
+
+/// Converts K to °C.
+pub fn kelvin_to_celsius(k: f64) -> f64 {
+    k - ZERO_CELSIUS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for c in [-40.0, 0.0, 45.0, 137.0] {
+            assert!((kelvin_to_celsius(celsius_to_kelvin(c)) - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_ambient() {
+        // Fig 12's ambient of 45 °C.
+        assert!((celsius_to_kelvin(45.0) - 318.15).abs() < 1e-12);
+    }
+}

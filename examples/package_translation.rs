@@ -1,0 +1,73 @@
+//! The paper's §6 future-work goal, working end to end: take an
+//! OIL-SILICON "IR measurement", reverse-engineer the power map, and
+//! predict what the same chip does inside its real AIR-SINK package.
+//!
+//! Run with: `cargo run --release --example package_translation`
+
+use hotiron::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plan = library::ev6();
+    let cfg = ModelConfig::paper_default().with_grid(24, 24);
+
+    // The measurement rig and the product package.
+    let rig = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        cfg,
+    )?;
+    let product = ThermalModel::new(
+        plan.clone(),
+        Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)),
+        cfg,
+    )?;
+
+    // A gcc run "measured" in the rig (we only get the oil-rig field).
+    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let truth = PowerMap::from_vec(&plan, cpu.simulate(8_000).average());
+    let measured = rig.steady_state(&truth)?;
+
+    // Translate: invert to power, re-simulate in the product package.
+    let translator = PackageTranslator::new(&rig, &product)?;
+    let recovered = translator.recover_power(measured.silicon_cells())?;
+    let predicted = translator.translate_steady(measured.silicon_cells())?;
+    let direct = product.steady_state(&truth)?; // ground truth for comparison
+
+    println!(
+        "recovered power {:.2} W (truth {:.2} W)\n",
+        recovered.total(),
+        truth.total()
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>9}",
+        "block", "rig (°C)", "translated", "direct sim", "error"
+    );
+    println!("{:-<60}", "");
+    let tm = measured.block_celsius();
+    let tp = predicted.block_celsius();
+    let td = direct.block_celsius();
+    for (i, b) in plan.iter().enumerate() {
+        println!(
+            "{:<10} {:>12.1} {:>12.2} {:>12.2} {:>9.3}",
+            b.name(),
+            tm[i],
+            tp[i],
+            td[i],
+            tp[i] - td[i]
+        );
+    }
+    println!(
+        "\nThe raw rig temperatures are up to {:.0} K away from the product\n\
+         package's reality; the translated prediction lands within {:.2} K.\n\
+         Measurement and simulation are complementary — the paper's thesis.",
+        tm.iter()
+            .zip(&td)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max),
+        tp.iter()
+            .zip(&td)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max),
+    );
+    Ok(())
+}

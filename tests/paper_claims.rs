@@ -1,0 +1,151 @@
+//! End-to-end checks of the paper's six contribution claims (§1), each run
+//! through the public `hotiron` API at reduced fidelity.
+
+use hotiron::prelude::*;
+
+const GRID: usize = 16;
+
+fn ev6_gcc_power(plan: &Floorplan) -> PowerMap {
+    let cpu = SyntheticCpu::new(uarch::ev6_units(plan), workload::gcc(), 42);
+    PowerMap::from_vec(plan, cpu.simulate(8_000).average())
+}
+
+fn model(plan: &Floorplan, pkg: Package) -> ThermalModel {
+    ThermalModel::new(plan.clone(), pkg, ModelConfig::paper_default().with_grid(GRID, GRID))
+        .expect("model builds")
+}
+
+/// Claim 3: same overall Rconv, drastically different steady-state
+/// distribution (max temperature and gradient).
+#[test]
+fn claim3_same_rconv_different_steady_state() {
+    let plan = library::ev6();
+    let power = ev6_gcc_power(&plan);
+    let air = model(&plan, Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)));
+    let oil = model(
+        &plan,
+        Package::OilSilicon(OilSiliconPackage::paper_default().with_target_r_convec(1.0)),
+    );
+    let sa = air.steady_state(&power).expect("steady");
+    let so = oil.steady_state(&power).expect("steady");
+    // Average temperatures comparable (same Rconv)…
+    assert!(
+        (sa.average_celsius() - so.average_celsius()).abs() < 15.0,
+        "averages should be in the same ballpark: {} vs {}",
+        sa.average_celsius(),
+        so.average_celsius()
+    );
+    // …but the oil hot spot is far hotter and the gradient much larger.
+    assert!(so.max_celsius() > sa.max_celsius() + 20.0);
+    assert!(so.gradient() > 3.0 * sa.gradient());
+}
+
+/// Claim 4 (first half): OIL-SILICON has a much slower short-term transient
+/// response — after a power pulse ends, AIR recovers much faster.
+#[test]
+fn claim4_oil_short_term_response_slower() {
+    let plan = library::ev6();
+    let pulse = PowerMap::from_pairs(&plan, [("IntReg", 4.0)]).expect("power");
+    let idle = PowerMap::zeros(&plan);
+
+    let relative_recovery = |pkg: Package| -> f64 {
+        let m = model(&plan, pkg);
+        let mut sim = m.transient(2.5e-4);
+        sim.init_steady(&pulse).expect("init");
+        let t0 = sim.solution().block("IntReg");
+        // 3 ms of power-off (the paper's AIR recovery scale).
+        sim.run(&idle, 3e-3).expect("run");
+        let t1 = sim.solution().block("IntReg");
+        (t0 - t1) / (t0 - 45.0)
+    };
+    let air = relative_recovery(Package::AirSink(
+        AirSinkPackage::paper_default().with_r_convec(1.0),
+    ));
+    let oil = relative_recovery(Package::OilSilicon(
+        OilSiliconPackage::paper_default().with_target_r_convec(1.0),
+    ));
+    assert!(
+        air > 2.0 * oil,
+        "after 3 ms off, AIR must have shed far more of its rise: {air:.3} vs {oil:.3}"
+    );
+}
+
+/// Claim 4 (second half): OIL-SILICON has a *faster long-term* response —
+/// warmup from ambient reaches steady state sooner.
+#[test]
+fn claim4_oil_long_term_warmup_faster() {
+    let plan = library::ev6();
+    let power = PowerMap::from_pairs(&plan, [("Icache", 16.0)]).expect("power");
+
+    let settle_fraction = |pkg: Package| -> f64 {
+        let m = model(&plan, pkg);
+        let steady = m.steady_state(&power).expect("steady").block("Icache");
+        let mut sim = m.transient(0.05);
+        sim.run(&power, 2.0).expect("run");
+        (sim.solution().block("Icache") - 45.0) / (steady - 45.0)
+    };
+    let air = settle_fraction(Package::AirSink(
+        AirSinkPackage::paper_default().with_r_convec(1.0),
+    ));
+    let oil = settle_fraction(Package::OilSilicon(
+        OilSiliconPackage::paper_default().with_target_r_convec(1.0),
+    ));
+    assert!(oil > 0.9, "oil nearly settled after 2 s: {oil:.3}");
+    assert!(air < 0.7, "air still warming after 2 s: {air:.3}");
+}
+
+/// Claim 5: oil flow direction changes across-chip distribution and can move
+/// the steady-state hot spot.
+#[test]
+fn claim5_flow_direction_moves_hot_spot() {
+    let plan = library::ev6();
+    let power = ev6_gcc_power(&plan);
+    let hottest = |dir: FlowDirection| -> String {
+        let m = model(
+            &plan,
+            Package::OilSilicon(OilSiliconPackage::paper_default().with_direction(dir)),
+        );
+        m.steady_state(&power).expect("steady").hottest_block().0.to_owned()
+    };
+    let b2t = hottest(FlowDirection::BottomToTop);
+    let t2b = hottest(FlowDirection::TopToBottom);
+    assert_eq!(b2t, "IntReg");
+    assert_ne!(t2b, "IntReg", "top-to-bottom flow must dethrone IntReg");
+}
+
+/// Claim 2 / Fig 5: the secondary path matters under oil, not under air.
+#[test]
+fn claim2_secondary_path_asymmetry() {
+    let plan = library::athlon64();
+    let cpu = SyntheticCpu::new(uarch::athlon64_units(&plan), workload::gcc(), 7);
+    let power = PowerMap::from_vec(&plan, cpu.simulate(6_000).average());
+
+    let hot = |pkg: Package| model(&plan, pkg).steady_state(&power).expect("steady").max_celsius();
+    let oil_with = hot(Package::OilSilicon(
+        OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
+    ));
+    let oil_without = hot(Package::OilSilicon(OilSiliconPackage::paper_default()));
+    // A production heatsink is far better than the rig's 1.0 K/W.
+    let air_with = hot(Package::AirSink(
+        AirSinkPackage::paper_default()
+            .with_r_convec(0.3)
+            .with_secondary(SecondaryPath::for_air_system()),
+    ));
+    let air_without =
+        hot(Package::AirSink(AirSinkPackage::paper_default().with_r_convec(0.3)));
+
+    assert!(oil_without - oil_with > 5.0, "oil: {oil_without} vs {oil_with}");
+    assert!((air_without - air_with).abs() < 2.0, "air: {air_without} vs {air_with}");
+}
+
+/// Claim 6 consequence (§5.2): with a 0.1 °C sensing resolution, both
+/// packages demand sampling intervals around tens of microseconds.
+#[test]
+fn claim6_sensing_interval_microseconds() {
+    use hotiron_bench::{arch, Fidelity};
+    let t = arch::sensing(Fidelity::Fast);
+    let rise = &t.rows[0].values;
+    assert!(rise[0] > 0.05, "air must move measurably in 3 ms: {rise:?}");
+    let interval = &t.rows[1].values;
+    assert!(interval[0] < 20_000.0, "air sampling interval sub-20ms: {interval:?}");
+}
