@@ -36,7 +36,7 @@ fn bench_be_vs_rk4(c: &mut Criterion) {
         let rk = Rk4Adaptive::new(&circuit);
         b.iter(|| {
             let mut s = vec![318.15; circuit.node_count()];
-            rk.advance(black_box(&mut s), &p, 318.15, 0.01);
+            rk.advance(black_box(&mut s), &p, 318.15, 0.01).unwrap();
             s
         })
     });
@@ -72,9 +72,7 @@ fn bench_secondary_path(c: &mut Criterion) {
     let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
     let mut g = c.benchmark_group("secondary_path");
     g.sample_size(20);
-    for (label, secondary) in
-        [("without", None), ("with", Some(SecondaryPath::for_oil_rig()))]
-    {
+    for (label, secondary) in [("without", None), ("with", Some(SecondaryPath::for_oil_rig()))] {
         let mut pkg = OilSiliconPackage::paper_default();
         pkg.secondary = secondary;
         let model = ThermalModel::new(

@@ -4,7 +4,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hotiron_floorplan::{library, GridMapping};
 use hotiron_refsim::{RefSim, RefSimConfig};
 use hotiron_thermal::circuit::{build_circuit, DieGeometry};
-use hotiron_thermal::solve::{solve_steady, BackwardEuler};
+use hotiron_thermal::solve::{solve_steady, BackwardEuler, SolverChoice};
+use hotiron_thermal::sparse::conjugate_gradient;
 use hotiron_thermal::{
     AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
 };
@@ -88,6 +89,64 @@ fn bench_transient_step(c: &mut Criterion) {
     g.finish();
 }
 
+/// The headline hot path: a 1000-step backward-Euler transient on the 32×32
+/// OIL-SILICON grid, factorize-once LDLᵀ vs CG-per-step. Before timing, every
+/// direct solve along the trajectory is checked against a tight-tolerance
+/// (1e-13) CG solve of the same linear system: ≤1e-8 per-node agreement.
+/// (Trajectory-vs-trajectory comparison would instead measure CG's own
+/// 1e-10-tolerance slack accumulated over 1000 steps.)
+fn bench_transient_1000_steps(c: &mut Criterion) {
+    let plan = library::ev6();
+    let grid = 32;
+    let mapping = GridMapping::new(&plan, grid, grid);
+    let circuit =
+        build_circuit(&mapping, die(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+    let n = circuit.node_count();
+    let p = vec![40.0 / (grid * grid) as f64; grid * grid];
+    // The paper-scale warmup step (fig 6 uses dt = 0.01 s): the regime where
+    // G dominates C/dt, so CG needs its full iteration budget per step.
+    let dt = 1e-2;
+    let steps = 1000;
+
+    let c_over_dt: Vec<f64> = circuit.capacitance().iter().map(|cap| cap / dt).collect();
+    let operator = circuit.conductance().add_diagonal(&c_over_dt);
+    let be = BackwardEuler::new(&circuit, dt);
+    assert_eq!(be.solver(), SolverChoice::Direct, "direct factorization must succeed");
+    let mut s = vec![318.15; n];
+    let mut max_diff = 0.0f64;
+    for _ in 0..steps {
+        let mut rhs = circuit.rhs(&p, 318.15);
+        for ((bi, ci), si) in rhs.iter_mut().zip(&c_over_dt).zip(&s) {
+            *bi += ci * si;
+        }
+        be.step(&mut s, &p, 318.15).unwrap();
+        let mut refined = s.clone();
+        let stats = conjugate_gradient(&operator, &rhs, &mut refined, 1e-13, 100 * n);
+        assert!(stats.converged, "reference CG diverged: {stats:?}");
+        let diff = s.iter().zip(&refined).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        max_diff = max_diff.max(diff);
+    }
+    assert!(max_diff <= 1e-8, "direct vs reference-CG per-node diff {max_diff} exceeds 1e-8");
+    println!(
+        "transient_1000_steps: factor nnz(L) = {}, worst per-step direct-vs-CG diff = {max_diff:.3e} K",
+        be.factor_nnz()
+    );
+
+    let run = |solver: SolverChoice| -> Vec<f64> {
+        let be = BackwardEuler::with_solver(&circuit, dt, solver);
+        let mut s = vec![318.15; n];
+        for _ in 0..steps {
+            be.step(&mut s, &p, 318.15).unwrap();
+        }
+        s
+    };
+    let mut g = c.benchmark_group("transient_1000_steps_32x32_oil");
+    g.sample_size(10);
+    g.bench_function("ldlt_factorize_once", |b| b.iter(|| run(SolverChoice::Direct)));
+    g.bench_function("cg_per_step", |b| b.iter(|| run(SolverChoice::Cg)));
+    g.finish();
+}
+
 fn bench_refsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("refsim_steady");
     g.sample_size(10);
@@ -134,6 +193,7 @@ criterion_group!(
     bench_assembly,
     bench_steady,
     bench_transient_step,
+    bench_transient_1000_steps,
     bench_refsim,
     bench_steady_warm_vs_cold
 );

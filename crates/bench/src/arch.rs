@@ -37,10 +37,7 @@ pub fn sensing(fidelity: Fidelity) -> Table {
     // The IR camera's blind spot: peak overshoot invisible at 30 fps.
     let cam = IrCamera::typical();
     let peak_series = |run: &crate::traces::TraceRun| -> Vec<f64> {
-        run.series
-            .iter()
-            .map(|s| s.iter().cloned().fold(f64::MIN, f64::max))
-            .collect()
+        run.series.iter().map(|s| s.iter().cloned().fold(f64::MIN, f64::max)).collect()
     };
     table.push(Row::new(
         "overshoot missed by 30 fps IR (K)",
@@ -49,7 +46,9 @@ pub fn sensing(fidelity: Fidelity) -> Table {
             cam.missed_overshoot(&peak_series(&oil), oil.dt),
         ],
     ));
-    table.note("paper: ~5 K in 3 ms ⇒ ≤60 µs sampling; 3 ms emergencies are shorter than an IR frame");
+    table.note(
+        "paper: ~5 K in 3 ms ⇒ ≤60 µs sampling; 3 ms emergencies are shorter than an IR frame",
+    );
     table
 }
 
@@ -166,10 +165,7 @@ pub fn tau() -> Table {
     table.push(Row::new("C_oil (J/K)", vec![c_oil]));
     table.push(Row::new("C_sink+spreader (J/K)", vec![c_sink]));
     table.push(Row::new("tau_short,sink = R_si*C_si (ms)", vec![r_si * c_si * 1e3]));
-    table.push(Row::new(
-        "tau_oil = Rconv*(C_si+C_oil) (ms)",
-        vec![r_conv * (c_si + c_oil) * 1e3],
-    ));
+    table.push(Row::new("tau_oil = Rconv*(C_si+C_oil) (ms)", vec![r_conv * (c_si + c_oil) * 1e3]));
     table.push(Row::new(
         "tau_long,sink = Rconv*C_sink (s)",
         vec![r_conv * (c_sink + sink.c_convec)],
@@ -230,9 +226,8 @@ mod tests {
     #[test]
     fn tau_matches_paper_magnitudes() {
         let t = tau();
-        let value = |label: &str| {
-            t.rows.iter().find(|r| r.label == label).expect("row exists").values[0]
-        };
+        let value =
+            |label: &str| t.rows.iter().find(|r| r.label == label).expect("row exists").values[0];
         assert!((value("R_si (K/W)") - 0.0125).abs() < 1e-6);
         let ratio = value("Rconv / R_si");
         assert!(ratio > 50.0 && ratio < 150.0, "paper: ~83x, got {ratio}");
@@ -268,9 +263,7 @@ pub fn rconv_sweep(fidelity: Fidelity) -> Table {
         let flow = LaminarFlow::new(MINERAL_OIL, velocity, plan.width());
         let model = ThermalModel::new(
             plan.clone(),
-            Package::OilSilicon(
-                OilSiliconPackage::paper_default().with_target_r_convec(target),
-            ),
+            Package::OilSilicon(OilSiliconPackage::paper_default().with_target_r_convec(target)),
             ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k()),
         )
         .expect("valid model");
@@ -311,18 +304,12 @@ pub fn translation_study(fidelity: Fidelity) -> Table {
     let measured = rig.steady_state(&power).expect("steady");
     let direct = target.steady_state(&power).expect("steady");
     let translator = PackageTranslator::new(&rig, &target).expect("basis");
-    let predicted =
-        translator.translate_steady(measured.silicon_cells()).expect("translation");
+    let predicted = translator.translate_steady(measured.silicon_cells()).expect("translation");
 
     let mut table = Table::new(
         "§6: predicting AIR-SINK temperatures from the OIL-SILICON measurement (°C)",
         "block",
-        vec![
-            "rig reading".into(),
-            "translated".into(),
-            "direct AIR sim".into(),
-            "error".into(),
-        ],
+        vec!["rig reading".into(), "translated".into(), "direct AIR sim".into(), "error".into()],
     );
     let tm = measured.block_celsius();
     let tp = predicted.block_celsius();
@@ -330,8 +317,7 @@ pub fn translation_study(fidelity: Fidelity) -> Table {
     for (i, b) in plan.iter().enumerate() {
         table.push(Row::new(b.name(), vec![tm[i], tp[i], td[i], tp[i] - td[i]]));
     }
-    let worst =
-        table.rows.iter().map(|r| r.values[3].abs()).fold(f64::MIN, f64::max);
+    let worst = table.rows.iter().map(|r| r.values[3].abs()).fold(f64::MIN, f64::max);
     table.note(format!(
         "worst translation error {worst:.2} K — the rig readings themselves are off by tens of kelvin"
     ));
@@ -362,13 +348,9 @@ mod extension_tests {
     #[test]
     fn translation_study_beats_raw_rig_readings() {
         let t = translation_study(Fidelity::Fast);
-        let worst_translated =
-            t.rows.iter().map(|r| r.values[3].abs()).fold(f64::MIN, f64::max);
-        let worst_raw = t
-            .rows
-            .iter()
-            .map(|r| (r.values[0] - r.values[2]).abs())
-            .fold(f64::MIN, f64::max);
+        let worst_translated = t.rows.iter().map(|r| r.values[3].abs()).fold(f64::MIN, f64::max);
+        let worst_raw =
+            t.rows.iter().map(|r| (r.values[0] - r.values[2]).abs()).fold(f64::MIN, f64::max);
         assert!(worst_translated < 1.0, "translation accurate: {worst_translated}");
         assert!(worst_raw > 20.0, "raw rig readings unusable: {worst_raw}");
     }

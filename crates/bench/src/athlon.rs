@@ -2,8 +2,8 @@
 //! the secondary heat-transfer path.
 
 use crate::common::{athlon_gcc, Fidelity};
-use hotiron_thermal::units::celsius_to_kelvin;
 use crate::report::{Row, Table};
+use hotiron_thermal::units::celsius_to_kelvin;
 use hotiron_thermal::{
     AirSinkPackage, ModelConfig, OilSiliconPackage, Package, SecondaryPath, ThermalModel,
 };
@@ -43,7 +43,8 @@ pub fn fig4(fidelity: Fidelity) -> Table {
 pub fn fig5a(fidelity: Fidelity) -> Table {
     let grid = fidelity.pick(16, 40);
     let (plan, power) = athlon_gcc();
-    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0));
+    let cfg =
+        ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0));
     let with = ThermalModel::new(
         plan.clone(),
         Package::OilSilicon(
@@ -68,11 +69,7 @@ pub fn fig5a(fidelity: Fidelity) -> Table {
     for (i, b) in plan.iter().enumerate() {
         table.push(Row::new(b.name(), vec![tw[i], to[i], to[i] - tw[i]]));
     }
-    let worst = table
-        .rows
-        .iter()
-        .map(|r| r.values[2])
-        .fold(f64::MIN, f64::max);
+    let worst = table.rows.iter().map(|r| r.values[2]).fold(f64::MIN, f64::max);
     table.note(format!(
         "worst overprediction without the secondary path: {worst:.1} K (paper: >10 K)"
     ));
@@ -84,7 +81,8 @@ pub fn fig5a(fidelity: Fidelity) -> Table {
 pub fn fig5b(fidelity: Fidelity) -> Table {
     let grid = fidelity.pick(16, 40);
     let (plan, power) = athlon_gcc();
-    let cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0));
+    let cfg =
+        ModelConfig::paper_default().with_grid(grid, grid).with_ambient(celsius_to_kelvin(30.0));
     // A production heatsink (0.3 K/W), unlike the 1.0 K/W used for the
     // rig-matched comparisons.
     let with = ThermalModel::new(
@@ -113,11 +111,7 @@ pub fn fig5b(fidelity: Fidelity) -> Table {
     for (i, b) in plan.iter().enumerate() {
         table.push(Row::new(b.name(), vec![tw[i], to[i], to[i] - tw[i]]));
     }
-    let worst = table
-        .rows
-        .iter()
-        .map(|r| r.values[2].abs())
-        .fold(f64::MIN, f64::max);
+    let worst = table.rows.iter().map(|r| r.values[2].abs()).fold(f64::MIN, f64::max);
     table.note(format!("worst difference: {worst:.2} K (paper: negligible, <1%)"));
     table
 }
@@ -129,9 +123,8 @@ mod tests {
     #[test]
     fn fig4_sched_is_hottest_and_blanks_cool() {
         let t = fig4(Fidelity::Fast);
-        let temp = |name: &str| {
-            t.rows.iter().find(|r| r.label == name).expect("row exists").values[0]
-        };
+        let temp =
+            |name: &str| t.rows.iter().find(|r| r.label == name).expect("row exists").values[0];
         let sched = temp("sched");
         for r in &t.rows {
             assert!(r.values[0] <= sched + 1e-9, "{} hotter than sched", r.label);

@@ -15,8 +15,23 @@ use hotiron_bench::{arch, athlon, steady, traces, transients, validation, Fideli
 use std::path::PathBuf;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "sensing", "placement", "inversion", "tau", "sweep", "translate", "dtm",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "sensing",
+    "placement",
+    "inversion",
+    "tau",
+    "sweep",
+    "translate",
+    "dtm",
 ];
 
 fn run(name: &str, fidelity: Fidelity, out_dir: &PathBuf) {
@@ -66,8 +81,7 @@ fn run(name: &str, fidelity: Fidelity, out_dir: &PathBuf) {
 fn write_grid(dir: &PathBuf, stem: &str, grid: &[f64], rows: usize, cols: usize) {
     let mut csv = String::new();
     for r in 0..rows {
-        let cells: Vec<String> =
-            (0..cols).map(|c| format!("{:.3}", grid[r * cols + c])).collect();
+        let cells: Vec<String> = (0..cols).map(|c| format!("{:.3}", grid[r * cols + c])).collect();
         csv.push_str(&cells.join(","));
         csv.push('\n');
     }

@@ -2,7 +2,7 @@
 
 use hotiron_floorplan::{library, Floorplan};
 use hotiron_powersim::{engine::SyntheticCpu, uarch, workload};
-use hotiron_thermal::{PowerMap, units::celsius_to_kelvin};
+use hotiron_thermal::{units::celsius_to_kelvin, PowerMap};
 
 /// The paper's ambient: 45 °C.
 pub const AMBIENT_C: f64 = 45.0;

@@ -33,6 +33,9 @@ pub struct Table {
     pub rows: Vec<Row>,
     /// Free-form notes printed under the table.
     pub notes: Vec<String>,
+    /// Key/value run metadata (solver telemetry, grid size…), printed under
+    /// the title and exported as `# key = value` comment lines in CSV.
+    pub meta: Vec<(String, String)>,
 }
 
 impl Table {
@@ -48,6 +51,7 @@ impl Table {
             columns,
             rows: Vec::new(),
             notes: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -66,10 +70,30 @@ impl Table {
         self.notes.push(s.into());
     }
 
+    /// Records a key/value metadata pair (replacing any earlier value for
+    /// the same key).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key, value));
+        }
+    }
+
+    /// Looks up a metadata value by key.
+    pub fn get_meta(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
     /// Renders the aligned console form.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
         let label_w = self
             .rows
             .iter()
@@ -100,6 +124,9 @@ impl Table {
     /// Renders CSV (label column first).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "# {k} = {v}");
+        }
         let _ = write!(out, "{}", csv_escape(&self.label_header));
         for c in &self.columns {
             let _ = write!(out, ",{}", csv_escape(c));
@@ -163,6 +190,18 @@ mod tests {
         assert_eq!(lines[0], "unit,a,b");
         assert_eq!(lines[1], "x,1,2");
         assert_eq!(lines[2], "y,3.5,-4.25");
+    }
+
+    #[test]
+    fn meta_renders_and_replaces() {
+        let mut t = table();
+        t.set_meta("solver", "cg");
+        t.set_meta("solver", "ldlt");
+        t.set_meta("grid", "12x12");
+        assert_eq!(t.get_meta("solver"), Some("ldlt"));
+        assert!(t.render().contains("solver = ldlt"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# solver = ldlt\n# grid = 12x12\n"));
     }
 
     #[test]

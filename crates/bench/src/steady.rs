@@ -99,11 +99,7 @@ pub fn fig11(fidelity: Fidelity) -> Table {
         table.push(Row::new(b.name(), per_dir.iter().map(|d| d[i]).collect()));
     }
     for (d, dir) in per_dir.iter().zip(FlowDirection::ALL) {
-        let (bi, t) = d
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty");
+        let (bi, t) = d.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
         table.note(format!(
             "hottest under {}: {} ({:.2} °C)",
             dir.label(),
@@ -131,12 +127,7 @@ mod tests {
     fn fig11_top_to_bottom_dethrones_intreg() {
         let t = fig11(Fidelity::Fast);
         let row = |name: &str| {
-            t.rows
-                .iter()
-                .find(|r| r.label == name)
-                .expect("row exists")
-                .values
-                .clone()
+            t.rows.iter().find(|r| r.label == name).expect("row exists").values.clone()
         };
         let intreg = row("IntReg");
         let dcache = row("Dcache");
@@ -158,8 +149,7 @@ mod tests {
     #[test]
     fn fig11_left_right_symmetry_is_broken_by_layout() {
         let t = fig11(Fidelity::Fast);
-        let intreg =
-            &t.rows.iter().find(|r| r.label == "IntReg").expect("row exists").values;
+        let intreg = &t.rows.iter().find(|r| r.label == "IntReg").expect("row exists").values;
         // IntReg sits right of center: left-to-right flow leaves it
         // downstream (hotter) vs right-to-left (upstream, cooler).
         assert!(intreg[0] > intreg[1], "l2r {} vs r2l {}", intreg[0], intreg[1]);

@@ -106,8 +106,7 @@ fn trace_run_uncached(fidelity: Fidelity, cfg: TraceConfig) -> TraceRun {
     let grid = fidelity.pick(8, 16);
     let n = fidelity.pick(6_000, 40_000);
     let plan = library::ev6();
-    let model_cfg =
-        ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k());
+    let model_cfg = ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k());
     let package = match cfg {
         TraceConfig::AirSink => {
             Package::AirSink(AirSinkPackage::paper_default().with_r_convec(0.3))
@@ -189,11 +188,7 @@ mod tests {
         let rel_fluct = |run: &TraceRun, means: &[f64; 5]| {
             let hot = run.hottest_index();
             let mean = means[hot];
-            let var = run
-                .series
-                .iter()
-                .map(|s| (s[hot] - mean).powi(2))
-                .sum::<f64>()
+            let var = run.series.iter().map(|s| (s[hot] - mean).powi(2)).sum::<f64>()
                 / run.series.len() as f64;
             var.sqrt() / (mean - 45.0)
         };

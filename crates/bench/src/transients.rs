@@ -3,8 +3,9 @@
 use crate::common::{ambient_k, Fidelity, AMBIENT_C};
 use crate::report::{Row, Table};
 use hotiron_floorplan::library;
+use hotiron_thermal::model::TransientSim;
 use hotiron_thermal::{
-    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, SolverChoice, ThermalModel,
 };
 
 /// The Fig 6/8 hot block: Icache at the paper's 2.0 W/mm² power density.
@@ -13,6 +14,29 @@ const HOT_BLOCK: &str = "Icache";
 fn hot_block_power(plan: &hotiron_floorplan::Floorplan) -> PowerMap {
     let area = plan.block(HOT_BLOCK).expect("block exists").area();
     PowerMap::from_pairs(plan, [(HOT_BLOCK, 2.0e6 * area)]).expect("valid power")
+}
+
+/// Snapshot of a finished simulation's solver telemetry: which linear solver
+/// ran the steps, the factor fill-in it carried, and how many solves
+/// amortized that one factorization.
+/// Snapshot of a sim's stepper: (solver label, nnz(L), solve count).
+type SolverTelemetry = (&'static str, usize, usize);
+
+fn solver_telemetry(sim: &TransientSim<'_>) -> SolverTelemetry {
+    let stepper = sim.stepper();
+    let solver = match stepper.solver() {
+        SolverChoice::Direct => "ldlt",
+        SolverChoice::Cg => "cg",
+    };
+    (solver, stepper.factor_nnz(), stepper.solve_count())
+}
+
+/// Records solver telemetry under `<key>.*` meta entries of the table.
+fn record_solver_meta(table: &mut Table, key: &str, telemetry: SolverTelemetry) {
+    let (solver, factor_nnz, solves) = telemetry;
+    table.set_meta(format!("{key}.solver"), solver);
+    table.set_meta(format!("{key}.factor_nnz"), factor_nnz.to_string());
+    table.set_meta(format!("{key}.solves"), solves.to_string());
 }
 
 fn ev6_pair(grid: usize) -> (ThermalModel, ThermalModel) {
@@ -50,12 +74,7 @@ pub fn fig6(fidelity: Fidelity) -> Table {
     let mut table = Table::new(
         "Fig 6: warmup transients, hot block @2 W/mm², Rconv=1.0 both (°C)",
         "time (s)",
-        vec![
-            "AIR hot".into(),
-            "AIR cool".into(),
-            "OIL hot".into(),
-            "OIL cool".into(),
-        ],
+        vec!["AIR hot".into(), "AIR cool".into(), "OIL hot".into(), "OIL cool".into()],
     );
     table.push(Row::new("0.00", vec![AMBIENT_C; 4]));
     let n = (duration / sample).round() as usize;
@@ -74,6 +93,8 @@ pub fn fig6(fidelity: Fidelity) -> Table {
             ],
         ));
     }
+    record_solver_meta(&mut table, "air", solver_telemetry(&sim_a));
+    record_solver_meta(&mut table, "oil", solver_telemetry(&sim_o));
     table.note("paper: OIL reaches steady state sooner (smaller long-term tau) but ends far hotter at the hot spot and cooler at the cool spot");
     table
 }
@@ -91,7 +112,7 @@ pub fn fig8(fidelity: Fidelity) -> Table {
     let avg = peak.scaled(0.15); // 15 ms / 100 ms duty cycle
     let off = PowerMap::zeros(&plan);
 
-    let run = |model: &ThermalModel| -> Vec<(f64, f64)> {
+    let run = |model: &ThermalModel| -> (Vec<(f64, f64)>, SolverTelemetry) {
         let mut sim = model.transient(dt);
         sim.init_steady(&avg).expect("steady init");
         let mut out = Vec::new();
@@ -102,10 +123,10 @@ pub fn fig8(fidelity: Fidelity) -> Table {
             sim.run(p, dt).expect("transient step");
             out.push((t + dt, sim.solution().block(HOT_BLOCK) - AMBIENT_C));
         }
-        out
+        (out, solver_telemetry(&sim))
     };
-    let a = run(&air);
-    let o = run(&oil);
+    let (a, tel_a) = run(&air);
+    let (o, tel_o) = run(&oil);
 
     let mut table = Table::new(
         "Fig 8: short-term transient, 15 ms on / 85 ms off (K above ambient)",
@@ -116,6 +137,8 @@ pub fn fig8(fidelity: Fidelity) -> Table {
     for i in (0..a.len()).step_by(stride) {
         table.push(Row::new(format!("{:.1}", a[i].0 * 1e3), vec![o[i].1, a[i].1]));
     }
+    record_solver_meta(&mut table, "air", tel_a);
+    record_solver_meta(&mut table, "oil", tel_o);
     table.note("paper: AIR-SINK returns to baseline within ~3 ms of power-off; OIL-SILICON cools far slower and quasi-linearly");
     table
 }
@@ -130,7 +153,7 @@ pub fn fig9(fidelity: Fidelity) -> Table {
     let p_int = PowerMap::from_pairs(&plan, [("IntReg", 2.0)]).expect("valid power");
     let p_fp = PowerMap::from_pairs(&plan, [("FPMap", 2.0)]).expect("valid power");
 
-    let run = |model: &ThermalModel| -> Vec<(f64, f64, f64)> {
+    let run = |model: &ThermalModel| -> (Vec<(f64, f64, f64)>, SolverTelemetry) {
         let mut sim = model.transient(dt);
         sim.init_steady(&p_int).expect("steady init");
         let mut out = Vec::new();
@@ -142,27 +165,21 @@ pub fn fig9(fidelity: Fidelity) -> Table {
             let sol = sim.solution();
             out.push((t + dt, sol.block("IntReg") - AMBIENT_C, sol.block("FPMap") - AMBIENT_C));
         }
-        out
+        (out, solver_telemetry(&sim))
     };
-    let a = run(&air);
-    let o = run(&oil);
+    let (a, tel_a) = run(&air);
+    let (o, tel_o) = run(&oil);
 
     let mut table = Table::new(
         "Fig 9: hot-spot migration, IntReg 2 W (0-10 ms) then FPMap 2 W (K above ambient)",
         "time (ms)",
-        vec![
-            "AIR IntReg".into(),
-            "AIR FPMap".into(),
-            "OIL IntReg".into(),
-            "OIL FPMap".into(),
-        ],
+        vec!["AIR IntReg".into(), "AIR FPMap".into(), "OIL IntReg".into(), "OIL FPMap".into()],
     );
     for i in (0..a.len()).step_by(2) {
-        table.push(Row::new(
-            format!("{:.2}", a[i].0 * 1e3),
-            vec![a[i].1, a[i].2, o[i].1, o[i].2],
-        ));
+        table.push(Row::new(format!("{:.2}", a[i].0 * 1e3), vec![a[i].1, a[i].2, o[i].1, o[i].2]));
     }
+    record_solver_meta(&mut table, "air", tel_a);
+    record_solver_meta(&mut table, "oil", tel_o);
     let at = |series: &[(f64, f64, f64)], t: f64| {
         series
             .iter()
@@ -231,18 +248,29 @@ mod tests {
     }
 
     #[test]
+    fn fig6_reports_solver_telemetry() {
+        let t = fig6(Fidelity::Fast);
+        for key in ["air", "oil"] {
+            assert_eq!(t.get_meta(&format!("{key}.solver")), Some("ldlt"));
+            let nnz: usize =
+                t.get_meta(&format!("{key}.factor_nnz")).expect("meta").parse().expect("usize");
+            let solves: usize =
+                t.get_meta(&format!("{key}.solves")).expect("meta").parse().expect("usize");
+            assert!(nnz > 0, "{key} factor fill-in recorded");
+            assert!(solves > 0, "{key} amortized solve count recorded");
+        }
+    }
+
+    #[test]
     fn fig8_oil_cools_slower() {
         let t = fig8(Fidelity::Fast);
         // Find the peak, then compare the decay 10 ms later (relative).
         let oil = col(&t, 0);
         let air = col(&t, 1);
         let times: Vec<f64> = t.rows.iter().map(|r| r.label.parse::<f64>().unwrap()).collect();
-        let peak_i =
-            air.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("rows").0;
-        let later_i = times
-            .iter()
-            .position(|&x| x >= times[peak_i] + 10.0)
-            .unwrap_or(times.len() - 1);
+        let peak_i = air.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("rows").0;
+        let later_i =
+            times.iter().position(|&x| x >= times[peak_i] + 10.0).unwrap_or(times.len() - 1);
         let air_decay = (air[peak_i] - air[later_i]) / air[peak_i];
         let oil_decay = (oil[peak_i] - oil[later_i]) / oil[peak_i].max(1e-9);
         assert!(

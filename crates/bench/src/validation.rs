@@ -45,9 +45,12 @@ pub fn fig2(fidelity: Fidelity) -> Table {
 
     // Reference solver.
     let rs_grid = fidelity.pick(12, 32);
-    let sim = RefSim::new(
-        RefSimConfig::paper_validation().with_grid(rs_grid, rs_grid, 3, fidelity.pick(3, 5)),
-    );
+    let sim = RefSim::new(RefSimConfig::paper_validation().with_grid(
+        rs_grid,
+        rs_grid,
+        3,
+        fidelity.pick(3, 5),
+    ));
     let p = sim.uniform_power(200.0);
     let mut reference = vec![(0.0, ambient_k())];
     sim.run_transient(&p, duration, sample, |t, f| reference.push((t, f.center())));
@@ -66,7 +69,9 @@ pub fn fig2(fidelity: Fidelity) -> Table {
             .1;
         table.push(Row::new(format!("{t:.2}"), vec![*tc, tr]));
     }
-    table.note("paper: both settle near ~520 K with a thermal time constant on the order of a second");
+    table.note(
+        "paper: both settle near ~520 K with a thermal time constant on the order of a second",
+    );
     table
 }
 
@@ -85,8 +90,7 @@ pub fn fig3(fidelity: Fidelity) -> Table {
     .expect("valid model");
     let power = PowerMap::from_pairs(&plan, [("center", 10.0)]).expect("center block exists");
     let sol = model.steady_state(&power).expect("steady solve");
-    let (c_max, c_min) =
-        (sol.max_celsius() - 45.0, sol.min_celsius() - 45.0);
+    let (c_max, c_min) = (sol.max_celsius() - 45.0, sol.min_celsius() - 45.0);
 
     // Reference solver.
     let sim =

@@ -64,31 +64,32 @@ impl IrCamera {
             return grid.to_vec();
         }
         // Separable Gaussian blur, truncated at 3σ.
-        let blur_1d = |field: &[f64], n_major: usize, n_minor: usize, pitch: f64, row_major: bool| {
-            let radius = ((3.0 * self.psf_sigma / pitch).ceil() as isize).max(1);
-            let kernel: Vec<f64> = (-radius..=radius)
-                .map(|k| {
-                    let d = k as f64 * pitch;
-                    (-d * d / (2.0 * self.psf_sigma * self.psf_sigma)).exp()
-                })
-                .collect();
-            let ksum: f64 = kernel.iter().sum();
-            let mut out = vec![0.0; field.len()];
-            for maj in 0..n_major {
-                for min in 0..n_minor {
-                    let mut acc = 0.0;
-                    for (ki, kv) in kernel.iter().enumerate() {
-                        let off = ki as isize - radius;
-                        let m = (min as isize + off).clamp(0, n_minor as isize - 1) as usize;
-                        let idx = if row_major { maj * n_minor + m } else { m * n_major + maj };
-                        acc += kv * field[idx];
+        let blur_1d =
+            |field: &[f64], n_major: usize, n_minor: usize, pitch: f64, row_major: bool| {
+                let radius = ((3.0 * self.psf_sigma / pitch).ceil() as isize).max(1);
+                let kernel: Vec<f64> = (-radius..=radius)
+                    .map(|k| {
+                        let d = k as f64 * pitch;
+                        (-d * d / (2.0 * self.psf_sigma * self.psf_sigma)).exp()
+                    })
+                    .collect();
+                let ksum: f64 = kernel.iter().sum();
+                let mut out = vec![0.0; field.len()];
+                for maj in 0..n_major {
+                    for min in 0..n_minor {
+                        let mut acc = 0.0;
+                        for (ki, kv) in kernel.iter().enumerate() {
+                            let off = ki as isize - radius;
+                            let m = (min as isize + off).clamp(0, n_minor as isize - 1) as usize;
+                            let idx = if row_major { maj * n_minor + m } else { m * n_major + maj };
+                            acc += kv * field[idx];
+                        }
+                        let idx = if row_major { maj * n_minor + min } else { min * n_major + maj };
+                        out[idx] = acc / ksum;
                     }
-                    let idx = if row_major { maj * n_minor + min } else { min * n_major + maj };
-                    out[idx] = acc / ksum;
                 }
-            }
-            out
-        };
+                out
+            };
         let pass_x = blur_1d(grid, rows, cols, cell_w, true);
         blur_1d(&pass_x, cols, rows, cell_h, false)
     }
@@ -143,8 +144,7 @@ impl IrCamera {
         let mut cam_peak = f64::MIN;
         let mut i = 0;
         while i + per_frame <= peak_series.len() {
-            let avg: f64 =
-                peak_series[i..i + per_frame].iter().sum::<f64>() / per_frame as f64;
+            let avg: f64 = peak_series[i..i + per_frame].iter().sum::<f64>() / per_frame as f64;
             cam_peak = cam_peak.max(avg);
             i += per_frame;
         }

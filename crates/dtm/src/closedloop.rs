@@ -65,12 +65,7 @@ pub struct ClosedLoop<'m, P: DtmPolicy = ThresholdDtm> {
 
 impl<'m, P: DtmPolicy> ClosedLoop<'m, P> {
     /// Builds the loop around a thermal model.
-    pub fn new(
-        model: &'m ThermalModel,
-        cpu: SyntheticCpu,
-        sensors: SensorArray,
-        dtm: P,
-    ) -> Self {
+    pub fn new(model: &'m ThermalModel, cpu: SyntheticCpu, sensors: SensorArray, dtm: P) -> Self {
         Self { model, cpu, sensors, dtm, leakage: None }
     }
 
@@ -97,8 +92,7 @@ impl<'m, P: DtmPolicy> ClosedLoop<'m, P> {
         let avg = PowerMap::from_vec(plan, warm.average());
         sim.init_steady(&avg)?;
 
-        let sensor_every =
-            ((self.sensors.sample_interval() / dt).round() as usize).max(1);
+        let sensor_every = ((self.sensors.sample_interval() / dt).round() as usize).max(1);
 
         let mut report = LoopReport {
             times: Vec::with_capacity(n_samples),
@@ -155,9 +149,7 @@ mod tests {
     use crate::sensor::SensorArray;
     use hotiron_floorplan::library;
     use hotiron_powersim::{uarch, workload};
-    use hotiron_thermal::{
-        AirSinkPackage, ModelConfig, OilSiliconPackage, Package, ThermalModel,
-    };
+    use hotiron_thermal::{AirSinkPackage, ModelConfig, OilSiliconPackage, Package, ThermalModel};
 
     fn loop_for(pkg: Package, trigger: f64) -> (ThermalModel, SyntheticCpu) {
         let plan = library::ev6();
@@ -188,8 +180,7 @@ mod tests {
 
     #[test]
     fn dtm_throttles_when_hot() {
-        let (model, cpu) =
-            loop_for(Package::OilSilicon(OilSiliconPackage::paper_default()), 0.0);
+        let (model, cpu) = loop_for(Package::OilSilicon(OilSiliconPackage::paper_default()), 0.0);
         // Trigger well below the oil-rig operating temperature: DTM must
         // engage almost immediately.
         let sensors = SensorArray::uniform_grid(6, 0.016, 0.016, 5);
@@ -203,12 +194,11 @@ mod tests {
 
     #[test]
     fn leakage_feedback_runs() {
-        let (model, cpu) =
-            loop_for(Package::OilSilicon(OilSiliconPackage::paper_default()), 0.0);
+        let (model, cpu) = loop_for(Package::OilSilicon(OilSiliconPackage::paper_default()), 0.0);
         let sensors = SensorArray::uniform_grid(4, 0.016, 0.016, 5);
         let dtm = ThresholdDtm::new(500.0, 490.0, 0.5, 1e-3);
-        let mut cl = ClosedLoop::new(&model, cpu, sensors, dtm)
-            .with_leakage(LeakageModel::node_130nm());
+        let mut cl =
+            ClosedLoop::new(&model, cpu, sensors, dtm).with_leakage(LeakageModel::node_130nm());
         let r = cl.run(100).unwrap();
         assert!(r.true_max.iter().all(|t| t.is_finite()));
     }

@@ -14,16 +14,9 @@ pub fn misplacement_error(sol: &Solution<'_>, offset: f64) -> f64 {
     let t_max = sol.celsius_at(hx, hy);
     let mut worst: f64 = 0.0;
     let d = std::f64::consts::FRAC_1_SQRT_2;
-    for (dx, dy) in [
-        (1.0, 0.0),
-        (-1.0, 0.0),
-        (0.0, 1.0),
-        (0.0, -1.0),
-        (d, d),
-        (-d, d),
-        (d, -d),
-        (-d, -d),
-    ] {
+    for (dx, dy) in
+        [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0), (d, d), (-d, d), (d, -d), (-d, -d)]
+    {
         let t = sol.celsius_at(hx + dx * offset, hy + dy * offset);
         worst = worst.max(t_max - t);
     }
@@ -119,10 +112,7 @@ mod tests {
         for m in [2usize, 4, 6] {
             let e_oil = grid_under_read(&s_oil, m, w, h);
             let e_air = grid_under_read(&s_air, m, w, h);
-            assert!(
-                e_oil >= e_air,
-                "m={m}: oil error {e_oil} must be >= air error {e_air}"
-            );
+            assert!(e_oil >= e_air, "m={m}: oil error {e_oil} must be >= air error {e_air}");
         }
         let n_oil = sensors_needed(&s_oil, 3.0, w, h, 16);
         let n_air = sensors_needed(&s_air, 3.0, w, h, 16);
@@ -173,18 +163,13 @@ pub fn greedy_placement(solutions: &[&Solution<'_>], k: usize) -> (Vec<(f64, f64
     assert!(!solutions.is_empty(), "need at least one solution");
     assert!(k > 0, "need at least one sensor");
     // Candidates: the hottest cell of each solution plus a coarse grid.
-    let mut candidates: Vec<(f64, f64)> = solutions
-        .iter()
-        .map(|s| s.hottest_cell_position())
-        .collect();
+    let mut candidates: Vec<(f64, f64)> =
+        solutions.iter().map(|s| s.hottest_cell_position()).collect();
     let (w, h) = solutions[0].die_size();
     let m = 8;
     for iy in 0..m {
         for ix in 0..m {
-            candidates.push((
-                (ix as f64 + 0.5) * w / m as f64,
-                (iy as f64 + 0.5) * h / m as f64,
-            ));
+            candidates.push(((ix as f64 + 0.5) * w / m as f64, (iy as f64 + 0.5) * h / m as f64));
         }
     }
     let worst_under_read = |chosen: &[(f64, f64)]| -> f64 {
@@ -193,10 +178,7 @@ pub fn greedy_placement(solutions: &[&Solution<'_>], k: usize) -> (Vec<(f64, f64
             .map(|s| {
                 let (hx, hy) = s.hottest_cell_position();
                 let t_max = s.celsius_at(hx, hy);
-                let best = chosen
-                    .iter()
-                    .map(|&(x, y)| s.celsius_at(x, y))
-                    .fold(f64::MIN, f64::max);
+                let best = chosen.iter().map(|&(x, y)| s.celsius_at(x, y)).fold(f64::MIN, f64::max);
                 t_max - best
             })
             .fold(f64::MIN, f64::max)
@@ -215,11 +197,13 @@ pub fn greedy_placement(solutions: &[&Solution<'_>], k: usize) -> (Vec<(f64, f64
                 let under = |s: &Solution<'_>| {
                     let (hx, hy) = s.hottest_cell_position();
                     let t_max = s.celsius_at(hx, hy);
-                    let best = chosen
-                        .iter()
-                        .map(|&(x, y)| s.celsius_at(x, y))
-                        .fold(f64::MIN, f64::max);
-                    if chosen.is_empty() { f64::MAX } else { t_max - best }
+                    let best =
+                        chosen.iter().map(|&(x, y)| s.celsius_at(x, y)).fold(f64::MIN, f64::max);
+                    if chosen.is_empty() {
+                        f64::MAX
+                    } else {
+                        t_max - best
+                    }
                 };
                 under(a).total_cmp(&under(b))
             })
@@ -229,9 +213,7 @@ pub fn greedy_placement(solutions: &[&Solution<'_>], k: usize) -> (Vec<(f64, f64
             .iter()
             .copied()
             .max_by(|&(ax, ay), &(bx, by)| {
-                worst_sol
-                    .celsius_at(ax, ay)
-                    .total_cmp(&worst_sol.celsius_at(bx, by))
+                worst_sol.celsius_at(ax, ay).total_cmp(&worst_sol.celsius_at(bx, by))
             })
             .expect("candidates non-empty");
         chosen.push(best_c);

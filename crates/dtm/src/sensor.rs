@@ -177,12 +177,8 @@ mod tests {
     fn offset_and_quantization_apply() {
         let (model, power) = solved_model();
         let sol = model.steady_state(&power).unwrap();
-        let mut arr = SensorArray::new(
-            vec![Sensor::ideal("s", 8e-3, 8e-3).with_offset(5.0)],
-            60e-6,
-            1.0,
-            1,
-        );
+        let mut arr =
+            SensorArray::new(vec![Sensor::ideal("s", 8e-3, 8e-3).with_offset(5.0)], 60e-6, 1.0, 1);
         let r = arr.read(&sol)[0];
         let truth = sol.celsius_at(8e-3, 8e-3) + 5.0;
         assert!((r - truth).abs() <= 0.5 + 1e-12, "quantized to 1 °C: {r} vs {truth}");
@@ -194,12 +190,7 @@ mod tests {
         let (model, power) = solved_model();
         let sol = model.steady_state(&power).unwrap();
         let mk = |seed| {
-            SensorArray::new(
-                vec![Sensor::ideal("s", 8e-3, 8e-3).with_noise(0.5)],
-                60e-6,
-                0.0,
-                seed,
-            )
+            SensorArray::new(vec![Sensor::ideal("s", 8e-3, 8e-3).with_noise(0.5)], 60e-6, 0.0, seed)
         };
         let a = mk(9).read(&sol);
         let b = mk(9).read(&sol);
@@ -212,12 +203,8 @@ mod tests {
     fn noise_has_plausible_spread() {
         let (model, power) = solved_model();
         let sol = model.steady_state(&power).unwrap();
-        let mut arr = SensorArray::new(
-            vec![Sensor::ideal("s", 8e-3, 8e-3).with_noise(1.0)],
-            60e-6,
-            0.0,
-            3,
-        );
+        let mut arr =
+            SensorArray::new(vec![Sensor::ideal("s", 8e-3, 8e-3).with_noise(1.0)], 60e-6, 0.0, 3);
         let truth = sol.celsius_at(8e-3, 8e-3);
         let n = 500;
         let readings: Vec<f64> = (0..n).map(|_| arr.read(&sol)[0]).collect();

@@ -65,11 +65,7 @@ impl<'a> PackageTranslator<'a> {
     ///
     /// Panics if the two models' floorplans or grids differ.
     pub fn new(rig: &'a ThermalModel, target: &'a ThermalModel) -> Result<Self, ThermalError> {
-        assert_eq!(
-            rig.floorplan(),
-            target.floorplan(),
-            "rig and target must share a floorplan"
-        );
+        assert_eq!(rig.floorplan(), target.floorplan(), "rig and target must share a floorplan");
         assert_eq!(rig.mapping().rows(), target.mapping().rows(), "grid rows must match");
         assert_eq!(rig.mapping().cols(), target.mapping().cols(), "grid cols must match");
         Ok(Self { target, inverter: PowerInverter::new(rig)? })
@@ -93,10 +89,7 @@ impl<'a> PackageTranslator<'a> {
     /// # Errors
     ///
     /// Propagates inversion or steady-solve failures.
-    pub fn translate_steady(
-        &self,
-        observed_cells: &[f64],
-    ) -> Result<Solution<'a>, ThermalError> {
+    pub fn translate_steady(&self, observed_cells: &[f64]) -> Result<Solution<'a>, ThermalError> {
         let power = self.recover_power(observed_cells)?;
         self.target.steady_state(&power)
     }
@@ -106,9 +99,7 @@ impl<'a> PackageTranslator<'a> {
 mod tests {
     use super::*;
     use hotiron_floorplan::library;
-    use hotiron_thermal::{
-        AirSinkPackage, FlowDirection, ModelConfig, OilSiliconPackage, Package,
-    };
+    use hotiron_thermal::{AirSinkPackage, FlowDirection, ModelConfig, OilSiliconPackage, Package};
 
     fn models() -> (ThermalModel, ThermalModel) {
         let plan = library::ev6();
@@ -121,12 +112,9 @@ mod tests {
             cfg,
         )
         .unwrap();
-        let target = ThermalModel::new(
-            plan,
-            Package::AirSink(AirSinkPackage::paper_default()),
-            cfg,
-        )
-        .unwrap();
+        let target =
+            ThermalModel::new(plan, Package::AirSink(AirSinkPackage::paper_default()), cfg)
+                .unwrap();
         (rig, target)
     }
 
@@ -134,8 +122,8 @@ mod tests {
     fn translation_matches_direct_simulation() {
         let (rig, target) = models();
         let plan = rig.floorplan().clone();
-        let truth = PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Dcache", 5.0), ("L2", 8.0)])
-            .unwrap();
+        let truth =
+            PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Dcache", 5.0), ("L2", 8.0)]).unwrap();
         let measured = rig.steady_state(&truth).unwrap();
         let translator = PackageTranslator::new(&rig, &target).unwrap();
         let predicted = translator.translate_steady(measured.silicon_cells()).unwrap();
@@ -151,8 +139,7 @@ mod tests {
     fn recovered_power_matches_truth() {
         let (rig, target) = models();
         let plan = rig.floorplan().clone();
-        let truth =
-            PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Icache", 6.0)]).unwrap();
+        let truth = PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("Icache", 6.0)]).unwrap();
         let measured = rig.steady_state(&truth).unwrap();
         let translator = PackageTranslator::new(&rig, &target).unwrap();
         let power = translator.recover_power(measured.silicon_cells()).unwrap();

@@ -1,6 +1,5 @@
 //! A single named rectangular floorplan unit.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named, axis-aligned rectangular functional unit on the die.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(b.name(), "IntReg");
 /// assert!((b.area() - 1.4e-3 * 1.7e-3).abs() < 1e-18);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     name: String,
     width: f64,

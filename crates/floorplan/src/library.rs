@@ -174,13 +174,7 @@ pub fn multicore(cores_x: usize, cores_y: usize, width: f64, height: f64) -> Flo
     let mut blocks = Vec::with_capacity(cores_x * cores_y);
     for iy in 0..cores_y {
         for ix in 0..cores_x {
-            blocks.push(Block::new(
-                format!("core_{ix}_{iy}"),
-                w,
-                h,
-                ix as f64 * w,
-                iy as f64 * h,
-            ));
+            blocks.push(Block::new(format!("core_{ix}_{iy}"), w, h, ix as f64 * w, iy as f64 * h));
         }
     }
     Floorplan::new(blocks).expect("multicore floorplan is valid")

@@ -2,8 +2,6 @@
 
 use crate::block::Block;
 use crate::error::FloorplanError;
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::collections::HashMap;
 
 /// Relative tolerance on pairwise overlap area (fraction of the smaller
@@ -38,19 +36,6 @@ pub struct Floorplan {
     index: HashMap<String, usize>,
     width: f64,
     height: f64,
-}
-
-impl Serialize for Floorplan {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.blocks.serialize(serializer)
-    }
-}
-
-impl<'de> Deserialize<'de> for Floorplan {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let blocks = Vec::<Block>::deserialize(deserializer)?;
-        Floorplan::new(blocks).map_err(D::Error::custom)
-    }
 }
 
 impl Floorplan {
@@ -99,7 +84,13 @@ impl Floorplan {
             blocks
                 .into_iter()
                 .map(|b| {
-                    Block::new(b.name(), b.width(), b.height(), b.left() - left, b.bottom() - bottom)
+                    Block::new(
+                        b.name(),
+                        b.width(),
+                        b.height(),
+                        b.left() - left,
+                        b.bottom() - bottom,
+                    )
                 })
                 .collect()
         } else {
@@ -214,8 +205,10 @@ mod tests {
         assert_eq!(p.block("a").unwrap().name(), "a");
         assert_eq!(p.block_index("b"), Some(1));
         assert!(p.block("c").is_none());
-        assert_eq!(p.require_block_index("zzz").unwrap_err(),
-            FloorplanError::UnknownBlock("zzz".into()));
+        assert_eq!(
+            p.require_block_index("zzz").unwrap_err(),
+            FloorplanError::UnknownBlock("zzz".into())
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl SyntheticCpu {
     /// Generates `n` samples starting at absolute sample offset `start`
     /// (useful for windowed re-simulation of a long run).
     pub fn simulate_from(&self, n: usize, start: usize) -> PowerTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (start as u64).wrapping_mul(0x9E37_79B9)) ;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (start as u64).wrapping_mul(0x9E37_79B9));
         let mut trace = PowerTrace::new(self.workload.sample_period, self.units.len());
         let mut sample = vec![0.0; self.units.len()];
         for i in 0..n {
@@ -87,13 +87,7 @@ impl SyntheticCpu {
         sample
     }
 
-    fn fill_sample(
-        &self,
-        n: usize,
-        rng: &mut StdRng,
-        temps: Option<&[f64]>,
-        out: &mut [f64],
-    ) {
+    fn fill_sample(&self, n: usize, rng: &mut StdRng, temps: Option<&[f64]>, out: &mut [f64]) {
         let phase = self.workload.phase_at(n);
         for (u, (unit, slot)) in self.units.iter().zip(out.iter_mut()).enumerate() {
             let base = phase.activity.level(unit.class);
@@ -146,9 +140,8 @@ mod tests {
         let plan = library::ev6();
         let t = cpu().simulate(8000);
         let avg = t.average();
-        let dens = |name: &str| {
-            avg[plan.block_index(name).unwrap()] / plan.block(name).unwrap().area()
-        };
+        let dens =
+            |name: &str| avg[plan.block_index(name).unwrap()] / plan.block(name).unwrap().area();
         assert!(dens("IntReg") > dens("FPMul") * 4.0, "integer code barely uses FP");
         assert!(dens("IntReg") > dens("L2"), "core denser than cache");
     }
@@ -159,8 +152,7 @@ mod tests {
         let t = cpu().simulate(8000);
         let hot: f64 = (0..100).map(|i| t.total(i)).sum::<f64>() / 100.0;
         let stall_start = 2600 + 1200; // first stall phase
-        let stall: f64 =
-            (stall_start..stall_start + 100).map(|i| t.total(i)).sum::<f64>() / 100.0;
+        let stall: f64 = (stall_start..stall_start + 100).map(|i| t.total(i)).sum::<f64>() / 100.0;
         assert!(stall < 0.7 * hot, "stall {stall} vs hot {hot}");
     }
 

@@ -204,8 +204,7 @@ impl PipelineCpu {
                                     c.branches += 1;
                                     if rng.gen_bool(phase.mispredict) {
                                         c.mispredicts += 1;
-                                        frontend_stalled_until =
-                                            cycle + MISPREDICT_PENALTY;
+                                        frontend_stalled_until = cycle + MISPREDICT_PENALTY;
                                     }
                                 }
                             }
@@ -259,15 +258,8 @@ mod tests {
     fn mcf_is_memory_bound_and_slower() {
         let (_, gcc) = cpu(program::gcc_program()).simulate(200);
         let (_, mcf) = cpu(program::mcf_program()).simulate(200);
-        let ipc = |cs: &[SampleCounters]| {
-            cs.iter().map(|c| c.ipc()).sum::<f64>() / cs.len() as f64
-        };
-        assert!(
-            ipc(&mcf) < 0.7 * ipc(&gcc),
-            "mcf {} must crawl vs gcc {}",
-            ipc(&mcf),
-            ipc(&gcc)
-        );
+        let ipc = |cs: &[SampleCounters]| cs.iter().map(|c| c.ipc()).sum::<f64>() / cs.len() as f64;
+        assert!(ipc(&mcf) < 0.7 * ipc(&gcc), "mcf {} must crawl vs gcc {}", ipc(&mcf), ipc(&gcc));
         // And hammer the L2 harder per instruction.
         let l2_per_kinst = |cs: &[SampleCounters]| {
             let misses: u64 = cs.iter().map(|c| c.l1d_misses).sum();
@@ -301,11 +293,8 @@ mod tests {
         // for gcc (they are calibrated to the same unit peaks).
         let plan = library::ev6();
         let (t_pipe, _) = cpu(program::gcc_program()).simulate(2_000);
-        let phase_cpu = crate::engine::SyntheticCpu::new(
-            uarch::ev6_units(&plan),
-            crate::workload::gcc(),
-            99,
-        );
+        let phase_cpu =
+            crate::engine::SyntheticCpu::new(uarch::ev6_units(&plan), crate::workload::gcc(), 99);
         let t_phase = phase_cpu.simulate(2_000);
         let total_pipe: f64 = t_pipe.average().iter().sum();
         let total_phase: f64 = t_phase.average().iter().sum();

@@ -7,10 +7,8 @@
 //! per-unit activities — and hence power — emerge rather than being
 //! asserted.
 
-use serde::{Deserialize, Serialize};
-
 /// Fractions of each instruction type; must sum to ~1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstructionMix {
     /// Integer ALU operations.
     pub int_ops: f64,
@@ -57,7 +55,7 @@ impl InstructionMix {
 }
 
 /// One phase of program behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgramPhase {
     /// Phase length in cycles.
     pub cycles: u64,
@@ -74,7 +72,7 @@ pub struct ProgramPhase {
 }
 
 /// A repeating sequence of program phases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramProfile {
     /// Name for reports.
     pub name: String,

@@ -1,7 +1,6 @@
 //! Power traces: time series of per-block power.
 
 use hotiron_floorplan::Floorplan;
-use serde::{Deserialize, Serialize};
 
 /// A time series of per-block power samples.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let icache = plan.block_index("Icache").unwrap();
 /// assert!((avg[icache] - 16.0 * 0.15).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace {
     dt: f64,
     block_count: usize,
@@ -317,9 +316,7 @@ impl PowerTrace {
         let header = lines.next().ok_or("empty ptrace")?;
         let cols: Vec<usize> = header
             .split_whitespace()
-            .map(|name| {
-                plan.block_index(name).ok_or_else(|| format!("unknown block `{name}`"))
-            })
+            .map(|name| plan.block_index(name).ok_or_else(|| format!("unknown block `{name}`")))
             .collect::<Result<_, _>>()?;
         if cols.len() != plan.len() {
             return Err(format!(

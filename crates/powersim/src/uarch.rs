@@ -1,11 +1,10 @@
 //! Microarchitectural unit power descriptors (the Wattch role).
 
 use hotiron_floorplan::Floorplan;
-use serde::{Deserialize, Serialize};
 
 /// Functional class of a unit; workload phases set one activity level per
 /// class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnitClass {
     /// Instruction fetch, I-cache, branch prediction, ITB.
     Fetch,
@@ -28,7 +27,7 @@ pub enum UnitClass {
 }
 
 /// One functional unit's power model: `P = leakage + activity x peak_dynamic`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnitSpec {
     /// Block name (must exist in the floorplan).
     pub name: String,
@@ -61,7 +60,7 @@ impl UnitSpec {
 /// Exponential temperature dependence of leakage,
 /// `L(T) = L(T_ref) · exp(β·(T − T_ref))` — the feedback loop the paper's
 /// §6 lists as a complication for reconciling packages.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeakageModel {
     /// Exponential sensitivity, 1/K (≈0.02–0.04 for 90–130 nm nodes).
     pub beta: f64,
@@ -213,11 +212,7 @@ mod tests {
         let d_intreg = density("IntReg");
         for b in plan.iter() {
             if b.name() != "IntReg" {
-                assert!(
-                    density(b.name()) <= d_intreg,
-                    "{} density exceeds IntReg",
-                    b.name()
-                );
+                assert!(density(b.name()) <= d_intreg, "{} density exceeds IntReg", b.name());
             }
         }
     }

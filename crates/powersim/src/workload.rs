@@ -7,10 +7,9 @@
 //! [`UnitClass`] plus a dithering amplitude.
 
 use crate::uarch::UnitClass;
-use serde::{Deserialize, Serialize};
 
 /// Activity levels (each in `[0, 1]`) for every unit class during one phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Activity {
     /// Fetch/I-cache/branch.
     pub fetch: f64,
@@ -62,7 +61,7 @@ impl Activity {
 }
 
 /// One workload phase: a duration (in samples) and an activity vector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// Phase length in power samples.
     pub samples: usize,
@@ -86,7 +85,7 @@ impl Phase {
 }
 
 /// A repeating sequence of phases with a sampling period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Name for reports.
     pub name: String,
@@ -246,11 +245,7 @@ pub fn bzip2() -> Workload {
         clock: 1.0,
         other: 0.3,
     };
-    Workload::new(
-        "bzip2",
-        Workload::PAPER_SAMPLE_PERIOD,
-        vec![Phase::new(5000, steady, 0.08)],
-    )
+    Workload::new("bzip2", Workload::PAPER_SAMPLE_PERIOD, vec![Phase::new(5000, steady, 0.08)])
 }
 
 /// A constant full-activity workload (no phases, no dithering) for

@@ -409,7 +409,14 @@ impl RefSim {
 
     /// Flux balance of one cell: returns `(num, den)` such that the steady
     /// update is `T = num/den` and the net inflow is `num − den·T`.
-    fn cell_balance(&self, t: &[f64], power: &[f64], ix: usize, iy: usize, iz: usize) -> (f64, f64) {
+    fn cell_balance(
+        &self,
+        t: &[f64],
+        power: &[f64],
+        ix: usize,
+        iy: usize,
+        iz: usize,
+    ) -> (f64, f64) {
         let cfg = &self.cfg;
         let mut num = 0.0;
         let mut den = 0.0;

@@ -50,10 +50,34 @@ impl StackSimConfig {
             nx: 30,
             ny: 30,
             slabs: vec![
-                Slab { conductivity: 100.0, heat_capacity: 1.75e6, thickness: 0.5e-3, side: 0.02, nz: 2 },
-                Slab { conductivity: 4.0, heat_capacity: 4.0e6, thickness: 20e-6, side: 0.02, nz: 1 },
-                Slab { conductivity: 400.0, heat_capacity: 3.55e6, thickness: 1.0e-3, side: 0.03, nz: 2 },
-                Slab { conductivity: 400.0, heat_capacity: 3.55e6, thickness: 6.9e-3, side: 0.06, nz: 3 },
+                Slab {
+                    conductivity: 100.0,
+                    heat_capacity: 1.75e6,
+                    thickness: 0.5e-3,
+                    side: 0.02,
+                    nz: 2,
+                },
+                Slab {
+                    conductivity: 4.0,
+                    heat_capacity: 4.0e6,
+                    thickness: 20e-6,
+                    side: 0.02,
+                    nz: 1,
+                },
+                Slab {
+                    conductivity: 400.0,
+                    heat_capacity: 3.55e6,
+                    thickness: 1.0e-3,
+                    side: 0.03,
+                    nz: 2,
+                },
+                Slab {
+                    conductivity: 400.0,
+                    heat_capacity: 3.55e6,
+                    thickness: 6.9e-3,
+                    side: 0.06,
+                    nz: 3,
+                },
             ],
             die_side: 0.02,
             r_convec,

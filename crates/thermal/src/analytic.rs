@@ -124,16 +124,11 @@ mod tests {
         let steps = (t_end / dt) as usize;
         for _ in 0..steps {
             let b = vec![p + c_over_dt[0] * x[0], c_over_dt[1] * x[1]];
-            let stats =
-                crate::sparse::conjugate_gradient(&a, &b, &mut x, 1e-12, 1000);
+            let stats = crate::sparse::conjugate_gradient(&a, &b, &mut x, 1e-12, 1000);
             assert!(stats.converged);
         }
         let exact = two_node_step_response(p, c1, r12, c2, r2a, t_end);
-        assert!(
-            (x[0] - exact).abs() < 0.02 * exact,
-            "BE {} vs analytic {exact}",
-            x[0]
-        );
+        assert!((x[0] - exact).abs() < 0.02 * exact, "BE {} vs analytic {exact}", x[0]);
     }
 
     #[test]
@@ -164,10 +159,8 @@ mod tests {
         for &t_probe in &probe_at {
             be.advance(&mut state, &p, 318.15, t_probe - t_now).unwrap();
             t_now = t_probe;
-            let avg: f64 =
-                circuit.silicon_slice(&state).iter().sum::<f64>() / 64.0 - 318.15;
-            let exact =
-                two_node_step_response(p_total, c_si, r_half, c_oil, r_half, t_probe);
+            let avg: f64 = circuit.silicon_slice(&state).iter().sum::<f64>() / 64.0 - 318.15;
+            let exact = two_node_step_response(p_total, c_si, r_half, c_oil, r_half, t_probe);
             let rel = (avg - exact).abs() / exact;
             assert!(rel < 0.05, "t={t_probe}: circuit {avg} vs ladder {exact}");
         }
@@ -189,7 +182,7 @@ mod tests {
         let p = vec![100.0 / 16.0; 16];
         let rk = Rk4Adaptive::new(&circuit);
         let mut state = vec![318.15; circuit.node_count()];
-        rk.advance(&mut state, &p, 318.15, 0.2);
+        rk.advance(&mut state, &p, 318.15, 0.2).unwrap();
         let avg: f64 = circuit.silicon_slice(&state).iter().sum::<f64>() / 16.0 - 318.15;
         let r_half = 1.0 / circuit.total_ambient_conductance();
         let c_oil: f64 = circuit.capacitance()[16..].iter().sum();

@@ -181,20 +181,15 @@ fn stamp_air(
     let spreader = next;
     let sink = next + 1;
     let coolant = next + 2;
-    cap[spreader] = p
-        .spreader
-        .material
-        .capacitance(p.spreader.side * p.spreader.side * p.spreader.thickness);
+    cap[spreader] =
+        p.spreader.material.capacitance(p.spreader.side * p.spreader.side * p.spreader.thickness);
     cap[sink] = p.sink.material.capacitance(p.sink.side * p.sink.side * p.sink.thickness);
     cap[coolant] = p.c_convec.max(1e-9);
     for (i, b) in plan.iter().enumerate() {
         // Half die + TIM + half spreader, per block area.
         let r = 0.5 * SILICON.vertical_resistance(_t_si, b.area())
             + p.interface_material.vertical_resistance(p.interface_thickness, b.area())
-            + 0.5
-                * p.spreader
-                    .material
-                    .vertical_resistance(p.spreader.thickness, b.area());
+            + 0.5 * p.spreader.material.vertical_resistance(p.spreader.thickness, b.area());
         t.stamp_conductance(i, spreader, 1.0 / r);
     }
     let die_area = plan.width() * plan.height();
@@ -230,10 +225,7 @@ fn stamp_oil(
     let mut node = next;
     for (i, b) in plan.iter().enumerate() {
         let (cx, cy) = b.center();
-        let x = p
-            .direction
-            .distance_from_leading_edge(cx, cy, w, h)
-            .max(length / 1000.0);
+        let x = p.direction.distance_from_leading_edge(cx, cy, w, h).max(length / 1000.0);
         let h_loc = if p.local_h { flow.local_h(x) } else { flow.average_h() };
         let delta = if p.local_boundary_layer {
             flow.local_boundary_layer_thickness(x)
@@ -277,9 +269,7 @@ mod tests {
         .unwrap();
         let gt = gm.steady_state(&power).unwrap().block_celsius();
         // Hottest and coolest blocks agree between the two discretizations.
-        let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
-        };
+        let argmax = |v: &[f64]| v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(argmax(&bt), argmax(&gt));
         // Powered blocks agree within a generous compact-vs-compact band.
         for name in ["IntReg", "Dcache"] {
@@ -402,13 +392,8 @@ impl BlockModel {
             for i in 0..b.len() {
                 b[i] += c_over_dt[i] * state[i];
             }
-            let stats = crate::sparse::conjugate_gradient(
-                &a,
-                &b,
-                state,
-                1e-11,
-                20 * self.node_count + 500,
-            );
+            let stats =
+                crate::sparse::conjugate_gradient(&a, &b, state, 1e-11, 20 * self.node_count + 500);
             if !stats.converged {
                 return Err(SolveError::NotConverged { stats });
             }

@@ -55,7 +55,10 @@ struct LayerDef {
 enum Attachment {
     Insulated,
     /// Lumped coolant: total resistance (K/W) and capacitance (J/K).
-    Lumped { r_total: f64, c_total: f64 },
+    Lumped {
+        r_total: f64,
+        c_total: f64,
+    },
     /// Distributed laminar film.
     OilFilm(OilFilmSpec),
 }
@@ -149,12 +152,25 @@ impl ThermalCircuit {
     ///
     /// Panics if `si_cell_power.len()` differs from the cell count.
     pub fn rhs(&self, si_cell_power: &[f64], ambient: f64) -> Vec<f64> {
+        let mut b = Vec::new();
+        self.rhs_into(si_cell_power, ambient, &mut b);
+        b
+    }
+
+    /// [`rhs`](Self::rhs) into a caller-provided buffer (cleared and resized
+    /// as needed) — for per-step hot loops that assemble the same-shape
+    /// right-hand side thousands of times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si_cell_power` does not have one entry per silicon cell.
+    pub fn rhs_into(&self, si_cell_power: &[f64], ambient: f64, b: &mut Vec<f64>) {
         assert_eq!(si_cell_power.len(), self.n_cells, "one power entry per silicon cell");
-        let mut b: Vec<f64> = self.ambient_g.iter().map(|g| g * ambient).collect();
+        b.clear();
+        b.extend(self.ambient_g.iter().map(|g| g * ambient));
         for (i, p) in si_cell_power.iter().enumerate() {
             b[self.si_offset + i] += p;
         }
-        b
     }
 
     /// Sum of all node-to-ambient conductances, W/K (the reciprocal of the
@@ -451,12 +467,12 @@ fn assemble(
     // ---- boundary attachments ----
     let mut next_node = next;
     let stamp_boundary = |att: &Attachment,
-                              layer: usize,
-                              stamps: &mut Vec<(usize, usize, f64)>,
-                              grounded: &mut Vec<(usize, f64)>,
-                              extra_caps: &mut Vec<(usize, f64)>,
-                              kinds: &mut Vec<NodeKind>,
-                              next_node: &mut usize| {
+                          layer: usize,
+                          stamps: &mut Vec<(usize, usize, f64)>,
+                          grounded: &mut Vec<(usize, f64)>,
+                          extra_caps: &mut Vec<(usize, f64)>,
+                          kinds: &mut Vec<NodeKind>,
+                          next_node: &mut usize| {
         match att {
             Attachment::Insulated => {}
             Attachment::Lumped { r_total, c_total } => {
@@ -519,8 +535,7 @@ fn assemble(
                     let oil = *next_node;
                     *next_node += 1;
                     kinds.push(NodeKind::Oil);
-                    let c_oil =
-                        spec.fluid.volumetric_heat_capacity() * ring_area * delta_overall;
+                    let c_oil = spec.fluid.volumetric_heat_capacity() * ring_area * delta_overall;
                     extra_caps.push((oil, c_oil.max(1e-12)));
                     let g = 2.0 * h * ring_area;
                     stamps.push((ring, oil, g));
@@ -530,8 +545,24 @@ fn assemble(
         }
     };
 
-    stamp_boundary(top, nl - 1, &mut stamps, &mut grounded, &mut extra_caps, &mut kinds, &mut next_node);
-    stamp_boundary(bottom, 0, &mut stamps, &mut grounded, &mut extra_caps, &mut kinds, &mut next_node);
+    stamp_boundary(
+        top,
+        nl - 1,
+        &mut stamps,
+        &mut grounded,
+        &mut extra_caps,
+        &mut kinds,
+        &mut next_node,
+    );
+    stamp_boundary(
+        bottom,
+        0,
+        &mut stamps,
+        &mut grounded,
+        &mut extra_caps,
+        &mut kinds,
+        &mut next_node,
+    );
 
     // ---- final matrices ----
     let n = next_node;
@@ -552,15 +583,7 @@ fn assemble(
     debug_assert!(g.is_symmetric(1e-9), "conductance matrix must be symmetric");
 
     let layer_names = layers.iter().map(|l| l.name).collect();
-    ThermalCircuit {
-        g,
-        cap,
-        ambient_g,
-        kinds,
-        layer_names,
-        si_offset: si_index * n_cells,
-        n_cells,
-    }
+    ThermalCircuit { g, cap, ambient_g, kinds, layer_names, si_offset: si_index * n_cells, n_cells }
 }
 
 #[cfg(test)]
@@ -580,7 +603,8 @@ mod tests {
     #[test]
     fn oil_circuit_structure() {
         let m = mapping(8, 8);
-        let c = build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let c =
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
         // 1 silicon layer (64 cells) + 64 oil nodes.
         assert_eq!(c.node_count(), 128);
         assert_eq!(c.si_offset(), 0);
@@ -601,7 +625,11 @@ mod tests {
         // With uniform (non-local) h the parallel combination of the per-cell
         // half-split pairs equals h·A = 1/Rconv exactly.
         let m = mapping(16, 16);
-        let pkg = OilSiliconPackage { local_h: false, local_boundary_layer: false, ..OilSiliconPackage::paper_default() };
+        let pkg = OilSiliconPackage {
+            local_h: false,
+            local_boundary_layer: false,
+            ..OilSiliconPackage::paper_default()
+        };
         let c = build_circuit(&m, die20(), &Package::OilSilicon(pkg));
         let flow = LaminarFlow::new(crate::fluid::MINERAL_OIL, 10.0, 0.02);
         let expected = 1.0 / flow.overall_resistance(4e-4);
@@ -615,7 +643,8 @@ mod tests {
     #[test]
     fn local_h_makes_leading_edge_cells_better_cooled() {
         let m = mapping(8, 8);
-        let c = build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let c =
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
         // Oil nodes are appended after the silicon cells in row-major order;
         // the first row's first (left) cell is upstream for LeftToRight.
         let oil_start = 64;
@@ -635,12 +664,8 @@ mod tests {
         assert_eq!(c.layer_names(), &["silicon", "interface", "spreader", "sink"]);
         assert_eq!(c.si_offset(), 0);
         // Exactly one grounded node: the coolant.
-        let grounded: Vec<_> = c
-            .ambient_conductance()
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| **g > 0.0)
-            .collect();
+        let grounded: Vec<_> =
+            c.ambient_conductance().iter().enumerate().filter(|(_, g)| **g > 0.0).collect();
         assert_eq!(grounded.len(), 1);
         assert_eq!(c.node_kinds()[grounded[0].0], NodeKind::Coolant);
         // Half-split: coolant-to-ambient conductance = 2 / r_convec.
@@ -656,13 +681,22 @@ mod tests {
         let c = build_circuit(&m, die20(), &pkg);
         assert_eq!(
             c.layer_names(),
-            &["pcb", "solder", "substrate", "c4", "interconnect", "silicon", "interface", "spreader", "sink"]
+            &[
+                "pcb",
+                "solder",
+                "substrate",
+                "c4",
+                "interconnect",
+                "silicon",
+                "interface",
+                "spreader",
+                "sink"
+            ]
         );
         // Silicon is layer index 5.
         assert_eq!(c.si_offset(), 5 * 16);
         // Two coolant nodes now: sink air + PCB natural convection.
-        let coolant_count =
-            c.node_kinds().iter().filter(|k| **k == NodeKind::Coolant).count();
+        let coolant_count = c.node_kinds().iter().filter(|k| **k == NodeKind::Coolant).count();
         assert_eq!(coolant_count, 2);
     }
 
@@ -685,7 +719,8 @@ mod tests {
     #[test]
     fn rhs_injects_power_and_ambient() {
         let m = mapping(4, 4);
-        let c = build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let c =
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
         let mut p = vec![0.0; 16];
         p[5] = 2.5;
         let b = c.rhs(&p, 318.15);
@@ -732,7 +767,8 @@ mod tests {
     #[test]
     fn silicon_capacitance_matches_hand_calculation() {
         let m = mapping(8, 8);
-        let c = build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        let c =
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
         let si_total: f64 = c.capacitance()[..64].iter().sum();
         // 1.75e6 J/m³K x 4e-4 m² x 0.5e-3 m = 0.35 J/K.
         assert!((si_total - 0.35).abs() < 1e-9, "{si_total}");

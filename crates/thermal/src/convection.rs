@@ -14,7 +14,6 @@
 //! `1/√x`, which is why the oil-flow *direction* moves hot spots (§4.2).
 
 use crate::fluid::Fluid;
-use serde::{Deserialize, Serialize};
 
 /// Reynolds number above which a flat-plate boundary layer transitions to
 /// turbulence; the laminar correlations are invalid beyond it.
@@ -22,7 +21,7 @@ pub const LAMINAR_RE_LIMIT: f64 = 5.0e5;
 
 /// Direction of coolant flow across the die, in floorplan coordinates
 /// (x grows rightward, y grows upward).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlowDirection {
     /// Flow enters at the left edge (x = 0) and exits at the right.
     LeftToRight,
@@ -139,7 +138,8 @@ impl LaminarFlow {
 
     /// Average heat-transfer coefficient `h_L` (Eqn 2), W/(m²·K).
     pub fn average_h(&self) -> f64 {
-        0.664 * (self.fluid.conductivity() / self.length)
+        0.664
+            * (self.fluid.conductivity() / self.length)
             * self.reynolds().sqrt()
             * self.fluid.prandtl().cbrt()
     }
@@ -256,8 +256,10 @@ mod tests {
     fn capacitance_matches_eqn3() {
         let f = paper_flow();
         let c = f.effective_capacitance(4e-4);
-        let by_hand =
-            MINERAL_OIL.density() * MINERAL_OIL.specific_heat() * 4e-4 * f.boundary_layer_thickness();
+        let by_hand = MINERAL_OIL.density()
+            * MINERAL_OIL.specific_heat()
+            * 4e-4
+            * f.boundary_layer_thickness();
         assert!((c - by_hand).abs() < 1e-12);
         // The oil film's capacitance is tiny compared to the silicon die's
         // 0.35 J/K (§4.1.2: "much smaller even compared to that of silicon").

@@ -36,6 +36,7 @@
 
 pub mod analytic;
 pub mod blockmodel;
+pub mod cholesky;
 pub mod circuit;
 pub mod convection;
 pub mod fluid;
@@ -47,10 +48,12 @@ pub mod solve;
 pub mod sparse;
 pub mod units;
 
+pub use blockmodel::BlockModel;
+pub use cholesky::{FactorError, LdlFactor};
 pub use convection::{FlowDirection, LaminarFlow};
 pub use fluid::Fluid;
 pub use materials::Material;
 pub use model::{ModelConfig, Solution, ThermalError, ThermalModel, TransientSim};
 pub use package::{AirSinkPackage, OilSiliconPackage, Package, SecondaryPath};
-pub use blockmodel::BlockModel;
 pub use power::PowerMap;
+pub use solve::SolverChoice;

@@ -265,11 +265,8 @@ impl<'m> Solution<'m> {
     ///
     /// Panics if the block name is unknown.
     pub fn block(&self, name: &str) -> f64 {
-        let i = self
-            .model
-            .plan
-            .block_index(name)
-            .unwrap_or_else(|| panic!("unknown block `{name}`"));
+        let i =
+            self.model.plan.block_index(name).unwrap_or_else(|| panic!("unknown block `{name}`"));
         self.block_celsius()[i]
     }
 
@@ -332,11 +329,8 @@ impl<'m> Solution<'m> {
     /// Die coordinates `(x, y)` of the hottest silicon cell, meters.
     pub fn hottest_cell_position(&self) -> (f64, f64) {
         let cells = self.silicon_cells();
-        let (i, _) = cells
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("grid is non-empty");
+        let (i, _) =
+            cells.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("grid is non-empty");
         let m = self.model.mapping();
         let (r, c) = m.cell_coords(i);
         m.cell_center(r, c)
@@ -393,6 +387,12 @@ impl<'m> TransientSim<'m> {
     /// The model this simulator runs on.
     pub fn model(&self) -> &ThermalModel {
         self.model
+    }
+
+    /// The backward-Euler stepper driving this simulation, for solver
+    /// telemetry (active solver, factor fill-in, amortized solve count).
+    pub fn stepper(&self) -> &BackwardEuler<'m> {
+        &self.stepper
     }
 
     /// Replaces the state with the steady state of `power` (the paper's
@@ -459,7 +459,11 @@ mod tests {
         let plan = library::ev6();
         let bad = ModelConfig { rows: 0, ..ModelConfig::paper_default() };
         assert!(matches!(
-            ThermalModel::new(plan.clone(), Package::OilSilicon(OilSiliconPackage::paper_default()), bad),
+            ThermalModel::new(
+                plan.clone(),
+                Package::OilSilicon(OilSiliconPackage::paper_default()),
+                bad
+            ),
             Err(ThermalError::Config(_))
         ));
         let bad = ModelConfig::paper_default().with_die_thickness(-1.0);
@@ -508,7 +512,12 @@ mod tests {
         .unwrap();
         let sa = air.steady_state(&power).unwrap();
         let so = oil.steady_state(&power).unwrap();
-        assert!(so.max_celsius() > sa.max_celsius(), "{} vs {}", so.max_celsius(), sa.max_celsius());
+        assert!(
+            so.max_celsius() > sa.max_celsius(),
+            "{} vs {}",
+            so.max_celsius(),
+            sa.max_celsius()
+        );
         assert!(so.gradient() > 2.0 * sa.gradient(), "{} vs {}", so.gradient(), sa.gradient());
     }
 

@@ -1,7 +1,6 @@
 //! Per-block power assignments.
 
 use hotiron_floorplan::{Floorplan, FloorplanError};
-use serde::{Deserialize, Serialize};
 
 /// Power dissipated by each floorplan block, in watts, aligned with the
 /// floorplan's block order.
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((p.total() - 2.0).abs() < 1e-12);
 /// # Ok::<(), hotiron_floorplan::FloorplanError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerMap {
     values: Vec<f64>,
 }

@@ -127,10 +127,7 @@ pub struct CsrMatrix {
 
 impl fmt::Debug for CsrMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CsrMatrix")
-            .field("n", &self.n)
-            .field("nnz", &self.values.len())
-            .finish()
+        f.debug_struct("CsrMatrix").field("n", &self.n).field("nnz", &self.values.len()).finish()
     }
 }
 
@@ -220,15 +217,71 @@ impl CsrMatrix {
     }
 }
 
-/// Outcome of an iterative solve.
+/// Which algorithm produced a [`SolveStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Jacobi-preconditioned conjugate gradient.
+    Cg,
+    /// Gauss–Seidel sweeps.
+    GaussSeidel,
+    /// Sparse LDLᵀ direct factorization ([`crate::cholesky::LdlFactor`]).
+    Ldlt,
+}
+
+impl SolveMethod {
+    /// Short lowercase label for telemetry output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Cg => "cg",
+            Self::GaussSeidel => "gauss-seidel",
+            Self::Ldlt => "ldlt",
+        }
+    }
+}
+
+/// Outcome of one linear solve, iterative or direct.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
-    /// Iterations used.
+    /// Which solver ran.
+    pub method: SolveMethod,
+    /// Iterations used (CG/Gauss–Seidel; iterative-refinement count for
+    /// direct solves, usually 0).
     pub iterations: usize,
     /// Final relative residual `‖b − A·x‖ / ‖b‖`.
     pub relative_residual: f64,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// Seconds spent factorizing the operator — charged to the solve that
+    /// triggered the factorization, 0.0 when a cached factor was reused or
+    /// the method is iterative.
+    pub factor_seconds: f64,
+    /// Stored non-zeros of the factor `L` (including the unit diagonal);
+    /// 0 for iterative methods.
+    pub factor_nnz: usize,
+    /// Number of solves performed against the same operator so far,
+    /// including this one (direct steppers amortize one factorization over
+    /// many solves; iterative solves always report 1).
+    pub solve_count: usize,
+}
+
+impl SolveStats {
+    /// Stats for an iterative solve (no factorization to report).
+    pub fn iterative(
+        method: SolveMethod,
+        iterations: usize,
+        relative_residual: f64,
+        converged: bool,
+    ) -> Self {
+        Self {
+            method,
+            iterations,
+            relative_residual,
+            converged,
+            factor_seconds: 0.0,
+            factor_nnz: 0,
+            solve_count: 1,
+        }
+    }
 }
 
 /// Jacobi-preconditioned conjugate gradient for SPD systems.
@@ -276,7 +329,7 @@ pub fn conjugate_gradient(
     let b_norm = norm2(b);
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = 0.0);
-        return SolveStats { iterations: 0, relative_residual: 0.0, converged: true };
+        return SolveStats::iterative(SolveMethod::Cg, 0, 0.0, true);
     }
 
     let mut r = vec![0.0; n];
@@ -291,14 +344,14 @@ pub fn conjugate_gradient(
 
     let mut res = norm2(&r) / b_norm;
     if res <= rel_tol {
-        return SolveStats { iterations: 0, relative_residual: res, converged: true };
+        return SolveStats::iterative(SolveMethod::Cg, 0, res, true);
     }
     for it in 1..=max_iter {
         a.mul_vec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 {
             // Numerical breakdown; report divergence.
-            return SolveStats { iterations: it, relative_residual: res, converged: false };
+            return SolveStats::iterative(SolveMethod::Cg, it, res, false);
         }
         let alpha = rz / pap;
         for i in 0..n {
@@ -307,7 +360,7 @@ pub fn conjugate_gradient(
         }
         res = norm2(&r) / b_norm;
         if res <= rel_tol {
-            return SolveStats { iterations: it, relative_residual: res, converged: true };
+            return SolveStats::iterative(SolveMethod::Cg, it, res, true);
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -319,7 +372,7 @@ pub fn conjugate_gradient(
             p[i] = z[i] + beta * p[i];
         }
     }
-    SolveStats { iterations: max_iter, relative_residual: res, converged: false }
+    SolveStats::iterative(SolveMethod::Cg, max_iter, res, false)
 }
 
 /// Gauss–Seidel sweeps for the same systems; slower than CG but useful as an
@@ -338,7 +391,14 @@ pub fn gauss_seidel(
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
-    let b_norm = norm2(b).max(1e-300);
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        // Zero RHS of an SPD system has the unique solution x = 0; clamping
+        // b_norm instead would divide a tiny absolute residual by 1e-300 and
+        // report spurious non-convergence.
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return SolveStats::iterative(SolveMethod::GaussSeidel, 0, 0.0, true);
+    }
     let mut res = f64::INFINITY;
     for sweep in 1..=max_sweeps {
         for i in 0..n {
@@ -360,11 +420,54 @@ pub fn gauss_seidel(
             let r: f64 = ax.iter().zip(b).map(|(axi, bi)| (bi - axi) * (bi - axi)).sum();
             res = r.sqrt() / b_norm;
             if res <= rel_tol {
-                return SolveStats { iterations: sweep, relative_residual: res, converged: true };
+                return SolveStats::iterative(SolveMethod::GaussSeidel, sweep, res, true);
             }
         }
     }
-    SolveStats { iterations: max_sweeps, relative_residual: res, converged: false }
+    SolveStats::iterative(SolveMethod::GaussSeidel, max_sweeps, res, false)
+}
+
+/// Reverse Cuthill–McKee fill-reducing ordering.
+///
+/// Returns a permutation `perm` with `perm[new] = old`: the node that lands
+/// at position `new` in the reordered matrix. On mesh-like graphs (thermal RC
+/// grids) this concentrates the profile near the diagonal, which keeps the
+/// LDLᵀ factor in [`crate::cholesky`] close to banded and cuts fill-in by an
+/// order of magnitude versus natural ordering.
+///
+/// The algorithm is the classic one: pick a minimum-degree start node per
+/// connected component (a cheap pseudo-peripheral heuristic), BFS visiting
+/// neighbors in ascending-degree order, then reverse the whole sequence.
+/// Disconnected components are handled by restarting from the unvisited node
+/// of minimum degree.
+pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
+    let n = a.dim();
+    let degree: Vec<usize> = (0..n).map(|i| a.row(i).count()).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut neighbors: Vec<usize> = Vec::new();
+    while order.len() < n {
+        // Unvisited node of minimum degree starts the next component.
+        let start = (0..n)
+            .filter(|&i| !visited[i])
+            .min_by_key(|&i| degree[i])
+            .expect("order.len() < n implies an unvisited node exists");
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            neighbors.clear();
+            neighbors.extend(a.row(u).map(|(j, _)| j).filter(|&j| !visited[j]));
+            neighbors.sort_unstable_by_key(|&j| degree[j]);
+            for &j in &neighbors {
+                visited[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+    order.reverse();
+    order
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -491,6 +594,76 @@ mod tests {
             assert!((b.diagonal(i) - (a.diagonal(i) + 10.0)).abs() < 1e-12);
         }
         assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn gauss_seidel_zero_rhs_returns_zero() {
+        // Regression: the old code clamped ‖b‖ to 1e-300, so a zero RHS
+        // reported relative residuals around 1e+300 and never "converged".
+        let a = laplacian_1d(10);
+        let mut x = vec![5.0; 10];
+        let stats = gauss_seidel(&a, &[0.0; 10], &mut x, 1e-12, 100);
+        assert!(stats.converged, "{stats:?}");
+        assert_eq!(stats.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        let a = laplacian_1d(37);
+        let perm = reverse_cuthill_mckee(&a);
+        let mut seen = [false; 37];
+        for &p in &perm {
+            assert!(!seen[p], "duplicate index {p}");
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_shuffled_path() {
+        // A path graph whose nodes are scattered (stride permutation) has a
+        // huge bandwidth under natural order; RCM should recover ~1.
+        let n = 101;
+        let scatter: Vec<usize> = (0..n).map(|i| (i * 37) % n).collect();
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            t.add(scatter[i], scatter[i], 2.0);
+            if i + 1 < n {
+                t.stamp_conductance(scatter[i], scatter[i + 1], 1.0);
+            }
+        }
+        let a = t.to_csr();
+        let bandwidth = |perm: &[usize]| -> usize {
+            let mut inv = vec![0usize; n];
+            for (new, &old) in perm.iter().enumerate() {
+                inv[old] = new;
+            }
+            (0..n)
+                .flat_map(|i| a.row(i).map(move |(j, _)| (i, j)))
+                .map(|(i, j)| inv[i].abs_diff(inv[j]))
+                .max()
+                .unwrap_or(0)
+        };
+        let natural: Vec<usize> = (0..n).collect();
+        let rcm = reverse_cuthill_mckee(&a);
+        assert!(bandwidth(&natural) > 10);
+        assert!(bandwidth(&rcm) <= 2, "rcm bandwidth {}", bandwidth(&rcm));
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        // Two disjoint triangles.
+        let mut t = TripletMatrix::new(6);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            t.stamp_conductance(a, b, 1.0);
+        }
+        let perm = reverse_cuthill_mckee(&t.to_csr());
+        let mut seen = [false; 6];
+        for &p in &perm {
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

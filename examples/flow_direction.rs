@@ -39,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     for (dir, sol) in FlowDirection::ALL.iter().zip(&solutions) {
-        let (bi, t) = sol
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty");
+        let (bi, t) = sol.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
         println!("hottest under {:<15}: {} ({:.2} °C)", dir.label(), plan.blocks()[bi].name(), t);
     }
     println!(

@@ -33,11 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let predicted = translator.translate_steady(measured.silicon_cells())?;
     let direct = product.steady_state(&truth)?; // ground truth for comparison
 
-    println!(
-        "recovered power {:.2} W (truth {:.2} W)\n",
-        recovered.total(),
-        truth.total()
-    );
+    println!("recovered power {:.2} W (truth {:.2} W)\n", recovered.total(), truth.total());
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>9}",
         "block", "rig (°C)", "translated", "direct sim", "error"
@@ -60,14 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nThe raw rig temperatures are up to {:.0} K away from the product\n\
          package's reality; the translated prediction lands within {:.2} K.\n\
          Measurement and simulation are complementary — the paper's thesis.",
-        tm.iter()
-            .zip(&td)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max),
-        tp.iter()
-            .zip(&td)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max),
+        tm.iter().zip(&td).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max),
+        tp.iter().zip(&td).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max),
     );
     Ok(())
 }

@@ -37,12 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<12} {:>12.1} {:>12.1}", "Tmin (°C)", sa.min_celsius(), so.min_celsius());
     println!("{:<12} {:>12.1} {:>12.1}", "Tavg (°C)", sa.average_celsius(), so.average_celsius());
     println!("{:<12} {:>12.1} {:>12.1}", "ΔT (K)", sa.gradient(), so.gradient());
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "hottest",
-        sa.hottest_block().0,
-        so.hottest_block().0
-    );
+    println!("{:<12} {:>12} {:>12}", "hottest", sa.hottest_block().0, so.hottest_block().0);
 
     println!("\nPer-block temperatures (°C):");
     println!("{:<10} {:>9} {:>12}", "block", "AIR-SINK", "OIL-SILICON");

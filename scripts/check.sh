@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, release build, tests.
+# CI (.github/workflows/ci.yml) runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

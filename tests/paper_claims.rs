@@ -58,9 +58,8 @@ fn claim4_oil_short_term_response_slower() {
         let t1 = sim.solution().block("IntReg");
         (t0 - t1) / (t0 - 45.0)
     };
-    let air = relative_recovery(Package::AirSink(
-        AirSinkPackage::paper_default().with_r_convec(1.0),
-    ));
+    let air =
+        relative_recovery(Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)));
     let oil = relative_recovery(Package::OilSilicon(
         OilSiliconPackage::paper_default().with_target_r_convec(1.0),
     ));
@@ -84,9 +83,7 @@ fn claim4_oil_long_term_warmup_faster() {
         sim.run(&power, 2.0).expect("run");
         (sim.solution().block("Icache") - 45.0) / (steady - 45.0)
     };
-    let air = settle_fraction(Package::AirSink(
-        AirSinkPackage::paper_default().with_r_convec(1.0),
-    ));
+    let air = settle_fraction(Package::AirSink(AirSinkPackage::paper_default().with_r_convec(1.0)));
     let oil = settle_fraction(Package::OilSilicon(
         OilSiliconPackage::paper_default().with_target_r_convec(1.0),
     ));
@@ -131,8 +128,7 @@ fn claim2_secondary_path_asymmetry() {
             .with_r_convec(0.3)
             .with_secondary(SecondaryPath::for_air_system()),
     ));
-    let air_without =
-        hot(Package::AirSink(AirSinkPackage::paper_default().with_r_convec(0.3)));
+    let air_without = hot(Package::AirSink(AirSinkPackage::paper_default().with_r_convec(0.3)));
 
     assert!(oil_without - oil_with > 5.0, "oil: {oil_without} vs {oil_with}");
     assert!((air_without - air_with).abs() < 2.0, "air: {air_without} vs {air_with}");

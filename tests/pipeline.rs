@@ -67,12 +67,7 @@ fn ir_workflow_camera_blurs_and_inversion_recovers() {
     let est_total: f64 = est.iter().sum();
     assert!((est_total - truth.total()).abs() < 0.1 * truth.total(), "total power {est_total}");
     // Ranking preserved despite blur.
-    let max_i = est
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .expect("cores")
-        .0;
+    let max_i = est.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("cores").0;
     assert_eq!(max_i, 1, "hottest-core identification survives the optics: {est:?}");
 }
 
@@ -82,12 +77,9 @@ fn sensor_budget_depends_on_package() {
     let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
     let power = PowerMap::from_vec(&plan, cpu.simulate(4_000).average());
     let cfg = ModelConfig::paper_default().with_grid(16, 16);
-    let air = ThermalModel::new(
-        plan.clone(),
-        Package::AirSink(AirSinkPackage::paper_default()),
-        cfg,
-    )
-    .expect("model");
+    let air =
+        ThermalModel::new(plan.clone(), Package::AirSink(AirSinkPackage::paper_default()), cfg)
+            .expect("model");
     let oil = ThermalModel::new(
         plan.clone(),
         Package::OilSilicon(OilSiliconPackage::paper_default()),
@@ -208,7 +200,9 @@ fn block_and_grid_models_agree_on_flow_direction_ordering() {
         m.steady_state(&power).unwrap().block("IntReg")
     };
     use FlowDirection::*;
-    for (a, b) in [(BottomToTop, LeftToRight), (LeftToRight, RightToLeft), (RightToLeft, TopToBottom)] {
+    for (a, b) in
+        [(BottomToTop, LeftToRight), (LeftToRight, RightToLeft), (RightToLeft, TopToBottom)]
+    {
         assert!(block_t(a) > block_t(b), "block model: {a:?} hotter than {b:?}");
         assert!(grid_t(a) > grid_t(b), "grid model: {a:?} hotter than {b:?}");
     }

@@ -1,6 +1,8 @@
 //! Property-based tests of the core invariants, spanning crates.
 
 use hotiron::prelude::*;
+use hotiron::thermal::cholesky::LdlFactor;
+use hotiron::thermal::sparse::TripletMatrix;
 use proptest::prelude::*;
 
 /// A random tiling floorplan: an n x m grid of blocks with random row/col
@@ -23,13 +25,7 @@ fn tiling_floorplan(cuts_x: Vec<f64>, cuts_y: Vec<f64>) -> Floorplan {
             let w = (xs[i + 1] - xs[i]) * scale;
             let h = (ys[j + 1] - ys[j]) * scale;
             if w > 1e-6 && h > 1e-6 {
-                blocks.push(Block::new(
-                    format!("b{i}_{j}"),
-                    w,
-                    h,
-                    xs[i] * scale,
-                    ys[j] * scale,
-                ));
+                blocks.push(Block::new(format!("b{i}_{j}"), w, h, xs[i] * scale, ys[j] * scale));
             }
         }
     }
@@ -165,6 +161,39 @@ proptest! {
             let sol = sim.solution();
             prop_assert!(sol.min_celsius() >= 45.0 - 1e-6);
             prop_assert!(sol.max_celsius() <= steady.max_celsius() + 1e-3);
+        }
+    }
+
+    /// The sparse LDLᵀ factorization round-trips `A·x` for random SPD RC
+    /// networks: every node is grounded (strict diagonal dominance, hence
+    /// positive definite), edges form a ring plus pseudo-random chords.
+    #[test]
+    fn ldlt_roundtrips_spd_rc_networks(
+        n in 3usize..32,
+        edge_g in proptest::collection::vec(0.05f64..20.0, 64..65),
+        ground_g in proptest::collection::vec(0.01f64..5.0, 32..33),
+        x_vals in proptest::collection::vec(-10.0f64..10.0, 32..33),
+    ) {
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            t.stamp_grounded_conductance(i, ground_g[i]);
+            t.stamp_conductance(i, (i + 1) % n, edge_g[i]);
+        }
+        // Pseudo-random chords from the remaining conductance values.
+        for (k, &g) in edge_g[n..].iter().enumerate() {
+            let a = (k * 5 + 1) % n;
+            let b = (k * 11 + 3) % n;
+            if a != b {
+                t.stamp_conductance(a, b, g);
+            }
+        }
+        let a = t.to_csr();
+        let f = LdlFactor::factor(&a).expect("grounded RC network is SPD");
+        let x: Vec<f64> = x_vals[..n].to_vec();
+        let b = a.mul_vec(&x);
+        let x_rec = f.solve(&b);
+        for (orig, rec) in x.iter().zip(&x_rec) {
+            prop_assert!((orig - rec).abs() < 1e-8, "{orig} vs {rec}");
         }
     }
 
