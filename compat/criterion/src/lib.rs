@@ -5,9 +5,42 @@
 //! statistics machinery, no external deps.
 
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results recorded by every `run_benchmark` call, for the optional JSON
+/// export ([`finalize`]): `(label, median seconds per iteration)`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Writes every benchmark's median to the file named by the
+/// `HOTIRON_BENCH_JSON` environment variable (no-op when unset), as a JSON
+/// array of `{"name": ..., "median_ns": ...}` objects, one per line — the
+/// input format of `scripts/bench_gate.sh`. Called by [`criterion_main!`]
+/// after all groups have run.
+pub fn finalize() {
+    let Ok(path) = std::env::var("HOTIRON_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().expect("results lock");
+    let mut out = String::from("[\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"median_ns\": {:.1}}}{comma}\n",
+            name.replace('\\', "\\\\").replace('"', "\\\""),
+            median * 1e9
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    } else {
+        println!("bench medians written to {path}");
+    }
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -135,6 +168,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F)
     per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
     let (min, max) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    RESULTS.lock().expect("results lock").push((label.to_owned(), median));
     println!(
         "bench {label:<40} {:>12} /iter  ({} .. {}, {} samples x {} iters)",
         format_time(median),
@@ -168,12 +202,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running every group, mirroring criterion.
+/// Entry point running every group, mirroring criterion. After all groups
+/// finish, medians are exported as JSON when `HOTIRON_BENCH_JSON` is set
+/// (see [`finalize`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -195,6 +232,20 @@ mod tests {
         g.sample_size(2);
         g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         g.finish();
+    }
+
+    #[test]
+    fn finalize_writes_json_medians() {
+        let path = std::env::temp_dir().join(format!("hotiron_bench_{}.json", std::process::id()));
+        RESULTS.lock().unwrap().push(("json/probe".into(), 1.5e-6));
+        std::env::set_var("HOTIRON_BENCH_JSON", &path);
+        finalize();
+        std::env::remove_var("HOTIRON_BENCH_JSON");
+        let s = std::fs::read_to_string(&path).expect("json written");
+        let _ = std::fs::remove_file(&path);
+        assert!(s.trim_start().starts_with('['), "{s}");
+        assert!(s.contains("\"name\": \"json/probe\""), "{s}");
+        assert!(s.contains("\"median_ns\": 1500.0"), "{s}");
     }
 
     #[test]

@@ -61,6 +61,31 @@ fn bench_steady(c: &mut Criterion) {
     g.finish();
 }
 
+/// The parallel-kernel showcase: repeated cold-start CG solves on the 64×64
+/// OIL-SILICON grid (the largest steady case), where SpMV and the vector
+/// kernels dominate. The bench-gate baseline pins this at the CI thread
+/// count; compare `HOTIRON_THREADS=1` vs `4` to see the pool's speedup.
+fn bench_steady_cg_64x64(c: &mut Criterion) {
+    let plan = library::ev6();
+    let model = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        ModelConfig::paper_default().with_grid(64, 64),
+    )
+    .unwrap();
+    let power = PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).unwrap();
+    let p = model.cell_power(&power);
+    let mut g = c.benchmark_group("steady_cg_64x64_oil");
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut s = model.initial_state();
+            solve_steady(model.circuit(), black_box(&p), 318.15, &mut s).unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_transient_step(c: &mut Criterion) {
     let plan = library::ev6();
     let mut g = c.benchmark_group("transient_step");
@@ -192,6 +217,7 @@ criterion_group!(
     benches,
     bench_assembly,
     bench_steady,
+    bench_steady_cg_64x64,
     bench_transient_step,
     bench_transient_1000_steps,
     bench_refsim,

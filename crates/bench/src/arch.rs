@@ -381,7 +381,11 @@ pub fn dtm_study(fidelity: Fidelity) -> Table {
             ModelConfig::paper_default().with_grid(grid, grid).with_ambient(ambient_k()),
         )
         .expect("valid model");
-        let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+        let cpu = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::gcc(),
+            42,
+        );
         // Operating point as the *sensors* see it (a designer can only set
         // thresholds against what sensors report): steady state of the
         // average power, read through the sensor grid, plus a 1 K margin so

@@ -3,16 +3,23 @@
 //! ```text
 //! cargo run --release -p hotiron-bench --bin figures -- all
 //! cargo run --release -p hotiron-bench --bin figures -- fig6 fig11
-//! cargo run --release -p hotiron-bench --bin figures -- --fast all
+//! cargo run --release -p hotiron-bench --bin figures -- --fast --jobs 4 all
 //! ```
 //!
-//! Each experiment prints an aligned table and writes a CSV under
-//! `results/`.
+//! Experiments are independent, so they fan out concurrently on the shared
+//! worker pool (`--jobs N` or `HOTIRON_THREADS`; see `thermal::pool`).
+//! Output order is the submission order regardless of which experiment
+//! finishes first: each experiment prints an aligned table and writes a CSV
+//! under `results/`, and a per-experiment timing summary lands in
+//! `results/fanout.csv`.
 
 use hotiron_bench::report::Table;
+use hotiron_bench::runner::{self, Artifact};
 use hotiron_bench::traces::TraceConfig;
 use hotiron_bench::{arch, athlon, steady, traces, transients, validation, Fidelity};
-use std::path::PathBuf;
+use hotiron_thermal::pool;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
 const EXPERIMENTS: &[&str] = &[
     "fig2",
@@ -34,83 +41,132 @@ const EXPERIMENTS: &[&str] = &[
     "dtm",
 ];
 
-fn run(name: &str, fidelity: Fidelity, out_dir: &PathBuf) {
-    let tables: Vec<(String, Table)> = match name {
-        "fig2" => vec![("fig02".into(), validation::fig2(fidelity))],
-        "fig3" => vec![("fig03".into(), validation::fig3(fidelity))],
-        "fig4" => vec![("fig04".into(), athlon::fig4(fidelity))],
-        "fig5" => vec![
-            ("fig05a".into(), athlon::fig5a(fidelity)),
-            ("fig05b".into(), athlon::fig5b(fidelity)),
-        ],
-        "fig6" => vec![("fig06".into(), transients::fig6(fidelity))],
-        "fig8" => vec![("fig08".into(), transients::fig8(fidelity))],
-        "fig9" => vec![("fig09".into(), transients::fig9(fidelity))],
+fn tables(list: Vec<(&str, Table)>) -> Vec<(String, Artifact)> {
+    list.into_iter().map(|(stem, t)| (stem.to_owned(), Artifact::Table(t))).collect()
+}
+
+fn run(name: &str, fidelity: Fidelity) -> Vec<(String, Artifact)> {
+    match name {
+        "fig2" => tables(vec![("fig02", validation::fig2(fidelity))]),
+        "fig3" => tables(vec![("fig03", validation::fig3(fidelity))]),
+        "fig4" => tables(vec![("fig04", athlon::fig4(fidelity))]),
+        "fig5" => {
+            tables(vec![("fig05a", athlon::fig5a(fidelity)), ("fig05b", athlon::fig5b(fidelity))])
+        }
+        "fig6" => tables(vec![("fig06", transients::fig6(fidelity))]),
+        "fig8" => tables(vec![("fig08", transients::fig8(fidelity))]),
+        "fig9" => tables(vec![("fig09", transients::fig9(fidelity))]),
         "fig10" => {
             let (air, oil, rows, cols) = steady::fig10_grids(fidelity);
-            write_grid(out_dir, "fig10_map_air", &air, rows, cols);
-            write_grid(out_dir, "fig10_map_oil", &oil, rows, cols);
-            vec![("fig10".into(), steady::fig10(fidelity))]
+            let mut out = vec![
+                ("fig10_map_air".to_owned(), Artifact::RawCsv(grid_csv(&air, rows, cols))),
+                ("fig10_map_oil".to_owned(), Artifact::RawCsv(grid_csv(&oil, rows, cols))),
+            ];
+            out.push(("fig10".to_owned(), Artifact::Table(steady::fig10(fidelity))));
+            out
         }
-        "fig11" => vec![("fig11".into(), steady::fig11(fidelity))],
-        "fig12" => vec![
-            ("fig12a".into(), traces::fig12(fidelity, TraceConfig::AirSink)),
-            ("fig12b".into(), traces::fig12(fidelity, TraceConfig::OilSilicon)),
-        ],
-        "sensing" => vec![("sensing".into(), arch::sensing(fidelity))],
-        "placement" => vec![("placement".into(), arch::placement_study(fidelity))],
-        "inversion" => vec![("inversion".into(), arch::inversion_study(fidelity))],
-        "tau" => vec![("tau".into(), arch::tau())],
-        "sweep" => vec![("sweep".into(), arch::rconv_sweep(fidelity))],
-        "translate" => vec![("translate".into(), arch::translation_study(fidelity))],
-        "dtm" => vec![("dtm".into(), arch::dtm_study(fidelity))],
-        other => {
-            eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?}");
-            std::process::exit(2);
-        }
-    };
-    for (stem, table) in tables {
-        print!("{}", table.render());
-        println!();
-        if let Err(e) = table.write_csv(out_dir, &stem) {
-            eprintln!("warning: could not write {stem}.csv: {e}");
-        }
+        "fig11" => tables(vec![("fig11", steady::fig11(fidelity))]),
+        "fig12" => tables(vec![
+            ("fig12a", traces::fig12(fidelity, TraceConfig::AirSink)),
+            ("fig12b", traces::fig12(fidelity, TraceConfig::OilSilicon)),
+        ]),
+        "sensing" => tables(vec![("sensing", arch::sensing(fidelity))]),
+        "placement" => tables(vec![("placement", arch::placement_study(fidelity))]),
+        "inversion" => tables(vec![("inversion", arch::inversion_study(fidelity))]),
+        "tau" => tables(vec![("tau", arch::tau())]),
+        "sweep" => tables(vec![("sweep", arch::rconv_sweep(fidelity))]),
+        "translate" => tables(vec![("translate", arch::translation_study(fidelity))]),
+        "dtm" => tables(vec![("dtm", arch::dtm_study(fidelity))]),
+        other => unreachable!("unvalidated experiment `{other}`"),
     }
 }
 
-fn write_grid(dir: &PathBuf, stem: &str, grid: &[f64], rows: usize, cols: usize) {
+fn grid_csv(grid: &[f64], rows: usize, cols: usize) -> String {
     let mut csv = String::new();
     for r in 0..rows {
         let cells: Vec<String> = (0..cols).map(|c| format!("{:.3}", grid[r * cols + c])).collect();
         csv.push_str(&cells.join(","));
         csv.push('\n');
     }
-    if std::fs::create_dir_all(dir).is_ok() {
-        let _ = std::fs::write(dir.join(format!("{stem}.csv")), csv);
+    csv
+}
+
+fn write_artifact(dir: &Path, stem: &str, artifact: &Artifact) {
+    let res = match artifact {
+        Artifact::Table(t) => t.write_csv(dir, stem),
+        Artifact::RawCsv(csv) => std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(format!("{stem}.csv")), csv)),
+    };
+    if let Err(e) = res {
+        eprintln!("warning: could not write {stem}.csv: {e}");
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fidelity = Fidelity::Paper;
     let mut names: Vec<String> = Vec::new();
-    for a in args {
+    let mut jobs: Option<usize> = None;
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--fast" => fidelity = Fidelity::Fast,
+            "--jobs" => match iter.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "all" => names.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned())),
             other => names.push(other.to_owned()),
         }
     }
     if names.is_empty() {
         eprintln!(
-            "usage: figures [--fast] <experiment...|all>\navailable: {}",
+            "usage: figures [--fast] [--jobs N] <experiment...|all>\navailable: {}",
             EXPERIMENTS.join(", ")
         );
-        std::process::exit(2);
+        return ExitCode::from(2);
     }
+    if let Some(bad) = names.iter().find(|n| !EXPERIMENTS.contains(&n.as_str())) {
+        eprintln!("unknown experiment `{bad}`; available: {}", EXPERIMENTS.join(", "));
+        return ExitCode::from(2);
+    }
+    if let Some(n) = jobs {
+        // Must happen before anything touches the lazily-created global pool.
+        pool::init_global(n.max(1));
+    }
+
     let out_dir = PathBuf::from("results");
-    for n in &names {
-        run(n, fidelity, &out_dir);
+    let results = runner::run_experiments(&names, |name| run(name, fidelity));
+
+    // Stable-order merge: print and write in submission order.
+    let mut failed = false;
+    for r in &results {
+        match &r.outcome {
+            Ok(artifacts) => {
+                for (stem, artifact) in artifacts {
+                    if let Artifact::Table(t) = artifact {
+                        print!("{}", t.render());
+                        println!();
+                    }
+                    write_artifact(&out_dir, stem, artifact);
+                }
+            }
+            Err(msg) => {
+                failed = true;
+                eprintln!("experiment `{}` FAILED: {msg}", r.name);
+            }
+        }
     }
+    let summary = runner::summary_table(&results);
+    print!("{}", summary.render());
+    write_artifact(&out_dir, "fanout", &Artifact::Table(summary));
     println!("CSV results written to {}/", out_dir.display());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

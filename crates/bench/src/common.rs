@@ -35,7 +35,11 @@ impl Fidelity {
 /// The EV6 floorplan with its time-averaged gcc power map (deterministic).
 pub fn ev6_gcc() -> (Floorplan, PowerMap) {
     let plan = library::ev6();
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let avg = cpu.simulate(8_000).average();
     let power = PowerMap::from_vec(&plan, avg);
     (plan, power)
@@ -44,7 +48,11 @@ pub fn ev6_gcc() -> (Floorplan, PowerMap) {
 /// The Athlon64 floorplan with its time-averaged gcc power map.
 pub fn athlon_gcc() -> (Floorplan, PowerMap) {
     let plan = library::athlon64();
-    let cpu = SyntheticCpu::new(uarch::athlon64_units(&plan), workload::gcc(), 7);
+    let cpu = SyntheticCpu::new(
+        uarch::athlon64_units(&plan).expect("athlon64 units align to the floorplan"),
+        workload::gcc(),
+        7,
+    );
     let avg = cpu.simulate(6_000).average();
     let power = PowerMap::from_vec(&plan, avg);
     (plan, power)

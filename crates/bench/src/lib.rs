@@ -27,6 +27,7 @@ pub mod arch;
 pub mod athlon;
 pub mod common;
 pub mod report;
+pub mod runner;
 pub mod steady;
 pub mod traces;
 pub mod transients;

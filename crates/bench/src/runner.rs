@@ -1,0 +1,182 @@
+//! Concurrent experiment fan-out with stable-order output merging.
+//!
+//! The figure experiments (fig2–fig12, sweep, dtm, …) are independent of
+//! each other, so the `figures` binary runs them as one task each on the
+//! shared [`hotiron_thermal::pool`]. Inside a pool task, nested pool calls
+//! run inline, which means each experiment's solver kernels execute on the
+//! experiment's own thread — per-experiment CPU time is then just that
+//! thread's CPU-clock delta, and the experiments cannot oversubscribe the
+//! machine.
+//!
+//! Outputs are merged in *submission order* regardless of completion order,
+//! so the console report and `results/` CSVs are byte-stable across runs and
+//! thread counts. A panicking experiment is caught and reported as a failed
+//! [`ExperimentResult`] instead of tearing down the whole batch.
+
+use crate::report::{Row, Table};
+use hotiron_thermal::pool;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
+/// One output file an experiment produces.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A [`Table`]: printed to the console and written as `<stem>.csv`.
+    Table(Table),
+    /// Pre-rendered CSV text written as `<stem>.csv` without console output
+    /// (fig 10's raw temperature maps).
+    RawCsv(String),
+}
+
+/// Outcome and timing of one experiment in a fan-out batch.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Experiment name as submitted.
+    pub name: String,
+    /// The experiment's artifacts as `(file stem, artifact)` pairs, or the
+    /// panic message if it crashed.
+    pub outcome: Result<Vec<(String, Artifact)>, String>,
+    /// Wall-clock seconds for this experiment.
+    pub wall_seconds: f64,
+    /// CPU seconds consumed by the thread that ran the experiment (0.0 when
+    /// the platform offers no per-thread CPU clock).
+    pub cpu_seconds: f64,
+}
+
+/// Runs `f` once per name, fanning the calls out on the current pool, and
+/// returns one result per name *in input order*.
+///
+/// `f` must be callable from worker threads (`Sync`, no interior
+/// single-thread assumptions). Panics inside `f` become `Err` outcomes.
+pub fn run_experiments<F>(names: &[String], f: F) -> Vec<ExperimentResult>
+where
+    F: Fn(&str) -> Vec<(String, Artifact)> + Sync,
+{
+    let p = pool::current();
+    pool::map_tasks(&p, names.len(), |i| {
+        let name = names[i].clone();
+        let cpu0 = thread_cpu_seconds();
+        let wall0 = Instant::now();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&name))).map_err(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "experiment panicked".to_owned())
+        });
+        let wall_seconds = wall0.elapsed().as_secs_f64();
+        let cpu_seconds = (thread_cpu_seconds() - cpu0).max(0.0);
+        ExperimentResult { name, outcome, wall_seconds, cpu_seconds }
+    })
+}
+
+/// Per-experiment timing summary of a finished batch as a [`Table`]
+/// (columns: wall s, cpu s, artifact count), with the run's thread counts in
+/// the metadata. Written to `results/fanout.csv` by the `figures` binary.
+pub fn summary_table(results: &[ExperimentResult]) -> Table {
+    let mut t = Table::new(
+        "Experiment fan-out",
+        "experiment",
+        vec!["wall_s".into(), "cpu_s".into(), "artifacts".into()],
+    );
+    t.set_meta("threads", pool::current().threads().to_string());
+    for r in results {
+        let artifacts = r.outcome.as_ref().map_or(0, Vec::len);
+        t.push(Row::new(r.name.clone(), vec![r.wall_seconds, r.cpu_seconds, artifacts as f64]));
+        if let Err(msg) = &r.outcome {
+            t.note(format!("{} FAILED: {}", r.name, msg.lines().next().unwrap_or("panic")));
+        }
+    }
+    let wall: f64 = results.iter().map(|r| r.wall_seconds).sum();
+    let cpu: f64 = results.iter().map(|r| r.cpu_seconds).sum();
+    t.note(format!("total wall {wall:.2} s (sum over experiments), cpu {cpu:.2} s"));
+    t
+}
+
+/// CPU seconds consumed by the calling thread, via `/proc/thread-self/stat`
+/// on Linux; 0.0 elsewhere.
+#[cfg(target_os = "linux")]
+fn thread_cpu_seconds() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return 0.0;
+    };
+    // Skip past the parenthesized comm field (it may contain spaces), then
+    // utime and stime are the 12th and 13th fields after the state letter.
+    let Some(close) = stat.rfind(')') else { return 0.0 };
+    let fields: Vec<&str> = stat[close + 1..].split_whitespace().collect();
+    let ticks = fields.get(11).and_then(|s| s.parse::<u64>().ok()).unwrap_or(0)
+        + fields.get(12).and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+    // USER_HZ is 100 on every Linux configuration we target.
+    ticks as f64 / 100.0
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_seconds() -> f64 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let input = names(&["c", "a", "b", "d"]);
+        let results = run_experiments(&input, |name| {
+            vec![(name.to_owned(), Artifact::RawCsv(format!("{name}\n")))]
+        });
+        let got: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(got, ["c", "a", "b", "d"]);
+        for r in &results {
+            let arts = r.outcome.as_ref().expect("experiment succeeded");
+            assert_eq!(arts[0].0, r.name);
+        }
+    }
+
+    #[test]
+    fn panicking_experiment_is_isolated() {
+        let input = names(&["ok1", "bad", "ok2"]);
+        let results = run_experiments(&input, |name| {
+            assert!(name != "bad", "synthetic failure in `{name}`");
+            Vec::new()
+        });
+        assert!(results[0].outcome.is_ok());
+        let msg = results[1].outcome.as_ref().expect_err("bad must fail");
+        assert!(msg.contains("synthetic failure"), "{msg}");
+        assert!(results[2].outcome.is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let results = run_experiments(&[], |_| Vec::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn summary_reports_failures_and_threads() {
+        let input = names(&["x", "y"]);
+        let results = run_experiments(&input, |name| {
+            assert!(name != "y", "boom");
+            vec![("x".into(), Artifact::RawCsv(String::new()))]
+        });
+        let t = summary_table(&results);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.get_meta("threads").is_some());
+        assert!(t.notes.iter().any(|n| n.contains("y FAILED")));
+    }
+
+    #[test]
+    fn cpu_clock_is_monotonic() {
+        let a = thread_cpu_seconds();
+        // Burn a little CPU so the clock can only move forward.
+        let mut acc = 0.0f64;
+        for i in 0..200_000 {
+            acc += (i as f64).sqrt();
+        }
+        assert!(acc > 0.0);
+        assert!(thread_cpu_seconds() >= a);
+    }
+}

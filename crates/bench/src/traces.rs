@@ -116,7 +116,11 @@ fn trace_run_uncached(fidelity: Fidelity, cfg: TraceConfig) -> TraceRun {
         }
     };
     let model = ThermalModel::new(plan.clone(), package, model_cfg).expect("valid model");
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let dt = Workload::PAPER_SAMPLE_PERIOD;
 
     let mut sim = model.transient(dt);

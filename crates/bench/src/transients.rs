@@ -37,6 +37,8 @@ fn record_solver_meta(table: &mut Table, key: &str, telemetry: SolverTelemetry) 
     table.set_meta(format!("{key}.solver"), solver);
     table.set_meta(format!("{key}.factor_nnz"), factor_nnz.to_string());
     table.set_meta(format!("{key}.solves"), solves.to_string());
+    table
+        .set_meta(format!("{key}.threads"), hotiron_thermal::pool::current().threads().to_string());
 }
 
 fn ev6_pair(grid: usize) -> (ThermalModel, ThermalModel) {

@@ -156,7 +156,11 @@ mod tests {
         let model =
             ThermalModel::new(plan.clone(), pkg, ModelConfig::paper_default().with_grid(8, 8))
                 .unwrap();
-        let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 11);
+        let cpu = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::gcc(),
+            11,
+        );
         let _ = trigger;
         (model, cpu)
     }
@@ -233,7 +237,11 @@ mod dvfs_loop_tests {
             ModelConfig::paper_default().with_grid(8, 8),
         )
         .unwrap();
-        let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 11);
+        let cpu = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::gcc(),
+            11,
+        );
         let sensors = SensorArray::uniform_grid(6, 0.016, 0.016, 5);
         // Trigger below the rig's operating point: the ladder must engage.
         let dvfs = DvfsDtm::ev6_ladder(60.0, 55.0, 50e-6);
@@ -258,7 +266,11 @@ mod dvfs_loop_tests {
             ModelConfig::paper_default().with_grid(8, 8),
         )
         .unwrap();
-        let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 11);
+        let cpu = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::gcc(),
+            11,
+        );
         let sensors = SensorArray::uniform_grid(6, 0.016, 0.016, 5);
         let dvfs = DvfsDtm::ev6_ladder(60.0, 55.0, 50e-6);
         let floor = 0.55 * 0.78 * 0.78;

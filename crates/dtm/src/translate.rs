@@ -153,7 +153,7 @@ mod tests {
         let (rig, target) = models();
         let plan = rig.floorplan().clone();
         let cpu = hotiron_powersim::SyntheticCpu::new(
-            hotiron_powersim::uarch::ev6_units(&plan),
+            hotiron_powersim::uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
             hotiron_powersim::workload::gcc(),
             42,
         );

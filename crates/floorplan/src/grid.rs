@@ -49,6 +49,11 @@ pub struct GridMapping {
     cell_cover: Vec<Vec<CellCoverage>>,
     /// Per-block list of (cell index, fraction of the *block's* area in that cell).
     block_cells: Vec<Vec<(usize, f64)>>,
+    /// Per-cell list of (block index, fraction of the *block's* area in this
+    /// cell), in ascending block order — the gather-form transpose of
+    /// `block_cells`, so per-cell consumers (parallel power spreading) add
+    /// contributions in exactly the order the serial scatter loop would.
+    cell_gather: Vec<Vec<(usize, f64)>>,
     block_count: usize,
 }
 
@@ -65,6 +70,7 @@ impl GridMapping {
         let cell_area = cell_width * cell_height;
         let mut cell_cover = vec![Vec::new(); rows * cols];
         let mut block_cells = vec![Vec::new(); plan.len()];
+        let mut cell_gather = vec![Vec::new(); rows * cols];
 
         for (bi, b) in plan.iter().enumerate() {
             // Only visit the cells the block's bounding box can touch.
@@ -81,6 +87,7 @@ impl GridMapping {
                         let idx = r * cols + c;
                         cell_cover[idx].push(CellCoverage { block: bi, fraction: ov / cell_area });
                         block_cells[bi].push((idx, ov / barea));
+                        cell_gather[idx].push((bi, ov / barea));
                     }
                 }
             }
@@ -92,6 +99,7 @@ impl GridMapping {
             cell_height,
             cell_cover,
             block_cells,
+            cell_gather,
             block_count: plan.len(),
         }
     }
@@ -163,6 +171,15 @@ impl GridMapping {
     /// the block lies entirely on the die).
     pub fn cells_of_block(&self, block: usize) -> &[(usize, f64)] {
         &self.block_cells[block]
+    }
+
+    /// Blocks covering a cell with *block*-area fractions, in ascending
+    /// block order — the transpose of [`Self::cells_of_block`]. Summing
+    /// `values[block] * fraction` over this list reproduces
+    /// [`Self::spread_block_values`] for that cell bitwise, which lets
+    /// callers parallelize the spread per cell without changing results.
+    pub fn blocks_of_cell(&self, cell: usize) -> &[(usize, f64)] {
+        &self.cell_gather[cell]
     }
 
     /// Spreads per-block extensive values (e.g. power in W) over cells,

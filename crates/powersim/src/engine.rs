@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 /// use hotiron_powersim::{engine::SyntheticCpu, uarch, workload};
 ///
 /// let plan = library::ev6();
-/// let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 1);
+/// let cpu = SyntheticCpu::new(uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"), workload::gcc(), 1);
 /// let a = cpu.simulate(500);
 /// let b = cpu.simulate(500);
 /// assert_eq!(a, b, "same seed, same trace");
@@ -115,7 +115,11 @@ mod tests {
 
     fn cpu() -> SyntheticCpu {
         let plan = library::ev6();
-        SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 7)
+        SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::gcc(),
+            7,
+        )
     }
 
     #[test]
@@ -124,7 +128,12 @@ mod tests {
         let b = cpu().simulate(200);
         assert_eq!(a, b);
         let plan = library::ev6();
-        let other = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 8).simulate(200);
+        let other = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::gcc(),
+            8,
+        )
+        .simulate(200);
         assert_ne!(a, other, "different seeds must differ");
     }
 
@@ -159,7 +168,11 @@ mod tests {
     #[test]
     fn leakage_feedback_raises_power_when_hot() {
         let plan = library::ev6();
-        let base = SyntheticCpu::new(uarch::ev6_units(&plan), workload::idle(), 3);
+        let base = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::idle(),
+            3,
+        );
         let fb = base.clone().with_leakage_model(LeakageModel::node_130nm());
         let cool = vec![330.0; plan.len()];
         let hot = vec![380.0; plan.len()];
@@ -175,7 +188,11 @@ mod tests {
     #[test]
     fn flat_out_has_no_jitter() {
         let plan = library::ev6();
-        let c = SyntheticCpu::new(uarch::ev6_units(&plan), workload::flat_out(), 1);
+        let c = SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            workload::flat_out(),
+            1,
+        );
         let t = c.simulate(10);
         for i in 1..10 {
             assert_eq!(t.sample(i), t.sample(0));
@@ -185,7 +202,11 @@ mod tests {
     #[test]
     fn blank_units_emit_leakage_only() {
         let plan = library::athlon64();
-        let c = SyntheticCpu::new(uarch::athlon64_units(&plan), workload::flat_out(), 1);
+        let c = SyntheticCpu::new(
+            uarch::athlon64_units(&plan).expect("athlon64 units align to the floorplan"),
+            workload::flat_out(),
+            1,
+        );
         let t = c.simulate(1);
         let bi = plan.block_index("blank1").unwrap();
         let spec = c.units().iter().find(|u| u.name == "blank1").unwrap();

@@ -25,7 +25,7 @@
 //! use hotiron_powersim::{engine::SyntheticCpu, uarch, workload};
 //!
 //! let plan = library::ev6();
-//! let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+//! let cpu = SyntheticCpu::new(uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"), workload::gcc(), 42);
 //! let trace = cpu.simulate(1000);
 //! assert_eq!(trace.len(), 1000);
 //! assert!(trace.average().iter().sum::<f64>() > 10.0); // tens of watts

@@ -102,7 +102,7 @@ struct RobEntry {
 /// use hotiron_powersim::{program, uarch};
 ///
 /// let plan = library::ev6();
-/// let cpu = PipelineCpu::new(uarch::ev6_units(&plan), program::gcc_program(), 7);
+/// let cpu = PipelineCpu::new(uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"), program::gcc_program(), 7);
 /// let (trace, counters) = cpu.simulate(100);
 /// assert_eq!(trace.len(), 100);
 /// let ipc = counters.iter().map(|c| c.ipc()).sum::<f64>() / 100.0;
@@ -236,7 +236,11 @@ mod tests {
 
     fn cpu(profile: ProgramProfile) -> PipelineCpu {
         let plan = library::ev6();
-        PipelineCpu::new(uarch::ev6_units(&plan), profile, 99)
+        PipelineCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            profile,
+            99,
+        )
     }
 
     #[test]
@@ -280,7 +284,8 @@ mod tests {
         let g = t_gcc.average();
         // Compare dynamic power (leakage floors both).
         let plan2 = library::ev6();
-        let fp_leak = uarch::ev6_units(&plan2)[fp_idx].leakage;
+        let fp_leak =
+            uarch::ev6_units(&plan2).expect("ev6 units align to the floorplan")[fp_idx].leakage;
         let dyn_art = a[fp_idx] - fp_leak;
         let dyn_gcc = (g[fp_idx] - fp_leak).max(1e-6);
         assert!(dyn_art > 3.0 * dyn_gcc, "art FP dyn {dyn_art} vs gcc {dyn_gcc}");
@@ -293,8 +298,11 @@ mod tests {
         // for gcc (they are calibrated to the same unit peaks).
         let plan = library::ev6();
         let (t_pipe, _) = cpu(program::gcc_program()).simulate(2_000);
-        let phase_cpu =
-            crate::engine::SyntheticCpu::new(uarch::ev6_units(&plan), crate::workload::gcc(), 99);
+        let phase_cpu = crate::engine::SyntheticCpu::new(
+            uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+            crate::workload::gcc(),
+            99,
+        );
         let t_phase = phase_cpu.simulate(2_000);
         let total_pipe: f64 = t_pipe.average().iter().sum();
         let total_phase: f64 = t_phase.average().iter().sum();

@@ -1,6 +1,26 @@
 //! Power traces: time series of per-block power.
 
 use hotiron_floorplan::Floorplan;
+use std::fmt;
+
+/// A trace constructor referenced a block the floorplan does not have.
+///
+/// Returned instead of panicking so a malformed workload description is a
+/// reportable failure under the experiment fan-out runner rather than a
+/// crashed worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// The unknown block name.
+    pub block: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown block `{}`", self.block)
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// A time series of per-block power samples.
 ///
@@ -15,11 +35,12 @@ use hotiron_floorplan::Floorplan;
 ///
 /// let plan = library::ev6();
 /// // The paper's Fig 8 load: 2 W/mm² on the hot block, 15 ms on / 85 ms off.
-/// let t = PowerTrace::square_wave(&plan, "Icache", 16.0, 0.015, 0.085, 1e-3, 0.2);
+/// let t = PowerTrace::square_wave(&plan, "Icache", 16.0, 0.015, 0.085, 1e-3, 0.2)?;
 /// assert_eq!(t.len(), 200);
 /// let avg = t.average();
 /// let icache = plan.block_index("Icache").unwrap();
 /// assert!((avg[icache] - 16.0 * 0.15).abs() < 0.5);
+/// # Ok::<(), hotiron_powersim::trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace {
@@ -124,9 +145,13 @@ impl PowerTrace {
     /// seconds, repeating over `duration` (all other blocks 0 W) — the
     /// paper's Fig 8 load shape.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the block name is unknown.
+    ///
     /// # Panics
     ///
-    /// Panics if the block is unknown or timings are not positive.
+    /// Panics if timings are not positive.
     pub fn square_wave(
         plan: &Floorplan,
         block: &str,
@@ -135,9 +160,9 @@ impl PowerTrace {
         off: f64,
         dt: f64,
         duration: f64,
-    ) -> Self {
+    ) -> Result<Self, TraceError> {
         assert!(on > 0.0 && off >= 0.0, "on/off durations must be positive");
-        let bi = plan.block_index(block).unwrap_or_else(|| panic!("unknown block `{block}`"));
+        let bi = plan.block_index(block).ok_or_else(|| TraceError { block: block.to_owned() })?;
         let mut t = Self::new(dt, plan.len());
         let period = on + off;
         let n = (duration / dt).round().max(1.0) as usize;
@@ -147,16 +172,20 @@ impl PowerTrace {
             sample[bi] = if phase < on { watts } else { 0.0 };
             t.push(&sample);
         }
-        t
+        Ok(t)
     }
 
     /// A two-stage handoff: `block_a` dissipates `watts` for `t_switch`
     /// seconds, then `block_b` does for the remainder — the paper's Fig 9
     /// IntReg→FPMap experiment.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] for the first unknown block name.
+    ///
     /// # Panics
     ///
-    /// Panics on unknown blocks or non-positive timings.
+    /// Panics on non-positive timings.
     pub fn handoff(
         plan: &Floorplan,
         block_a: &str,
@@ -165,10 +194,12 @@ impl PowerTrace {
         t_switch: f64,
         dt: f64,
         duration: f64,
-    ) -> Self {
+    ) -> Result<Self, TraceError> {
         assert!(t_switch > 0.0 && duration > t_switch, "switch must fall inside the trace");
-        let a = plan.block_index(block_a).unwrap_or_else(|| panic!("unknown block `{block_a}`"));
-        let b = plan.block_index(block_b).unwrap_or_else(|| panic!("unknown block `{block_b}`"));
+        let a =
+            plan.block_index(block_a).ok_or_else(|| TraceError { block: block_a.to_owned() })?;
+        let b =
+            plan.block_index(block_b).ok_or_else(|| TraceError { block: block_b.to_owned() })?;
         let mut t = Self::new(dt, plan.len());
         let n = (duration / dt).round().max(1.0) as usize;
         for i in 0..n {
@@ -180,7 +211,7 @@ impl PowerTrace {
             }
             t.push(&sample);
         }
-        t
+        Ok(t)
     }
 
     /// Re-samples to a coarser period by averaging whole groups of
@@ -238,7 +269,7 @@ mod tests {
     #[test]
     fn square_wave_duty_cycle() {
         let plan = library::ev6();
-        let t = PowerTrace::square_wave(&plan, "IntReg", 10.0, 0.015, 0.085, 1e-3, 1.0);
+        let t = PowerTrace::square_wave(&plan, "IntReg", 10.0, 0.015, 0.085, 1e-3, 1.0).unwrap();
         let bi = plan.block_index("IntReg").unwrap();
         let avg = t.average()[bi];
         assert!((avg - 1.5).abs() < 0.1, "avg {avg}");
@@ -249,7 +280,7 @@ mod tests {
     #[test]
     fn handoff_switches_block() {
         let plan = library::ev6();
-        let t = PowerTrace::handoff(&plan, "IntReg", "FPMap", 2.0, 0.01, 1e-3, 0.02);
+        let t = PowerTrace::handoff(&plan, "IntReg", "FPMap", 2.0, 0.01, 1e-3, 0.02).unwrap();
         let a = plan.block_index("IntReg").unwrap();
         let b = plan.block_index("FPMap").unwrap();
         assert_eq!(t.sample(0)[a], 2.0);
@@ -279,10 +310,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown block")]
-    fn square_wave_unknown_block() {
+    fn square_wave_unknown_block_is_an_error() {
         let plan = library::ev6();
-        let _ = PowerTrace::square_wave(&plan, "nope", 1.0, 0.1, 0.1, 0.01, 1.0);
+        let err = PowerTrace::square_wave(&plan, "nope", 1.0, 0.1, 0.1, 0.01, 1.0)
+            .expect_err("unknown block must be rejected");
+        assert_eq!(err.block, "nope");
+        assert!(err.to_string().contains("unknown block `nope`"));
+    }
+
+    #[test]
+    fn handoff_unknown_block_is_an_error() {
+        let plan = library::ev6();
+        let err = PowerTrace::handoff(&plan, "IntReg", "ghost", 1.0, 0.01, 1e-3, 0.02)
+            .expect_err("unknown block must be rejected");
+        assert_eq!(err.block, "ghost");
     }
 }
 
@@ -352,7 +393,7 @@ mod ptrace_tests {
     #[test]
     fn ptrace_round_trips() {
         let plan = library::ev6();
-        let t = PowerTrace::square_wave(&plan, "IntReg", 2.0, 0.01, 0.01, 1e-3, 0.05);
+        let t = PowerTrace::square_wave(&plan, "IntReg", 2.0, 0.01, 0.01, 1e-3, 0.05).unwrap();
         let text = t.to_ptrace(&plan);
         let back = PowerTrace::from_ptrace(&plan, &text, 1e-3).unwrap();
         assert_eq!(back.len(), t.len());

@@ -1,6 +1,37 @@
 //! Microarchitectural unit power descriptors (the Wattch role).
 
 use hotiron_floorplan::Floorplan;
+use std::fmt;
+
+/// A unit-spec set does not line up with the target floorplan.
+///
+/// Returned instead of panicking so a unit/floorplan mismatch is a
+/// reportable failure under the experiment fan-out runner rather than a
+/// crashed worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UarchError {
+    /// A unit names a block the floorplan does not have.
+    MissingBlock(String),
+    /// Two units name the same block.
+    DuplicateUnit(String),
+    /// The number of units differs from the number of blocks; fields are
+    /// `(units, blocks)`.
+    CountMismatch(usize, usize),
+}
+
+impl fmt::Display for UarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingBlock(name) => write!(f, "floorplan lacks block `{name}`"),
+            Self::DuplicateUnit(name) => write!(f, "duplicate unit spec for `{name}`"),
+            Self::CountMismatch(units, blocks) => {
+                write!(f, "{units} unit specs for {blocks} floorplan blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UarchError {}
 
 /// Functional class of a unit; workload phases set one activity level per
 /// class.
@@ -98,10 +129,11 @@ fn unit(name: &str, class: UnitClass, peak: f64, leak: f64) -> UnitSpec {
 /// HotSpot/Wattch literature reports for the EV6: integer cluster dominant,
 /// FP cluster nearly idle, ~40–50 W total.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the floorplan lacks any of the expected EV6 block names.
-pub fn ev6_units(plan: &Floorplan) -> Vec<UnitSpec> {
+/// Returns [`UarchError`] if the floorplan lacks any of the expected EV6
+/// block names.
+pub fn ev6_units(plan: &Floorplan) -> Result<Vec<UnitSpec>, UarchError> {
     // Peaks back-calculated so gcc-average *power densities* land in the
     // Fig 11 ordering: IntReg > IntExec > LdStQ > Dcache ≈ Bpred ≈ IntQ,
     // with IntReg only ~1.4x Dcache — tight enough that a top-to-bottom
@@ -135,10 +167,11 @@ pub fn ev6_units(plan: &Floorplan) -> Vec<UnitSpec> {
 /// the hot spot under OIL-SILICON (the paper's Fig 4: ~73 °C at `sched`,
 /// ~45 °C at the coolest covered block).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the floorplan lacks any of the expected Athlon64 block names.
-pub fn athlon64_units(plan: &Floorplan) -> Vec<UnitSpec> {
+/// Returns [`UarchError`] if the floorplan lacks any of the expected
+/// Athlon64 block names.
+pub fn athlon64_units(plan: &Floorplan) -> Result<Vec<UnitSpec>, UarchError> {
     let units = vec![
         unit("blank1", UnitClass::Blank, 0.0, 0.02),
         unit("blank2", UnitClass::Blank, 0.0, 0.02),
@@ -168,17 +201,21 @@ pub fn athlon64_units(plan: &Floorplan) -> Vec<UnitSpec> {
 
 /// Reorders `units` into the floorplan's block order so trace samples align
 /// with [`hotiron_floorplan::Floorplan`] indices.
-fn align_to(plan: &Floorplan, units: Vec<UnitSpec>) -> Vec<UnitSpec> {
-    assert_eq!(plan.len(), units.len(), "one unit spec per floorplan block");
+fn align_to(plan: &Floorplan, units: Vec<UnitSpec>) -> Result<Vec<UnitSpec>, UarchError> {
+    if plan.len() != units.len() {
+        return Err(UarchError::CountMismatch(units.len(), plan.len()));
+    }
     let mut slots: Vec<Option<UnitSpec>> = vec![None; plan.len()];
     for u in units {
-        let i = plan
-            .block_index(&u.name)
-            .unwrap_or_else(|| panic!("floorplan lacks block `{}`", u.name));
-        assert!(slots[i].is_none(), "duplicate unit spec for `{}`", u.name);
+        let i =
+            plan.block_index(&u.name).ok_or_else(|| UarchError::MissingBlock(u.name.clone()))?;
+        if slots[i].is_some() {
+            return Err(UarchError::DuplicateUnit(u.name));
+        }
         slots[i] = Some(u);
     }
-    slots.into_iter().map(|s| s.expect("every block has a unit spec")).collect()
+    // Count + no-duplicates implies every slot is filled.
+    Ok(slots.into_iter().map(|s| s.expect("every block has a unit spec")).collect())
 }
 
 #[cfg(test)]
@@ -189,7 +226,7 @@ mod tests {
     #[test]
     fn ev6_units_cover_floorplan() {
         let plan = library::ev6();
-        let units = ev6_units(&plan);
+        let units = ev6_units(&plan).expect("ev6 units align to the ev6 floorplan");
         assert_eq!(units.len(), plan.len());
         // At gcc-like activity levels, IntReg has the highest power
         // density: the Fig 10-12 hot spot.
@@ -220,7 +257,7 @@ mod tests {
     #[test]
     fn athlon_units_cover_floorplan() {
         let plan = library::athlon64();
-        let units = athlon64_units(&plan);
+        let units = athlon64_units(&plan).expect("athlon64 units align to the athlon64 floorplan");
         assert_eq!(units.len(), plan.len());
         // sched carries the highest density (Fig 4's hot spot).
         let sched = units.iter().find(|u| u.name == "sched").unwrap();
@@ -253,9 +290,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one unit spec per floorplan block")]
     fn mismatched_floorplan_rejected() {
         let plan = library::athlon64();
-        let _ = ev6_units(&plan);
+        let err = ev6_units(&plan).expect_err("ev6 units cannot align to the athlon64 floorplan");
+        assert!(
+            matches!(err, UarchError::CountMismatch(..) | UarchError::MissingBlock(_)),
+            "unexpected error: {err}"
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn duplicate_unit_rejected() {
+        let plan = library::ev6();
+        let mut units = ev6_units(&plan).expect("ev6 units align to the ev6 floorplan");
+        let dup = units[0].clone();
+        let last = units.len() - 1;
+        units[last] = dup;
+        let err = align_to(&plan, units).expect_err("duplicate spec must be rejected");
+        assert!(matches!(err, UarchError::DuplicateUnit(_)), "unexpected error: {err}");
     }
 }

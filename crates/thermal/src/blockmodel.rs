@@ -16,6 +16,7 @@
 use crate::convection::LaminarFlow;
 use crate::materials::SILICON;
 use crate::package::{AirSinkPackage, OilSiliconPackage, Package};
+use crate::pool;
 use crate::power::PowerMap;
 use crate::solve::SolveError;
 use crate::sparse::{CsrMatrix, TripletMatrix};
@@ -75,13 +76,28 @@ impl BlockModel {
         let mut ambient_g = vec![0.0; max_nodes];
         let next = nb;
 
-        // Silicon block nodes: capacitance + lateral couplings.
+        // Silicon block nodes: capacitance + lateral couplings. The O(nb²)
+        // pairwise adjacency scan fans out per source block on the pool
+        // (worthwhile only past a few dozen blocks); the couplings are then
+        // stamped serially in (i, j) order, so the matrix is identical to
+        // the serial scan's at any thread count.
+        let blocks: Vec<&Block> = plan.iter().collect();
+        let scan_row = |i: usize| -> Vec<(usize, f64)> {
+            let b = blocks[i];
+            (i + 1..nb)
+                .filter_map(|j| lateral_conductance(b, blocks[j], die_thickness).map(|g| (j, g)))
+                .collect()
+        };
+        let rows: Vec<Vec<(usize, f64)>> = if nb >= 64 {
+            let p = pool::current();
+            pool::map_tasks(&p, nb, scan_row)
+        } else {
+            (0..nb).map(scan_row).collect()
+        };
         for (i, b) in plan.iter().enumerate() {
             cap[i] = SILICON.capacitance(b.area() * die_thickness);
-            for (j, other) in plan.iter().enumerate().skip(i + 1) {
-                if let Some(g) = lateral_conductance(b, other, die_thickness) {
-                    t.stamp_conductance(i, j, g);
-                }
+            for &(j, g) in &rows[i] {
+                t.stamp_conductance(i, j, g);
             }
         }
 

@@ -9,7 +9,7 @@
 //! tree + per-column symbolic pattern walk), adapted to this crate's CSR
 //! storage: since the assembled matrices are symmetric, CSR row `k` doubles
 //! as CSC column `k`, and a fill-reducing permutation is applied by mapping
-//! indices through [`sparse::reverse_cuthill_mckee`] on the fly.
+//! indices through [`crate::sparse::reverse_cuthill_mckee`] on the fly.
 //!
 //! No pivoting is performed — none is needed: factorization fails with
 //! [`FactorError::NonPositivePivot`] exactly when the matrix is not positive

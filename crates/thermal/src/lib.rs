@@ -43,6 +43,7 @@ pub mod fluid;
 pub mod materials;
 pub mod model;
 pub mod package;
+pub mod pool;
 pub mod power;
 pub mod solve;
 pub mod sparse;

@@ -6,6 +6,7 @@
 
 use crate::circuit::{build_circuit, DieGeometry, ThermalCircuit};
 use crate::package::Package;
+use crate::pool;
 use crate::power::PowerMap;
 use crate::solve::{solve_steady, BackwardEuler, SolveError};
 use crate::units::{celsius_to_kelvin, kelvin_to_celsius};
@@ -189,8 +190,24 @@ impl ThermalModel {
     }
 
     /// Per-silicon-cell power (W) for a block power map.
+    ///
+    /// Parallelized per cell over the gather transpose
+    /// ([`GridMapping::blocks_of_cell`]), whose block-ascending entry order
+    /// makes the result bitwise identical to the serial scatter at any
+    /// thread count.
     pub fn cell_power(&self, power: &PowerMap) -> Vec<f64> {
-        self.mapping.spread_block_values(power.values())
+        let values = power.values();
+        assert_eq!(values.len(), self.mapping.block_count(), "one value per block required");
+        let mut out = vec![0.0; self.mapping.cell_count()];
+        let p = pool::current();
+        pool::fill_chunks(&p, &mut out, |_, start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                for &(bi, frac) in self.mapping.blocks_of_cell(start + k) {
+                    *slot += values[bi] * frac;
+                }
+            }
+        });
+        out
     }
 
     /// An all-ambient initial state.
@@ -250,13 +267,26 @@ impl<'m> Solution<'m> {
     }
 
     /// Area-weighted average temperature of each block, °C, floorplan order.
+    ///
+    /// Each block's average is an independent fold over its own cells, so
+    /// the per-block parallelization cannot change results.
     pub fn block_celsius(&self) -> Vec<f64> {
-        self.model
-            .mapping
-            .block_averages(self.silicon_cells())
-            .into_iter()
-            .map(kelvin_to_celsius)
-            .collect()
+        let mapping = &self.model.mapping;
+        let field = self.silicon_cells();
+        let mut out = vec![0.0; mapping.block_count()];
+        let p = pool::current();
+        pool::fill_chunks(&p, &mut out, |_, start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                let mut wsum = 0.0;
+                for &(ci, frac) in mapping.cells_of_block(start + k) {
+                    acc += field[ci] * frac;
+                    wsum += frac;
+                }
+                *slot = kelvin_to_celsius(if wsum > 0.0 { acc / wsum } else { 0.0 });
+            }
+        });
+        out
     }
 
     /// One block's average temperature, °C.

@@ -1,0 +1,565 @@
+//! Dependency-free scoped worker pool (std::thread only).
+//!
+//! The solver hot paths — CG's SpMV and vector kernels, the grid↔block
+//! mapping, and the bench suite's experiment fan-out — are embarrassingly
+//! parallel, but this workspace is offline (`compat/` policy: no crates.io),
+//! so rayon is not an option. This module provides the minimal pool those
+//! paths need:
+//!
+//! * **Persistent workers.** Threads are spawned once (lazily, for the
+//!   global pool) and parked between jobs; a job dispatch costs one atomic
+//!   publish plus, for cold workers, a condvar wake. Workers spin briefly
+//!   before sleeping so back-to-back dispatches (a CG iteration issues
+//!   several per solve) stay in the sub-microsecond regime.
+//! * **Scoped execution.** [`WorkerPool::for_each_task`] borrows its closure
+//!   from the caller's stack and does not return until every task finished,
+//!   so tasks may capture non-`'static` references (the matrix, the state
+//!   vector). There is no work stealing and no task queue — one job runs at
+//!   a time, tasks are claimed from a single atomic counter.
+//! * **Panic propagation.** A panicking task does not poison the pool: the
+//!   first payload is captured and re-thrown in the submitting thread after
+//!   the join, like `std::thread::scope`.
+//! * **Deterministic partitioning.** Work is split into *fixed-size* chunks
+//!   ([`CHUNK`]) whose boundaries do not depend on the thread count, and
+//!   order-sensitive reductions are summed chunk-by-chunk in index order
+//!   ([`det_sum_of`]), so every result is bitwise identical at any thread
+//!   count — including 1, where the pool runs the same chunk tree inline.
+//!
+//! The global pool's size comes from `HOTIRON_THREADS` (unset or `0` means
+//! the machine's available parallelism). Nested submissions — a task that
+//! itself calls into the pool, e.g. a fan-out experiment running CG — run
+//! inline on the worker, which keeps the pool deadlock-free and avoids
+//! oversubscription.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Hard cap on pool size (guards against absurd `HOTIRON_THREADS` values).
+pub const MAX_THREADS: usize = 256;
+
+/// Fixed chunk length (elements or matrix rows) for deterministic work
+/// partitioning. Chunk boundaries never depend on the thread count, so
+/// per-chunk partial results — and therefore fixed-order reductions over
+/// them — are reproducible on any pool.
+pub const CHUNK: usize = 1024;
+
+/// Minimum problem size before a kernel dispatches to the pool at all; below
+/// this the dispatch overhead exceeds the work.
+pub const PAR_MIN: usize = 2 * CHUNK;
+
+/// Spin iterations a worker burns waiting for the next job before blocking
+/// on the condvar (cheap relative to a wake, and it keeps tight solver loops
+/// from paying a futex round-trip per kernel).
+const SPIN_ROUNDS: u32 = 4096;
+
+thread_local! {
+    /// True on pool worker threads and inside a caller's participation in
+    /// its own job: nested submissions run inline (see module docs).
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Scoped pool overrides installed by [`with_pool`], innermost last.
+    static OVERRIDE: RefCell<Vec<Arc<WorkerPool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One in-flight job: a lifetime-erased task closure plus claim/completion
+/// counters. The submitter keeps the closure alive until `completed ==
+/// tasks`, which `for_each_task` guarantees by blocking, so the raw pointer
+/// never dangles.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    tasks: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `f` points at a `Sync` closure that outlives the job (the
+// submitter blocks until completion), so sharing the pointer across the
+// pool's threads is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct State {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    /// Mirror of `State::epoch` for the workers' lock-free spin phase.
+    epoch: AtomicU64,
+    state: Mutex<State>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// Submitters wait here for an idle slot / their job's completion.
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads. See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool that runs jobs on `threads` threads total: the
+    /// submitting thread participates, so `threads - 1` workers are spawned
+    /// and `new(1)` spawns none (every job runs inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            state: Mutex::new(State { job: None, epoch: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("hotiron-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, threads, handles }
+    }
+
+    /// Total threads a job can run on (including the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..tasks` and returns when all are done.
+    ///
+    /// Tasks run concurrently on the pool's threads (the caller included);
+    /// with a 1-thread pool, zero or one task, or when called from inside a
+    /// pool task, they run inline on the caller in index order. Task→thread
+    /// assignment is nondeterministic, so `f` must not depend on execution
+    /// order — writes must go to disjoint, index-addressed locations.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the first panic raised by any task, after all tasks have
+    /// settled (so no task is left running with dangling borrows).
+    pub fn for_each_task<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
+        if tasks == 0 {
+            return;
+        }
+        if self.threads <= 1 || tasks == 1 || IN_POOL.with(Cell::get) {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        // Erase the closure's lifetime: the job is guaranteed not to outlive
+        // `f` because this function blocks until `completed == tasks`.
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        let f_ptr: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f_ref) };
+        let job = Arc::new(Job {
+            f: f_ptr,
+            tasks,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut s = self.shared.state.lock().expect("pool lock");
+            // One job at a time: concurrent submitters queue here until the
+            // slot frees (their threads then typically help with *their own*
+            // job, not this one, preserving scoped-borrow safety).
+            while s.job.is_some() {
+                s = self.shared.done_cv.wait(s).expect("pool lock");
+            }
+            s.epoch += 1;
+            s.job = Some(Arc::clone(&job));
+            self.shared.epoch.store(s.epoch, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
+        // Participate: the submitting thread claims tasks like any worker.
+        // Mark it as in-pool so the closure's own nested submissions inline.
+        IN_POOL.with(|c| c.set(true));
+        run_tasks(&self.shared, &job);
+        IN_POOL.with(|c| c.set(false));
+        // Wait for stragglers still running their last claimed task.
+        if job.completed.load(Ordering::Acquire) < job.tasks {
+            let mut s = self.shared.state.lock().expect("pool lock");
+            while job.completed.load(Ordering::Acquire) < job.tasks {
+                s = self.shared.done_cv.wait(s).expect("pool lock");
+            }
+        }
+        let payload = job.panic.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.state.lock().expect("pool lock");
+            s.shutdown = true;
+            s.epoch += 1;
+            self.shared.epoch.store(s.epoch, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|c| c.set(true));
+    let mut seen = 0u64;
+    loop {
+        // Spin briefly for the next epoch before paying a condvar sleep.
+        let mut spins = 0u32;
+        while shared.epoch.load(Ordering::Acquire) == seen && spins < SPIN_ROUNDS {
+            spins += 1;
+            std::hint::spin_loop();
+        }
+        let job = {
+            let mut s = shared.state.lock().expect("pool lock");
+            while !s.shutdown && s.epoch == seen {
+                s = shared.work_cv.wait(s).expect("pool lock");
+            }
+            if s.shutdown {
+                return;
+            }
+            seen = s.epoch;
+            s.job.clone()
+        };
+        if let Some(job) = job {
+            run_tasks(shared, &job);
+        }
+    }
+}
+
+/// Claims and runs tasks until the claim counter is exhausted; the thread
+/// that completes the last task clears the job slot and wakes submitters.
+fn run_tasks(shared: &Shared, job: &Arc<Job>) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.tasks {
+            return;
+        }
+        // SAFETY: the submitter keeps the closure alive until completion.
+        let f = unsafe { &*job.f };
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+            let mut slot = job.panic.lock().expect("panic slot");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if job.completed.fetch_add(1, Ordering::AcqRel) + 1 == job.tasks {
+            let mut s = shared.state.lock().expect("pool lock");
+            if s.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, job)) {
+                s.job = None;
+            }
+            drop(s);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+
+/// The process-wide pool, created on first use with
+/// [`configured_threads`] threads. [`init_global`] can size it explicitly
+/// before that first use.
+pub fn global() -> Arc<WorkerPool> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(WorkerPool::new(configured_threads()))))
+}
+
+/// Initializes the global pool with an explicit thread count, returning
+/// `false` if it was already initialized (in which case the existing pool is
+/// untouched). Lets binaries honor a `--jobs` flag without racing the lazy
+/// env-based initialization.
+pub fn init_global(threads: usize) -> bool {
+    GLOBAL.set(Arc::new(WorkerPool::new(threads))).is_ok()
+}
+
+/// The thread count the global pool will use: `HOTIRON_THREADS` when set to
+/// a positive integer, otherwise (or when set to `0`) the machine's
+/// available parallelism, clamped to [`MAX_THREADS`].
+pub fn configured_threads() -> usize {
+    let auto =
+        || thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(MAX_THREADS);
+    match std::env::var("HOTIRON_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => auto(),
+            Ok(n) => n.min(MAX_THREADS),
+        },
+        Err(_) => auto(),
+    }
+}
+
+/// The pool the numeric kernels dispatch to: the innermost [`with_pool`]
+/// override on this thread, else the global pool.
+pub fn current() -> Arc<WorkerPool> {
+    OVERRIDE.with(|stack| stack.borrow().last().cloned()).unwrap_or_else(global)
+}
+
+/// Runs `f` with `pool` installed as this thread's [`current`] pool — the
+/// hook the determinism tests use to compare identical solves on 1-thread
+/// and N-thread pools inside one process.
+pub fn with_pool<R>(pool: &Arc<WorkerPool>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    OVERRIDE.with(|stack| stack.borrow_mut().push(Arc::clone(pool)));
+    let _guard = Guard;
+    f()
+}
+
+/// Runs `f(i)` for `i in 0..n` on the pool and returns the results in index
+/// order — parallel execution with a deterministic, stable-order merge. Used
+/// for coarse-grained fan-out (one task per experiment, one task per matrix
+/// row batch) where each task produces an owned value.
+pub fn map_tasks<T: Send>(pool: &WorkerPool, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    pool.for_each_task(n, |i| {
+        let v = f(i);
+        *slots[i].lock().expect("result slot") = Some(v);
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("task ran to completion"))
+        .collect()
+}
+
+/// Number of fixed-size chunks covering `0..n` (0 for an empty range).
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(CHUNK)
+}
+
+/// Runs `f(chunk_index, start, end)` over the fixed chunks of `0..n`,
+/// dispatching to `pool` when the range is big enough ([`PAR_MIN`]) and the
+/// pool has more than one thread. Chunk boundaries are identical either way,
+/// so any per-chunk computation is bitwise independent of the thread count.
+pub fn for_each_chunk(pool: &WorkerPool, n: usize, f: impl Fn(usize, usize, usize) + Sync) {
+    let chunks = chunk_count(n);
+    if chunks <= 1 || n < PAR_MIN || pool.threads() <= 1 {
+        for c in 0..chunks {
+            f(c, c * CHUNK, ((c + 1) * CHUNK).min(n));
+        }
+    } else {
+        pool.for_each_task(chunks, |c| f(c, c * CHUNK, ((c + 1) * CHUNK).min(n)));
+    }
+}
+
+/// Writable view of a slice that tasks index into disjointly.
+///
+/// `for_each_task` closures are `Fn` and shared across threads, so they
+/// cannot capture `&mut [f64]` directly; this wrapper carries the raw parts
+/// and hands each chunk a private sub-slice.
+struct SliceParts(*mut f64, usize);
+// SAFETY: each task derives a sub-slice for a chunk range no other task
+// touches (fixed disjoint chunks), and the owner outlives the scoped job.
+unsafe impl Send for SliceParts {}
+unsafe impl Sync for SliceParts {}
+
+impl SliceParts {
+    /// Accessor (rather than field reads) so closures capture `&SliceParts`
+    /// as a whole — disjoint field capture would grab the bare `*mut f64`,
+    /// which is not `Sync`.
+    fn get(&self) -> (*mut f64, usize) {
+        (self.0, self.1)
+    }
+}
+
+/// Fills `out` chunk-by-chunk via `f(chunk_index, start, chunk_out)` where
+/// `chunk_out = &mut out[start..end]`, in parallel when worthwhile. Chunks
+/// are the fixed deterministic partition of [`for_each_chunk`].
+pub fn fill_chunks(
+    pool: &WorkerPool,
+    out: &mut [f64],
+    f: impl Fn(usize, usize, &mut [f64]) + Sync,
+) {
+    let n = out.len();
+    let parts = SliceParts(out.as_mut_ptr(), n);
+    for_each_chunk(pool, n, |c, start, end| {
+        let (ptr, len) = parts.get();
+        debug_assert!(end <= len);
+        // SAFETY: chunk ranges are disjoint and within bounds; the slice
+        // outlives the scoped job because `for_each_chunk` blocks.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.add(start), end - start) };
+        f(c, start, chunk);
+    });
+}
+
+/// Like [`fill_chunks`] but updates two equal-length slices in lockstep:
+/// `f(chunk_index, start, a_chunk, b_chunk)`. CG's coupled updates
+/// (`x += α·p`, `r -= α·ap`) use this to pay one dispatch instead of two.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn fill_chunks2(
+    pool: &WorkerPool,
+    a: &mut [f64],
+    b: &mut [f64],
+    f: impl Fn(usize, usize, &mut [f64], &mut [f64]) + Sync,
+) {
+    let n = a.len();
+    assert_eq!(b.len(), n, "fill_chunks2 slices must match");
+    let pa = SliceParts(a.as_mut_ptr(), n);
+    let pb = SliceParts(b.as_mut_ptr(), n);
+    for_each_chunk(pool, n, |c, start, end| {
+        let (aptr, _) = pa.get();
+        let (bptr, _) = pb.get();
+        // SAFETY: as in `fill_chunks` — disjoint in-bounds chunks, owners
+        // outlive the blocking scoped job, and `a`/`b` are distinct slices.
+        let ac = unsafe { std::slice::from_raw_parts_mut(aptr.add(start), end - start) };
+        let bc = unsafe { std::slice::from_raw_parts_mut(bptr.add(start), end - start) };
+        f(c, start, ac, bc);
+    });
+}
+
+/// Deterministic fixed-order reduction: computes a partial value per fixed
+/// chunk with `f(start, end)` (in parallel when worthwhile) and sums the
+/// partials in ascending chunk order. The grouping — and therefore the
+/// floating-point result — depends only on `n`, never on the thread count.
+pub fn det_sum_of(pool: &WorkerPool, n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> f64 {
+    let chunks = chunk_count(n);
+    match chunks {
+        0 => 0.0,
+        1 => f(0, n),
+        _ => {
+            let mut partials = vec![0.0f64; chunks];
+            fill_chunks(pool, &mut partials, |_, pstart, out| {
+                for (slot, c) in out.iter_mut().zip(pstart..) {
+                    *slot = f(c * CHUNK, ((c + 1) * CHUNK).min(n));
+                }
+            });
+            partials.iter().sum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        pool.for_each_task(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_sized_batches_are_noops() {
+        let pool = WorkerPool::new(3);
+        pool.for_each_task(0, |_| panic!("must not run"));
+        for_each_chunk(&pool, 0, |_, _, _| panic!("must not run"));
+        let mut empty: [f64; 0] = [];
+        fill_chunks(&pool, &mut empty, |_, _, _| panic!("must not run"));
+        assert_eq!(det_sum_of(&pool, 0, |_, _| panic!("must not run")), 0.0);
+    }
+
+    #[test]
+    fn scoped_join_sees_all_side_effects() {
+        // The call must not return before every task has finished writing.
+        let pool = WorkerPool::new(4);
+        for _ in 0..50 {
+            let mut out = vec![0.0f64; 4096];
+            fill_chunks(&pool, &mut out, |_, start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + k) as f64;
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_task(64, |i| {
+                if i == 17 {
+                    panic!("boom {i}");
+                }
+            });
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom"), "{msg}");
+        // The pool is still usable afterwards.
+        let ran = AtomicU32::new(0);
+        pool.for_each_task(8, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_submission_runs_inline() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let count = AtomicU32::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.for_each_task(8, |_| {
+            // Nested call from inside a task: must not deadlock.
+            p2.for_each_task(8, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn det_sum_is_threadcount_invariant() {
+        let n = 10_000;
+        let data: Vec<f64> = (0..n).map(|i| ((i * 37) % 1000) as f64 * 1.0e-3 + 0.1).collect();
+        let sums: Vec<f64> = [1usize, 2, 5]
+            .iter()
+            .map(|&t| {
+                let pool = WorkerPool::new(t);
+                det_sum_of(&pool, n, |lo, hi| data[lo..hi].iter().sum())
+            })
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()), "{sums:?}");
+    }
+
+    #[test]
+    fn with_pool_overrides_current() {
+        let small = Arc::new(WorkerPool::new(1));
+        with_pool(&small, || {
+            assert_eq!(current().threads(), 1);
+        });
+    }
+
+    #[test]
+    fn single_chunk_sum_matches_plain_fold() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<f64> = (0..CHUNK).map(|i| i as f64 * 0.5).collect();
+        let a = det_sum_of(&pool, data.len(), |lo, hi| data[lo..hi].iter().sum());
+        let b: f64 = data.iter().sum();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -135,6 +135,8 @@ pub fn solve_steady_with(
                     factor_seconds: factor.factor_seconds(),
                     factor_nnz: factor.nnz_l(),
                     solve_count: 1,
+                    // The triangular sweeps are inherently serial.
+                    threads: 1,
                 }
             }
             Err(_) => {
@@ -359,6 +361,8 @@ impl<'c> BackwardEuler<'c> {
                     factor_seconds: if count == 1 { factor.factor_seconds() } else { 0.0 },
                     factor_nnz: factor.nnz_l(),
                     solve_count: count,
+                    // The triangular sweeps are inherently serial.
+                    threads: 1,
                 }
             }
             None => {

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::pool;
+
 /// Coordinate-format builder for a square sparse matrix.
 ///
 /// Duplicate entries are summed on conversion to CSR, which makes circuit
@@ -173,15 +175,22 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for (i, yi) in y.iter_mut().enumerate() {
-            let lo = self.row_ptr[i] as usize;
-            let hi = self.row_ptr[i + 1] as usize;
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
+        // Row-partitioned across the pool: each row's accumulation is an
+        // independent left-to-right fold, so the result is bitwise identical
+        // at any thread count.
+        let pool = pool::current();
+        pool::fill_chunks(&pool, y, |_, start, chunk| {
+            for (k, yi) in chunk.iter_mut().enumerate() {
+                let i = start + k;
+                let lo = self.row_ptr[i] as usize;
+                let hi = self.row_ptr[i + 1] as usize;
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.values[k] * x[self.col_idx[k] as usize];
+                }
+                *yi = acc;
             }
-            *yi = acc;
-        }
+        });
     }
 
     /// Returns `A + D` where `D` is a diagonal given as a vector (used to
@@ -262,6 +271,10 @@ pub struct SolveStats {
     /// including this one (direct steppers amortize one factorization over
     /// many solves; iterative solves always report 1).
     pub solve_count: usize,
+    /// Threads the solve's parallel kernels could dispatch on (the size of
+    /// the active [`pool`]); 1 for fully serial solves. Results are bitwise
+    /// identical at any value — see the [`pool`] module docs.
+    pub threads: usize,
 }
 
 impl SolveStats {
@@ -280,7 +293,14 @@ impl SolveStats {
             factor_seconds: 0.0,
             factor_nnz: 0,
             solve_count: 1,
+            threads: 1,
         }
+    }
+
+    /// Returns the stats with the thread count recorded.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -320,6 +340,12 @@ pub fn conjugate_gradient(
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
+    let pool = pool::current();
+    let threads = pool.threads();
+    let finish = |iterations, relative_residual, converged| {
+        SolveStats::iterative(SolveMethod::Cg, iterations, relative_residual, converged)
+            .with_threads(threads)
+    };
     let mut inv_diag = vec![0.0; n];
     for (i, slot) in inv_diag.iter_mut().enumerate() {
         let d = a.diagonal(i);
@@ -329,14 +355,16 @@ pub fn conjugate_gradient(
     let b_norm = norm2(b);
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = 0.0);
-        return SolveStats::iterative(SolveMethod::Cg, 0, 0.0, true);
+        return finish(0, 0.0, true);
     }
 
     let mut r = vec![0.0; n];
     a.mul_vec_into(x, &mut r);
-    for i in 0..n {
-        r[i] = b[i] - r[i];
-    }
+    pool::fill_chunks(&pool, &mut r, |_, start, chunk| {
+        for (k, ri) in chunk.iter_mut().enumerate() {
+            *ri = b[start + k] - *ri;
+        }
+    });
     let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(&ri, &di)| ri * di).collect();
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
@@ -344,35 +372,42 @@ pub fn conjugate_gradient(
 
     let mut res = norm2(&r) / b_norm;
     if res <= rel_tol {
-        return SolveStats::iterative(SolveMethod::Cg, 0, res, true);
+        return finish(0, res, true);
     }
     for it in 1..=max_iter {
         a.mul_vec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 {
             // Numerical breakdown; report divergence.
-            return SolveStats::iterative(SolveMethod::Cg, it, res, false);
+            return finish(it, res, false);
         }
         let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
+        pool::fill_chunks2(&pool, x, &mut r, |_, start, xc, rc| {
+            for (k, (xi, ri)) in xc.iter_mut().zip(rc.iter_mut()).enumerate() {
+                let i = start + k;
+                *xi += alpha * p[i];
+                *ri -= alpha * ap[i];
+            }
+        });
         res = norm2(&r) / b_norm;
         if res <= rel_tol {
-            return SolveStats::iterative(SolveMethod::Cg, it, res, true);
+            return finish(it, res, true);
         }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
+        pool::fill_chunks(&pool, &mut z, |_, start, chunk| {
+            for (k, zi) in chunk.iter_mut().enumerate() {
+                *zi = r[start + k] * inv_diag[start + k];
+            }
+        });
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        pool::fill_chunks(&pool, &mut p, |_, start, chunk| {
+            for (k, pi) in chunk.iter_mut().enumerate() {
+                *pi = z[start + k] + beta * *pi;
+            }
+        });
     }
-    SolveStats::iterative(SolveMethod::Cg, max_iter, res, false)
+    finish(max_iter, res, false)
 }
 
 /// Gauss–Seidel sweeps for the same systems; slower than CG but useful as an
@@ -470,8 +505,16 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
     order
 }
 
+/// Dot product via the deterministic fixed-chunk partial-sum tree: partials
+/// are computed per [`pool::CHUNK`]-sized chunk (in parallel when the vector
+/// is long enough) and summed in ascending chunk order, so the grouping —
+/// and thus the floating-point result — depends only on the length, never on
+/// the thread count.
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let pool = pool::current();
+    pool::det_sum_of(&pool, a.len().min(b.len()), |lo, hi| {
+        a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum()
+    })
 }
 
 fn norm2(a: &[f64]) -> f64 {

@@ -1,0 +1,146 @@
+//! Bitwise determinism of the parallel solver kernels.
+//!
+//! The worker pool's reductions sum fixed-size chunks in ascending chunk
+//! order, so every floating-point result must be *bitwise* identical no
+//! matter how many threads execute the kernels. These tests pin that
+//! guarantee for the two paper packages (OIL-SILICON and AIR-SINK) on both
+//! the steady-state CG solve and a 100-step backward-Euler transient.
+
+use std::sync::Arc;
+
+use hotiron_floorplan::{library, GridMapping};
+use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+use hotiron_thermal::pool::{with_pool, WorkerPool};
+use hotiron_thermal::solve::{solve_steady, BackwardEuler, SolverChoice};
+use hotiron_thermal::{
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+};
+
+const AMBIENT: f64 = 318.15;
+
+fn packages() -> [(&'static str, Package); 2] {
+    [
+        ("oil", Package::OilSilicon(OilSiliconPackage::paper_default())),
+        ("air", Package::AirSink(AirSinkPackage::paper_default())),
+    ]
+}
+
+/// Asserts two temperature fields are bitwise identical, reporting the first
+/// differing node (with full hex bits) when they are not.
+fn assert_bitwise_eq(label: &str, serial: &[f64], parallel: &[f64]) {
+    assert_eq!(serial.len(), parallel.len(), "{label}: length mismatch");
+    for (i, (a, b)) in serial.iter().zip(parallel).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{label}: node {i} differs: {a:?} ({:#018x}) vs {b:?} ({:#018x})",
+            a.to_bits(),
+            b.to_bits()
+        );
+    }
+}
+
+/// Runs `f` under a pool of `threads` workers, ignoring `HOTIRON_THREADS`.
+fn at_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    with_pool(&Arc::new(WorkerPool::new(threads)), f)
+}
+
+#[test]
+fn steady_state_bitwise_identical_across_thread_counts() {
+    let plan = library::ev6();
+    for (label, pkg) in packages() {
+        // 64x64 so the kernels are well past the parallel engagement
+        // threshold (PAR_MIN) and the pool actually splits the work.
+        let model =
+            ThermalModel::new(plan.clone(), pkg, ModelConfig::paper_default().with_grid(64, 64))
+                .expect("model builds");
+        let power =
+            PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).expect("blocks exist");
+
+        let p = model.cell_power(&power);
+        let run = |threads: usize| {
+            at_threads(threads, || {
+                let mut state = model.initial_state();
+                let stats =
+                    solve_steady(model.circuit(), &p, AMBIENT, &mut state).expect("steady solve");
+                (state, stats)
+            })
+        };
+
+        let (serial, serial_stats) = run(1);
+        assert_eq!(serial_stats.threads, 1, "{label}: serial run reports one thread");
+        for threads in [2, 4] {
+            let (parallel, stats) = run(threads);
+            assert_eq!(
+                stats.iterations, serial_stats.iterations,
+                "{label}: iteration count must not depend on thread count"
+            );
+            assert_eq!(stats.threads, threads, "{label}: reported thread count");
+            assert_bitwise_eq(
+                &format!("{label} steady 1 vs {threads} threads"),
+                &serial,
+                &parallel,
+            );
+        }
+    }
+}
+
+#[test]
+fn transient_100_steps_bitwise_identical_across_thread_counts() {
+    let plan = library::ev6();
+    let grid = 32;
+    let die = DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 };
+    for (label, pkg) in packages() {
+        let mapping = GridMapping::new(&plan, grid, grid);
+        let circuit = build_circuit(&mapping, die, &pkg);
+        let p = vec![40.0 / (grid * grid) as f64; grid * grid];
+
+        // CG is the parallel path; the LDLt sweeps are serial by design.
+        let run = |threads: usize| {
+            at_threads(threads, || {
+                let be = BackwardEuler::with_solver(&circuit, 1e-4, SolverChoice::Cg);
+                let mut state = vec![AMBIENT; circuit.node_count()];
+                for _ in 0..100 {
+                    be.step(&mut state, &p, AMBIENT).expect("transient step");
+                }
+                state
+            })
+        };
+
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            assert_bitwise_eq(
+                &format!("{label} transient 1 vs {threads} threads"),
+                &serial,
+                &parallel,
+            );
+        }
+    }
+}
+
+#[test]
+fn direct_transient_matches_regardless_of_pool() {
+    // The factorize-once LDLt path never fans out, but it consumes
+    // pool-produced right-hand sides; pin that it is thread-count invariant
+    // end to end too.
+    let plan = library::ev6();
+    let grid = 32;
+    let die = DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 };
+    let mapping = GridMapping::new(&plan, grid, grid);
+    let circuit =
+        build_circuit(&mapping, die, &Package::OilSilicon(OilSiliconPackage::paper_default()));
+    let p = vec![40.0 / (grid * grid) as f64; grid * grid];
+
+    let run = |threads: usize| {
+        at_threads(threads, || {
+            let be = BackwardEuler::with_solver(&circuit, 1e-4, SolverChoice::Direct);
+            let mut state = vec![AMBIENT; circuit.node_count()];
+            for _ in 0..100 {
+                be.step(&mut state, &p, AMBIENT).expect("transient step");
+            }
+            state
+        })
+    };
+
+    assert_bitwise_eq("oil direct transient 1 vs 4 threads", &run(1), &run(4));
+}

@@ -9,7 +9,11 @@ fn run_loop(pkg: Package, trigger: f64, label: &str) -> Result<(), Box<dyn std::
     let plan = library::ev6();
     let model =
         ThermalModel::new(plan.clone(), pkg, ModelConfig::paper_default().with_grid(16, 16))?;
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     // §5.2's sensing setup: 60 µs interval, 0.1 °C resolution.
     let sensors = SensorArray::new(
         vec![

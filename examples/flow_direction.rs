@@ -8,7 +8,11 @@ use hotiron::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = library::ev6();
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let power = PowerMap::from_vec(&plan, cpu.simulate(8_000).average());
 
     println!("EV6 / gcc ({:.1} W) under 10 m/s oil, four flow directions\n", power.total());

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ThermalModel::new(plan.clone(), rig, cfg)?;
 
     // Average power of a flat-out run on the synthetic Athlon.
-    let cpu = SyntheticCpu::new(uarch::athlon64_units(&plan), workload::gcc(), 7);
+    let cpu = SyntheticCpu::new(
+        uarch::athlon64_units(&plan).expect("athlon64 units align to the floorplan"),
+        workload::gcc(),
+        7,
+    );
     let power = PowerMap::from_vec(&plan, cpu.simulate(6_000).average());
     println!("Athlon64-class die, {:.1} W total, oil rig @ 10 m/s\n", power.total());
 

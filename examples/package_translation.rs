@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // A gcc run "measured" in the rig (we only get the oil-rig field).
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let truth = PowerMap::from_vec(&plan, cpu.simulate(8_000).average());
     let measured = rig.steady_state(&truth)?;
 

@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ModelConfig::paper_default().with_grid(32, 32);
 
     // Average gcc power from the synthetic Wattch pipeline.
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let trace = cpu.simulate(8_000);
     let power = PowerMap::from_vec(&plan, trace.average());
     println!("EV6 running gcc: total power {:.1} W\n", power.total());

@@ -12,7 +12,11 @@ use hotiron::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = library::ev6();
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let power = PowerMap::from_vec(&plan, cpu.simulate(8_000).average());
     let cfg = ModelConfig::paper_default().with_grid(32, 32);
 

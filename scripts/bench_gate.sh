@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# Perf-regression gate over the solver benchmarks.
+#
+# Runs `cargo bench -p hotiron-bench --bench solvers` with HOTIRON_BENCH_JSON
+# set, which makes the compat-criterion harness dump each benchmark's median
+# (ns/iter) as JSON, then compares every benchmark against the checked-in
+# baseline (scripts/BENCH_solvers.baseline.json). The gate fails when any
+# benchmark is more than BENCH_GATE_THRESHOLD percent (default 20) slower
+# than its baseline median, or when a baseline benchmark is missing from the
+# new results. New benchmarks absent from the baseline only warn.
+#
+# Usage:
+#   bash scripts/bench_gate.sh              # run benches, compare vs baseline
+#   bash scripts/bench_gate.sh --update     # run benches, refresh the baseline
+#   bash scripts/bench_gate.sh --self-test  # verify the gate logic itself
+#
+# Environment:
+#   BENCH_GATE_THRESHOLD  allowed regression in percent (default 20)
+#   BENCH_GATE_RESULTS    path to an existing results JSON; skips the bench
+#                         run and compares that file (used by --self-test and
+#                         for re-checking a saved CI artifact)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/BENCH_solvers.baseline.json
+THRESHOLD="${BENCH_GATE_THRESHOLD:-20}"
+
+# Prints "name<TAB>median_ns" lines from a results JSON (one object per line,
+# as written by compat-criterion's finalize()).
+parse() {
+  sed -n 's/.*"name": *"\([^"]*\)".*"median_ns": *\([0-9.][0-9.]*\).*/\1\t\2/p' "$1"
+}
+
+# compare BASELINE_FILE NEW_FILE -> exit 0 iff no benchmark regressed.
+compare() {
+  local base_file=$1 new_file=$2
+  parse "$base_file" > /tmp/bench_gate_base.$$
+  parse "$new_file" > /tmp/bench_gate_new.$$
+  trap 'rm -f /tmp/bench_gate_base.$$ /tmp/bench_gate_new.$$' RETURN
+
+  if ! [ -s /tmp/bench_gate_base.$$ ]; then
+    echo "bench_gate: no benchmarks parsed from baseline $base_file" >&2
+    return 1
+  fi
+  if ! [ -s /tmp/bench_gate_new.$$ ]; then
+    echo "bench_gate: no benchmarks parsed from results $new_file" >&2
+    return 1
+  fi
+
+  awk -F'\t' -v threshold="$THRESHOLD" '
+    NR == FNR { base[$1] = $2; next }
+    { new[$1] = $2 }
+    END {
+      fail = 0
+      for (name in base) {
+        if (!(name in new)) {
+          printf "MISSING  %-45s (in baseline, not in results)\n", name
+          fail = 1
+          continue
+        }
+        limit = base[name] * (1 + threshold / 100)
+        ratio = 100 * (new[name] / base[name] - 1)
+        if (new[name] > limit) {
+          printf "FAIL     %-45s %12.1f ns vs baseline %12.1f ns (%+.1f%% > +%s%%)\n", \
+                 name, new[name], base[name], ratio, threshold
+          fail = 1
+        } else {
+          printf "ok       %-45s %12.1f ns vs baseline %12.1f ns (%+.1f%%)\n", \
+                 name, new[name], base[name], ratio
+        }
+      }
+      for (name in new) {
+        if (!(name in base)) {
+          printf "NEW      %-45s %12.1f ns (not in baseline; run --update)\n", name, new[name]
+        }
+      }
+      exit fail
+    }
+  ' /tmp/bench_gate_base.$$ /tmp/bench_gate_new.$$
+}
+
+run_benches() {
+  local out
+  # Absolute path: cargo runs the bench binary from the package directory.
+  case "$1" in
+    /*) out=$1 ;;
+    *) out="$(pwd)/$1" ;;
+  esac
+  HOTIRON_BENCH_JSON="$out" cargo bench -p hotiron-bench --bench solvers
+  if ! [ -s "$out" ]; then
+    echo "bench_gate: bench run produced no JSON at $out" >&2
+    exit 1
+  fi
+}
+
+self_test() {
+  local tmp base new
+  tmp=$(mktemp -d)
+  base="$tmp/base.json"
+  new="$tmp/new.json"
+  cat > "$base" <<'EOF'
+[
+{"name": "steady/oil_cg/64", "median_ns": 1000000.0},
+{"name": "transient_1000_steps_32x32_oil/ldlt_factorize_once", "median_ns": 2000000.0}
+]
+EOF
+  # Identical results must pass.
+  cp "$base" "$new"
+  if ! compare "$base" "$new" > /dev/null; then
+    echo "self-test FAILED: identical results did not pass" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  # A 25% slowdown on one bench must fail at the default 20% threshold.
+  cat > "$new" <<'EOF'
+[
+{"name": "steady/oil_cg/64", "median_ns": 1250000.0},
+{"name": "transient_1000_steps_32x32_oil/ldlt_factorize_once", "median_ns": 2000000.0}
+]
+EOF
+  if compare "$base" "$new" > /dev/null; then
+    echo "self-test FAILED: 25% regression passed the gate" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  # A missing benchmark must fail.
+  cat > "$new" <<'EOF'
+[
+{"name": "steady/oil_cg/64", "median_ns": 1000000.0}
+]
+EOF
+  if compare "$base" "$new" > /dev/null; then
+    echo "self-test FAILED: missing benchmark passed the gate" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  rm -rf "$tmp"
+  echo "bench_gate self-test passed"
+}
+
+case "${1:-}" in
+  --self-test)
+    self_test
+    ;;
+  --update)
+    run_benches "$BASELINE"
+    echo "baseline updated: $BASELINE"
+    ;;
+  "")
+    if [ -n "${BENCH_GATE_RESULTS:-}" ]; then
+      results="$BENCH_GATE_RESULTS"
+    else
+      results=$(mktemp /tmp/BENCH_solvers.XXXXXX.json)
+      run_benches "$results"
+    fi
+    if ! [ -f "$BASELINE" ]; then
+      echo "bench_gate: no baseline at $BASELINE; run 'bash scripts/bench_gate.sh --update'" >&2
+      exit 1
+    fi
+    echo "bench_gate: comparing $results vs $BASELINE (threshold +${THRESHOLD}%)"
+    if compare "$BASELINE" "$results"; then
+      echo "bench_gate: PASS"
+    else
+      echo "bench_gate: FAIL — at least one benchmark regressed more than ${THRESHOLD}%" >&2
+      exit 1
+    fi
+    ;;
+  *)
+    echo "usage: bench_gate.sh [--update|--self-test]" >&2
+    exit 2
+    ;;
+esac

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# The full local gate: formatting, lints, release build, tests.
-# CI (.github/workflows/ci.yml) runs exactly this script.
+# The full local gate: formatting, lints, docs, release build, tests.
+# CI (.github/workflows/ci.yml) runs these same steps, split across jobs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +9,9 @@ cargo fmt --all --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo build --release"
 cargo build --release

@@ -6,7 +6,11 @@ use hotiron::prelude::*;
 const GRID: usize = 16;
 
 fn ev6_gcc_power(plan: &Floorplan) -> PowerMap {
-    let cpu = SyntheticCpu::new(uarch::ev6_units(plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     PowerMap::from_vec(plan, cpu.simulate(8_000).average())
 }
 
@@ -114,7 +118,11 @@ fn claim5_flow_direction_moves_hot_spot() {
 #[test]
 fn claim2_secondary_path_asymmetry() {
     let plan = library::athlon64();
-    let cpu = SyntheticCpu::new(uarch::athlon64_units(&plan), workload::gcc(), 7);
+    let cpu = SyntheticCpu::new(
+        uarch::athlon64_units(&plan).expect("athlon64 units align to the floorplan"),
+        workload::gcc(),
+        7,
+    );
     let power = PowerMap::from_vec(&plan, cpu.simulate(6_000).average());
 
     let hot = |pkg: Package| model(&plan, pkg).steady_state(&power).expect("steady").max_celsius();

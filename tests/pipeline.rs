@@ -13,7 +13,11 @@ fn full_closed_loop_pipeline_runs() {
         ModelConfig::paper_default().with_grid(8, 8),
     )
     .expect("model");
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 5);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        5,
+    );
     let sensors = SensorArray::uniform_grid(4, plan.width(), plan.height(), 9);
     let dtm = ThresholdDtm::new(90.0, 88.0, 0.5, 3e-3);
     let mut cl = ClosedLoop::new(&model, cpu, sensors, dtm);
@@ -74,7 +78,11 @@ fn ir_workflow_camera_blurs_and_inversion_recovers() {
 #[test]
 fn sensor_budget_depends_on_package() {
     let plan = library::ev6();
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let power = PowerMap::from_vec(&plan, cpu.simulate(4_000).average());
     let cfg = ModelConfig::paper_default().with_grid(16, 16);
     let air =
@@ -146,7 +154,11 @@ fn pipeline_cpu_drives_the_thermal_model() {
     // power trace → transient thermal simulation.
     use hotiron::powersim::{pipeline::PipelineCpu, program};
     let plan = library::ev6();
-    let cpu = PipelineCpu::new(uarch::ev6_units(&plan), program::gcc_program(), 3);
+    let cpu = PipelineCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        program::gcc_program(),
+        3,
+    );
     let (trace, counters) = cpu.simulate(600);
     assert_eq!(trace.len(), 600);
     let ipc = counters.iter().map(|c| c.ipc()).sum::<f64>() / 600.0;
@@ -178,7 +190,11 @@ fn block_and_grid_models_agree_on_flow_direction_ordering() {
     // of IntReg that the grid model (and the paper) show.
     use hotiron::thermal::BlockModel;
     let plan = library::ev6();
-    let cpu = SyntheticCpu::new(uarch::ev6_units(&plan), workload::gcc(), 42);
+    let cpu = SyntheticCpu::new(
+        uarch::ev6_units(&plan).expect("ev6 units align to the floorplan"),
+        workload::gcc(),
+        42,
+    );
     let power = PowerMap::from_vec(&plan, cpu.simulate(4_000).average());
     let i = plan.block_index("IntReg").unwrap();
     let block_t = |dir| {
