@@ -5,7 +5,8 @@ use crate::report::{Row, Table};
 use hotiron_floorplan::library;
 use hotiron_thermal::model::TransientSim;
 use hotiron_thermal::{
-    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, SolverChoice, ThermalModel,
+    AirSinkPackage, MgStats, ModelConfig, OilSiliconPackage, Package, PowerMap, SolverChoice,
+    ThermalModel,
 };
 
 /// The Fig 6/8 hot block: Icache at the paper's 2.0 W/mm² power density.
@@ -17,28 +18,55 @@ fn hot_block_power(plan: &hotiron_floorplan::Floorplan) -> PowerMap {
 }
 
 /// Snapshot of a finished simulation's solver telemetry: which linear solver
-/// ran the steps, the factor fill-in it carried, and how many solves
-/// amortized that one factorization.
-/// Snapshot of a sim's stepper: (solver label, nnz(L), solve count).
-type SolverTelemetry = (&'static str, usize, usize);
+/// ran the steps, the factor fill-in it carried, how many solves amortized
+/// that one factorization, and the multigrid hierarchy used by the steady
+/// initialization (if any).
+struct SolverTelemetry {
+    solver: &'static str,
+    factor_nnz: usize,
+    solves: usize,
+    multigrid: Option<MgStats>,
+}
 
 fn solver_telemetry(sim: &TransientSim<'_>) -> SolverTelemetry {
     let stepper = sim.stepper();
     let solver = match stepper.solver() {
         SolverChoice::Direct => "ldlt",
         SolverChoice::Cg => "cg",
+        SolverChoice::Multigrid => "mg-cg",
     };
-    (solver, stepper.factor_nnz(), stepper.solve_count())
+    SolverTelemetry {
+        solver,
+        factor_nnz: stepper.factor_nnz(),
+        solves: stepper.solve_count(),
+        multigrid: sim.model().last_solve_stats().and_then(|s| s.multigrid),
+    }
 }
 
 /// Records solver telemetry under `<key>.*` meta entries of the table.
+/// `<key>.mg_levels` is always present (0 when no solve on this model used
+/// multigrid); the remaining `mg_*` keys appear only when one did:
+/// `mg_cells` (per-level node counts, finest first, `/`-separated),
+/// `mg_sweeps` (pre+post smoother sweeps), `mg_cycles` (V-cycles of the most
+/// recent steady solve).
 fn record_solver_meta(table: &mut Table, key: &str, telemetry: SolverTelemetry) {
-    let (solver, factor_nnz, solves) = telemetry;
-    table.set_meta(format!("{key}.solver"), solver);
-    table.set_meta(format!("{key}.factor_nnz"), factor_nnz.to_string());
-    table.set_meta(format!("{key}.solves"), solves.to_string());
+    table.set_meta(format!("{key}.solver"), telemetry.solver);
+    table.set_meta(format!("{key}.factor_nnz"), telemetry.factor_nnz.to_string());
+    table.set_meta(format!("{key}.solves"), telemetry.solves.to_string());
     table
         .set_meta(format!("{key}.threads"), hotiron_thermal::pool::current().threads().to_string());
+    match telemetry.multigrid {
+        Some(mg) => {
+            table.set_meta(format!("{key}.mg_levels"), mg.levels.len().to_string());
+            let cells: Vec<String> = mg.levels.iter().map(|l| l.nodes.to_string()).collect();
+            table.set_meta(format!("{key}.mg_cells"), cells.join("/"));
+            table.set_meta(format!("{key}.mg_sweeps"), format!("{0}+{0}", mg.sweeps));
+            table.set_meta(format!("{key}.mg_cycles"), mg.cycles.to_string());
+        }
+        None => {
+            table.set_meta(format!("{key}.mg_levels"), "0");
+        }
+    }
 }
 
 fn ev6_pair(grid: usize) -> (ThermalModel, ThermalModel) {
@@ -260,7 +288,35 @@ mod tests {
                 t.get_meta(&format!("{key}.solves")).expect("meta").parse().expect("usize");
             assert!(nnz > 0, "{key} factor fill-in recorded");
             assert!(solves > 0, "{key} amortized solve count recorded");
+            // fig6 never steady-solves, so no multigrid hierarchy was used.
+            assert_eq!(t.get_meta(&format!("{key}.mg_levels")), Some("0"));
+            assert_eq!(t.get_meta(&format!("{key}.mg_cycles")), None);
         }
+    }
+
+    #[test]
+    fn mg_meta_records_hierarchy() {
+        use hotiron_thermal::multigrid::MgLevelStats;
+        let mut t = Table::new("t", "k", vec!["v".to_string()]);
+        let telemetry = SolverTelemetry {
+            solver: "mg-cg",
+            factor_nnz: 7,
+            solves: 3,
+            multigrid: Some(MgStats {
+                cycles: 11,
+                sweeps: 1,
+                levels: vec![
+                    MgLevelStats { rows: 64, cols: 64, nodes: 16401, seconds: 0.0 },
+                    MgLevelStats { rows: 32, cols: 32, nodes: 4101, seconds: 0.0 },
+                ],
+            }),
+        };
+        record_solver_meta(&mut t, "sim", telemetry);
+        assert_eq!(t.get_meta("sim.solver"), Some("mg-cg"));
+        assert_eq!(t.get_meta("sim.mg_levels"), Some("2"));
+        assert_eq!(t.get_meta("sim.mg_cells"), Some("16401/4101"));
+        assert_eq!(t.get_meta("sim.mg_sweeps"), Some("1+1"));
+        assert_eq!(t.get_meta("sim.mg_cycles"), Some("11"));
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! definite, which for a thermal circuit means a floating node or a sign
 //! error upstream, and callers fall back to CG for diagnosis.
 //!
+//! Besides the transient stepper, this factorization is the coarsest-level
+//! solver of the geometric multigrid hierarchy
+//! ([`crate::multigrid::Multigrid`]): the V-cycle agglomerates the grid down
+//! to a few hundred unknowns and solves that level exactly via
+//! [`LdlFactor::solve_with_scratch`], which keeps the whole preconditioner
+//! symmetric positive definite.
+//!
 //! # Examples
 //!
 //! ```

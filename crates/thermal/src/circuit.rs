@@ -32,9 +32,12 @@
 //!   capacitance of Eqn 3, again split half/half around the oil node. This
 //!   per-cell structure is what makes the flow direction matter.
 
+use std::sync::OnceLock;
+
 use crate::convection::{FlowDirection, LaminarFlow};
 use crate::fluid::Fluid;
 use crate::materials::Material;
+use crate::multigrid::{MgOptions, Multigrid};
 use crate::package::{AirSinkPackage, OilSiliconPackage, Package, PcbCooling, SecondaryPath};
 use crate::sparse::{CsrMatrix, TripletMatrix};
 use hotiron_floorplan::GridMapping;
@@ -101,6 +104,13 @@ pub struct ThermalCircuit {
     layer_names: Vec<&'static str>,
     si_offset: usize,
     n_cells: usize,
+    rows: usize,
+    cols: usize,
+    /// Lazily built geometric multigrid hierarchy for the steady solve.
+    /// `None` inside the cell means "grid too small / structure unsuitable";
+    /// building is serial and deterministic, so the cached hierarchy is
+    /// identical regardless of which solve triggered it.
+    mg: OnceLock<Option<Multigrid>>,
 }
 
 impl ThermalCircuit {
@@ -143,6 +153,34 @@ impl ThermalCircuit {
     /// Cells per layer.
     pub fn cell_count(&self) -> usize {
         self.n_cells
+    }
+
+    /// Grid rows per layer.
+    pub fn grid_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns per layer.
+    pub fn grid_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The geometric multigrid hierarchy for this circuit, built on first
+    /// use and cached. Returns `None` when the grid is too small for a
+    /// hierarchy to pay off (see [`MgOptions::coarsest_dim`]) or the network
+    /// structure defeats coarsening.
+    pub fn multigrid(&self) -> Option<&Multigrid> {
+        self.multigrid_with_setup().map(|(mg, _)| mg)
+    }
+
+    /// Like [`multigrid`](Self::multigrid), additionally reporting the setup
+    /// time in seconds — nonzero only for the call that actually built the
+    /// hierarchy, so callers can charge it to their `SolveStats` exactly
+    /// once.
+    pub fn multigrid_with_setup(&self) -> Option<(&Multigrid, f64)> {
+        let built_now = self.mg.get().is_none();
+        let slot = self.mg.get_or_init(|| Multigrid::from_circuit(self, MgOptions::default()));
+        slot.as_ref().map(|mg| (mg, if built_now { mg.setup_seconds() } else { 0.0 }))
     }
 
     /// Builds the full right-hand side `P + G_amb·T_amb` from per-cell
@@ -583,7 +621,18 @@ fn assemble(
     debug_assert!(g.is_symmetric(1e-9), "conductance matrix must be symmetric");
 
     let layer_names = layers.iter().map(|l| l.name).collect();
-    ThermalCircuit { g, cap, ambient_g, kinds, layer_names, si_offset: si_index * n_cells, n_cells }
+    ThermalCircuit {
+        g,
+        cap,
+        ambient_g,
+        kinds,
+        layer_names,
+        si_offset: si_index * n_cells,
+        n_cells,
+        rows,
+        cols,
+        mg: OnceLock::new(),
+    }
 }
 
 #[cfg(test)]

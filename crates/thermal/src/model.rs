@@ -9,10 +9,12 @@ use crate::package::Package;
 use crate::pool;
 use crate::power::PowerMap;
 use crate::solve::{solve_steady, BackwardEuler, SolveError};
+use crate::sparse::SolveStats;
 use crate::units::{celsius_to_kelvin, kelvin_to_celsius};
 use hotiron_floorplan::{Floorplan, GridMapping};
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors from model construction or solving.
 #[derive(Debug)]
@@ -135,6 +137,13 @@ pub struct ThermalModel {
     circuit: ThermalCircuit,
     config: ModelConfig,
     package: Package,
+    /// Warm-start cache: the most recent steady solution (or an explicitly
+    /// seeded state), used as the next steady solve's initial guess. Keyed
+    /// to *this* model by construction — solutions never leak across models,
+    /// so fanned-out experiments stay order-independent.
+    warm: Mutex<Option<Vec<f64>>>,
+    /// Telemetry of the most recent steady solve.
+    last_stats: Mutex<Option<SolveStats>>,
 }
 
 impl ThermalModel {
@@ -156,7 +165,15 @@ impl ThermalModel {
             thickness: config.die_thickness,
         };
         let circuit = build_circuit(&mapping, die, &package);
-        Ok(Self { plan, mapping, circuit, config, package })
+        Ok(Self {
+            plan,
+            mapping,
+            circuit,
+            config,
+            package,
+            warm: Mutex::new(None),
+            last_stats: Mutex::new(None),
+        })
     }
 
     /// The floorplan.
@@ -217,14 +234,67 @@ impl ThermalModel {
 
     /// Solves the steady state for a power map.
     ///
+    /// The solve warm-starts from this model's most recent steady solution
+    /// (or a state provided via [`seed_warm_start`](Self::seed_warm_start))
+    /// when one exists — re-solves under slowly varying power, the common
+    /// case in DTM loops and parameter sweeps, then converge in a fraction
+    /// of the cold iteration count. [`SolveStats::warm_start`] in
+    /// [`last_solve_stats`](Self::last_solve_stats) reports which case ran.
+    ///
     /// # Errors
     ///
-    /// [`ThermalError::Solve`] if CG does not converge.
+    /// [`ThermalError::Solve`] if the solver does not converge.
     pub fn steady_state(&self, power: &PowerMap) -> Result<Solution<'_>, ThermalError> {
         let p = self.cell_power(power);
         let mut state = self.initial_state();
-        solve_steady(&self.circuit, &p, self.config.ambient, &mut state)?;
+        let warm = {
+            let cache = self.warm.lock().expect("warm-start cache poisoned");
+            match cache.as_ref() {
+                Some(prev) => {
+                    state.copy_from_slice(prev);
+                    true
+                }
+                None => false,
+            }
+        };
+        let result = solve_steady(&self.circuit, &p, self.config.ambient, &mut state);
+        let stats = match result {
+            Ok(mut stats) => {
+                stats.warm_start = warm;
+                stats
+            }
+            Err(e) => {
+                // A failed warm-started solve must not poison later solves.
+                *self.warm.lock().expect("warm-start cache poisoned") = None;
+                return Err(e.into());
+            }
+        };
+        *self.warm.lock().expect("warm-start cache poisoned") = Some(state.clone());
+        *self.last_stats.lock().expect("stats cache poisoned") = Some(stats);
         Ok(Solution { model: self, state })
+    }
+
+    /// Seeds the warm-start cache with an externally computed state (e.g.
+    /// the previous orientation's solution in a flow-direction sweep across
+    /// *different* models of the same die).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the circuit's node count.
+    pub fn seed_warm_start(&self, state: Vec<f64>) {
+        assert_eq!(state.len(), self.circuit.node_count(), "state length mismatch");
+        *self.warm.lock().expect("warm-start cache poisoned") = Some(state);
+    }
+
+    /// Clears the warm-start cache; the next steady solve starts cold.
+    pub fn clear_warm_start(&self) {
+        *self.warm.lock().expect("warm-start cache poisoned") = None;
+    }
+
+    /// Telemetry of the most recent [`steady_state`](Self::steady_state)
+    /// solve on this model, if any succeeded yet.
+    pub fn last_solve_stats(&self) -> Option<SolveStats> {
+        self.last_stats.lock().expect("stats cache poisoned").clone()
     }
 
     /// Wraps an externally computed state vector in a [`Solution`].

@@ -1,10 +1,11 @@
 //! Dependency-free scoped worker pool (std::thread only).
 //!
-//! The solver hot paths — CG's SpMV and vector kernels, the grid↔block
-//! mapping, and the bench suite's experiment fan-out — are embarrassingly
-//! parallel, but this workspace is offline (`compat/` policy: no crates.io),
-//! so rayon is not an option. This module provides the minimal pool those
-//! paths need:
+//! The solver hot paths — CG's SpMV and vector kernels, the multigrid
+//! V-cycle's stencil apply / Jacobi smoothing / residual and grid-transfer
+//! kernels, the grid↔block mapping, and the bench suite's experiment
+//! fan-out — are embarrassingly parallel, but this workspace is offline
+//! (`compat/` policy: no crates.io), so rayon is not an option. This module
+//! provides the minimal pool those paths need:
 //!
 //! * **Persistent workers.** Threads are spawned once (lazily, for the
 //!   global pool) and parked between jobs; a job dispatch costs one atomic

@@ -12,6 +12,7 @@
 
 use crate::cholesky::LdlFactor;
 use crate::circuit::ThermalCircuit;
+use crate::multigrid::mg_pcg;
 use crate::sparse::{conjugate_gradient, CsrMatrix, SolveMethod, SolveStats};
 use std::cell::{Cell, RefCell};
 use std::error::Error;
@@ -20,6 +21,16 @@ use std::fmt;
 /// Default relative tolerance for linear solves.
 pub const DEFAULT_TOL: f64 = 1e-10;
 
+/// Cells per layer from which [`solve_steady`] picks
+/// [`SolverChoice::Multigrid`] over plain CG (64×64; below this the
+/// hierarchy setup is not worth the few hundred CG iterations it saves).
+pub const MG_AUTO_MIN_CELLS: usize = 4096;
+
+/// Iteration cap for the MG-preconditioned steady solve. MG convergence is
+/// flat in grid size (~10–20 iterations at [`DEFAULT_TOL`]), so a solve that
+/// reaches this cap is broken, not slow.
+const MG_MAX_ITERS: usize = 200;
+
 /// Which linear solver backs a steady or transient solve.
 ///
 /// The decision rule (see DESIGN.md): **Direct** when one operator is solved
@@ -27,9 +38,13 @@ pub const DEFAULT_TOL: f64 = 1e-10;
 /// amortized over every step) or when an exact answer without a tolerance
 /// knob is wanted; **Cg** when the operator changes between solves, when a
 /// good warm start is available (steady-state sweeps over slowly-varying
-/// power maps), or as the independent cross-check of the direct path. The
-/// direct path falls back to CG automatically if factorization hits a
-/// non-positive pivot (a non-SPD operator).
+/// power maps), or as the independent cross-check of the direct path;
+/// **Multigrid** for steady solves on IR-camera-resolution grids
+/// (≥ [`MG_AUTO_MIN_CELLS`] cells, i.e. 64×64 and up), where its
+/// grid-size-independent iteration count beats Jacobi-PCG by growing
+/// margins. The direct path falls back to CG automatically if factorization
+/// hits a non-positive pivot (a non-SPD operator); the multigrid path falls
+/// back to CG when the grid is too small for a hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverChoice {
     /// Sparse LDLᵀ factorization with RCM ordering ([`LdlFactor`]).
@@ -37,6 +52,10 @@ pub enum SolverChoice {
     Direct,
     /// Jacobi-preconditioned conjugate gradient with warm starts.
     Cg,
+    /// Conjugate gradient preconditioned by a geometric multigrid V-cycle
+    /// ([`crate::multigrid::Multigrid`]), with the hierarchy built once per
+    /// circuit and cached.
+    Multigrid,
 }
 
 /// Error from a thermal solve.
@@ -47,6 +66,14 @@ pub enum SolveError {
     NotConverged {
         /// Iterations and final residual.
         stats: SolveStats,
+    },
+    /// The iterative linear solver hit its iteration cap with the residual
+    /// still above tolerance (previously indistinguishable from other
+    /// non-convergence; callers that want to retry with a looser tolerance
+    /// or a different solver key off this variant).
+    MaxIters {
+        /// The relative residual when the cap was reached.
+        achieved_residual: f64,
     },
     /// An explicit integrator's adapted step underflowed while the local
     /// error still exceeded the tolerance: the network is too stiff for the
@@ -67,6 +94,11 @@ impl fmt::Display for SolveError {
                 "linear solve did not converge: {} iterations, residual {:.3e}",
                 stats.iterations, stats.relative_residual
             ),
+            Self::MaxIters { achieved_residual } => write!(
+                f,
+                "iterative solve hit its iteration cap with residual {achieved_residual:.3e} \
+                 still above tolerance"
+            ),
             Self::StepUnderflow { step, error } => write!(
                 f,
                 "explicit step underflow: h = {step:.3e} s with local error {error:.3e} K \
@@ -78,25 +110,32 @@ impl fmt::Display for SolveError {
 
 impl Error for SolveError {}
 
-/// Solves the steady-state system `G·T = P + G_amb·T_amb` with warm-started
-/// conjugate gradients (shorthand for [`solve_steady_with`] and
-/// [`SolverChoice::Cg`], which benefits from `state` as a warm start when
-/// sweeping similar power maps).
+/// Solves the steady-state system `G·T = P + G_amb·T_amb` with a
+/// warm-started iterative solver, auto-selected by problem size: multigrid-
+/// preconditioned CG at or above [`MG_AUTO_MIN_CELLS`] cells per layer
+/// (64×64 and up), plain Jacobi-PCG below. Both benefit from `state` as a
+/// warm start when sweeping similar power maps.
 ///
 /// `state` is used as the warm start and holds the solution (kelvin) on
 /// success.
 ///
 /// # Errors
 ///
-/// [`SolveError::NotConverged`] if CG stalls (which indicates a floating
-/// node or an extremely ill-conditioned package configuration).
+/// [`SolveError::NotConverged`] or [`SolveError::MaxIters`] if the solver
+/// stalls (which indicates a floating node or an extremely ill-conditioned
+/// package configuration).
 pub fn solve_steady(
     circuit: &ThermalCircuit,
     si_cell_power: &[f64],
     ambient: f64,
     state: &mut [f64],
 ) -> Result<SolveStats, SolveError> {
-    solve_steady_with(circuit, si_cell_power, ambient, state, SolverChoice::Cg)
+    let solver = if circuit.cell_count() >= MG_AUTO_MIN_CELLS {
+        SolverChoice::Multigrid
+    } else {
+        SolverChoice::Cg
+    };
+    solve_steady_with(circuit, si_cell_power, ambient, state, solver)
 }
 
 /// Solves the steady-state system with an explicit [`SolverChoice`].
@@ -112,7 +151,8 @@ pub fn solve_steady(
 /// # Errors
 ///
 /// [`SolveError::NotConverged`] if the selected solver misses
-/// [`DEFAULT_TOL`].
+/// [`DEFAULT_TOL`]; [`SolveError::MaxIters`] when an iterative solver ran
+/// out of iterations doing so.
 pub fn solve_steady_with(
     circuit: &ThermalCircuit,
     si_cell_power: &[f64],
@@ -122,12 +162,13 @@ pub fn solve_steady_with(
 ) -> Result<SolveStats, SolveError> {
     let b = circuit.rhs(si_cell_power, ambient);
     let n = circuit.node_count();
-    let stats = match solver {
+    let cg_cap = 40 * n + 1000;
+    let (stats, cap) = match solver {
         SolverChoice::Direct => match LdlFactor::factor(circuit.conductance()) {
             Ok(factor) => {
                 factor.solve_into(&b, state);
                 let residual = relative_residual(circuit.conductance(), &b, state);
-                SolveStats {
+                let stats = SolveStats {
                     method: SolveMethod::Ldlt,
                     iterations: 0,
                     relative_residual: residual,
@@ -137,18 +178,44 @@ pub fn solve_steady_with(
                     solve_count: 1,
                     // The triangular sweeps are inherently serial.
                     threads: 1,
-                }
+                    warm_start: false,
+                    multigrid: None,
+                };
+                (stats, usize::MAX)
             }
             Err(_) => {
-                conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, 40 * n + 1000)
+                (conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, cg_cap), cg_cap)
             }
         },
         SolverChoice::Cg => {
-            conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, 40 * n + 1000)
+            (conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, cg_cap), cg_cap)
         }
+        SolverChoice::Multigrid => match circuit.multigrid_with_setup() {
+            Some((mg, setup_seconds)) => {
+                let mut stats = mg_pcg(mg, &b, state, DEFAULT_TOL, MG_MAX_ITERS);
+                // Charge the one-time hierarchy construction to the solve
+                // that triggered it, like the direct path does for its
+                // factorization.
+                stats.factor_seconds += setup_seconds;
+                (stats, MG_MAX_ITERS)
+            }
+            None => {
+                (conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, cg_cap), cg_cap)
+            }
+        },
     };
+    finish_iterative(stats, cap)
+}
+
+/// Maps final solve stats to the caller-facing result: converged solves pass
+/// through; a solve that stopped *because* it hit the iteration cap reports
+/// [`SolveError::MaxIters`]; any other failure (numerical breakdown, direct
+/// residual miss) reports [`SolveError::NotConverged`].
+fn finish_iterative(stats: SolveStats, max_iters: usize) -> Result<SolveStats, SolveError> {
     if stats.converged {
         Ok(stats)
+    } else if stats.iterations >= max_iters {
+        Err(SolveError::MaxIters { achieved_residual: stats.relative_residual })
     } else {
         Err(SolveError::NotConverged { stats })
     }
@@ -268,7 +335,10 @@ impl<'c> BackwardEuler<'c> {
         let a = circuit.conductance().add_diagonal(&c_over_dt);
         let factor = match solver {
             SolverChoice::Direct => LdlFactor::factor(&a).ok(),
-            SolverChoice::Cg => None,
+            // The multigrid hierarchy preconditions the steady operator `G`,
+            // not the transient `C/dt + G`; a Multigrid request steps on the
+            // plain CG path.
+            SolverChoice::Cg | SolverChoice::Multigrid => None,
         };
         Self {
             circuit,
@@ -333,6 +403,7 @@ impl<'c> BackwardEuler<'c> {
             *bi += ci * si;
         }
         let n = state.len();
+        let cg_cap = 40 * n + 1000;
         self.solve_count.set(self.solve_count.get() + 1);
         let stats = match &self.factor {
             Some(factor) => {
@@ -345,8 +416,7 @@ impl<'c> BackwardEuler<'c> {
                     if residual > DEFAULT_TOL {
                         // Rare (severe ill-conditioning): polish the direct
                         // solution with a few warm-started CG iterations.
-                        let polish =
-                            conjugate_gradient(&self.a, b, state, DEFAULT_TOL, 40 * n + 1000);
+                        let polish = conjugate_gradient(&self.a, b, state, DEFAULT_TOL, cg_cap);
                         residual = polish.relative_residual;
                         iterations = polish.iterations;
                     }
@@ -363,19 +433,19 @@ impl<'c> BackwardEuler<'c> {
                     solve_count: count,
                     // The triangular sweeps are inherently serial.
                     threads: 1,
+                    warm_start: false,
+                    multigrid: None,
                 }
             }
             None => {
-                let mut stats = conjugate_gradient(&self.a, b, state, DEFAULT_TOL, 40 * n + 1000);
+                let mut stats = conjugate_gradient(&self.a, b, state, DEFAULT_TOL, cg_cap);
                 stats.solve_count = self.solve_count.get();
                 stats
             }
         };
-        if stats.converged {
-            Ok(stats)
-        } else {
-            Err(SolveError::NotConverged { stats })
-        }
+        // A CG-polished direct check that ran out of iterations surfaces the
+        // cap the same way the plain CG path does.
+        finish_iterative(stats, cg_cap)
     }
 
     /// Advances `state` by `duration` seconds in fixed steps. A trailing

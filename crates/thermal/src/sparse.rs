@@ -231,6 +231,9 @@ impl CsrMatrix {
 pub enum SolveMethod {
     /// Jacobi-preconditioned conjugate gradient.
     Cg,
+    /// Conjugate gradient preconditioned by a geometric multigrid V-cycle
+    /// ([`crate::multigrid::Multigrid`]).
+    MgCg,
     /// Gauss–Seidel sweeps.
     GaussSeidel,
     /// Sparse LDLᵀ direct factorization ([`crate::cholesky::LdlFactor`]).
@@ -242,6 +245,7 @@ impl SolveMethod {
     pub fn label(self) -> &'static str {
         match self {
             Self::Cg => "cg",
+            Self::MgCg => "mg-cg",
             Self::GaussSeidel => "gauss-seidel",
             Self::Ldlt => "ldlt",
         }
@@ -249,7 +253,7 @@ impl SolveMethod {
 }
 
 /// Outcome of one linear solve, iterative or direct.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveStats {
     /// Which solver ran.
     pub method: SolveMethod,
@@ -275,6 +279,13 @@ pub struct SolveStats {
     /// the active [`pool`]); 1 for fully serial solves. Results are bitwise
     /// identical at any value — see the [`pool`] module docs.
     pub threads: usize,
+    /// Whether the solve started from a previously computed solution instead
+    /// of a cold (all-ambient or zero) initial guess. Set by the layers that
+    /// manage warm-start caches (e.g. `ThermalModel::steady_state`).
+    pub warm_start: bool,
+    /// Per-level multigrid telemetry when the solve was preconditioned by a
+    /// V-cycle ([`SolveMethod::MgCg`]); `None` otherwise.
+    pub multigrid: Option<crate::multigrid::MgStats>,
 }
 
 impl SolveStats {
@@ -294,6 +305,8 @@ impl SolveStats {
             factor_nnz: 0,
             solve_count: 1,
             threads: 1,
+            warm_start: false,
+            multigrid: None,
         }
     }
 
@@ -509,15 +522,16 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
 /// are computed per [`pool::CHUNK`]-sized chunk (in parallel when the vector
 /// is long enough) and summed in ascending chunk order, so the grouping —
 /// and thus the floating-point result — depends only on the length, never on
-/// the thread count.
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+/// the thread count. Shared with [`crate::multigrid`]'s preconditioned CG so
+/// both solvers inherit the same bitwise-determinism guarantee.
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     let pool = pool::current();
     pool::det_sum_of(&pool, a.len().min(b.len()), |lo, hi| {
         a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum()
     })
 }
 
-fn norm2(a: &[f64]) -> f64 {
+pub(crate) fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 

@@ -11,7 +11,8 @@ use std::sync::Arc;
 use hotiron_floorplan::{library, GridMapping};
 use hotiron_thermal::circuit::{build_circuit, DieGeometry};
 use hotiron_thermal::pool::{with_pool, WorkerPool};
-use hotiron_thermal::solve::{solve_steady, BackwardEuler, SolverChoice};
+use hotiron_thermal::solve::{solve_steady, solve_steady_with, BackwardEuler, SolverChoice};
+use hotiron_thermal::sparse::SolveMethod;
 use hotiron_thermal::{
     AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
 };
@@ -77,6 +78,57 @@ fn steady_state_bitwise_identical_across_thread_counts() {
             assert_eq!(stats.threads, threads, "{label}: reported thread count");
             assert_bitwise_eq(
                 &format!("{label} steady 1 vs {threads} threads"),
+                &serial,
+                &parallel,
+            );
+        }
+    }
+}
+
+#[test]
+fn multigrid_steady_bitwise_identical_across_thread_counts() {
+    // The explicit multigrid path: stencil SpMV, Jacobi smoothing, residual
+    // and grid-transfer kernels all fan out over the pool with fixed-chunk
+    // reductions, so the whole V-cycle-preconditioned solve must be bitwise
+    // thread-count invariant. (The auto-selected test above also lands on
+    // multigrid at 64×64; this one pins the method explicitly so the
+    // guarantee survives changes to the auto-selection threshold.)
+    let plan = library::ev6();
+    for (label, pkg) in packages() {
+        let model =
+            ThermalModel::new(plan.clone(), pkg, ModelConfig::paper_default().with_grid(64, 64))
+                .expect("model builds");
+        let power =
+            PowerMap::from_pairs(&plan, [("IntReg", 4.0), ("L2", 10.0)]).expect("blocks exist");
+
+        let p = model.cell_power(&power);
+        let run = |threads: usize| {
+            at_threads(threads, || {
+                let mut state = model.initial_state();
+                let stats = solve_steady_with(
+                    model.circuit(),
+                    &p,
+                    AMBIENT,
+                    &mut state,
+                    SolverChoice::Multigrid,
+                )
+                .expect("mg steady solve");
+                (state, stats)
+            })
+        };
+
+        let (serial, serial_stats) = run(1);
+        assert_eq!(serial_stats.method, SolveMethod::MgCg, "{label}: multigrid actually ran");
+        assert_eq!(serial_stats.threads, 1, "{label}: serial run reports one thread");
+        for threads in [2, 4] {
+            let (parallel, stats) = run(threads);
+            assert_eq!(
+                stats.iterations, serial_stats.iterations,
+                "{label}: V-cycle count must not depend on thread count"
+            );
+            assert_eq!(stats.threads, threads, "{label}: reported thread count");
+            assert_bitwise_eq(
+                &format!("{label} mg steady 1 vs {threads} threads"),
                 &serial,
                 &parallel,
             );

@@ -79,6 +79,39 @@ compare() {
   ' /tmp/bench_gate_base.$$ /tmp/bench_gate_new.$$
 }
 
+# Prints the multigrid-vs-CG speedup table from the steady_large benches:
+# each steady_mg_* entry paired with its steady_cg_* comparator (same grid,
+# same package, same tolerance). Also appended to $GITHUB_STEP_SUMMARY when
+# set, so the CI run page shows the headline numbers.
+speedup_table() {
+  local file=$1 table
+  table=$(parse "$file" | sort | awk -F'\t' '
+    { all[$1] = $2; if ($1 ~ /steady_mg_/) order[n++] = $1 }
+    END {
+      if (n == 0) exit 0
+      print "| bench | mg-cg (ms) | jacobi-cg (ms) | speedup |"
+      print "|---|---|---|---|"
+      for (i = 0; i < n; i++) {
+        name = order[i]
+        pair = name
+        sub(/_mg_/, "_cg_", pair)
+        if (pair in all)
+          printf "| %s | %.2f | %.2f | %.1fx |\n", \
+                 name, all[name] / 1e6, all[pair] / 1e6, all[pair] / all[name]
+        else
+          printf "| %s | %.2f | - | - |\n", name, all[name] / 1e6
+      }
+    }')
+  if [ -n "$table" ]; then
+    echo
+    echo "multigrid vs Jacobi-PCG (same operator, same 1e-9 tolerance):"
+    echo "$table"
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+      { echo "### Multigrid vs Jacobi-PCG"; echo; echo "$table"; } >> "$GITHUB_STEP_SUMMARY"
+    fi
+  fi
+}
+
 run_benches() {
   local out
   # Absolute path: cargo runs the bench binary from the package directory.
@@ -131,6 +164,23 @@ EOF
     echo "self-test FAILED: missing benchmark passed the gate" >&2
     rm -rf "$tmp"; exit 1
   fi
+  # The speedup table must pair each mg bench with its cg comparator and
+  # leave unpaired entries dashed.
+  cat > "$new" <<'EOF'
+[
+{"name": "steady_large/steady_mg_128x128_oil", "median_ns": 20000000.0},
+{"name": "steady_large/steady_cg_128x128_oil", "median_ns": 100000000.0},
+{"name": "steady_large/steady_mg_256x256_oil", "median_ns": 80000000.0}
+]
+EOF
+  if ! speedup_table "$new" | grep -q "5.0x"; then
+    echo "self-test FAILED: speedup table missing the 5.0x pair" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  if ! speedup_table "$new" | grep "256x256" | grep -q -- "-"; then
+    echo "self-test FAILED: unpaired mg bench not dashed" >&2
+    rm -rf "$tmp"; exit 1
+  fi
   rm -rf "$tmp"
   echo "bench_gate self-test passed"
 }
@@ -142,6 +192,7 @@ case "${1:-}" in
   --update)
     run_benches "$BASELINE"
     echo "baseline updated: $BASELINE"
+    speedup_table "$BASELINE"
     ;;
   "")
     if [ -n "${BENCH_GATE_RESULTS:-}" ]; then
@@ -156,6 +207,7 @@ case "${1:-}" in
     fi
     echo "bench_gate: comparing $results vs $BASELINE (threshold +${THRESHOLD}%)"
     if compare "$BASELINE" "$results"; then
+      speedup_table "$results"
       echo "bench_gate: PASS"
     else
       echo "bench_gate: FAIL — at least one benchmark regressed more than ${THRESHOLD}%" >&2
