@@ -12,84 +12,17 @@
 //! finishes first: each experiment prints an aligned table and writes a CSV
 //! under `results/`, and a per-experiment timing summary lands in
 //! `results/fanout.csv`.
+//!
+//! The experiment name → artifact mapping lives in
+//! [`hotiron_bench::registry`], shared with the `hotiron-verify` snapshot
+//! checker (which replays experiments in-process and diffs them against the
+//! checked-in `results/*.csv`).
 
-use hotiron_bench::report::Table;
 use hotiron_bench::runner::{self, Artifact};
-use hotiron_bench::traces::TraceConfig;
-use hotiron_bench::{arch, athlon, steady, traces, transients, validation, Fidelity};
+use hotiron_bench::{registry, Fidelity};
 use hotiron_thermal::pool;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-const EXPERIMENTS: &[&str] = &[
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "sensing",
-    "placement",
-    "inversion",
-    "tau",
-    "sweep",
-    "translate",
-    "dtm",
-];
-
-fn tables(list: Vec<(&str, Table)>) -> Vec<(String, Artifact)> {
-    list.into_iter().map(|(stem, t)| (stem.to_owned(), Artifact::Table(t))).collect()
-}
-
-fn run(name: &str, fidelity: Fidelity) -> Vec<(String, Artifact)> {
-    match name {
-        "fig2" => tables(vec![("fig02", validation::fig2(fidelity))]),
-        "fig3" => tables(vec![("fig03", validation::fig3(fidelity))]),
-        "fig4" => tables(vec![("fig04", athlon::fig4(fidelity))]),
-        "fig5" => {
-            tables(vec![("fig05a", athlon::fig5a(fidelity)), ("fig05b", athlon::fig5b(fidelity))])
-        }
-        "fig6" => tables(vec![("fig06", transients::fig6(fidelity))]),
-        "fig8" => tables(vec![("fig08", transients::fig8(fidelity))]),
-        "fig9" => tables(vec![("fig09", transients::fig9(fidelity))]),
-        "fig10" => {
-            let (air, oil, rows, cols) = steady::fig10_grids(fidelity);
-            let mut out = vec![
-                ("fig10_map_air".to_owned(), Artifact::RawCsv(grid_csv(&air, rows, cols))),
-                ("fig10_map_oil".to_owned(), Artifact::RawCsv(grid_csv(&oil, rows, cols))),
-            ];
-            out.push(("fig10".to_owned(), Artifact::Table(steady::fig10(fidelity))));
-            out
-        }
-        "fig11" => tables(vec![("fig11", steady::fig11(fidelity))]),
-        "fig12" => tables(vec![
-            ("fig12a", traces::fig12(fidelity, TraceConfig::AirSink)),
-            ("fig12b", traces::fig12(fidelity, TraceConfig::OilSilicon)),
-        ]),
-        "sensing" => tables(vec![("sensing", arch::sensing(fidelity))]),
-        "placement" => tables(vec![("placement", arch::placement_study(fidelity))]),
-        "inversion" => tables(vec![("inversion", arch::inversion_study(fidelity))]),
-        "tau" => tables(vec![("tau", arch::tau())]),
-        "sweep" => tables(vec![("sweep", arch::rconv_sweep(fidelity))]),
-        "translate" => tables(vec![("translate", arch::translation_study(fidelity))]),
-        "dtm" => tables(vec![("dtm", arch::dtm_study(fidelity))]),
-        other => unreachable!("unvalidated experiment `{other}`"),
-    }
-}
-
-fn grid_csv(grid: &[f64], rows: usize, cols: usize) -> String {
-    let mut csv = String::new();
-    for r in 0..rows {
-        let cells: Vec<String> = (0..cols).map(|c| format!("{:.3}", grid[r * cols + c])).collect();
-        csv.push_str(&cells.join(","));
-        csv.push('\n');
-    }
-    csv
-}
 
 fn write_artifact(dir: &Path, stem: &str, artifact: &Artifact) {
     let res = match artifact {
@@ -118,19 +51,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "all" => names.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            "all" => names.extend(registry::EXPERIMENTS.iter().map(|s| (*s).to_owned())),
             other => names.push(other.to_owned()),
         }
     }
     if names.is_empty() {
         eprintln!(
             "usage: figures [--fast] [--jobs N] <experiment...|all>\navailable: {}",
-            EXPERIMENTS.join(", ")
+            registry::EXPERIMENTS.join(", ")
         );
         return ExitCode::from(2);
     }
-    if let Some(bad) = names.iter().find(|n| !EXPERIMENTS.contains(&n.as_str())) {
-        eprintln!("unknown experiment `{bad}`; available: {}", EXPERIMENTS.join(", "));
+    if let Some(bad) = names.iter().find(|n| !registry::is_experiment(n)) {
+        eprintln!("unknown experiment `{bad}`; available: {}", registry::EXPERIMENTS.join(", "));
         return ExitCode::from(2);
     }
     if let Some(n) = jobs {
@@ -139,7 +72,7 @@ fn main() -> ExitCode {
     }
 
     let out_dir = PathBuf::from("results");
-    let results = runner::run_experiments(&names, |name| run(name, fidelity));
+    let results = runner::run_experiments(&names, |name| registry::run_experiment(name, fidelity));
 
     // Stable-order merge: print and write in submission order.
     let mut failed = false;

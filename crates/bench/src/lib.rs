@@ -26,6 +26,7 @@
 pub mod arch;
 pub mod athlon;
 pub mod common;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod steady;

@@ -1,0 +1,144 @@
+//! The experiment registry: every named experiment the `figures` binary can
+//! regenerate, runnable from any crate (the `hotiron-verify` snapshot
+//! checker replays it in-process to diff fresh output against the
+//! checked-in `results/*.csv` goldens).
+
+use crate::report::Table;
+use crate::runner::Artifact;
+use crate::traces::TraceConfig;
+use crate::{arch, athlon, steady, traces, transients, validation, Fidelity};
+
+/// Every runnable experiment name, in canonical (paper) order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "sensing",
+    "placement",
+    "inversion",
+    "tau",
+    "sweep",
+    "translate",
+    "dtm",
+];
+
+/// Whether `name` is a known experiment.
+pub fn is_experiment(name: &str) -> bool {
+    EXPERIMENTS.contains(&name)
+}
+
+/// Runs one experiment, returning its artifacts as `(file stem, artifact)`
+/// pairs. Every [`Table`] artifact is stamped with provenance metadata
+/// (experiment name and fidelity) that ends up as `# key = value` comment
+/// lines in the exported CSV, so a results file records how it was made.
+///
+/// # Panics
+///
+/// Panics on an unknown `name`; validate with [`is_experiment`] first.
+pub fn run_experiment(name: &str, fidelity: Fidelity) -> Vec<(String, Artifact)> {
+    let artifacts = match name {
+        "fig2" => tables(vec![("fig02", validation::fig2(fidelity))]),
+        "fig3" => tables(vec![("fig03", validation::fig3(fidelity))]),
+        "fig4" => tables(vec![("fig04", athlon::fig4(fidelity))]),
+        "fig5" => {
+            tables(vec![("fig05a", athlon::fig5a(fidelity)), ("fig05b", athlon::fig5b(fidelity))])
+        }
+        "fig6" => tables(vec![("fig06", transients::fig6(fidelity))]),
+        "fig8" => tables(vec![("fig08", transients::fig8(fidelity))]),
+        "fig9" => tables(vec![("fig09", transients::fig9(fidelity))]),
+        "fig10" => {
+            let (air, oil, rows, cols) = steady::fig10_grids(fidelity);
+            vec![
+                ("fig10_map_air".to_owned(), Artifact::RawCsv(grid_csv(&air, rows, cols))),
+                ("fig10_map_oil".to_owned(), Artifact::RawCsv(grid_csv(&oil, rows, cols))),
+                ("fig10".to_owned(), Artifact::Table(steady::fig10(fidelity))),
+            ]
+        }
+        "fig11" => tables(vec![("fig11", steady::fig11(fidelity))]),
+        "fig12" => tables(vec![
+            ("fig12a", traces::fig12(fidelity, TraceConfig::AirSink)),
+            ("fig12b", traces::fig12(fidelity, TraceConfig::OilSilicon)),
+        ]),
+        "sensing" => tables(vec![("sensing", arch::sensing(fidelity))]),
+        "placement" => tables(vec![("placement", arch::placement_study(fidelity))]),
+        "inversion" => tables(vec![("inversion", arch::inversion_study(fidelity))]),
+        "tau" => tables(vec![("tau", arch::tau())]),
+        "sweep" => tables(vec![("sweep", arch::rconv_sweep(fidelity))]),
+        "translate" => tables(vec![("translate", arch::translation_study(fidelity))]),
+        "dtm" => tables(vec![("dtm", arch::dtm_study(fidelity))]),
+        other => panic!("unknown experiment `{other}`"),
+    };
+    artifacts
+        .into_iter()
+        .map(|(stem, artifact)| {
+            let artifact = match artifact {
+                Artifact::Table(mut t) => {
+                    t.set_meta("experiment", name);
+                    t.set_meta(
+                        "fidelity",
+                        match fidelity {
+                            Fidelity::Fast => "fast",
+                            Fidelity::Paper => "paper",
+                        },
+                    );
+                    Artifact::Table(t)
+                }
+                raw => raw,
+            };
+            (stem, artifact)
+        })
+        .collect()
+}
+
+fn tables(list: Vec<(&str, Table)>) -> Vec<(String, Artifact)> {
+    list.into_iter().map(|(stem, t)| (stem.to_owned(), Artifact::Table(t))).collect()
+}
+
+/// Renders a row-major temperature grid as a headerless CSV (fig 10's raw
+/// thermal maps).
+pub fn grid_csv(grid: &[f64], rows: usize, cols: usize) -> String {
+    let mut csv = String::new();
+    for r in 0..rows {
+        let cells: Vec<String> = (0..cols).map(|c| format!("{:.3}", grid[r * cols + c])).collect();
+        csv.push_str(&cells.join(","));
+        csv.push('\n');
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_known() {
+        for (i, a) in EXPERIMENTS.iter().enumerate() {
+            assert!(is_experiment(a));
+            assert!(!EXPERIMENTS[i + 1..].contains(a), "duplicate {a}");
+        }
+        assert!(!is_experiment("fig7"));
+    }
+
+    #[test]
+    fn artifacts_carry_provenance_metadata() {
+        // `tau` is the cheapest experiment (pure closed-form arithmetic).
+        let arts = run_experiment("tau", Fidelity::Fast);
+        assert_eq!(arts.len(), 1);
+        let Artifact::Table(t) = &arts[0].1 else { panic!("tau yields a table") };
+        assert_eq!(t.get_meta("experiment"), Some("tau"));
+        assert_eq!(t.get_meta("fidelity"), Some("fast"));
+    }
+
+    #[test]
+    fn grid_csv_shapes_rows() {
+        let csv = grid_csv(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(csv, "1.000,2.000\n3.000,4.000\n");
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end verification of the measurement/DTM pipeline: power-inversion
+//! round trips, IR-camera blur structure, cross-package translation, and
+//! seeded sensing determinism. Tolerances come from `hotiron_verify::tol`
+//! so the whole workspace agrees on what "recovered" means.
+
+use hotiron_dtm::placement::greedy_placement;
+use hotiron_dtm::{IrCamera, PackageTranslator, PowerInverter, Sensor, SensorArray};
+use hotiron_floorplan::library;
+use hotiron_thermal::{
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+};
+use hotiron_verify::oracle;
+
+const AMBIENT: f64 = 318.15;
+
+fn oil_model(grid: usize) -> (ThermalModel, PowerMap) {
+    let plan = library::multicore(2, 2, 0.016, 0.016);
+    let truth = PowerMap::from_vec(&plan, vec![8.0, 2.5, 5.0, 11.0]);
+    let model = ThermalModel::new(
+        plan,
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        ModelConfig::paper_default().with_grid(grid, grid),
+    )
+    .expect("model builds");
+    (model, truth)
+}
+
+/// The §5.4 flow in miniature: simulate a known power map, observe the
+/// temperature field, invert back to power. The recovered per-block watts
+/// must match the truth, and the field implied by the recovered powers must
+/// still balance energy.
+#[test]
+fn inversion_round_trips_block_powers() {
+    let (model, truth) = oil_model(16);
+    let observed = model.steady_state(&truth).expect("steady solve");
+    let inv = PowerInverter::new(&model).expect("basis builds");
+    let est = inv.invert(observed.silicon_cells()).expect("inversion");
+
+    assert_eq!(est.len(), truth.values().len());
+    for (i, (e, t)) in est.iter().zip(truth.values()).enumerate() {
+        assert!((e - t).abs() < 0.05, "block {i}: recovered {e:.3} W vs true {t:.3} W");
+    }
+    let total_true: f64 = truth.values().iter().sum();
+    let total_est: f64 = est.iter().sum();
+    assert!(
+        (total_est - total_true).abs() < 0.05,
+        "total power: recovered {total_est:.3} W vs true {total_true:.3} W"
+    );
+
+    // The observed field itself must be physical before inversion makes
+    // sense at all.
+    let p = model.cell_power(&truth);
+    oracle::assert_energy_balance(
+        "inversion source field",
+        model.circuit(),
+        observed.state(),
+        &p,
+        AMBIENT,
+    );
+}
+
+/// Optical blur is an averaging operator: a uniform temperature map must
+/// pass through the camera unchanged (edge clamping and kernel
+/// normalization both preserve constants), and blurring twice must equal
+/// blurring a hotter map less — i.e. it never invents extrema.
+#[test]
+fn camera_blur_preserves_uniform_maps_and_extrema() {
+    let cam = IrCamera::typical();
+    let (rows, cols) = (24, 24);
+    let (cell_w, cell_h) = (0.016 / cols as f64, 0.016 / rows as f64);
+
+    let uniform = vec![71.25; rows * cols];
+    let blurred = cam.capture(&uniform, rows, cols, cell_w, cell_h);
+    for (i, (a, b)) in uniform.iter().zip(&blurred).enumerate() {
+        assert!((a - b).abs() < 1e-12, "cell {i}: uniform map changed {a} -> {b}");
+    }
+
+    // A single hot cell: blur must reduce the peak and raise the minimum,
+    // never exceed the original range.
+    let mut spike = vec![50.0; rows * cols];
+    spike[rows / 2 * cols + cols / 2] = 90.0;
+    let out = cam.capture(&spike, rows, cols, cell_w, cell_h);
+    let (lo, hi) =
+        out.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    assert!(hi < 90.0, "blur must erode the peak, got {hi}");
+    assert!(lo >= 50.0 - 1e-12, "blur must not undershoot the floor, got {lo}");
+}
+
+/// Cross-package translation: measure in the oil rig, predict the air-sink
+/// field. Prediction must agree with directly simulating the truth in the
+/// target package.
+#[test]
+fn translation_predicts_target_package() {
+    let plan = library::multicore(2, 2, 0.016, 0.016);
+    let truth = PowerMap::from_vec(&plan, vec![6.0, 3.0, 9.0, 4.0]);
+    let config = ModelConfig::paper_default().with_grid(16, 16);
+    let rig = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(OilSiliconPackage::paper_default()),
+        config,
+    )
+    .expect("rig model");
+    let target = ThermalModel::new(plan, Package::AirSink(AirSinkPackage::paper_default()), config)
+        .expect("target model");
+
+    let measured = rig.steady_state(&truth).expect("rig solve");
+    let translator = PackageTranslator::new(&rig, &target).expect("translator builds");
+    let predicted = translator.translate_steady(measured.silicon_cells()).expect("translation");
+    let direct = target.steady_state(&truth).expect("direct target solve");
+
+    assert!(
+        (predicted.max_celsius() - direct.max_celsius()).abs() < 0.1,
+        "max: predicted {:.2} degC vs direct {:.2} degC",
+        predicted.max_celsius(),
+        direct.max_celsius()
+    );
+    assert!(
+        (predicted.average_celsius() - direct.average_celsius()).abs() < 0.1,
+        "mean: predicted {:.2} degC vs direct {:.2} degC",
+        predicted.average_celsius(),
+        direct.average_celsius()
+    );
+}
+
+/// Noisy sensing is seeded: two arrays built with the same seed read the
+/// same values sample for sample, a different seed reads differently, and
+/// greedy placement (pure arithmetic) is replay-stable.
+#[test]
+fn sensing_and_placement_are_deterministic_under_fixed_seed() {
+    let (model, truth) = oil_model(16);
+    let sol = model.steady_state(&truth).expect("steady solve");
+
+    let noisy_array = |seed: u64| {
+        SensorArray::new(
+            (0..6)
+                .map(|i| {
+                    Sensor::ideal(format!("s{i}"), 0.002 + 0.002 * i as f64, 0.008).with_noise(0.5)
+                })
+                .collect(),
+            60e-6,
+            0.1,
+            seed,
+        )
+    };
+    let readings = |seed: u64| {
+        let mut arr = noisy_array(seed);
+        (0..8).flat_map(|_| arr.read(&sol)).collect::<Vec<f64>>()
+    };
+    assert_eq!(readings(42), readings(42), "same seed, same noise stream");
+    assert_ne!(readings(42), readings(43), "different seed, different noise");
+
+    let (pos_a, err_a) = greedy_placement(&[&sol], 3);
+    let (pos_b, err_b) = greedy_placement(&[&sol], 3);
+    assert_eq!(pos_a, pos_b, "placement is deterministic");
+    assert!((err_a - err_b).abs() == 0.0);
+    assert!(err_a < 1.0, "3 sensors cover one workload within 1 K, got {err_a:.3} K");
+}

@@ -355,8 +355,9 @@ impl PowerTrace {
     pub fn from_ptrace(plan: &Floorplan, text: &str, dt: f64) -> Result<Self, String> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let header = lines.next().ok_or("empty ptrace")?;
-        let cols: Vec<usize> = header
-            .split_whitespace()
+        let names: Vec<&str> = header.split_whitespace().collect();
+        let cols: Vec<usize> = names
+            .iter()
             .map(|name| plan.block_index(name).ok_or_else(|| format!("unknown block `{name}`")))
             .collect::<Result<_, _>>()?;
         if cols.len() != plan.len() {
@@ -370,10 +371,21 @@ impl PowerTrace {
         for (ln, line) in lines.enumerate() {
             let vals: Vec<f64> = line
                 .split_whitespace()
-                .map(|v| v.parse().map_err(|_| format!("bad value `{v}` at line {}", ln + 2)))
+                .enumerate()
+                .map(|(col, v)| {
+                    v.parse().map_err(|_| {
+                        let block = names.get(col).copied().unwrap_or("<extra column>");
+                        format!("bad value `{v}` for block `{block}` at line {}", ln + 2)
+                    })
+                })
                 .collect::<Result<_, _>>()?;
             if vals.len() != cols.len() {
-                return Err(format!("short row at line {}", ln + 2));
+                return Err(format!(
+                    "short row at line {}: {} values for {} blocks",
+                    ln + 2,
+                    vals.len(),
+                    cols.len()
+                ));
             }
             let mut sample = vec![0.0; plan.len()];
             for (v, &bi) in vals.iter().zip(&cols) {

@@ -159,7 +159,7 @@ pub fn ev6_units(plan: &Floorplan) -> Result<Vec<UnitSpec>, UarchError> {
         unit("FPQ", UnitClass::FpExec, 1.0, 0.08),
         unit("LdStQ", UnitClass::LoadStore, 3.8, 0.15),
     ];
-    align_to(plan, units)
+    align_to_plan(plan, units)
 }
 
 /// Athlon64-class unit power model matched to
@@ -196,12 +196,18 @@ pub fn athlon64_units(plan: &Floorplan) -> Result<Vec<UnitSpec>, UarchError> {
         unit("l1d", UnitClass::LoadStore, 2.24, 0.18),
         unit("fp0", UnitClass::FpExec, 1.12, 0.072),
     ];
-    align_to(plan, units)
+    align_to_plan(plan, units)
 }
 
 /// Reorders `units` into the floorplan's block order so trace samples align
 /// with [`hotiron_floorplan::Floorplan`] indices.
-fn align_to(plan: &Floorplan, units: Vec<UnitSpec>) -> Result<Vec<UnitSpec>, UarchError> {
+///
+/// # Errors
+///
+/// [`UarchError::CountMismatch`] when the spec count differs from the block
+/// count, [`UarchError::MissingBlock`] for a unit naming no block, and
+/// [`UarchError::DuplicateUnit`] when two specs name the same block.
+pub fn align_to_plan(plan: &Floorplan, units: Vec<UnitSpec>) -> Result<Vec<UnitSpec>, UarchError> {
     if plan.len() != units.len() {
         return Err(UarchError::CountMismatch(units.len(), plan.len()));
     }
@@ -307,7 +313,7 @@ mod tests {
         let dup = units[0].clone();
         let last = units.len() - 1;
         units[last] = dup;
-        let err = align_to(&plan, units).expect_err("duplicate spec must be rejected");
+        let err = align_to_plan(&plan, units).expect_err("duplicate spec must be rejected");
         assert!(matches!(err, UarchError::DuplicateUnit(_)), "unexpected error: {err}");
     }
 }

@@ -324,6 +324,18 @@ impl RefSim {
     /// in the bottom silicon layer. Returns the silicon heat-source-layer
     /// temperature field.
     pub fn solve_steady(&self, power: &[f64], max_sweeps: usize) -> TemperatureField {
+        self.source_layer_field(&self.solve_steady_volume(power, max_sweeps))
+    }
+
+    /// Like [`RefSim::solve_steady`], but returns the full 3-D cell state
+    /// (row-major `x`, then `y`, then `z` slowest; silicon layers first).
+    /// Needed by invariant checks that audit boundary fluxes, e.g.
+    /// [`RefSim::ambient_heat_outflow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len() != nx*ny`.
+    pub fn solve_steady_volume(&self, power: &[f64], max_sweeps: usize) -> Vec<f64> {
         assert_eq!(power.len(), self.cfg.nx * self.cfg.ny, "one power entry per column");
         let n = self.cell_count();
         let mut t = vec![self.cfg.ambient; n];
@@ -347,7 +359,50 @@ impl RefSim {
                 break;
             }
         }
-        self.source_layer_field(&t)
+        t
+    }
+
+    /// Total heat (W) a converged state sheds across every ambient-coupled
+    /// boundary: the Dirichlet top of the resolved oil film, the Robin
+    /// correlation surface, and the net advective enthalpy the oil carries
+    /// out of the downstream edge (it enters at ambient, leaves at the last
+    /// column's temperature, so per row and layer the telescoped export is
+    /// `g_adv · (T_last − T_ambient)`).
+    ///
+    /// At steady state this must equal the injected power — the invariant
+    /// `hotiron-verify` enforces on the reference solver itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t.len() != cell_count()`.
+    pub fn ambient_heat_outflow(&self, t: &[f64]) -> f64 {
+        assert_eq!(t.len(), self.cell_count(), "one temperature per cell");
+        let cfg = &self.cfg;
+        let mut out = 0.0;
+        for iy in 0..cfg.ny {
+            for ix in 0..cfg.nx {
+                // Topmost layer of a resolved oil film: Dirichlet ambient.
+                if self.nz > cfg.n_si_z {
+                    let iz = self.nz - 1;
+                    let g = self.k_of(iz) * self.dx * self.dy / (self.dz(iz) / 2.0);
+                    out += g * (t[self.idx(ix, iy, iz)] - cfg.ambient);
+                }
+                // Robin mode: correlation film on top of the silicon.
+                if cfg.oil_model == OilModel::RobinCorrelation {
+                    let iz = cfg.n_si_z - 1;
+                    let r = self.dz(iz) / (2.0 * self.k_of(iz)) + 1.0 / self.robin_h[ix];
+                    let g = self.dx * self.dy / r;
+                    out += g * (t[self.idx(ix, iy, iz)] - cfg.ambient);
+                }
+            }
+            // Advective export at the downstream (+x) edge of each oil layer.
+            for (layer, &u) in self.u_layer.iter().enumerate() {
+                let iz = cfg.n_si_z + layer;
+                let g_adv = cfg.oil.volumetric_heat_capacity() * u * self.dy * self.dz(iz);
+                out += g_adv * (t[self.idx(cfg.nx - 1, iy, iz)] - cfg.ambient);
+            }
+        }
+        out
     }
 
     /// Explicit transient integration over `duration` seconds from the

@@ -1,0 +1,94 @@
+//! Construction invariants and energy accounting of the reference
+//! finite-volume solvers. These are the checks that keep the "independent
+//! reference" honest: if the stand-in for ANSYS leaks or invents energy,
+//! every cross-validation figure built on it is meaningless.
+
+use hotiron_refsim::{OilModel, RefSim, RefSimConfig, StackSim, StackSimConfig};
+use hotiron_verify::tol;
+
+const AMBIENT: f64 = 318.15;
+
+/// Mesh construction must follow the configuration exactly: the resolved
+/// film adds `n_oil_z` layers, the Robin correlation collapses them into a
+/// boundary condition, and the explicit stability limit stays physical.
+#[test]
+fn refsim_mesh_construction_invariants() {
+    let base = RefSimConfig::paper_validation().with_grid(12, 10, 3, 4);
+
+    let resolved = RefSim::new(base.with_oil_model(OilModel::ResolvedFilm));
+    assert_eq!(resolved.cell_count(), 12 * 10 * (3 + 4), "silicon + oil layers");
+
+    let robin = RefSim::new(base.with_oil_model(OilModel::RobinCorrelation));
+    assert_eq!(robin.cell_count(), 12 * 10 * 3, "Robin mode has no oil cells");
+
+    for sim in [&resolved, &robin] {
+        let dt = sim.stable_dt();
+        assert!(dt.is_finite() && dt > 0.0, "stable dt must be positive, got {dt}");
+    }
+}
+
+/// Zero power is the fixed point of both oil models.
+#[test]
+fn refsim_zero_power_is_ambient_fixed_point() {
+    for model in [OilModel::ResolvedFilm, OilModel::RobinCorrelation] {
+        let sim = RefSim::new(
+            RefSimConfig::paper_validation().with_grid(8, 8, 2, 3).with_oil_model(model),
+        );
+        let t = sim.solve_steady_volume(&sim.uniform_power(0.0), 5_000);
+        let worst = t.iter().map(|v| (v - AMBIENT).abs()).fold(0.0f64, f64::max);
+        assert!(worst < 1e-9, "{model:?}: zero power drifted {worst:.3e} K off ambient");
+        assert!(sim.ambient_heat_outflow(&t).abs() < 1e-9, "{model:?}: phantom outflow");
+    }
+}
+
+/// The coarse-grid energy balance: at steady state, the heat crossing every
+/// ambient-coupled boundary (oil-film top, Robin surface, downstream
+/// advective export) must equal the injected power.
+#[test]
+fn refsim_coarse_grid_energy_balance() {
+    for (model, watts) in [
+        (OilModel::ResolvedFilm, 120.0),
+        (OilModel::RobinCorrelation, 120.0),
+        (OilModel::ResolvedFilm, 35.0),
+    ] {
+        let sim = RefSim::new(
+            RefSimConfig::paper_validation().with_grid(16, 16, 2, 4).with_oil_model(model),
+        );
+        let power = sim.uniform_power(watts);
+        let t = sim.solve_steady_volume(&power, 60_000);
+        let out = sim.ambient_heat_outflow(&t);
+        let rel = (out - watts).abs() / watts;
+        assert!(
+            rel < 10.0 * tol::ENERGY_BALANCE_REL,
+            "{model:?} at {watts} W: outflow {out:.4} W, rel error {rel:.3e}"
+        );
+    }
+}
+
+/// The solid-stack solver: construction invariants plus the lumped
+/// sanity bound the compact model's ring nodes are validated against.
+#[test]
+fn stack_construction_and_response_invariants() {
+    let cfg = StackSimConfig::air_sink_validation(0.8);
+    assert_eq!(cfg.domain_side(), 0.06, "domain spans the largest plate");
+    assert!(
+        cfg.slabs.windows(2).all(|w| w[0].side <= w[1].side),
+        "validation stack widens monotonically upward"
+    );
+
+    let sim = StackSim::new(cfg.clone());
+    let power = sim.uniform_die_power(50.0);
+    assert!((power.iter().sum::<f64>() - 50.0).abs() < 1e-9, "power map sums to the request");
+
+    let (mean, max) = sim.solve_steady(&power, 20_000);
+    assert!(max >= mean, "max at least the mean");
+    // Whole-stack conduction plus convection: the die rise must exceed the
+    // pure-convection floor P·R_conv but stay within a small multiple once
+    // spreading resistance is added.
+    let floor = 50.0 * cfg.r_convec;
+    let rise = mean - cfg.ambient;
+    assert!(
+        rise > floor && rise < 2.0 * floor,
+        "mean rise {rise:.2} K vs convection floor {floor:.2} K"
+    );
+}

@@ -8,7 +8,10 @@
 //! * [`lumped_step_response`] — first-order RC step response, the backbone
 //!   of every time-constant argument in the paper's §4.1.2;
 //! * [`two_node_step_response`] — the paper's Fig 7 circuits: silicon +
-//!   coolant two-node ladders, solved exactly by eigen-decomposition.
+//!   coolant two-node ladders, solved exactly by eigen-decomposition;
+//! * [`PointSourceSlab`] — method-of-images Green's-function field of a
+//!   point source on a convectively cooled die, the independent 2-D oracle
+//!   the `hotiron-verify` suite compares full grid solves against.
 
 /// Steady temperature at depth `z` (m, measured from the heated face) of a
 /// slab of thickness `t` and conductivity `k` carrying a uniform flux
@@ -72,6 +75,111 @@ pub fn two_node_step_response(p: f64, c1: f64, r12: f64, c2: f64, r2a: f64, t: f
     let alpha1 = (-t1_inf * v2.1 - (-t2_inf) * v2.0) / det_v;
     let alpha2 = (v1.0 * (-t2_inf) - v1.1 * (-t1_inf)) / det_v;
     t1_inf + alpha1 * v1.0 * (l1 * t).exp() + alpha2 * v2.0 * (l2 * t).exp()
+}
+
+/// Modified Bessel function of the second kind, order zero, `K₀(x)`.
+///
+/// Polynomial approximations of Abramowitz & Stegun §9.8 (9.8.5 for
+/// `x ≤ 2`, 9.8.6 beyond), absolute error below `2e-7` — ample for the
+/// few-percent discretization tolerances the analytic oracles use.
+///
+/// # Panics
+///
+/// Panics unless `x > 0` (K₀ diverges at the origin).
+pub fn bessel_k0(x: f64) -> f64 {
+    assert!(x > 0.0 && x.is_finite(), "K0 needs x > 0, got {x}");
+    if x <= 2.0 {
+        let t2 = (x / 2.0) * (x / 2.0);
+        let poly = -0.577_215_66
+            + t2 * (0.422_784_20
+                + t2 * (0.230_697_56
+                    + t2 * (0.034_885_90
+                        + t2 * (0.002_626_98 + t2 * (0.000_107_50 + t2 * 0.000_007_40)))));
+        -(x / 2.0).ln() * bessel_i0(x) + poly
+    } else {
+        let t = 2.0 / x;
+        let poly = 1.253_314_14
+            + t * (-0.078_323_58
+                + t * (0.021_895_68
+                    + t * (-0.010_624_46
+                        + t * (0.005_878_72 + t * (-0.002_515_40 + t * 0.000_532_08)))));
+        (-x).exp() / x.sqrt() * poly
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero (A&S 9.8.1; only
+/// needed on `x ≤ 2` where the K₀ small-argument branch references it).
+fn bessel_i0(x: f64) -> f64 {
+    let t2 = (x / 3.75) * (x / 3.75);
+    1.0 + t2
+        * (3.515_622_9
+            + t2 * (3.089_942_4
+                + t2 * (1.206_749_2 + t2 * (0.265_973_2 + t2 * (0.036_076_8 + t2 * 0.004_581_3)))))
+}
+
+/// Steady temperature field of a point source on a laterally conducting,
+/// convectively cooled die, by the method of images.
+///
+/// The thin-die limit of the compact model is the 2-D fin equation on the
+/// die rectangle with adiabatic edges:
+///
+/// ```text
+/// -k·t·∇²θ + h_eff·θ = P·δ(x−x₀, y−y₀),     θ = T − T_ambient
+/// ```
+///
+/// whose free-space Green's function is `K₀(r/λ)/(2π·k·t)` with the healing
+/// length `λ = √(k·t/h_eff)`. The adiabatic (mirror) boundary condition is
+/// satisfied by summing image sources reflected across all four die edges —
+/// the construction of the method-of-images fast thermal calculators in the
+/// literature this repo's PAPERS.md survey cites. Images decay like
+/// `e^{-d/λ}`, so a handful of reflections suffice on real die/λ ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointSourceSlab {
+    /// Source power, W.
+    pub p: f64,
+    /// Sheet conductance `k·t` (die conductivity × thickness), W/K.
+    pub k_sheet: f64,
+    /// Effective heat-loss coefficient per die area, W/(m²·K).
+    pub h_eff: f64,
+    /// Die width (x extent), m.
+    pub width: f64,
+    /// Die height (y extent), m.
+    pub height: f64,
+    /// Source x position, m.
+    pub x0: f64,
+    /// Source y position, m.
+    pub y0: f64,
+}
+
+impl PointSourceSlab {
+    /// Temperature rise over ambient at `(x, y)`, summing image sources up
+    /// to `images` reflections in each direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` coincides with the source (the continuum field is
+    /// logarithmically singular there — compare away from the source cell).
+    pub fn rise_at(&self, x: f64, y: f64, images: i32) -> f64 {
+        let lambda = (self.k_sheet / self.h_eff).sqrt();
+        let scale = self.p / (2.0 * std::f64::consts::PI * self.k_sheet);
+        let mut rise = 0.0;
+        for m in -images..=images {
+            for n in -images..=images {
+                // Reflections across x = 0 and x = width place copies at
+                // ±x₀ + 2mW; same in y. All carry +P (adiabatic mirrors).
+                for sx in [-1.0, 1.0] {
+                    for sy in [-1.0, 1.0] {
+                        let ix = sx * self.x0 + 2.0 * f64::from(m) * self.width;
+                        let iy = sy * self.y0 + 2.0 * f64::from(n) * self.height;
+                        let r = ((x - ix).powi(2) + (y - iy).powi(2)).sqrt();
+                        assert!(r > 0.0, "field point coincides with an image source");
+                        rise += scale * bessel_k0(r / lambda);
+                    }
+                }
+            }
+        }
+        rise
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +296,71 @@ mod tests {
         let c_oil: f64 = circuit.capacitance()[16..].iter().sum();
         let exact = two_node_step_response(100.0, 0.35, r_half, c_oil, r_half, 0.2);
         assert!((avg - exact).abs() < 0.05 * exact, "RK4 {avg} vs ladder {exact}");
+    }
+
+    #[test]
+    fn bessel_k0_matches_tables() {
+        // Abramowitz & Stegun table 9.8 reference values.
+        for (x, want) in [
+            (0.1, 2.427_069_024_7),
+            (0.5, 0.924_419_071_2),
+            (1.0, 0.421_024_438_2),
+            (2.0, 0.113_893_872_7),
+            (5.0, 0.003_691_098_6),
+        ] {
+            let got = bessel_k0(x);
+            assert!((got - want).abs() < 2e-6, "K0({x}) = {got}, want {want}");
+        }
+        // Continuity across the branch switch at x = 2.
+        assert!((bessel_k0(2.0 - 1e-9) - bessel_k0(2.0 + 1e-9)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn point_source_field_conserves_power() {
+        // ∫ h_eff·θ dA over the die must equal the injected power: every
+        // watt leaves through the film. Midpoint quadrature, fine grid.
+        let slab = PointSourceSlab {
+            p: 10.0,
+            k_sheet: 100.0 * 0.5e-3,
+            h_eff: 1250.0,
+            width: 0.016,
+            height: 0.016,
+            x0: 0.006,
+            y0: 0.009,
+        };
+        let n = 256;
+        let (dx, dy) = (slab.width / n as f64, slab.height / n as f64);
+        let mut q = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let x = (i as f64 + 0.5) * dx;
+                let y = (j as f64 + 0.5) * dy;
+                q += slab.h_eff * slab.rise_at(x, y, 2) * dx * dy;
+            }
+        }
+        assert!((q - slab.p).abs() < 0.02 * slab.p, "film heat {q} W vs source {} W", slab.p);
+    }
+
+    #[test]
+    fn point_source_field_is_symmetric_and_decays() {
+        let slab = PointSourceSlab {
+            p: 5.0,
+            k_sheet: 0.05,
+            h_eff: 2500.0,
+            width: 0.02,
+            height: 0.02,
+            x0: 0.01,
+            y0: 0.01,
+        };
+        // Centered source: four-fold symmetry.
+        let a = slab.rise_at(0.014, 0.01, 3);
+        let b = slab.rise_at(0.006, 0.01, 3);
+        let c = slab.rise_at(0.01, 0.014, 3);
+        assert!((a - b).abs() < 1e-9 && (a - c).abs() < 1e-9, "{a} {b} {c}");
+        // Monotone decay along a ray away from the source.
+        let near = slab.rise_at(0.011, 0.01, 3);
+        let far = slab.rise_at(0.018, 0.01, 3);
+        assert!(near > far && far > 0.0, "near {near}, far {far}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use hotiron_thermal::sparse::SolveMethod;
 use hotiron_thermal::{
     AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
 };
+use hotiron_verify::oracle;
 
 const AMBIENT: f64 = 318.15;
 
@@ -69,6 +70,9 @@ fn steady_state_bitwise_identical_across_thread_counts() {
 
         let (serial, serial_stats) = run(1);
         assert_eq!(serial_stats.threads, 1, "{label}: serial run reports one thread");
+        // Determinism alone can reproduce a wrong answer bit-for-bit; pin
+        // that the reproduced solution is also physical.
+        oracle::assert_energy_balance(label, model.circuit(), &serial, &p, AMBIENT);
         for threads in [2, 4] {
             let (parallel, stats) = run(threads);
             assert_eq!(

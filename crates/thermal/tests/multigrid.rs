@@ -9,6 +9,7 @@ use hotiron_thermal::multigrid::{mg_pcg, MgOptions, Multigrid};
 use hotiron_thermal::solve::{solve_steady_with, SolverChoice};
 use hotiron_thermal::sparse::{conjugate_gradient, SolveMethod};
 use hotiron_thermal::{AirSinkPackage, OilSiliconPackage, Package};
+use hotiron_verify::{oracle, tol};
 use proptest::prelude::*;
 use proptest::TestRng;
 
@@ -50,10 +51,14 @@ fn mg_matches_direct_within_1e8() {
                 c.conductance(),
                 &c.rhs(&p, AMBIENT),
                 &mut direct,
-                1e-13,
-                40 * c.node_count() + 1000,
+                tol::CG_REFERENCE_TOL,
+                tol::cg_iter_cap(c.node_count()),
             );
             assert!(refine.converged, "{label} {grid}: reference converged: {refine:?}");
+
+            // Any correct reference must at minimum balance energy: total
+            // input power equals the heat crossing the ambient boundary.
+            oracle::assert_energy_balance(&format!("{label} {grid}"), &c, &direct, &p, AMBIENT);
 
             let mut mg = vec![AMBIENT; c.node_count()];
             let stats = solve_steady_with(&c, &p, AMBIENT, &mut mg, SolverChoice::Multigrid)
@@ -64,12 +69,20 @@ fn mg_matches_direct_within_1e8() {
             // The default 1e-10 relative residual leaves ~1e-8 K of slack on
             // the worse-conditioned air operator; polish well past it so the
             // comparison bounds multigrid's error, not the shared tolerance.
-            let polish =
-                mg_pcg(c.multigrid().expect("hierarchy"), &c.rhs(&p, AMBIENT), &mut mg, 1e-12, 200);
+            let polish = mg_pcg(
+                c.multigrid().expect("hierarchy"),
+                &c.rhs(&p, AMBIENT),
+                &mut mg,
+                tol::MG_POLISH_TOL,
+                200,
+            );
             assert!(polish.converged, "{label} {grid}: polish converged: {polish:?}");
 
             let worst = direct.iter().zip(&mg).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
-            assert!(worst <= 1e-8, "{label} {grid}x{grid}: worst per-node diff {worst:.3e} K");
+            assert!(
+                worst <= tol::BACKEND_AGREEMENT_K,
+                "{label} {grid}x{grid}: worst per-node diff {worst:.3e} K"
+            );
         }
     }
 }
@@ -135,7 +148,7 @@ proptest! {
             let xmy = dot(&x, &my);
             let scale = mxy.abs().max(xmy.abs()).max(f64::MIN_POSITIVE);
             prop_assert!(
-                (mxy - xmy).abs() <= 1e-10 * scale,
+                (mxy - xmy).abs() <= tol::SYMMETRY_REL * scale,
                 "{label}: asymmetric V-cycle: <Mx,y> = {mxy:.17e}, <x,My> = {xmy:.17e}"
             );
             let mxx = dot(&mx, &x);

@@ -1,0 +1,421 @@
+//! Seeded differential fuzzing of the solver stack.
+//!
+//! Each case draws a random die, guillotine floorplan, package and power
+//! map from the deterministic `compat` PRNG (no wall clock, no global
+//! state), then:
+//!
+//! 1. solves steady state with Direct LDLᵀ, Jacobi-PCG and (when a
+//!    hierarchy exists) multigrid-PCG, and fails on any cross-backend
+//!    divergence beyond [`tol::FUZZ_STEADY_AGREEMENT_K`];
+//! 2. runs the full oracle battery (energy balance, maximum principle,
+//!    operator invariants, spread conservation) on the direct solution;
+//! 3. on a case subsample, integrates a warmup with backward Euler at `dt`
+//!    and `dt/2`, Richardson-extrapolates the pair, and requires adaptive
+//!    RK4 to land within the extrapolation's error bound;
+//! 4. on another subsample, cross-checks the compact model against the
+//!    independent `hotiron-refsim` finite-volume solver on a coarse oil
+//!    configuration.
+//!
+//! The quick tier (64 cases) runs inside `cargo test`; the deep tier (512
+//! cases, denser subsamples) runs nightly behind `HOTIRON_VERIFY_DEEP=1`.
+
+use crate::{oracle, tol};
+use hotiron_floorplan::{library, Block, Floorplan, GridMapping};
+use hotiron_refsim::{OilModel, RefSim, RefSimConfig};
+use hotiron_thermal::circuit::{build_circuit, DieGeometry, ThermalCircuit};
+use hotiron_thermal::convection::FlowDirection;
+use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, Rk4Adaptive, SolverChoice};
+use hotiron_thermal::{
+    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, SecondaryPath, ThermalModel,
+};
+use rand::{Rng, SeedableRng, StdRng};
+use std::fmt::Write as _;
+
+const AMBIENT: f64 = 318.15;
+
+/// Fuzzing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Number of cases.
+    pub cases: usize,
+    /// Base seed; case `i` derives its own generator from `seed ^ i`.
+    pub seed: u64,
+    /// Run the transient (BE/RK4 Richardson) comparison every n-th case.
+    pub transient_every: usize,
+    /// Run the refsim cross-check every n-th case.
+    pub refsim_every: usize,
+}
+
+impl FuzzConfig {
+    /// The quick tier: runs inside `cargo test` on every PR.
+    pub fn quick() -> Self {
+        Self { cases: 64, seed: 0x5EED_1507, transient_every: 8, refsim_every: 21 }
+    }
+
+    /// The deep tier: nightly CI.
+    pub fn deep() -> Self {
+        Self { cases: 512, transient_every: 4, refsim_every: 13, ..Self::quick() }
+    }
+
+    /// Deep when `HOTIRON_VERIFY_DEEP` is set to anything but `0`.
+    pub fn from_env() -> Self {
+        match std::env::var("HOTIRON_VERIFY_DEEP") {
+            Ok(v) if v != "0" => Self::deep(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// Outcome of one fuzz case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseOutcome {
+    /// Case index.
+    pub index: usize,
+    /// One-line description of the drawn configuration.
+    pub summary: String,
+    /// Worst steady cross-backend divergence observed, K.
+    pub steady_divergence: f64,
+    /// Everything that went wrong (empty = pass).
+    pub failures: Vec<String>,
+}
+
+/// Aggregate fuzz report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Per-case outcomes in order.
+    pub outcomes: Vec<CaseOutcome>,
+}
+
+impl FuzzReport {
+    /// Number of failing cases.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.failures.is_empty()).count()
+    }
+
+    /// Worst steady divergence across all cases, K.
+    pub fn worst_divergence(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.steady_divergence).fold(0.0, f64::max)
+    }
+
+    /// Console summary; lists each failing case in full.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Differential fuzz: {} cases, {} failing, worst backend divergence {:.3e} K ==",
+            self.outcomes.len(),
+            self.failures(),
+            self.worst_divergence()
+        );
+        for o in self.outcomes.iter().filter(|o| !o.failures.is_empty()) {
+            let _ = writeln!(out, "case {:>4}  {}", o.index, o.summary);
+            for f in &o.failures {
+                let _ = writeln!(out, "    FAIL: {f}");
+            }
+        }
+        out
+    }
+}
+
+/// One drawn case.
+struct Case {
+    grid: usize,
+    die: DieGeometry,
+    plan: Floorplan,
+    package: Package,
+    block_power: Vec<f64>,
+    label: String,
+}
+
+/// Recursive guillotine partition of the die into `target` named blocks.
+fn guillotine(rng: &mut StdRng, width: f64, height: f64, target: usize) -> Vec<Block> {
+    let mut rects = vec![(0.0f64, 0.0f64, width, height)];
+    while rects.len() < target {
+        // Split the largest rectangle; stop early if everything got small.
+        let (i, _) = rects
+            .iter()
+            .enumerate()
+            .max_by(|a, b| (a.1 .2 * a.1 .3).total_cmp(&(b.1 .2 * b.1 .3)))
+            .expect("non-empty");
+        let (x, y, w, h) = rects.swap_remove(i);
+        if w.max(h) < 1e-3 {
+            rects.push((x, y, w, h));
+            break;
+        }
+        let frac = rng.gen_range(0.3..0.7);
+        if w >= h {
+            rects.push((x, y, w * frac, h));
+            rects.push((x + w * frac, y, w * (1.0 - frac), h));
+        } else {
+            rects.push((x, y, w, h * frac));
+            rects.push((x, y + h * frac, w, h * (1.0 - frac)));
+        }
+    }
+    rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, (x, y, w, h))| Block::new(format!("b{i}"), w, h, x, y))
+        .collect()
+}
+
+fn draw_case(index: usize, seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let grid = *pick(&mut rng, &[8usize, 12, 16, 20, 24, 32]);
+    let side = rng.gen_range(0.008..0.024);
+    let die = DieGeometry { width: side, height: side, thickness: rng.gen_range(0.3e-3..0.7e-3) };
+    let target_blocks = rng.gen_range(1usize..13);
+    let blocks = guillotine(&mut rng, side, side, target_blocks);
+    let plan = Floorplan::new(blocks).expect("guillotine partitions never overlap");
+
+    let secondary = rng.gen_bool(1.0 / 3.0);
+    let package = if rng.gen_bool(0.5) {
+        let mut p = AirSinkPackage::paper_default().with_r_convec(rng.gen_range(0.3..2.0));
+        if secondary {
+            p = p.with_secondary(SecondaryPath::for_air_system());
+        }
+        Package::AirSink(p)
+    } else {
+        let mut p = OilSiliconPackage {
+            velocity: rng.gen_range(2.0..20.0),
+            direction: *pick(&mut rng, &FlowDirection::ALL),
+            local_h: rng.gen_bool(0.5),
+            local_boundary_layer: rng.gen_bool(0.5),
+            ..OilSiliconPackage::paper_default()
+        };
+        if secondary {
+            p = p.with_secondary(SecondaryPath::for_oil_rig());
+        }
+        Package::OilSilicon(p)
+    };
+
+    let block_power: Vec<f64> = (0..plan.len()).map(|_| rng.gen_range(0.0..6.0)).collect();
+    let label = format!(
+        "{}{} {grid}x{grid} {:.1}mm {} blocks, {:.1} W",
+        package.label(),
+        if secondary { "+2nd" } else { "" },
+        side * 1e3,
+        plan.len(),
+        block_power.iter().sum::<f64>()
+    );
+    Case { grid, die, plan, package, block_power, label }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+/// Max abs difference over silicon nodes (full state for equal lengths).
+fn worst_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+fn steady(circuit: &ThermalCircuit, p: &[f64], choice: SolverChoice) -> Result<Vec<f64>, String> {
+    let mut state = vec![AMBIENT; circuit.node_count()];
+    solve_steady_with(circuit, p, AMBIENT, &mut state, choice)
+        .map_err(|e| format!("{choice:?} steady solve failed: {e:?}"))?;
+    Ok(state)
+}
+
+fn run_case(case: &Case, index: usize) -> CaseOutcome {
+    let mut failures = Vec::new();
+    let mapping = GridMapping::new(&case.plan, case.grid, case.grid);
+    let circuit = build_circuit(&mapping, case.die, &case.package);
+    let cell_power = mapping.spread_block_values(&case.block_power);
+
+    // Block→cell transfers must conserve power before anything is solved.
+    let spread_err = oracle::spread_conservation(&mapping, &case.block_power);
+    if spread_err > tol::SPREAD_CONSERVATION_REL {
+        failures.push(format!("spread conservation violated: rel {spread_err:.3e}"));
+    }
+
+    // Differential steady solves.
+    let mut steady_divergence = 0.0f64;
+    let direct = match steady(&circuit, &cell_power, SolverChoice::Direct) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            failures.push(e);
+            None
+        }
+    };
+    if let Some(direct) = &direct {
+        for choice in [SolverChoice::Cg, SolverChoice::Multigrid] {
+            if choice == SolverChoice::Multigrid && circuit.multigrid().is_none() {
+                continue;
+            }
+            match steady(&circuit, &cell_power, choice) {
+                Ok(other) => {
+                    let d = worst_diff(direct, &other);
+                    steady_divergence = steady_divergence.max(d);
+                    if d > tol::FUZZ_STEADY_AGREEMENT_K {
+                        failures.push(format!(
+                            "Direct vs {choice:?} diverge by {d:.3e} K (allowed {:.0e})",
+                            tol::FUZZ_STEADY_AGREEMENT_K
+                        ));
+                    }
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+
+        // Physics oracles on the direct solution.
+        if let Err(e) = oracle::energy_balance(&circuit, direct, &cell_power, AMBIENT).check() {
+            failures.push(e);
+        }
+        if let Err(e) = oracle::maximum_principle(&circuit, direct, &cell_power, AMBIENT) {
+            failures.push(e);
+        }
+        if let Err(e) = oracle::operator_checks(&circuit, 0xC0FFEE ^ index as u64, 2).check() {
+            failures.push(e);
+        }
+    }
+
+    CaseOutcome { index, summary: case.label.clone(), steady_divergence, failures }
+}
+
+/// BE-vs-RK4 differential transient with a Richardson-extrapolation bound.
+fn transient_check(case: &Case) -> Result<(), String> {
+    let mapping = GridMapping::new(&case.plan, case.grid, case.grid);
+    let circuit = build_circuit(&mapping, case.die, &case.package);
+    let cell_power = mapping.spread_block_values(&case.block_power);
+    let (dt, steps) = (1e-3, 20);
+
+    let be_run = |dt: f64, steps: usize| -> Result<Vec<f64>, String> {
+        let be = BackwardEuler::new(&circuit, dt);
+        let mut state = vec![AMBIENT; circuit.node_count()];
+        for _ in 0..steps {
+            be.step(&mut state, &cell_power, AMBIENT).map_err(|e| format!("BE step: {e:?}"))?;
+        }
+        Ok(state)
+    };
+    let coarse = be_run(dt, steps)?;
+    let fine = be_run(dt / 2.0, steps * 2)?;
+    // Backward Euler is first-order: halving dt halves the error, so the
+    // extrapolant 2·T_fine − T_coarse cancels the leading term and
+    // |T_fine − T_coarse| estimates the remaining error.
+    let richardson: Vec<f64> = fine.iter().zip(&coarse).map(|(f, c)| 2.0 * f - c).collect();
+    let err_est = worst_diff(&fine, &coarse);
+    let bound = tol::RICHARDSON_SAFETY * err_est + tol::STEPPER_FLOOR_K;
+
+    let rk = Rk4Adaptive::new(&circuit);
+    let mut state = vec![AMBIENT; circuit.node_count()];
+    rk.advance(&mut state, &cell_power, AMBIENT, dt * steps as f64)
+        .map_err(|e| format!("RK4 advance: {e:?}"))?;
+
+    let d = worst_diff(&state, &richardson);
+    if d > bound {
+        return Err(format!(
+            "BE/RK4 divergence {d:.3e} K exceeds Richardson bound {bound:.3e} K \
+             (estimate {err_est:.3e} K)"
+        ));
+    }
+    Ok(())
+}
+
+/// Compact model vs the independent finite-volume reference on a coarse
+/// uniform-power oil case.
+fn refsim_check(index: usize, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_F00D_CAFE);
+    let side = rng.gen_range(0.012..0.024);
+    let velocity = rng.gen_range(4.0..16.0);
+    let total_power = rng.gen_range(50.0..200.0);
+
+    let mut cfg = RefSimConfig::paper_validation().with_grid(16, 16, 2, 3);
+    cfg.width = side;
+    cfg.height = side;
+    cfg.velocity = velocity;
+    cfg = cfg.with_oil_model(OilModel::RobinCorrelation);
+    let refsim = RefSim::new(cfg);
+    let field = refsim.solve_steady(&refsim.uniform_power(total_power), 20_000);
+    let ref_mean_rise = field.mean() - AMBIENT;
+    let ref_max_rise = field.max() - AMBIENT;
+
+    let plan = library::uniform_die(side, side);
+    let pkg = OilSiliconPackage { velocity, ..OilSiliconPackage::paper_default() };
+    let model = ThermalModel::new(
+        plan.clone(),
+        Package::OilSilicon(pkg),
+        ModelConfig::paper_default().with_grid(16, 16),
+    )
+    .map_err(|e| format!("model build: {e:?}"))?;
+    let power = PowerMap::from_pairs(&plan, [("die", total_power)])
+        .map_err(|e| format!("power map: {e:?}"))?;
+    let solution = model.steady_state(&power).map_err(|e| format!("steady: {e:?}"))?;
+    let mean_rise = solution.average_celsius() - 45.0;
+    let max_rise = solution.max_celsius() - 45.0;
+
+    for (what, compact, reference) in
+        [("mean", mean_rise, ref_mean_rise), ("max", max_rise, ref_max_rise)]
+    {
+        let rel = (compact - reference).abs() / reference.abs().max(f64::MIN_POSITIVE);
+        if rel > tol::REFSIM_AGREEMENT_REL {
+            return Err(format!(
+                "case {index}: compact {what} rise {compact:.2} K vs refsim {reference:.2} K \
+                 (rel {rel:.2} > {:.2})",
+                tol::REFSIM_AGREEMENT_REL
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the fuzzer.
+pub fn run(cfg: &FuzzConfig) -> FuzzReport {
+    let mut outcomes = Vec::with_capacity(cfg.cases);
+    for index in 0..cfg.cases {
+        let case = draw_case(index, cfg.seed);
+        let mut outcome = run_case(&case, index);
+        if index % cfg.transient_every == 0 {
+            if let Err(e) = transient_check(&case) {
+                outcome.failures.push(e);
+            }
+        }
+        if index % cfg.refsim_every == 0 {
+            if let Err(e) = refsim_check(index, cfg.seed ^ index as u64) {
+                outcome.failures.push(e);
+            }
+        }
+        outcomes.push(outcome);
+    }
+    FuzzReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        let a = draw_case(5, 42);
+        let b = draw_case(5, 42);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.block_power, b.block_power);
+        assert_ne!(draw_case(6, 42).label, a.label, "different cases differ");
+    }
+
+    #[test]
+    fn guillotine_tiles_the_die() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for target in [1usize, 2, 7, 12] {
+            let blocks = guillotine(&mut rng, 0.02, 0.015, target);
+            assert_eq!(blocks.len(), target);
+            let area: f64 = blocks.iter().map(Block::area).sum();
+            assert!((area - 0.02 * 0.015).abs() < 1e-12, "blocks tile the die exactly");
+            Floorplan::new(blocks).expect("valid floorplan");
+        }
+    }
+
+    #[test]
+    fn small_fuzz_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig { cases: 4, seed: 7, transient_every: 4, refsim_every: 100 };
+        let a = run(&cfg);
+        assert_eq!(a.failures(), 0, "{}", a.render());
+        let b = run(&cfg);
+        assert_eq!(a, b, "same seed, same report");
+    }
+
+    #[test]
+    fn config_tiers() {
+        assert!(FuzzConfig::quick().cases >= 64);
+        assert!(FuzzConfig::deep().cases > FuzzConfig::quick().cases);
+    }
+}

@@ -1,0 +1,43 @@
+//! Verification subsystem: physics-invariant oracles, seeded differential
+//! fuzzing, and tolerance-aware golden snapshots.
+//!
+//! The thermal stack is numerical code validated against a paper — most of
+//! its bugs do not crash, they silently produce the wrong temperature. This
+//! crate attacks that failure mode from three directions:
+//!
+//! * [`oracle`] — invariants any correct solution must satisfy regardless
+//!   of configuration: global energy balance (input power equals heat
+//!   crossing the ambient boundary, including secondary paths), the
+//!   discrete maximum principle, operator symmetry/row-sum/positive-
+//!   definiteness checks, block→cell power conservation, step-response
+//!   monotonicity, and agreement with the closed-form method-of-images
+//!   point-source field ([`hotiron_thermal::analytic::PointSourceSlab`]).
+//! * [`fuzz`] — a seeded differential fuzzer that draws random dies,
+//!   guillotine floorplans, packages and power maps, then requires the
+//!   Direct/CG/multigrid steady backends to agree, the oracle battery to
+//!   hold, backward Euler (Richardson-extrapolated) to bound adaptive RK4,
+//!   and the compact model to track the independent finite-volume
+//!   reference ([`hotiron_refsim`]).
+//! * [`snapshot`] — regenerates the experiment CSVs via
+//!   [`hotiron_bench::registry`] and diffs them against the checked-in
+//!   `results/*.csv` goldens with per-column tolerances, rendering a drift
+//!   table for CI.
+//!
+//! All tolerances live in [`tol`] with their provenance documented; test
+//! suites elsewhere in the workspace import them instead of re-inventing
+//! magic numbers.
+//!
+//! The `hotiron-verify` binary wires the three together:
+//!
+//! ```text
+//! hotiron-verify oracles            # invariant battery on stock configs
+//! hotiron-verify fuzz --cases 64    # quick differential tier
+//! hotiron-verify snapshots          # regenerate + diff results/*.csv
+//! hotiron-verify snapshots --bless  # accept current output as golden
+//! hotiron-verify all                # the CI correctness gate
+//! ```
+
+pub mod fuzz;
+pub mod oracle;
+pub mod snapshot;
+pub mod tol;

@@ -1,0 +1,195 @@
+//! `hotiron-verify`: the repository's correctness gate.
+//!
+//! ```text
+//! hotiron-verify oracles
+//! hotiron-verify fuzz [--deep] [--cases N] [--seed S]
+//! hotiron-verify snapshots [--results DIR] [--bless] [--experiments a,b]
+//! hotiron-verify all [fuzz/snapshot flags]
+//! ```
+//!
+//! Exit code 0 only when every requested check passes. When
+//! `GITHUB_STEP_SUMMARY` is set, the snapshot drift table is appended to it
+//! as GitHub-flavored markdown.
+
+use hotiron_verify::fuzz::{self, FuzzConfig};
+use hotiron_verify::snapshot::{self, SnapshotOptions};
+use hotiron_verify::{oracle, tol};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hotiron-verify <oracles|fuzz|snapshots|all> [flags]\n\
+         flags:\n\
+         \x20 --deep              deep fuzz tier (or HOTIRON_VERIFY_DEEP=1)\n\
+         \x20 --cases N           fuzz case count override\n\
+         \x20 --seed S            fuzz base seed override\n\
+         \x20 --results DIR       golden snapshot directory (default: results)\n\
+         \x20 --bless             rewrite goldens from current output\n\
+         \x20 --experiments a,b   restrict snapshots to named experiments"
+    );
+    ExitCode::from(2)
+}
+
+/// Oracle battery on the stock configurations the experiments actually use.
+fn run_oracles() -> bool {
+    use hotiron_floorplan::{library, GridMapping};
+    use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+    use hotiron_thermal::solve::{solve_steady_with, SolverChoice};
+    use hotiron_thermal::{AirSinkPackage, OilSiliconPackage, Package, SecondaryPath};
+
+    let ambient = 318.15;
+    let plan = library::ev6();
+    let packages: [(&str, Package); 4] = [
+        ("oil", Package::OilSilicon(OilSiliconPackage::paper_default())),
+        ("air", Package::AirSink(AirSinkPackage::paper_default())),
+        (
+            "oil+secondary",
+            Package::OilSilicon(
+                OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
+            ),
+        ),
+        (
+            "air+secondary",
+            Package::AirSink(
+                AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_air_system()),
+            ),
+        ),
+    ];
+    let block_power: Vec<f64> = (0..plan.len()).map(|i| 1.0 + 0.35 * i as f64).collect();
+
+    let mut ok = true;
+    let mut fail = |what: String| {
+        eprintln!("oracle FAIL: {what}");
+        ok = false;
+    };
+    for (label, package) in &packages {
+        let mapping = GridMapping::new(&plan, 32, 32);
+        let die = DieGeometry { width: plan.width(), height: plan.height(), thickness: 0.5e-3 };
+        let circuit = build_circuit(&mapping, die, package);
+        let cell_power = mapping.spread_block_values(&block_power);
+        let mut state = vec![ambient; circuit.node_count()];
+        if let Err(e) =
+            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Direct)
+        {
+            fail(format!("{label}: steady solve failed: {e:?}"));
+            continue;
+        }
+        let balance = oracle::energy_balance(&circuit, &state, &cell_power, ambient);
+        if let Err(e) = balance.check() {
+            fail(format!("{label}: {e}"));
+        }
+        if let Err(e) = oracle::maximum_principle(&circuit, &state, &cell_power, ambient) {
+            fail(format!("{label}: {e}"));
+        }
+        if let Err(e) = oracle::operator_checks(&circuit, 0x0AC1E, 3).check() {
+            fail(format!("{label}: {e}"));
+        }
+        let spread = oracle::spread_conservation(&mapping, &block_power);
+        if spread > tol::SPREAD_CONSERVATION_REL {
+            fail(format!("{label}: spread conservation rel {spread:.3e}"));
+        }
+        if let Err(e) = oracle::step_response_monotonic(&circuit, &cell_power, ambient, 1e-3, 25) {
+            fail(format!("{label}: {e}"));
+        }
+        println!("oracle ok  {label:<14} energy-balance rel {:.2e}", balance.rel_error());
+    }
+
+    let a = oracle::analytic_point_source_agreement(48, 10.0);
+    match a.check() {
+        Ok(()) => println!(
+            "oracle ok  analytic-field  worst rel {:.3} over {} cells",
+            a.worst_rel, a.compared
+        ),
+        Err(e) => fail(format!("analytic field: {e}")),
+    }
+    ok
+}
+
+fn append_step_summary(markdown: &str) {
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, markdown.as_bytes()))
+        {
+            eprintln!("warning: could not append to GITHUB_STEP_SUMMARY: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { return usage() };
+
+    let mut fuzz_cfg = FuzzConfig::from_env();
+    let mut snap_opts = SnapshotOptions::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--deep" => fuzz_cfg = FuzzConfig::deep(),
+            "--cases" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => fuzz_cfg.cases = n,
+                _ => return usage(),
+            },
+            "--seed" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(s)) => fuzz_cfg.seed = s,
+                _ => return usage(),
+            },
+            "--results" => match args.next() {
+                Some(dir) => snap_opts.results_dir = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--bless" => snap_opts.bless = true,
+            "--experiments" => match args.next() {
+                Some(list) => {
+                    snap_opts.experiments = list.split(',').map(str::to_owned).collect();
+                }
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let (do_oracles, do_fuzz, do_snapshots) = match command.as_str() {
+        "oracles" => (true, false, false),
+        "fuzz" => (false, true, false),
+        "snapshots" => (false, false, true),
+        "all" => (true, true, true),
+        _ => return usage(),
+    };
+
+    let mut ok = true;
+    if do_oracles {
+        println!("== Physics-invariant oracles ==");
+        ok &= run_oracles();
+    }
+    if do_fuzz {
+        println!("== Differential fuzz: {} cases, seed {:#x} ==", fuzz_cfg.cases, fuzz_cfg.seed);
+        let report = fuzz::run(&fuzz_cfg);
+        print!("{}", report.render());
+        ok &= report.failures() == 0;
+    }
+    if do_snapshots {
+        println!("== Golden snapshots ==");
+        match snapshot::run(&snap_opts) {
+            Ok(summary) => {
+                print!("{}", summary.render());
+                append_step_summary(&summary.render_markdown());
+                ok &= summary.failures() == 0;
+            }
+            Err(e) => {
+                eprintln!("snapshot run failed: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if ok {
+        println!("hotiron-verify: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hotiron-verify: FAILURES detected");
+        ExitCode::FAILURE
+    }
+}

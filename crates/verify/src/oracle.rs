@@ -1,0 +1,427 @@
+//! Physics-invariant oracles.
+//!
+//! Each oracle checks a property that must hold for *any* correct solution
+//! of the compact thermal model, independent of which backend produced it:
+//!
+//! * [`energy_balance`] — in steady state, every injected watt leaves
+//!   through a convective film (primary and secondary path alike);
+//! * [`maximum_principle`] — the discrete maximum principle of an M-matrix
+//!   operator: no node below ambient, and the hottest node dissipates power;
+//! * [`operator_checks`] — the conductance matrix is symmetric, its rows
+//!   sum to the ambient conductances, and it is positive definite;
+//! * [`spread_conservation`] — `GridMapping` block→cell transfers conserve
+//!   total power;
+//! * [`step_response_monotonic`] — a constant-power warmup from equilibrium
+//!   rises monotonically at every node;
+//! * [`analytic_point_source_agreement`] — a full grid solve reproduces the
+//!   method-of-images Green's-function field away from a point source.
+//!
+//! Oracles return small report structs whose `check()` yields a printable
+//! failure description; `assert_*` wrappers panic for direct use in tests.
+
+use crate::tol;
+use hotiron_floorplan::{library, GridMapping};
+use hotiron_thermal::analytic::PointSourceSlab;
+use hotiron_thermal::circuit::{build_circuit, DieGeometry, ThermalCircuit};
+use hotiron_thermal::materials::SILICON;
+use hotiron_thermal::solve::{solve_steady, BackwardEuler};
+use hotiron_thermal::{OilSiliconPackage, Package};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Steady-state global energy balance: total power in vs total boundary
+/// heat out through every ambient-connected conductance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBalance {
+    /// Total injected power, W.
+    pub power_in: f64,
+    /// Total convective outflow `Σ g_amb,i (T_i − T_amb)`, W.
+    pub heat_out: f64,
+}
+
+impl EnergyBalance {
+    /// Imbalance relative to the injected power.
+    pub fn rel_error(&self) -> f64 {
+        (self.power_in - self.heat_out).abs() / self.power_in.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Fails when the imbalance exceeds [`tol::ENERGY_BALANCE_REL`].
+    pub fn check(&self) -> Result<(), String> {
+        if self.rel_error() <= tol::ENERGY_BALANCE_REL {
+            Ok(())
+        } else {
+            Err(format!(
+                "energy balance violated: {:.9} W in, {:.9} W out (rel {:.3e})",
+                self.power_in,
+                self.heat_out,
+                self.rel_error()
+            ))
+        }
+    }
+}
+
+/// Computes the steady energy balance of `state` (a converged steady
+/// solution of `circuit` under `cell_power` watts per silicon cell).
+///
+/// The outflow sums over *every* node with a conductance to ambient — oil
+/// film nodes, the lumped sink convection, and all secondary-path films —
+/// so a package that silently drops a path fails here.
+pub fn energy_balance(
+    circuit: &ThermalCircuit,
+    state: &[f64],
+    cell_power: &[f64],
+    ambient: f64,
+) -> EnergyBalance {
+    let power_in: f64 = cell_power.iter().sum();
+    let heat_out: f64 =
+        circuit.ambient_conductance().iter().zip(state).map(|(g, t)| g * (t - ambient)).sum();
+    EnergyBalance { power_in, heat_out }
+}
+
+/// Panicking form of [`energy_balance`] + `check` for use inside tests.
+///
+/// # Panics
+///
+/// Panics when the balance is violated, naming `label`.
+pub fn assert_energy_balance(
+    label: &str,
+    circuit: &ThermalCircuit,
+    state: &[f64],
+    cell_power: &[f64],
+    ambient: f64,
+) {
+    if let Err(e) = energy_balance(circuit, state, cell_power, ambient).check() {
+        panic!("{label}: {e}");
+    }
+}
+
+/// Discrete maximum principle for a steady solution with non-negative
+/// power: no node may sit below ambient, and the global maximum must be
+/// attained at a silicon cell that actually dissipates power (heat cannot
+/// pile up where none is injected).
+///
+/// # Errors
+///
+/// Returns a description of the first violated bound.
+pub fn maximum_principle(
+    circuit: &ThermalCircuit,
+    state: &[f64],
+    cell_power: &[f64],
+    ambient: f64,
+) -> Result<(), String> {
+    assert!(cell_power.iter().all(|p| *p >= 0.0), "oracle requires non-negative powers");
+    let slack = tol::MAX_PRINCIPLE_SLACK_K;
+    if let Some((i, t)) = state.iter().enumerate().find(|(_, t)| **t < ambient - slack) {
+        return Err(format!("node {i} at {t} K sits below ambient {ambient} K"));
+    }
+    let max_t = state.iter().copied().fold(ambient, f64::max);
+    let si = circuit.si_offset();
+    let hottest_powered = (0..circuit.cell_count())
+        .filter(|c| cell_power[*c] > 0.0)
+        .map(|c| state[si + c])
+        .fold(ambient, f64::max);
+    if max_t > hottest_powered + slack {
+        return Err(format!(
+            "maximum {max_t} K exceeds hottest powered cell {hottest_powered} K: \
+             heat accumulated at an unpowered node"
+        ));
+    }
+    Ok(())
+}
+
+/// Structural report on the conductance operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorReport {
+    /// `G == Gᵀ` within [`tol::SYMMETRY_REL`].
+    pub symmetric: bool,
+    /// Worst relative error of `Σ_j G_ij − g_amb,i` over all rows.
+    pub worst_row_sum_rel: f64,
+    /// Smallest Rayleigh quotient `xᵀGx / xᵀx` over the random probes.
+    pub min_rayleigh: f64,
+}
+
+impl OperatorReport {
+    /// Fails on asymmetry, a broken row-sum identity, or a non-positive
+    /// Rayleigh quotient (the operator must be SPD for CG to be valid).
+    pub fn check(&self) -> Result<(), String> {
+        if !self.symmetric {
+            return Err("conductance matrix is not symmetric".into());
+        }
+        if self.worst_row_sum_rel > tol::ROW_SUM_REL {
+            return Err(format!(
+                "row sums do not match ambient conductances (worst rel {:.3e})",
+                self.worst_row_sum_rel
+            ));
+        }
+        if self.min_rayleigh <= 0.0 {
+            return Err(format!("operator is not positive definite ({:.3e})", self.min_rayleigh));
+        }
+        Ok(())
+    }
+}
+
+/// Checks the operator invariants of `circuit` with `probes` seeded random
+/// SPD probes.
+pub fn operator_checks(circuit: &ThermalCircuit, seed: u64, probes: usize) -> OperatorReport {
+    let g = circuit.conductance();
+    let n = g.dim();
+    let amb = circuit.ambient_conductance();
+
+    let mut worst_row_sum_rel = 0.0f64;
+    for (i, &g_amb) in amb.iter().enumerate() {
+        let sum: f64 = g.row(i).map(|(_, v)| v).sum();
+        let scale = g.diagonal(i).abs().max(f64::MIN_POSITIVE);
+        worst_row_sum_rel = worst_row_sum_rel.max((sum - g_amb).abs() / scale);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut min_rayleigh = f64::INFINITY;
+    for _ in 0..probes.max(1) {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let gx = g.mul_vec(&x);
+        let xgx: f64 = x.iter().zip(&gx).map(|(a, b)| a * b).sum();
+        let xx: f64 = x.iter().map(|a| a * a).sum();
+        min_rayleigh = min_rayleigh.min(xgx / xx);
+    }
+
+    OperatorReport { symmetric: g.is_symmetric(tol::SYMMETRY_REL), worst_row_sum_rel, min_rayleigh }
+}
+
+/// Relative error of total power across a block→cell spread.
+pub fn spread_conservation(mapping: &GridMapping, block_values: &[f64]) -> f64 {
+    let cells = mapping.spread_block_values(block_values);
+    let total_blocks: f64 = block_values.iter().sum();
+    let total_cells: f64 = cells.iter().sum();
+    (total_blocks - total_cells).abs() / total_blocks.abs().max(f64::MIN_POSITIVE)
+}
+
+/// Steps a backward-Euler warmup from equilibrium under constant power and
+/// verifies every node rises monotonically (within
+/// [`tol::MONOTONE_SLACK_K`] of solver noise per step).
+///
+/// # Errors
+///
+/// Returns the step and node of the first monotonicity violation.
+pub fn step_response_monotonic(
+    circuit: &ThermalCircuit,
+    cell_power: &[f64],
+    ambient: f64,
+    dt: f64,
+    steps: usize,
+) -> Result<(), String> {
+    let be = BackwardEuler::new(circuit, dt);
+    let mut state = vec![ambient; circuit.node_count()];
+    let mut prev = state.clone();
+    for step in 0..steps {
+        be.step(&mut state, cell_power, ambient)
+            .map_err(|e| format!("transient step {step} failed: {e:?}"))?;
+        for (i, (now, before)) in state.iter().zip(&prev).enumerate() {
+            if *now < before - tol::MONOTONE_SLACK_K {
+                return Err(format!(
+                    "node {i} fell from {before} K to {now} K at step {step} of a warmup"
+                ));
+            }
+        }
+        prev.copy_from_slice(&state);
+    }
+    Ok(())
+}
+
+/// Agreement between a grid solve and the method-of-images analytic field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticAgreement {
+    /// Worst relative deviation over the compared cells.
+    pub worst_rel: f64,
+    /// Number of cells compared (those ≥ 3 cell pitches from the source).
+    pub compared: usize,
+}
+
+impl AnalyticAgreement {
+    /// Fails when the deviation exceeds [`tol::ANALYTIC_FIELD_REL`].
+    pub fn check(&self) -> Result<(), String> {
+        if self.worst_rel <= tol::ANALYTIC_FIELD_REL {
+            Ok(())
+        } else {
+            Err(format!(
+                "grid solve deviates {:.1}% from the method-of-images field \
+                 (over {} cells; allowed {:.1}%)",
+                100.0 * self.worst_rel,
+                self.compared,
+                100.0 * tol::ANALYTIC_FIELD_REL
+            ))
+        }
+    }
+}
+
+/// Solves a `grid`×`grid` uniform die under uniform oil (the configuration
+/// whose thin-die limit is the 2-D fin equation) with `power` watts in a
+/// single off-center cell, and compares the silicon field against
+/// [`PointSourceSlab`] at every cell at least three pitches from the source
+/// (the continuum field is log-singular at the source itself).
+pub fn analytic_point_source_agreement(grid: usize, power: f64) -> AnalyticAgreement {
+    assert!(grid >= 16, "needs enough cells for a meaningful far field");
+    let (width, height, thickness) = (0.016, 0.016, 0.5e-3);
+    let ambient = 318.15;
+    let plan = library::uniform_die(width, height);
+    let mapping = GridMapping::new(&plan, grid, grid);
+    // Uniform h and no flow direction: the analytic oracle's assumptions.
+    let pkg = OilSiliconPackage {
+        local_h: false,
+        local_boundary_layer: false,
+        ..OilSiliconPackage::paper_default()
+    };
+    let circuit = build_circuit(
+        &mapping,
+        DieGeometry { width, height, thickness },
+        &Package::OilSilicon(pkg),
+    );
+
+    // Off-center source so no symmetry hides an indexing bug.
+    let (src_r, src_c) = (grid / 3, (2 * grid) / 3);
+    let mut cell_power = vec![0.0; grid * grid];
+    cell_power[mapping.cell_index(src_r, src_c)] = power;
+    let mut state = vec![ambient; circuit.node_count()];
+    solve_steady(&circuit, &cell_power, ambient, &mut state).expect("steady solve");
+    let silicon = circuit.silicon_slice(&state);
+
+    // Every cell sheds through silicon→oil→ambient, two equal conductances
+    // in series, so the effective per-area loss coefficient is half the
+    // (per-area) total ambient conductance.
+    let h_eff = circuit.total_ambient_conductance() / (2.0 * width * height);
+    let (x0, y0) = mapping.cell_center(src_r, src_c);
+    let slab = PointSourceSlab {
+        p: power,
+        k_sheet: SILICON.conductivity() * thickness,
+        h_eff,
+        width,
+        height,
+        x0,
+        y0,
+    };
+
+    let pitch = mapping.cell_width().max(mapping.cell_height());
+    let peak_rise = slab.rise_at(x0 + pitch, y0, 3).max(f64::MIN_POSITIVE);
+    let mut worst_rel = 0.0f64;
+    let mut compared = 0usize;
+    for r in 0..grid {
+        for c in 0..grid {
+            let (x, y) = mapping.cell_center(r, c);
+            let dist = ((x - x0).powi(2) + (y - y0).powi(2)).sqrt();
+            if dist < 3.0 * pitch {
+                continue;
+            }
+            let analytic = slab.rise_at(x, y, 3);
+            let sim = silicon[mapping.cell_index(r, c)] - ambient;
+            // Relative to the local rise, floored at 2 % of the near-source
+            // peak so cold far corners do not amplify round-off.
+            let rel = (sim - analytic).abs() / analytic.max(0.02 * peak_rise);
+            worst_rel = worst_rel.max(rel);
+            compared += 1;
+        }
+    }
+    AnalyticAgreement { worst_rel, compared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotiron_thermal::{AirSinkPackage, SecondaryPath};
+
+    const AMBIENT: f64 = 318.15;
+
+    fn solved_ev6(pkg: Package, grid: usize) -> (ThermalCircuit, GridMapping, Vec<f64>, Vec<f64>) {
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, grid, grid);
+        let circuit = build_circuit(
+            &mapping,
+            DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 },
+            &pkg,
+        );
+        let block_power: Vec<f64> = (0..plan.len()).map(|i| 1.0 + 0.5 * i as f64).collect();
+        let cell_power = mapping.spread_block_values(&block_power);
+        let mut state = vec![AMBIENT; circuit.node_count()];
+        solve_steady(&circuit, &cell_power, AMBIENT, &mut state).expect("steady solve");
+        (circuit, mapping, cell_power, state)
+    }
+
+    #[test]
+    fn energy_balance_holds_with_secondary_path() {
+        for pkg in [
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            Package::AirSink(AirSinkPackage::paper_default()),
+            Package::OilSilicon(
+                OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
+            ),
+            Package::AirSink(
+                AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_air_system()),
+            ),
+        ] {
+            let label =
+                pkg.label().to_owned() + if pkg.secondary().is_some() { "+secondary" } else { "" };
+            let (circuit, _, cell_power, state) = solved_ev6(pkg, 16);
+            assert_energy_balance(&label, &circuit, &state, &cell_power, AMBIENT);
+        }
+    }
+
+    #[test]
+    fn energy_balance_detects_imbalance() {
+        let (circuit, _, cell_power, mut state) =
+            solved_ev6(Package::OilSilicon(OilSiliconPackage::paper_default()), 16);
+        // Corrupt the solution: scale every rise by 2× — outflow doubles.
+        for t in &mut state {
+            *t = AMBIENT + 2.0 * (*t - AMBIENT);
+        }
+        assert!(energy_balance(&circuit, &state, &cell_power, AMBIENT).check().is_err());
+    }
+
+    #[test]
+    fn maximum_principle_holds_and_detects_violations() {
+        let (circuit, _, cell_power, state) =
+            solved_ev6(Package::AirSink(AirSinkPackage::paper_default()), 16);
+        maximum_principle(&circuit, &state, &cell_power, AMBIENT).expect("principle holds");
+
+        let mut below = state.clone();
+        below[0] = AMBIENT - 1.0;
+        assert!(maximum_principle(&circuit, &below, &cell_power, AMBIENT).is_err());
+
+        // Unpowered hot node: make an oil node (outside the silicon slice)
+        // the global maximum.
+        let mut peaked = state;
+        let last = peaked.len() - 1;
+        peaked[last] = peaked.iter().copied().fold(AMBIENT, f64::max) + 5.0;
+        assert!(maximum_principle(&circuit, &peaked, &cell_power, AMBIENT).is_err());
+    }
+
+    #[test]
+    fn operator_invariants_hold_for_both_packages() {
+        for pkg in [
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            Package::AirSink(AirSinkPackage::paper_default()),
+        ] {
+            let (circuit, ..) = solved_ev6(pkg, 16);
+            operator_checks(&circuit, 7, 4).check().expect("operator invariants");
+        }
+    }
+
+    #[test]
+    fn spread_conserves_power() {
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, 24, 24);
+        let values: Vec<f64> =
+            (0..plan.len()).map(|i| (i as f64 * 0.37).sin().abs() + 0.1).collect();
+        assert!(spread_conservation(&mapping, &values) <= tol::SPREAD_CONSERVATION_REL);
+    }
+
+    #[test]
+    fn warmup_is_monotone() {
+        let (circuit, _, cell_power, _) =
+            solved_ev6(Package::OilSilicon(OilSiliconPackage::paper_default()), 16);
+        step_response_monotonic(&circuit, &cell_power, AMBIENT, 1e-3, 10).expect("monotone rise");
+    }
+
+    #[test]
+    fn grid_solve_matches_method_of_images() {
+        let agreement = analytic_point_source_agreement(48, 10.0);
+        assert!(agreement.compared > 1000, "compared {} cells", agreement.compared);
+        agreement.check().unwrap_or_else(|e| panic!("{e}"));
+    }
+}

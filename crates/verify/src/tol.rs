@@ -1,0 +1,118 @@
+//! Centralized verification tolerances.
+//!
+//! Every numeric slack the workspace's correctness checks rely on lives
+//! here, with the reasoning attached, instead of being re-derived ad hoc in
+//! each test file. Two families:
+//!
+//! * **Solver-agreement tolerances** — how far two exact-in-theory solution
+//!   paths (direct vs iterative, coarse-stepped vs extrapolated) may drift
+//!   apart before we call it a bug.
+//! * **Physics tolerances** — how exactly a discrete solution must honor a
+//!   conservation law or an analytic limit.
+
+/// Relative-residual target used when polishing a solution into a *reference*
+/// for another backend to be measured against (tighter than any production
+/// solve, so the comparison bounds the backend under test, not the
+/// reference).
+pub const CG_REFERENCE_TOL: f64 = 1e-13;
+
+/// Relative-residual target for polishing a multigrid solution before
+/// comparing it against a direct reference (see `thermal/tests/multigrid.rs`:
+/// the default 1e-10 leaves ~1e-8 K of slack on the ill-conditioned AIR-SINK
+/// operator, which would swamp the comparison).
+pub const MG_POLISH_TOL: f64 = 1e-12;
+
+/// Worst-case per-node disagreement, in kelvin, allowed between two steady
+/// backends after both have been polished to reference quality.
+pub const BACKEND_AGREEMENT_K: f64 = 1e-8;
+
+/// Worst-case per-node disagreement, in kelvin, between steady backends run
+/// at the *production* tolerance (`solve::DEFAULT_TOL`, no polishing pass).
+/// The worst observed across the 512-case deep tier is 1.06e-5 K (a 32x32
+/// oil-silicon case with the secondary path, where CG's relative-residual
+/// stop leaves a slightly larger absolute error than usual); 5e-5 gives
+/// ~5x headroom over that floor while any real modeling divergence still
+/// shows up at whole-kelvin scale.
+pub const FUZZ_STEADY_AGREEMENT_K: f64 = 5e-5;
+
+/// Relative error allowed between total injected power and total boundary
+/// heat outflow (sum over every convective film, primary and secondary) in a
+/// converged steady solution.
+pub const ENERGY_BALANCE_REL: f64 = 1e-6;
+
+/// Absolute slack, in kelvin, on the discrete maximum principle (no node
+/// below ambient, hottest node is a powered cell): iterative solves leave
+/// sub-microkelvin residual wiggle on exactly-ambient nodes.
+pub const MAX_PRINCIPLE_SLACK_K: f64 = 1e-6;
+
+/// Relative tolerance on operator symmetry (`G == Gᵀ`), matching the
+/// assertion the circuit builder itself makes at assembly time.
+pub const SYMMETRY_REL: f64 = 1e-9;
+
+/// Relative tolerance on the row-sum identity `Σ_j G_ij = G_ambient,i`
+/// (every row of the conductance matrix must sum to its node's conductance
+/// to ambient — interior couplings cancel in pairs).
+pub const ROW_SUM_REL: f64 = 1e-9;
+
+/// Relative error allowed on total power across a `GridMapping`
+/// block-to-cell spread (the transfer is a telescoping sum of coverage
+/// fractions, so only round-off may remain).
+pub const SPREAD_CONSERVATION_REL: f64 = 1e-12;
+
+/// Per-step backsliding slack, in kelvin, for the step-response
+/// monotonicity oracle (a constant-power warmup from equilibrium must rise
+/// everywhere; CG residual noise can dip a node by nanokelvins).
+pub const MONOTONE_SLACK_K: f64 = 1e-7;
+
+/// Relative agreement required between a full grid solve and the
+/// method-of-images analytic field three-plus cells away from a point
+/// source. Dominated by the O(Δx²) discretization of the lateral Laplacian
+/// and the finite (one-cell) source footprint.
+pub const ANALYTIC_FIELD_REL: f64 = 0.05;
+
+/// Safety factor on the Richardson error estimate when bounding the RK4
+/// stepper against the extrapolated backward-Euler pair: BE is first-order,
+/// so `|T_dt/2 − T_dt|` estimates the *remaining* error of the extrapolant
+/// only to leading order.
+pub const RICHARDSON_SAFETY: f64 = 8.0;
+
+/// Absolute floor, in kelvin, on the BE-vs-RK4 agreement bound, covering
+/// the RK4 controller's own tolerance and solver round-off when the
+/// Richardson estimate is tiny.
+pub const STEPPER_FLOOR_K: f64 = 2e-3;
+
+/// Relative agreement required between the compact model and the
+/// independent `hotiron-refsim` finite-volume reference on coarse-grid oil
+/// cases (mean and peak silicon rise). The two codes share no discretization
+/// — the published validation itself agrees to a few percent, and the fuzz
+/// loop runs refsim deliberately coarse.
+pub const REFSIM_AGREEMENT_REL: f64 = 0.20;
+
+/// Default absolute tolerance for golden-snapshot cell comparisons (units of
+/// the column: °C, ms, iterations…).
+pub const SNAPSHOT_ABS: f64 = 1e-6;
+
+/// Default relative tolerance for golden-snapshot cell comparisons.
+pub const SNAPSHOT_REL: f64 = 1e-6;
+
+/// Iteration cap for conjugate-gradient reference solves of an `n`-node
+/// system (generous: CG converges in far fewer on these SPD operators).
+pub fn cg_iter_cap(n: usize) -> usize {
+    40 * n + 1000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    // The point of this test is exactly to assert relations between consts:
+    // it fails to compile-time-silence a future retuning that breaks ordering.
+    #[allow(clippy::assertions_on_constants)]
+    fn tolerances_are_ordered_sanely() {
+        assert!(CG_REFERENCE_TOL < MG_POLISH_TOL);
+        assert!(BACKEND_AGREEMENT_K < FUZZ_STEADY_AGREEMENT_K);
+        assert!(ENERGY_BALANCE_REL < ANALYTIC_FIELD_REL);
+        assert!(cg_iter_cap(1000) > 40_000);
+    }
+}

@@ -1,0 +1,63 @@
+//! The quick fuzz tier and snapshot-detection guarantees, run on every PR.
+//!
+//! The deep tier (512 cases plus denser transient/refsim subsamples) runs
+//! nightly via `HOTIRON_VERIFY_DEEP=1 cargo test -p hotiron-verify` or
+//! `hotiron-verify fuzz --deep`.
+
+use hotiron_verify::fuzz::{self, FuzzConfig};
+use hotiron_verify::snapshot::{diff_csv, StemReport, Tolerance, Verdict};
+
+/// The headline guarantee: the full quick tier (64 seeded cases of
+/// Direct/CG/multigrid steady agreement, oracle battery, Richardson-bounded
+/// BE-vs-RK4 transients, and refsim cross-checks) is divergence-free.
+#[test]
+fn quick_fuzz_tier_is_divergence_free() {
+    let cfg = FuzzConfig::from_env();
+    let report = fuzz::run(&cfg);
+    assert!(cfg.cases >= 64, "quick tier covers at least 64 cases");
+    assert_eq!(report.failures(), 0, "{}", report.render());
+}
+
+/// Same seed, same verdicts — the fuzzer must be replayable from a case
+/// index alone so a nightly failure reproduces locally.
+#[test]
+fn fuzz_is_deterministic_per_seed() {
+    let cfg = FuzzConfig { cases: 3, seed: 0xD1CE, transient_every: 3, refsim_every: 100 };
+    assert_eq!(fuzz::run(&cfg), fuzz::run(&cfg));
+    let other = FuzzConfig { seed: 0xD1CF, ..cfg };
+    let (a, b) = (fuzz::run(&cfg), fuzz::run(&other));
+    assert_ne!(
+        a.outcomes[0].summary, b.outcomes[0].summary,
+        "different seeds draw different cases"
+    );
+}
+
+/// The acceptance criterion for the snapshot checker: corrupting one value
+/// beyond tolerance must be detected, and the report must name the column.
+#[test]
+fn corrupted_golden_value_is_detected() {
+    let golden = "# experiment = fig2\nconfig,center rise (K),edge rise (K)\nbase,12.504,3.211\n";
+    let corrupt = golden.replace("12.504", "12.604"); // +0.1 K, far past 1e-6
+    let report: StemReport = diff_csv("fig02", golden, &corrupt);
+    assert_eq!(report.verdict, Verdict::Drift, "{report:?}");
+    let bad: Vec<_> = report.columns.iter().filter(|c| !c.ok).collect();
+    assert_eq!(bad.len(), 1);
+    assert_eq!(bad[0].column, "center rise (K)");
+    assert!(!report.ok());
+
+    // Within tolerance: same value → clean.
+    let same = diff_csv("fig02", golden, golden);
+    assert_eq!(same.verdict, Verdict::Match);
+    assert!(same.ok());
+}
+
+/// Tolerance arithmetic is `abs + rel·|golden|`, symmetric in sign.
+#[test]
+fn tolerance_combines_abs_and_rel() {
+    let t = Tolerance { abs: 1e-3, rel: 1e-2 };
+    assert!(t.accepts(100.0, 100.9));
+    assert!(t.accepts(100.0, 99.1));
+    assert!(!t.accepts(100.0, 101.2));
+    assert!(t.accepts(0.0, 5e-4));
+    assert!(!t.accepts(0.0, 5e-3));
+}
