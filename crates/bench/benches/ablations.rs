@@ -20,7 +20,8 @@ fn bench_be_vs_rk4(c: &mut Criterion) {
     let plan = library::ev6();
     let mapping = GridMapping::new(&plan, 16, 16);
     let circuit =
-        build_circuit(&mapping, die(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        build_circuit(&mapping, die(), &Package::OilSilicon(OilSiliconPackage::paper_default()))
+            .unwrap();
     let p = vec![40.0 / 256.0; 256];
     let mut g = c.benchmark_group("transient_10ms");
     g.sample_size(10);

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hotiron_floorplan::{library, GridMapping};
 use hotiron_refsim::{RefSim, RefSimConfig};
-use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+use hotiron_thermal::circuit::{build_circuit, build_circuit_from_stack, DieGeometry};
 use hotiron_thermal::multigrid::mg_pcg;
 use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, SolverChoice};
 use hotiron_thermal::sparse::conjugate_gradient;
@@ -28,6 +28,7 @@ fn bench_assembly(c: &mut Criterion) {
                     die(),
                     &Package::OilSilicon(OilSiliconPackage::paper_default()),
                 )
+                .unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("air", grid), &grid, |b, _| {
@@ -37,7 +38,20 @@ fn bench_assembly(c: &mut Criterion) {
                     die(),
                     &Package::AirSink(AirSinkPackage::paper_default()),
                 )
+                .unwrap()
             })
+        });
+    }
+    // The large-grid assembly case: 128×128 oil, the stack-lowering +
+    // stamping cost the content-hash circuit cache exists to amortize.
+    {
+        let mapping = GridMapping::new(&plan, 128, 128);
+        let stack = Package::OilSilicon(OilSiliconPackage::paper_default())
+            .to_stack(die())
+            .expect("paper oil package lowers");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("oil", 128), &128usize, |b, _| {
+            b.iter(|| build_circuit_from_stack(black_box(&mapping), die(), &stack).unwrap())
         });
     }
     g.finish();
@@ -113,7 +127,7 @@ fn bench_steady_large(c: &mut Criterion) {
     g.sample_size(10);
     for (label, grid, pkg) in cases {
         let mapping = GridMapping::new(&plan, grid, grid);
-        let circuit = build_circuit(&mapping, die(), &pkg);
+        let circuit = build_circuit(&mapping, die(), &pkg).unwrap();
         let p = vec![40.0 / (grid * grid) as f64; grid * grid];
         let rhs = circuit.rhs(&p, 318.15);
         let mg = circuit.multigrid().expect("grid large enough for a hierarchy");
@@ -155,7 +169,7 @@ fn bench_transient_step(c: &mut Criterion) {
             ("air", Package::AirSink(AirSinkPackage::paper_default())),
         ] {
             let mapping = GridMapping::new(&plan, grid, grid);
-            let circuit = build_circuit(&mapping, die(), &pkg);
+            let circuit = build_circuit(&mapping, die(), &pkg).unwrap();
             let be = BackwardEuler::new(&circuit, 1e-4);
             let p = vec![40.0 / (grid * grid) as f64; grid * grid];
             let mut state = vec![318.15; circuit.node_count()];
@@ -185,7 +199,8 @@ fn bench_transient_1000_steps(c: &mut Criterion) {
     let grid = 32;
     let mapping = GridMapping::new(&plan, grid, grid);
     let circuit =
-        build_circuit(&mapping, die(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        build_circuit(&mapping, die(), &Package::OilSilicon(OilSiliconPackage::paper_default()))
+            .unwrap();
     let n = circuit.node_count();
     let p = vec![40.0 / (grid * grid) as f64; grid * grid];
     // The paper-scale warmup step (fig 6 uses dt = 0.01 s): the regime where

@@ -4,7 +4,15 @@
 //! cargo run --release -p hotiron-bench --bin figures -- all
 //! cargo run --release -p hotiron-bench --bin figures -- fig6 fig11
 //! cargo run --release -p hotiron-bench --bin figures -- --fast --jobs 4 all
+//! cargo run --release -p hotiron-bench --bin figures -- --scenario scenarios/paper-oil.scn
 //! ```
+//!
+//! `--scenario <file>` (repeatable) bypasses the registry and runs a `.scn`
+//! scenario file through the shared spec → stack → circuit → solve → report
+//! pipeline (see [`hotiron_bench::scenario`]); a parse error, an invalid
+//! stack, or a violated physics invariant exits non-zero with a
+//! line-numbered message. `--out <dir>` redirects the CSV output directory
+//! (default `results/`).
 //!
 //! Experiments are independent, so they fan out concurrently on the shared
 //! worker pool (`--jobs N` or `HOTIRON_THREADS`; see `thermal::pool`).
@@ -19,7 +27,7 @@
 //! checked-in `results/*.csv`).
 
 use hotiron_bench::runner::{self, Artifact};
-use hotiron_bench::{registry, Fidelity};
+use hotiron_bench::{registry, scenario, Fidelity};
 use hotiron_thermal::pool;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,11 +43,58 @@ fn write_artifact(dir: &Path, stem: &str, artifact: &Artifact) {
     }
 }
 
+/// Runs each `.scn` file through the scenario pipeline, printing its summary
+/// table and writing `<name>.csv` (plus `<name>_field.csv` when the scenario
+/// requests the raw field) under `out_dir`.
+fn run_scenarios(paths: &[PathBuf], fidelity: Fidelity, out_dir: &Path) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scenario `{}`: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let outcome =
+            scenario::parse(&text).and_then(|sc| scenario::run(&sc, fidelity).map(|sol| (sc, sol)));
+        match outcome {
+            Ok((sc, sol)) => {
+                print!("{}", sol.table.render());
+                println!();
+                write_artifact(out_dir, &sc.name, &Artifact::Table(sol.table));
+                if let Some(field) = &sol.field_csv {
+                    write_artifact(
+                        out_dir,
+                        &format!("{}_field", sc.name),
+                        &Artifact::RawCsv(field.clone()),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("scenario `{}`: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if !failed {
+        println!("scenario CSV results written to {}/", out_dir.display());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fidelity = Fidelity::Paper;
     let mut names: Vec<String> = Vec::new();
     let mut jobs: Option<usize> = None;
+    let mut scenarios: Vec<PathBuf> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -51,13 +106,35 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--scenario" => match iter.next() {
+                Some(path) => scenarios.push(PathBuf::from(path)),
+                None => {
+                    eprintln!("--scenario requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory path");
+                    return ExitCode::from(2);
+                }
+            },
             "all" => names.extend(registry::EXPERIMENTS.iter().map(|s| (*s).to_owned())),
             other => names.push(other.to_owned()),
         }
     }
+    if !scenarios.is_empty() {
+        if let Some(n) = jobs {
+            pool::init_global(n.max(1));
+        }
+        return run_scenarios(&scenarios, fidelity, &out_dir);
+    }
     if names.is_empty() {
         eprintln!(
-            "usage: figures [--fast] [--jobs N] <experiment...|all>\navailable: {}",
+            "usage: figures [--fast] [--jobs N] [--out DIR] <experiment...|all>\n\
+             \x20      figures [--fast] [--out DIR] --scenario <file.scn> [--scenario ...]\n\
+             available: {}",
             registry::EXPERIMENTS.join(", ")
         );
         return ExitCode::from(2);
@@ -71,7 +148,6 @@ fn main() -> ExitCode {
         pool::init_global(n.max(1));
     }
 
-    let out_dir = PathBuf::from("results");
     let results = runner::run_experiments(&names, |name| registry::run_experiment(name, fidelity));
 
     // Stable-order merge: print and write in submission order.

@@ -29,6 +29,7 @@ pub mod common;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod steady;
 pub mod traces;
 pub mod transients;

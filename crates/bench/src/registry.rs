@@ -6,7 +6,7 @@
 use crate::report::Table;
 use crate::runner::Artifact;
 use crate::traces::TraceConfig;
-use crate::{arch, athlon, steady, traces, transients, validation, Fidelity};
+use crate::{arch, athlon, scenario, steady, traces, transients, validation, Fidelity};
 
 /// Every runnable experiment name, in canonical (paper) order.
 pub const EXPERIMENTS: &[&str] = &[
@@ -27,6 +27,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "sweep",
     "translate",
     "dtm",
+    "stacks",
 ];
 
 /// Whether `name` is a known experiment.
@@ -73,6 +74,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity) -> Vec<(String, Artifact)>
         "sweep" => tables(vec![("sweep", arch::rconv_sweep(fidelity))]),
         "translate" => tables(vec![("translate", arch::translation_study(fidelity))]),
         "dtm" => tables(vec![("dtm", arch::dtm_study(fidelity))]),
+        "stacks" => tables(vec![("stacks", scenario::stacks_table(fidelity))]),
         other => panic!("unknown experiment `{other}`"),
     };
     artifacts

@@ -1,0 +1,907 @@
+//! Scenario files: a dependency-free text format describing one end-to-end
+//! thermal experiment, and the shared pipeline that runs it
+//! (spec → layer stack → circuit → solve → report).
+//!
+//! A `.scn` file is line-oriented: `[section]` headers followed by
+//! `key = value` pairs; `#` starts a comment line. Sections:
+//!
+//! ```text
+//! [scenario]  name, title
+//! [die]       plan (uniform | ev6 | athlon64 | center-source), width, height
+//! [grid]      rows, cols
+//! [stack]     layer (repeated, bottom→top), silicon, bottom, top
+//! [power]     source (uniform W | gcc) or repeated block = <name> <W>
+//! [solve]     solver (auto | direct | cg | multigrid), ambient (°C)
+//! [output]    field (true | false)
+//! ```
+//!
+//! A `layer` value is `<name> <material> <thickness>` with an optional
+//! `plate <side>` suffix for oversized plates; `top`/`bottom` boundaries are
+//! `insulated`, `lumped <r> <c>`, or `oil <fluid> <velocity> <direction>
+//! <local|global>`. Every parse failure is a [`ScenarioError`] carrying the
+//! offending 1-based line number, mirroring the error-path style of the
+//! power-trace parser.
+//!
+//! The pipeline deliberately consumes only the layer-stack IR
+//! ([`hotiron_thermal::LayerStack`]), so scenarios can describe stacks the
+//! closed [`hotiron_thermal::Package`] enum cannot express — a bare die
+//! under forced air, or oil washing the top of a heat spreader.
+
+use crate::common::{self, Fidelity};
+use crate::report::{Row, Table};
+use hotiron_floorplan::{library, Floorplan, GridMapping};
+use hotiron_thermal::circuit::{build_circuit_cached, DieGeometry};
+use hotiron_thermal::solve::{solve_steady, solve_steady_with, SolverChoice};
+use hotiron_thermal::units::{celsius_to_kelvin, kelvin_to_celsius};
+use hotiron_thermal::{fluid, materials, Boundary, FlowDirection, Layer, LayerStack, OilFilm};
+use hotiron_thermal::{Fluid, Material, PowerMap};
+use std::fmt;
+
+/// A parse or pipeline failure, carrying the 1-based line number of the
+/// offending scenario line (0 for file-level and runtime failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based source line, 0 when no single line is at fault.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.message)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError { line, message: message.into() }
+}
+
+/// Which floorplan the die carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// One block covering the whole die (`width`/`height` required).
+    Uniform,
+    /// The built-in EV6 floorplan.
+    Ev6,
+    /// The built-in Athlon64 floorplan.
+    Athlon64,
+    /// The Fig 3 center-source validation die.
+    CenterSource,
+}
+
+impl PlanKind {
+    fn token(self) -> &'static str {
+        match self {
+            PlanKind::Uniform => "uniform",
+            PlanKind::Ev6 => "ev6",
+            PlanKind::Athlon64 => "athlon64",
+            PlanKind::CenterSource => "center-source",
+        }
+    }
+}
+
+/// One conduction layer as written in the file, bottom→top order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name (also the silicon marker target).
+    pub name: String,
+    /// Resolved material.
+    pub material: Material,
+    /// Thickness, m.
+    pub thickness: f64,
+    /// `Some(side)` for an oversized square plate.
+    pub side: Option<f64>,
+}
+
+/// How the die is powered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerSpec {
+    /// Total watts spread uniformly over the covered die area.
+    Uniform(f64),
+    /// The deterministic time-averaged gcc power map (ev6/athlon64 only).
+    Gcc,
+    /// Explicit per-block watts; unlisted blocks dissipate nothing.
+    Blocks(Vec<(String, f64)>),
+}
+
+/// Steady-solver request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverSpec {
+    /// Let [`solve_steady`] pick (multigrid on large grids).
+    Auto,
+    /// Sparse LDLᵀ.
+    Direct,
+    /// Jacobi-preconditioned CG.
+    Cg,
+    /// Multigrid-preconditioned CG.
+    Multigrid,
+}
+
+impl SolverSpec {
+    fn token(self) -> &'static str {
+        match self {
+            SolverSpec::Auto => "auto",
+            SolverSpec::Direct => "direct",
+            SolverSpec::Cg => "cg",
+            SolverSpec::Multigrid => "multigrid",
+        }
+    }
+}
+
+/// A fully parsed scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Short identifier (also the output CSV stem).
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Floorplan choice.
+    pub plan: PlanKind,
+    /// Die width, m (`uniform` plans only).
+    pub width: Option<f64>,
+    /// Die height, m (`uniform` plans only).
+    pub height: Option<f64>,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid cols.
+    pub cols: usize,
+    /// Conduction layers, bottom→top.
+    pub layers: Vec<LayerSpec>,
+    /// Name of the silicon layer (default: the layer named `silicon`,
+    /// else the first layer).
+    pub silicon: Option<String>,
+    /// Boundary under the first layer.
+    pub bottom: Boundary,
+    /// Boundary over the last layer.
+    pub top: Boundary,
+    /// Power source.
+    pub power: PowerSpec,
+    /// Solver request.
+    pub solver: SolverSpec,
+    /// Ambient, °C.
+    pub ambient_c: f64,
+    /// Also emit the raw silicon temperature field as CSV.
+    pub field: bool,
+}
+
+fn material_by_name(s: &str) -> Option<Material> {
+    Some(match s {
+        "silicon" => materials::SILICON,
+        "copper" => materials::COPPER,
+        "interface" => materials::INTERFACE,
+        "interconnect" => materials::INTERCONNECT,
+        "c4-underfill" => materials::C4_UNDERFILL,
+        "substrate" => materials::SUBSTRATE,
+        "solder-balls" => materials::SOLDER_BALLS,
+        "pcb" => materials::PCB,
+        _ => return None,
+    })
+}
+
+fn fluid_by_name(s: &str) -> Option<Fluid> {
+    Some(match s {
+        "mineral-oil" => fluid::MINERAL_OIL,
+        "air" => fluid::AIR,
+        "water" => fluid::WATER,
+        _ => return None,
+    })
+}
+
+fn direction_by_name(s: &str) -> Option<FlowDirection> {
+    Some(match s {
+        "left-to-right" => FlowDirection::LeftToRight,
+        "right-to-left" => FlowDirection::RightToLeft,
+        "bottom-to-top" => FlowDirection::BottomToTop,
+        "top-to-bottom" => FlowDirection::TopToBottom,
+        _ => return None,
+    })
+}
+
+fn direction_token(d: FlowDirection) -> &'static str {
+    match d {
+        FlowDirection::LeftToRight => "left-to-right",
+        FlowDirection::RightToLeft => "right-to-left",
+        FlowDirection::BottomToTop => "bottom-to-top",
+        FlowDirection::TopToBottom => "top-to-bottom",
+    }
+}
+
+fn parse_f64(ln: usize, key: &str, s: &str) -> Result<f64, ScenarioError> {
+    s.parse().map_err(|_| err(ln, format!("bad number `{s}` for key `{key}`")))
+}
+
+fn parse_usize(ln: usize, key: &str, s: &str) -> Result<usize, ScenarioError> {
+    s.parse().map_err(|_| err(ln, format!("bad number `{s}` for key `{key}`")))
+}
+
+fn parse_boundary(ln: usize, key: &str, value: &str) -> Result<Boundary, ScenarioError> {
+    let words: Vec<&str> = value.split_whitespace().collect();
+    match words.as_slice() {
+        ["insulated"] => Ok(Boundary::Insulated),
+        ["lumped", r, c] => Ok(Boundary::Lumped {
+            r_total: parse_f64(ln, key, r)?,
+            c_total: parse_f64(ln, key, c)?,
+        }),
+        ["oil", fl, v, dir, locality] => {
+            let fluid =
+                fluid_by_name(fl).ok_or_else(|| err(ln, format!("unknown fluid `{fl}`")))?;
+            let direction = direction_by_name(dir)
+                .ok_or_else(|| err(ln, format!("unknown flow direction `{dir}`")))?;
+            let local = match *locality {
+                "local" => true,
+                "global" => false,
+                other => {
+                    return Err(err(ln, format!("expected `local` or `global`, got `{other}`")))
+                }
+            };
+            Ok(Boundary::OilFilm(OilFilm {
+                fluid,
+                velocity: parse_f64(ln, key, v)?,
+                direction,
+                local_h: local,
+                local_boundary_layer: local,
+            }))
+        }
+        _ => Err(err(
+            ln,
+            format!(
+                "bad boundary `{value}`: expected `insulated`, `lumped <r> <c>` \
+                 or `oil <fluid> <velocity> <direction> <local|global>`"
+            ),
+        )),
+    }
+}
+
+fn boundary_to_scn(b: &Boundary) -> String {
+    match b {
+        Boundary::Insulated => "insulated".to_owned(),
+        Boundary::Lumped { r_total, c_total } => format!("lumped {r_total} {c_total}"),
+        Boundary::OilFilm(f) => format!(
+            "oil {} {} {} {}",
+            f.fluid.name(),
+            f.velocity,
+            direction_token(f.direction),
+            if f.local_h { "local" } else { "global" }
+        ),
+    }
+}
+
+fn parse_layer(ln: usize, value: &str) -> Result<LayerSpec, ScenarioError> {
+    let words: Vec<&str> = value.split_whitespace().collect();
+    let (base, side) = match words.as_slice() {
+        [n, m, t] => ((*n, *m, *t), None),
+        [n, m, t, "plate", s] => ((*n, *m, *t), Some(parse_f64(ln, "layer", s)?)),
+        _ => {
+            return Err(err(
+                ln,
+                format!(
+                    "bad layer `{value}`: expected `<name> <material> <thickness> [plate <side>]`"
+                ),
+            ))
+        }
+    };
+    let (name, mat, thick) = base;
+    let material =
+        material_by_name(mat).ok_or_else(|| err(ln, format!("unknown material `{mat}`")))?;
+    Ok(LayerSpec {
+        name: name.to_owned(),
+        material,
+        thickness: parse_f64(ln, "layer", thick)?,
+        side,
+    })
+}
+
+/// Parses a `.scn` scenario file.
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] with its 1-based line number
+/// (unknown section/key, malformed value, missing section or key).
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut section: Option<(&str, usize)> = None;
+    let mut name = None;
+    let mut title = None;
+    let mut plan = None;
+    let mut width = None;
+    let mut height = None;
+    let mut rows = None;
+    let mut cols = None;
+    let mut layers: Vec<LayerSpec> = Vec::new();
+    let mut silicon = None;
+    let mut bottom = None;
+    let mut top = None;
+    let mut source: Option<PowerSpec> = None;
+    let mut blocks: Vec<(String, f64)> = Vec::new();
+    let mut blocks_line = 0;
+    let mut solver = None;
+    let mut ambient_c = None;
+    let mut field = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let ln = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(sec) = line.strip_prefix('[') {
+            let Some(sec) = sec.strip_suffix(']') else {
+                return Err(err(ln, format!("malformed section header `{line}`")));
+            };
+            section = Some(match sec {
+                "scenario" | "die" | "grid" | "stack" | "power" | "solve" | "output" => (sec, ln),
+                other => return Err(err(ln, format!("unknown section `[{other}]`"))),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(ln, format!("expected `key = value`, got `{line}`")));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some((sec, _)) = section else {
+            return Err(err(ln, format!("key `{key}` before any [section]")));
+        };
+        match (sec, key) {
+            ("scenario", "name") => name = Some(value.to_owned()),
+            ("scenario", "title") => title = Some(value.to_owned()),
+            ("die", "plan") => {
+                plan = Some(match value {
+                    "uniform" => PlanKind::Uniform,
+                    "ev6" => PlanKind::Ev6,
+                    "athlon64" => PlanKind::Athlon64,
+                    "center-source" => PlanKind::CenterSource,
+                    other => return Err(err(ln, format!("unknown plan `{other}`"))),
+                });
+            }
+            ("die", "width") => width = Some(parse_f64(ln, key, value)?),
+            ("die", "height") => height = Some(parse_f64(ln, key, value)?),
+            ("grid", "rows") => rows = Some(parse_usize(ln, key, value)?),
+            ("grid", "cols") => cols = Some(parse_usize(ln, key, value)?),
+            ("stack", "layer") => layers.push(parse_layer(ln, value)?),
+            ("stack", "silicon") => silicon = Some(value.to_owned()),
+            ("stack", "bottom") => bottom = Some(parse_boundary(ln, key, value)?),
+            ("stack", "top") => top = Some(parse_boundary(ln, key, value)?),
+            ("power", "source") => {
+                let words: Vec<&str> = value.split_whitespace().collect();
+                source = Some(match words.as_slice() {
+                    ["uniform", w] => PowerSpec::Uniform(parse_f64(ln, key, w)?),
+                    ["gcc"] => PowerSpec::Gcc,
+                    _ => {
+                        return Err(err(
+                            ln,
+                            format!(
+                                "bad power source `{value}`: expected `uniform <watts>` or `gcc`"
+                            ),
+                        ))
+                    }
+                });
+            }
+            ("power", "block") => {
+                let words: Vec<&str> = value.split_whitespace().collect();
+                let [block, watts] = words.as_slice() else {
+                    return Err(err(
+                        ln,
+                        format!("bad block power `{value}`: expected `<name> <watts>`"),
+                    ));
+                };
+                blocks.push(((*block).to_owned(), parse_f64(ln, key, watts)?));
+                blocks_line = ln;
+            }
+            ("solve", "solver") => {
+                solver = Some(match value {
+                    "auto" => SolverSpec::Auto,
+                    "direct" => SolverSpec::Direct,
+                    "cg" => SolverSpec::Cg,
+                    "multigrid" => SolverSpec::Multigrid,
+                    other => return Err(err(ln, format!("unknown solver `{other}`"))),
+                });
+            }
+            ("solve", "ambient") => ambient_c = Some(parse_f64(ln, key, value)?),
+            ("output", "field") => {
+                field = Some(match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(err(ln, format!("expected `true` or `false`, got `{other}`")))
+                    }
+                });
+            }
+            (sec, key) => return Err(err(ln, format!("unknown key `{key}` in [{sec}]"))),
+        }
+    }
+
+    let name = name.ok_or_else(|| err(0, "missing key `name` in [scenario]"))?;
+    let rows = rows.ok_or_else(|| err(0, "missing key `rows` in [grid]"))?;
+    let cols = cols.ok_or_else(|| err(0, "missing key `cols` in [grid]"))?;
+    if rows == 0 || cols == 0 {
+        return Err(err(0, "grid rows/cols must be positive"));
+    }
+    if layers.is_empty() {
+        return Err(err(0, "missing `layer` lines in [stack]"));
+    }
+    let top = top.ok_or_else(|| err(0, "missing key `top` in [stack]"))?;
+    let plan = plan.unwrap_or(PlanKind::Uniform);
+    if plan == PlanKind::Uniform && (width.is_none() || height.is_none()) {
+        return Err(err(0, "plan `uniform` requires `width` and `height` in [die]"));
+    }
+    if plan != PlanKind::Uniform && (width.is_some() || height.is_some()) {
+        return Err(err(
+            0,
+            format!("plan `{}` fixes the die size; drop `width`/`height`", plan.token()),
+        ));
+    }
+    let power = match (source, blocks.is_empty()) {
+        (Some(_), false) => {
+            return Err(err(
+                blocks_line,
+                "give either `source` or `block` lines in [power], not both",
+            ))
+        }
+        (Some(s), true) => s,
+        (None, false) => PowerSpec::Blocks(blocks),
+        (None, true) => {
+            return Err(err(0, "missing power: give `source` or `block` lines in [power]"))
+        }
+    };
+    if power == PowerSpec::Gcc && !matches!(plan, PlanKind::Ev6 | PlanKind::Athlon64) {
+        return Err(err(0, "power source `gcc` needs plan `ev6` or `athlon64`"));
+    }
+
+    Ok(Scenario {
+        title: title.unwrap_or_else(|| name.clone()),
+        name,
+        plan,
+        width,
+        height,
+        rows,
+        cols,
+        layers,
+        silicon,
+        bottom: bottom.unwrap_or(Boundary::Insulated),
+        top,
+        power,
+        solver: solver.unwrap_or(SolverSpec::Auto),
+        ambient_c: ambient_c.unwrap_or(common::AMBIENT_C),
+        field: field.unwrap_or(false),
+    })
+}
+
+impl Scenario {
+    /// Renders the canonical `.scn` text; `parse(to_scn(s)) == s`.
+    pub fn to_scn(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "[scenario]\nname = {}\ntitle = {}\n", self.name, self.title);
+        let _ = writeln!(out, "[die]\nplan = {}", self.plan.token());
+        if let (Some(w), Some(h)) = (self.width, self.height) {
+            let _ = writeln!(out, "width = {w}\nheight = {h}");
+        }
+        let _ = writeln!(out, "\n[grid]\nrows = {}\ncols = {}\n", self.rows, self.cols);
+        let _ = writeln!(out, "[stack]");
+        for l in &self.layers {
+            let _ = write!(out, "layer = {} {} {}", l.name, l.material.name(), l.thickness);
+            if let Some(side) = l.side {
+                let _ = write!(out, " plate {side}");
+            }
+            let _ = writeln!(out);
+        }
+        if let Some(si) = &self.silicon {
+            let _ = writeln!(out, "silicon = {si}");
+        }
+        let _ = writeln!(out, "bottom = {}", boundary_to_scn(&self.bottom));
+        let _ = writeln!(out, "top = {}\n", boundary_to_scn(&self.top));
+        let _ = writeln!(out, "[power]");
+        match &self.power {
+            PowerSpec::Uniform(w) => {
+                let _ = writeln!(out, "source = uniform {w}");
+            }
+            PowerSpec::Gcc => {
+                let _ = writeln!(out, "source = gcc");
+            }
+            PowerSpec::Blocks(bs) => {
+                for (b, w) in bs {
+                    let _ = writeln!(out, "block = {b} {w}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\n[solve]\nsolver = {}\nambient = {}\n",
+            self.solver.token(),
+            self.ambient_c
+        );
+        let _ = writeln!(out, "[output]\nfield = {}", self.field);
+        out
+    }
+
+    /// Builds the floorplan this scenario runs on.
+    fn floorplan(&self) -> Floorplan {
+        match self.plan {
+            // width/height presence is enforced at parse time.
+            PlanKind::Uniform => library::uniform_die(
+                self.width.expect("uniform plan has width"),
+                self.height.expect("uniform plan has height"),
+            ),
+            PlanKind::Ev6 => library::ev6(),
+            PlanKind::Athlon64 => library::athlon64(),
+            PlanKind::CenterSource => library::center_source_die(),
+        }
+    }
+
+    /// Lowers the `[stack]` section to the layer-stack IR.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the `silicon` marker names no layer.
+    pub fn stack(&self) -> Result<LayerStack, ScenarioError> {
+        let si_index = match &self.silicon {
+            Some(marker) => self
+                .layers
+                .iter()
+                .position(|l| l.name == *marker)
+                .ok_or_else(|| err(0, format!("silicon marker `{marker}` names no layer")))?,
+            None => self.layers.iter().position(|l| l.name == "silicon").unwrap_or(0),
+        };
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| match l.side {
+                Some(side) => Layer::plate(l.name.clone(), l.material, l.thickness, side),
+                None => Layer::new(l.name.clone(), l.material, l.thickness),
+            })
+            .collect();
+        Ok(LayerStack::new(layers, si_index)
+            .with_bottom(self.bottom.clone())
+            .with_top(self.top.clone()))
+    }
+
+    fn block_power(&self, plan: &Floorplan) -> Result<PowerMap, ScenarioError> {
+        match &self.power {
+            PowerSpec::Uniform(watts) => {
+                Ok(PowerMap::uniform_density(plan, watts / plan.covered_area()))
+            }
+            PowerSpec::Gcc => Ok(match self.plan {
+                PlanKind::Ev6 => common::ev6_gcc().1,
+                PlanKind::Athlon64 => common::athlon_gcc().1,
+                // Rejected at parse time.
+                _ => unreachable!("gcc power needs a named plan"),
+            }),
+            PowerSpec::Blocks(blocks) => {
+                let mut map = PowerMap::zeros(plan);
+                for (block, watts) in blocks {
+                    map.set(plan, block, *watts)
+                        .map_err(|_| err(0, format!("unknown block `{block}` in [power]")))?;
+                }
+                Ok(map)
+            }
+        }
+    }
+}
+
+/// Relative energy-balance slack for the inline post-solve check.
+const ENERGY_REL_TOL: f64 = 1e-6;
+/// Below-ambient slack (K) for the inline maximum-principle check.
+const BELOW_AMBIENT_TOL: f64 = 1e-6;
+
+/// A solved scenario: the summary table plus the raw numbers it was built
+/// from, for composition into multi-scenario tables.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Per-metric summary table (stable shape for golden snapshots).
+    pub table: Table,
+    /// Raw silicon temperature field (°C, row-major CSV) when requested.
+    pub field_csv: Option<String>,
+    /// Content hash of the lowered stack (the circuit-cache key component).
+    pub stack_hash: u64,
+    /// Total dissipated power, W.
+    pub total_power_w: f64,
+    /// Hottest silicon cell, °C.
+    pub silicon_max_c: f64,
+    /// Mean silicon temperature, °C.
+    pub silicon_mean_c: f64,
+    /// Hottest node anywhere in the circuit, °C.
+    pub global_max_c: f64,
+    /// Coldest node, °C.
+    pub global_min_c: f64,
+    /// Relative energy-balance residual of the steady solution.
+    pub energy_rel: f64,
+}
+
+/// Runs one scenario end-to-end: lower the stack, assemble (through the
+/// content-hash circuit cache), solve steady state, check the energy-balance
+/// and maximum-principle invariants inline, and report.
+///
+/// `Fast` fidelity clamps the grid to 16×16 so CI smoke runs stay cheap.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] for invalid stacks (naming the offending
+/// layer), solver failures, or a violated physics invariant.
+pub fn run(sc: &Scenario, fidelity: Fidelity) -> Result<Solution, ScenarioError> {
+    let plan = sc.floorplan();
+    let stack = sc.stack()?;
+    let die = DieGeometry {
+        width: plan.width(),
+        height: plan.height(),
+        thickness: stack.layers[stack.si_index.min(stack.layers.len() - 1)].thickness,
+    };
+    let (rows, cols) = match fidelity {
+        Fidelity::Fast => (sc.rows.min(16), sc.cols.min(16)),
+        Fidelity::Paper => (sc.rows, sc.cols),
+    };
+    let mapping = GridMapping::new(&plan, rows, cols);
+    let circuit = build_circuit_cached(&mapping, die, &stack)
+        .map_err(|e| err(0, format!("invalid stack: {e}")))?;
+
+    let power = sc.block_power(&plan)?;
+    let cell_power = mapping.spread_block_values(power.values());
+    let ambient = celsius_to_kelvin(sc.ambient_c);
+    let mut state = vec![ambient; circuit.node_count()];
+    let solved = match sc.solver {
+        SolverSpec::Auto => solve_steady(&circuit, &cell_power, ambient, &mut state),
+        SolverSpec::Direct => {
+            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Direct)
+        }
+        SolverSpec::Cg => {
+            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Cg)
+        }
+        SolverSpec::Multigrid => {
+            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Multigrid)
+        }
+    };
+    solved.map_err(|e| err(0, format!("steady solve failed: {e:?}")))?;
+
+    // Inline physics oracles: every scenario run is also a correctness
+    // check, so `figures --scenario` doubles as a fast fidelity gate.
+    let power_in: f64 = cell_power.iter().sum();
+    let heat_out: f64 =
+        circuit.ambient_conductance().iter().zip(&state).map(|(g, t)| g * (t - ambient)).sum();
+    let energy_rel = (power_in - heat_out).abs() / power_in.abs().max(f64::MIN_POSITIVE);
+    if energy_rel > ENERGY_REL_TOL {
+        return Err(err(
+            0,
+            format!("energy balance violated: {power_in:.6} W in vs {heat_out:.6} W out (rel {energy_rel:.3e})"),
+        ));
+    }
+    let n_cells = mapping.cell_count();
+    let si_lo = stack.si_index * n_cells;
+    let si = &state[si_lo..si_lo + n_cells];
+    let global_max = state.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let global_min = state.iter().copied().fold(f64::INFINITY, f64::min);
+    if global_min < ambient - BELOW_AMBIENT_TOL {
+        return Err(err(
+            0,
+            format!("maximum principle violated: node at {global_min:.4} K below ambient {ambient:.4} K"),
+        ));
+    }
+    let si_max = si.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if power_in > 0.0 && si_max + BELOW_AMBIENT_TOL < global_max {
+        return Err(err(
+            0,
+            format!(
+                "maximum principle violated: hottest node ({global_max:.4} K) is outside the powered silicon layer (max {si_max:.4} K)"
+            ),
+        ));
+    }
+    let si_mean = si.iter().sum::<f64>() / n_cells as f64;
+
+    let silicon_max_c = kelvin_to_celsius(si_max);
+    let silicon_mean_c = kelvin_to_celsius(si_mean);
+    let global_max_c = kelvin_to_celsius(global_max);
+    let global_min_c = kelvin_to_celsius(global_min);
+    let mut table = Table::new(sc.title.clone(), "metric", vec!["value".to_owned()]);
+    table.set_meta("scenario", sc.name.clone());
+    table.set_meta("grid", format!("{rows}x{cols}"));
+    table.set_meta("solver", sc.solver.token());
+    table.set_meta("stack_hash", format!("{:016x}", stack.content_hash()));
+    table.set_meta("nodes", circuit.node_count().to_string());
+    for (label, v) in [
+        ("total_power_W", power_in),
+        ("ambient_C", sc.ambient_c),
+        ("silicon_max_C", silicon_max_c),
+        ("silicon_mean_C", silicon_mean_c),
+        ("global_max_C", global_max_c),
+        ("global_min_C", global_min_c),
+        ("energy_rel_err", energy_rel),
+    ] {
+        table.push(Row::new(label, vec![v]));
+    }
+    Ok(Solution {
+        field_csv: sc.field.then(|| {
+            let mut out = String::new();
+            for r in 0..rows {
+                let row: Vec<String> = (0..cols)
+                    .map(|c| format!("{:.6}", kelvin_to_celsius(si[r * cols + c])))
+                    .collect();
+                out.push_str(&row.join(","));
+                out.push('\n');
+            }
+            out
+        }),
+        stack_hash: stack.content_hash(),
+        total_power_w: power_in,
+        silicon_max_c,
+        silicon_mean_c,
+        global_max_c,
+        global_min_c,
+        energy_rel,
+        table,
+    })
+}
+
+/// The scenarios shipped in `scenarios/`, embedded so tests and the
+/// `stacks` experiment run them without touching the filesystem.
+pub const SHIPPED: &[(&str, &str)] = &[
+    ("paper-air", include_str!("../../../scenarios/paper-air.scn")),
+    ("paper-oil", include_str!("../../../scenarios/paper-oil.scn")),
+    ("athlon-hotspot", include_str!("../../../scenarios/athlon-hotspot.scn")),
+    ("bare-die-forced-air", include_str!("../../../scenarios/bare-die-forced-air.scn")),
+    ("oil-washed-spreader", include_str!("../../../scenarios/oil-washed-spreader.scn")),
+];
+
+/// The IR-only configurations the closed `Package` enum could not express;
+/// the `stacks` experiment runs exactly these.
+const IR_ONLY: &[&str] = &["bare-die-forced-air", "oil-washed-spreader"];
+
+/// The `stacks` experiment: runs every IR-only shipped scenario through the
+/// shared pipeline and tabulates the headline temperatures.
+///
+/// # Panics
+///
+/// Panics if an embedded scenario fails to parse or run — they are part of
+/// the build and covered by the scenario test-suite.
+pub fn stacks_table(fidelity: Fidelity) -> Table {
+    let mut table = Table::new(
+        "IR-only layer stacks (not expressible as a Package)",
+        "scenario",
+        ["silicon max C", "silicon mean C", "global max C", "energy rel"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+    );
+    for name in IR_ONLY {
+        let text = SHIPPED
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("IR-only scenario `{name}` not shipped"));
+        let sc = parse(text).unwrap_or_else(|e| panic!("embedded scenario `{name}`: {e}"));
+        let sol = run(&sc, fidelity).unwrap_or_else(|e| panic!("embedded scenario `{name}`: {e}"));
+        table.set_meta(format!("stack_hash.{name}"), format!("{:016x}", sol.stack_hash));
+        table.push(Row::new(
+            sc.name.clone(),
+            vec![sol.silicon_max_c, sol.silicon_mean_c, sol.global_max_c, sol.energy_rel],
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_scenarios_round_trip() {
+        for (name, text) in SHIPPED {
+            let sc = parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(sc.name, *name, "scenario name matches its file stem");
+            let again = parse(&sc.to_scn()).unwrap_or_else(|e| panic!("{name} re-parse: {e}"));
+            assert_eq!(sc, again, "{name} round-trips through to_scn");
+        }
+    }
+
+    #[test]
+    fn unknown_key_names_its_line() {
+        let text = "[scenario]\nname = x\n[grid]\nrows = 8\nwat = 9\n";
+        let e = parse(text).expect_err("unknown key");
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("unknown key `wat`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_section_names_its_line() {
+        let e = parse("[scenario]\nname = x\n\n[powerz]\n").expect_err("bad section");
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("unknown section"), "{e}");
+    }
+
+    #[test]
+    fn bad_number_names_line_and_key() {
+        let text = "[scenario]\nname = x\n[grid]\nrows = eight\n";
+        let e = parse(text).expect_err("bad number");
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("bad number `eight` for key `rows`"), "{e}");
+    }
+
+    #[test]
+    fn missing_section_is_reported() {
+        let text = "[scenario]\nname = x\n[grid]\nrows = 8\ncols = 8\n";
+        let e = parse(text).expect_err("no stack");
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("missing `layer` lines in [stack]"), "{e}");
+    }
+
+    #[test]
+    fn unknown_material_is_rejected() {
+        let text = "[scenario]\nname = x\n[stack]\nlayer = die unobtanium 1e-3\n";
+        let e = parse(text).expect_err("bad material");
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("unknown material `unobtanium`"), "{e}");
+    }
+
+    #[test]
+    fn key_before_section_is_rejected() {
+        let e = parse("name = x\n").expect_err("no section yet");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before any [section]"), "{e}");
+    }
+
+    #[test]
+    fn gcc_power_requires_a_named_plan() {
+        let text = "[scenario]\nname = x\n[die]\nplan = uniform\nwidth = 0.01\nheight = 0.01\n\
+                    [grid]\nrows = 8\ncols = 8\n[stack]\nlayer = silicon silicon 5e-4\n\
+                    top = lumped 1 10\n[power]\nsource = gcc\n";
+        let e = parse(text).expect_err("gcc on uniform");
+        assert!(e.message.contains("gcc"), "{e}");
+    }
+
+    #[test]
+    fn bare_die_scenario_runs_end_to_end() {
+        let (_, text) = SHIPPED.iter().find(|(n, _)| *n == "bare-die-forced-air").unwrap();
+        let sc = parse(text).expect("parses");
+        let sol = run(&sc, Fidelity::Fast).expect("runs");
+        assert!(sol.silicon_max_c > sc.ambient_c, "die heats above ambient");
+        assert!(sol.energy_rel <= ENERGY_REL_TOL);
+        assert_eq!(sol.table.rows.len(), 7);
+    }
+
+    #[test]
+    fn oil_washed_spreader_scenario_runs_end_to_end() {
+        let (_, text) = SHIPPED.iter().find(|(n, _)| *n == "oil-washed-spreader").unwrap();
+        let sc = parse(text).expect("parses");
+        assert!(sc.layers.iter().any(|l| l.side.is_some()), "has an oversized plate");
+        assert!(matches!(sc.top, Boundary::OilFilm(_)), "oil over the plate");
+        let sol = run(&sc, Fidelity::Fast).expect("runs");
+        assert!(sol.global_max_c > sc.ambient_c);
+    }
+
+    #[test]
+    fn invalid_stack_surfaces_the_offending_layer() {
+        let text = "[scenario]\nname = bad\n[die]\nplan = uniform\nwidth = 0.016\nheight = 0.016\n\
+                    [grid]\nrows = 8\ncols = 8\n[stack]\nlayer = silicon silicon 5e-4\n\
+                    layer = spreader copper 1e-3 plate 1e-3\ntop = lumped 1 10\n\
+                    [power]\nsource = uniform 10\n";
+        let sc = parse(text).expect("parses");
+        let e = run(&sc, Fidelity::Fast).expect_err("undersized plate");
+        assert!(e.message.contains("spreader"), "names the offending layer: {e}");
+    }
+
+    #[test]
+    fn stacks_table_covers_every_ir_only_scenario() {
+        let t = stacks_table(Fidelity::Fast);
+        assert_eq!(t.rows.len(), IR_ONLY.len());
+        for (row, name) in t.rows.iter().zip(IR_ONLY) {
+            assert_eq!(row.label, *name);
+            assert!(row.values[0] > common::AMBIENT_C, "{name} heats up");
+            assert!(row.values[3] <= ENERGY_REL_TOL, "{name} balances energy");
+        }
+    }
+
+    #[test]
+    fn field_output_has_grid_shape() {
+        let text = "[scenario]\nname = f\n[die]\nplan = uniform\nwidth = 0.01\nheight = 0.01\n\
+                    [grid]\nrows = 8\ncols = 8\n[stack]\nlayer = silicon silicon 5e-4\n\
+                    top = lumped 1 10\n[power]\nsource = uniform 5\n[output]\nfield = true\n";
+        let sc = parse(text).expect("parses");
+        let sol = run(&sc, Fidelity::Fast).expect("runs");
+        let field = sol.field_csv.expect("field requested");
+        assert_eq!(field.lines().count(), 8);
+        assert_eq!(field.lines().next().unwrap().split(',').count(), 8);
+    }
+}

@@ -251,7 +251,7 @@ mod tests {
             local_boundary_layer: false,
             ..OilSiliconPackage::paper_default()
         };
-        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg));
+        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg)).unwrap();
         let p_total = 100.0;
         let p = vec![p_total / 64.0; 64];
         // The circuit is exactly a two-node ladder when power and h are
@@ -286,7 +286,7 @@ mod tests {
             local_boundary_layer: false,
             ..OilSiliconPackage::paper_default()
         };
-        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg));
+        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg)).unwrap();
         let p = vec![100.0 / 16.0; 16];
         let rk = Rk4Adaptive::new(&circuit);
         let mut state = vec![318.15; circuit.node_count()];
@@ -375,7 +375,7 @@ mod tests {
             local_boundary_layer: false,
             ..OilSiliconPackage::paper_default()
         };
-        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg));
+        let circuit = build_circuit(&map, die, &Package::OilSilicon(pkg)).unwrap();
         let p = vec![200.0 / 64.0; 64];
         let mut state = vec![318.15; circuit.node_count()];
         solve_steady(&circuit, &p, 318.15, &mut state).unwrap();

@@ -13,13 +13,15 @@
 //! * each block couples to the oil through the local coefficient `h(x)`
 //!   evaluated at the block center, so flow-direction effects survive.
 
+use crate::circuit::DieGeometry;
 use crate::convection::LaminarFlow;
 use crate::materials::SILICON;
-use crate::package::{AirSinkPackage, OilSiliconPackage, Package};
+use crate::package::Package;
 use crate::pool;
 use crate::power::PowerMap;
 use crate::solve::SolveError;
 use crate::sparse::{CsrMatrix, TripletMatrix};
+use crate::stack::{Boundary, Layer, LayerStack, StackError};
 use crate::units::kelvin_to_celsius;
 use hotiron_floorplan::{Block, Floorplan};
 
@@ -60,21 +62,66 @@ pub struct BlockModel {
 }
 
 impl BlockModel {
-    /// Builds the block-granularity network.
+    /// Builds the block-granularity network by lowering the package through
+    /// [`Package::to_stack`] (see [`BlockModel::from_stack`] for the open
+    /// route).
     ///
     /// # Panics
     ///
-    /// Panics if `die_thickness` or `ambient` is not positive.
+    /// Panics if `die_thickness` or `ambient` is not positive, or if the
+    /// package does not lower to a valid stack (use
+    /// [`BlockModel::from_stack`] for a fallible build).
     pub fn new(plan: Floorplan, package: Package, die_thickness: f64, ambient: f64) -> Self {
         assert!(die_thickness > 0.0, "die thickness must be positive");
+        let die =
+            DieGeometry { width: plan.width(), height: plan.height(), thickness: die_thickness };
+        let stack = package.to_stack(die).unwrap_or_else(|e| panic!("cannot lower package: {e}"));
+        Self::from_stack(plan, &stack, ambient).unwrap_or_else(|e| panic!("invalid stack: {e}"))
+    }
+
+    /// Builds the block-granularity network from a [`LayerStack`].
+    ///
+    /// Block mode models only the **primary** (top) heat path: layers below
+    /// the silicon and the bottom boundary are ignored, matching HotSpot's
+    /// block mode, which has no secondary path either.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StackError`] from validation, plus
+    /// [`StackError::IncompatibleCooling`] when the top boundary is
+    /// insulated (block mode would then have no path to ambient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ambient` is not positive.
+    pub fn from_stack(
+        plan: Floorplan,
+        stack: &LayerStack,
+        ambient: f64,
+    ) -> Result<Self, StackError> {
         assert!(ambient > 0.0, "ambient must be positive kelvin");
+        let die_thickness = stack.layers.get(stack.si_index).map_or(0.0, |l| l.thickness);
+        let die = DieGeometry {
+            width: plan.width(),
+            height: plan.height(),
+            thickness: if die_thickness > 0.0 { die_thickness } else { 1.0 },
+        };
+        stack.validate(die)?;
+        if matches!(stack.top, Boundary::Insulated) {
+            return Err(StackError::IncompatibleCooling {
+                reason: "block mode models only the primary (top) heat path, \
+                         but the stack's top boundary is insulated"
+                    .into(),
+            });
+        }
+        let die_thickness = stack.silicon().thickness;
         let nb = plan.len();
-        // Worst case: one oil node per block plus a few lumped nodes.
-        let max_nodes = 2 * nb + 8;
+        // Worst case: one oil node per block, one node per plate layer,
+        // plus a few lumped nodes.
+        let max_nodes = 2 * nb + stack.layers.len() + 4;
         let mut t = TripletMatrix::new(max_nodes);
         let mut cap = vec![0.0; max_nodes];
         let mut ambient_g = vec![0.0; max_nodes];
-        let next = nb;
 
         // Silicon block nodes: capacitance + lateral couplings. The O(nb²)
         // pairwise adjacency scan fans out per source block on the pool
@@ -101,14 +148,7 @@ impl BlockModel {
             }
         }
 
-        let used = match package {
-            Package::AirSink(p) => {
-                stamp_air(&plan, &p, die_thickness, &mut t, &mut cap, &mut ambient_g, next)
-            }
-            Package::OilSilicon(p) => {
-                stamp_oil(&plan, &p, die_thickness, &mut t, &mut cap, &mut ambient_g, next)
-            }
-        };
+        let used = stamp_primary(&plan, stack, &mut t, &mut cap, &mut ambient_g, nb);
 
         // Shrink to the used node count.
         let full = t.to_csr();
@@ -122,7 +162,7 @@ impl BlockModel {
         }
         cap.truncate(used);
         ambient_g.truncate(used);
-        Self { plan, g: t2.to_csr(), ambient_g, cap, ambient, node_count: used }
+        Ok(Self { plan, g: t2.to_csr(), ambient_g, cap, ambient, node_count: used })
     }
 
     /// The floorplan.
@@ -183,85 +223,191 @@ fn lateral_conductance(a: &Block, b: &Block, t_si: f64) -> Option<f64> {
     None
 }
 
-/// Stamps the AIR-SINK package: per-block TIM, isothermal spreader + sink,
-/// half-split convection. Returns the node count used.
-fn stamp_air(
-    plan: &Floorplan,
-    p: &AirSinkPackage,
-    _t_si: f64,
-    t: &mut TripletMatrix,
-    cap: &mut [f64],
-    ambient_g: &mut [f64],
-    next: usize,
-) -> usize {
-    let spreader = next;
-    let sink = next + 1;
-    let coolant = next + 2;
-    cap[spreader] =
-        p.spreader.material.capacitance(p.spreader.side * p.spreader.side * p.spreader.thickness);
-    cap[sink] = p.sink.material.capacitance(p.sink.side * p.sink.side * p.sink.thickness);
-    cap[coolant] = p.c_convec.max(1e-9);
-    for (i, b) in plan.iter().enumerate() {
-        // Half die + TIM + half spreader, per block area.
-        let r = 0.5 * SILICON.vertical_resistance(_t_si, b.area())
-            + p.interface_material.vertical_resistance(p.interface_thickness, b.area())
-            + 0.5 * p.spreader.material.vertical_resistance(p.spreader.thickness, b.area());
-        t.stamp_conductance(i, spreader, 1.0 / r);
-    }
-    let die_area = plan.width() * plan.height();
-    let r_sp_sink = 0.5 * p.spreader.material.vertical_resistance(p.spreader.thickness, die_area)
-        + 0.5 * p.sink.material.vertical_resistance(p.sink.thickness, p.spreader.side.powi(2));
-    t.stamp_conductance(spreader, sink, 1.0 / r_sp_sink);
-    // Half-split convection, as in the grid model.
-    t.stamp_conductance(sink, coolant, 2.0 / p.r_convec);
-    t.stamp_grounded_conductance(coolant, 2.0 / p.r_convec);
-    ambient_g[coolant] = 2.0 / p.r_convec;
-    next + 3
+/// An isothermal plate node created while walking the stack upward.
+struct PlateNode<'a> {
+    node: usize,
+    layer: &'a Layer,
+    side: f64,
+    /// Area through which heat entered this plate from below (the die
+    /// footprint for the first plate, the plate below's footprint after).
+    entry_area: f64,
 }
 
-/// Stamps the OIL-SILICON package: one oil node per block at the block
-/// center's `h(x)`. Returns the node count used.
-fn stamp_oil(
+/// Stamps the primary (above-silicon) heat path of a validated stack:
+/// die-footprint layers fold into series resistances, oversized plates
+/// become isothermal nodes, and the top boundary attaches to the last plate
+/// (or directly to the blocks when there is none). Returns the node count
+/// used.
+fn stamp_primary(
     plan: &Floorplan,
-    p: &OilSiliconPackage,
-    _t_si: f64,
+    stack: &LayerStack,
     t: &mut TripletMatrix,
     cap: &mut [f64],
     ambient_g: &mut [f64],
     next: usize,
 ) -> usize {
-    let (w, h) = (plan.width(), plan.height());
-    let length = p.direction.flow_length(w, h);
-    let mut velocity = p.velocity;
-    if let Some(target) = p.target_r_convec {
-        let base = LaminarFlow::new(p.oil, p.velocity, length);
-        velocity = base.velocity_for_resistance(target, w * h);
-    }
-    let flow = LaminarFlow::new(p.oil, velocity, length);
-    let mut node = next;
-    for (i, b) in plan.iter().enumerate() {
-        let (cx, cy) = b.center();
-        let x = p.direction.distance_from_leading_edge(cx, cy, w, h).max(length / 1000.0);
-        let h_loc = if p.local_h { flow.local_h(x) } else { flow.average_h() };
-        let delta = if p.local_boundary_layer {
-            flow.local_boundary_layer_thickness(x)
-        } else {
-            flow.boundary_layer_thickness()
+    let die_thickness = stack.silicon().thickness;
+    let die_area = plan.width() * plan.height();
+    let mut next = next;
+    let mut folded: Vec<&Layer> = Vec::new();
+    let mut prev: Option<PlateNode<'_>> = None;
+
+    for def in stack.above_silicon() {
+        let Some(side) = def.side else {
+            folded.push(def);
+            continue;
         };
-        let g = 2.0 * h_loc * b.area();
-        cap[node] = (p.oil.volumetric_heat_capacity() * b.area() * delta).max(1e-12);
-        t.stamp_conductance(i, node, g);
-        t.stamp_grounded_conductance(node, g);
-        ambient_g[node] = g;
-        node += 1;
+        let node = next;
+        next += 1;
+        cap[node] = def.material.capacitance(side * side * def.thickness);
+        match &prev {
+            None => {
+                // Per block: half die + folded layers + half plate.
+                for (i, b) in plan.iter().enumerate() {
+                    let mut r = 0.5 * SILICON.vertical_resistance(die_thickness, b.area());
+                    for f in &folded {
+                        r += f.material.vertical_resistance(f.thickness, b.area());
+                    }
+                    r += 0.5 * def.material.vertical_resistance(def.thickness, b.area());
+                    t.stamp_conductance(i, node, 1.0 / r);
+                }
+                prev = Some(PlateNode { node, layer: def, side, entry_area: die_area });
+            }
+            Some(lower) => {
+                // Plate to plate: half lower (through its entry footprint) +
+                // folded layers + half upper (through the lower's footprint).
+                let lower_sq = lower.side * lower.side;
+                let mut r = 0.5
+                    * lower
+                        .layer
+                        .material
+                        .vertical_resistance(lower.layer.thickness, lower.entry_area);
+                for f in &folded {
+                    r += f.material.vertical_resistance(f.thickness, lower_sq);
+                }
+                r += 0.5 * def.material.vertical_resistance(def.thickness, lower_sq);
+                t.stamp_conductance(lower.node, node, 1.0 / r);
+                prev = Some(PlateNode { node, layer: def, side, entry_area: lower_sq });
+            }
+        }
+        folded.clear();
     }
-    node
+
+    match &stack.top {
+        Boundary::Insulated => {
+            // Rejected by the from_stack pre-check.
+        }
+        Boundary::Lumped { r_total, c_total } => {
+            let coolant = next;
+            next += 1;
+            cap[coolant] = c_total.max(1e-9);
+            let g_half_total = 2.0 / r_total;
+            match &prev {
+                Some(plate) => {
+                    let g = if folded.is_empty() {
+                        g_half_total
+                    } else {
+                        let plate_sq = plate.side * plate.side;
+                        let mut r = r_total / 2.0;
+                        for f in &folded {
+                            r += f.material.vertical_resistance(f.thickness, plate_sq);
+                        }
+                        1.0 / r
+                    };
+                    t.stamp_conductance(plate.node, coolant, g);
+                }
+                None => {
+                    // Directly over the bare die: apportion by block area, as
+                    // the grid assembler apportions by cell area.
+                    for (i, b) in plan.iter().enumerate() {
+                        let g = if folded.is_empty() {
+                            g_half_total * (b.area() / die_area)
+                        } else {
+                            let mut r = (r_total / 2.0) * (die_area / b.area());
+                            for f in &folded {
+                                r += f.material.vertical_resistance(f.thickness, b.area());
+                            }
+                            1.0 / r
+                        };
+                        t.stamp_conductance(i, coolant, g);
+                    }
+                }
+            }
+            t.stamp_grounded_conductance(coolant, g_half_total);
+            ambient_g[coolant] = g_half_total;
+        }
+        Boundary::OilFilm(spec) => match &prev {
+            None => {
+                // Oil over the bare die: one oil node per block at the block
+                // center's local h(x).
+                let (w, h) = (plan.width(), plan.height());
+                let length = spec.direction.flow_length(w, h);
+                let flow = LaminarFlow::new(spec.fluid, spec.velocity, length);
+                for (i, b) in plan.iter().enumerate() {
+                    let (cx, cy) = b.center();
+                    let x = spec
+                        .direction
+                        .distance_from_leading_edge(cx, cy, w, h)
+                        .max(length / 1000.0);
+                    let h_loc = if spec.local_h { flow.local_h(x) } else { flow.average_h() };
+                    let delta = if spec.local_boundary_layer {
+                        flow.local_boundary_layer_thickness(x)
+                    } else {
+                        flow.boundary_layer_thickness()
+                    };
+                    let g = 2.0 * h_loc * b.area();
+                    let node = next;
+                    next += 1;
+                    cap[node] =
+                        (spec.fluid.volumetric_heat_capacity() * b.area() * delta).max(1e-12);
+                    let g_in = if folded.is_empty() {
+                        g
+                    } else {
+                        let mut r = 1.0 / g;
+                        for f in &folded {
+                            r += f.material.vertical_resistance(f.thickness, b.area());
+                        }
+                        1.0 / r
+                    };
+                    t.stamp_conductance(i, node, g_in);
+                    t.stamp_grounded_conductance(node, g);
+                    ambient_g[node] = g;
+                }
+            }
+            Some(plate) => {
+                // Oil washing the top plate (e.g. the spreader): a single oil
+                // node at the plate's average h over its full footprint.
+                let length = spec.direction.flow_length(plate.side, plate.side);
+                let flow = LaminarFlow::new(spec.fluid, spec.velocity, length);
+                let area = plate.side * plate.side;
+                let g = 2.0 * flow.average_h() * area;
+                let delta = flow.boundary_layer_thickness();
+                let oil = next;
+                next += 1;
+                cap[oil] = (spec.fluid.volumetric_heat_capacity() * area * delta).max(1e-12);
+                let g_in = if folded.is_empty() {
+                    g
+                } else {
+                    let mut r = 1.0 / g;
+                    for f in &folded {
+                        r += f.material.vertical_resistance(f.thickness, area);
+                    }
+                    1.0 / r
+                };
+                t.stamp_conductance(plate.node, oil, g_in);
+                t.stamp_grounded_conductance(oil, g);
+                ambient_g[oil] = g;
+            }
+        },
+    }
+    next
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{ModelConfig, ThermalModel};
+    use crate::package::{AirSinkPackage, OilSiliconPackage};
     use hotiron_floorplan::library;
 
     const AMBIENT: f64 = 318.15;
@@ -359,6 +505,78 @@ mod tests {
     }
 
     #[test]
+    fn stack_route_matches_package_route_bitwise() {
+        // Lowering through the IR and direct package construction must agree
+        // bit for bit in block mode, for both paper packages.
+        let plan = library::ev6();
+        let die = DieGeometry { width: plan.width(), height: plan.height(), thickness: 0.5e-3 };
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 3.0), ("L2", 9.0)]).unwrap();
+        for pkg in [
+            Package::AirSink(crate::package::AirSinkPackage::paper_default()),
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+        ] {
+            let direct = BlockModel::new(plan.clone(), pkg, 0.5e-3, AMBIENT);
+            let stack = pkg.to_stack(die).unwrap();
+            let via_stack = BlockModel::from_stack(plan.clone(), &stack, AMBIENT).unwrap();
+            assert_eq!(direct.node_count(), via_stack.node_count(), "{}", pkg.label());
+            assert_eq!(direct.capacitance(), via_stack.capacitance(), "{}", pkg.label());
+            let a = direct.steady_celsius(&power).unwrap();
+            let b = via_stack.steady_celsius(&power).unwrap();
+            assert_eq!(a, b, "{} temperatures must be bitwise equal", pkg.label());
+        }
+    }
+
+    #[test]
+    fn insulated_top_is_rejected_in_block_mode() {
+        let plan = library::ev6();
+        let stack = crate::stack::LayerStack::new(
+            vec![crate::stack::Layer::new("silicon", SILICON, 0.5e-3)],
+            0,
+        )
+        .with_bottom(crate::stack::Boundary::Lumped { r_total: 5.0, c_total: 10.0 });
+        let err = BlockModel::from_stack(plan, &stack, AMBIENT).unwrap_err();
+        assert!(matches!(err, StackError::IncompatibleCooling { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oil_washed_spreader_runs_in_block_mode() {
+        // Inexpressible under the old enum: oil washing the spreader top.
+        let plan = library::ev6();
+        let air = crate::package::AirSinkPackage::paper_default();
+        let stack = crate::stack::LayerStack::new(
+            vec![
+                crate::stack::Layer::new("silicon", SILICON, 0.5e-3),
+                crate::stack::Layer::new(
+                    "interface",
+                    air.interface_material,
+                    air.interface_thickness,
+                ),
+                crate::stack::Layer::plate(
+                    "spreader",
+                    air.spreader.material,
+                    air.spreader.thickness,
+                    air.spreader.side,
+                ),
+            ],
+            0,
+        )
+        .with_top(crate::stack::Boundary::OilFilm(crate::stack::OilFilm {
+            fluid: crate::fluid::MINERAL_OIL,
+            velocity: 10.0,
+            direction: crate::convection::FlowDirection::LeftToRight,
+            local_h: true,
+            local_boundary_layer: true,
+        }));
+        let bm = BlockModel::from_stack(plan.clone(), &stack, AMBIENT).unwrap();
+        // 18 blocks + spreader + 1 oil node.
+        assert_eq!(bm.node_count(), plan.len() + 2);
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 3.0)]).unwrap();
+        let temps = bm.steady_celsius(&power).unwrap();
+        let i = plan.block_index("IntReg").unwrap();
+        assert!(temps[i] > 45.0, "powered block must heat: {}", temps[i]);
+    }
+
+    #[test]
     fn lateral_conductance_detects_shared_edges() {
         let a = Block::new("a", 1e-3, 1e-3, 0.0, 0.0);
         let b = Block::new("b", 1e-3, 1e-3, 1e-3, 0.0);
@@ -436,6 +654,7 @@ impl BlockModel {
 #[cfg(test)]
 mod transient_tests {
     use super::*;
+    use crate::package::{AirSinkPackage, OilSiliconPackage};
     use hotiron_floorplan::library;
 
     #[test]

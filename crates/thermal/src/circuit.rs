@@ -1,6 +1,6 @@
 //! RC network assembly.
 //!
-//! Turns a floorplan + package description into a thermal circuit: a sparse
+//! Turns a floorplan + layer stack into a thermal circuit: a sparse
 //! conductance matrix `G` (W/K), a per-node capacitance vector `C` (J/K) and
 //! per-node conductances to the ambient Dirichlet node. The governing
 //! equations are
@@ -11,6 +11,11 @@
 //! ```
 //!
 //! with `T` in kelvin and `P` in watts.
+//!
+//! The assembler consumes only the open [`LayerStack`] IR
+//! (`crate::stack`); the closed [`Package`] enum reaches it exclusively by
+//! lowering through [`Package::to_stack`]. Invalid stacks surface as typed
+//! [`StackError`]s instead of panics.
 //!
 //! # Discretization
 //!
@@ -32,48 +37,17 @@
 //!   capacitance of Eqn 3, again split half/half around the oil node. This
 //!   per-cell structure is what makes the flow direction matter.
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
-use crate::convection::{FlowDirection, LaminarFlow};
-use crate::fluid::Fluid;
-use crate::materials::Material;
+use crate::convection::LaminarFlow;
 use crate::multigrid::{MgOptions, Multigrid};
-use crate::package::{AirSinkPackage, OilSiliconPackage, Package, PcbCooling, SecondaryPath};
+use crate::package::Package;
 use crate::sparse::{CsrMatrix, TripletMatrix};
+use crate::stack::{Boundary, Fnv, LayerStack, StackError};
 use hotiron_floorplan::GridMapping;
 
-/// One conduction layer of the assembled stack.
-#[derive(Debug, Clone)]
-struct LayerDef {
-    name: &'static str,
-    material: Material,
-    thickness: f64,
-    /// `None`: die footprint. `Some(side)`: square plate of this side with a
-    /// peripheral ring node.
-    side: Option<f64>,
-}
-
-/// Boundary attached above the top layer or below the bottom layer.
-#[derive(Debug, Clone)]
-enum Attachment {
-    Insulated,
-    /// Lumped coolant: total resistance (K/W) and capacitance (J/K).
-    Lumped {
-        r_total: f64,
-        c_total: f64,
-    },
-    /// Distributed laminar film.
-    OilFilm(OilFilmSpec),
-}
-
-#[derive(Debug, Clone)]
-struct OilFilmSpec {
-    fluid: Fluid,
-    velocity: f64,
-    direction: FlowDirection,
-    local_h: bool,
-    local_boundary_layer: bool,
-}
+pub use crate::stack::DieGeometry;
 
 /// Role a node plays in the network (used for introspection and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +75,7 @@ pub struct ThermalCircuit {
     cap: Vec<f64>,
     ambient_g: Vec<f64>,
     kinds: Vec<NodeKind>,
-    layer_names: Vec<&'static str>,
+    layer_names: Vec<String>,
     si_offset: usize,
     n_cells: usize,
     rows: usize,
@@ -140,7 +114,7 @@ impl ThermalCircuit {
     }
 
     /// Names of the conduction layers, bottom-to-top.
-    pub fn layer_names(&self) -> &[&'static str] {
+    pub fn layer_names(&self) -> &[String] {
         &self.layer_names
     }
 
@@ -229,165 +203,99 @@ impl ThermalCircuit {
     }
 }
 
-/// Geometry of the die the circuit is built around.
-#[derive(Debug, Clone, Copy)]
-pub struct DieGeometry {
-    /// Die width, m.
-    pub width: f64,
-    /// Die height, m.
-    pub height: f64,
-    /// Die (bulk silicon) thickness, m.
-    pub thickness: f64,
-}
-
 /// Builds the RC network for a die (described by its grid mapping and
-/// geometry) inside a package.
+/// geometry) inside a package, by lowering the package through
+/// [`Package::to_stack`] and assembling the resulting stack.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an oversized plate is smaller than the die.
-pub fn build_circuit(mapping: &GridMapping, die: DieGeometry, package: &Package) -> ThermalCircuit {
-    let (layers, si_index, top, bottom) = plan_stack(die, package);
-    assemble(mapping, die, &layers, si_index, &top, &bottom)
-}
-
-/// Expands a package into an ordered (bottom→top) layer stack plus
-/// boundary attachments.
-fn plan_stack(
-    die: DieGeometry,
-    package: &Package,
-) -> (Vec<LayerDef>, usize, Attachment, Attachment) {
-    use crate::materials::SILICON;
-    let mut layers = Vec::new();
-    let mut bottom = Attachment::Insulated;
-
-    // Secondary path below the die, bottom-first.
-    if let Some(sec) = package.secondary() {
-        bottom = match sec.pcb_cooling {
-            PcbCooling::Oil => {
-                let spec = match package {
-                    Package::OilSilicon(p) => OilFilmSpec {
-                        fluid: p.oil,
-                        velocity: p.velocity,
-                        direction: p.direction,
-                        local_h: p.local_h,
-                        local_boundary_layer: p.local_boundary_layer,
-                    },
-                    // An AIR-SINK package with an oil-washed PCB makes no
-                    // physical sense; treat as insulated and let tests catch
-                    // the configuration error loudly in debug builds.
-                    Package::AirSink(_) => {
-                        panic!("PcbCooling::Oil requires an OilSilicon package")
-                    }
-                };
-                Attachment::OilFilm(spec)
-            }
-            PcbCooling::Fixed { r, c } => Attachment::Lumped { r_total: r, c_total: c },
-            PcbCooling::Insulated => Attachment::Insulated,
-        };
-        push_secondary(&mut layers, sec);
-    }
-
-    let si_index = layers.len();
-    layers.push(LayerDef {
-        name: "silicon",
-        material: SILICON,
-        thickness: die.thickness,
-        side: None,
-    });
-
-    let top = match package {
-        Package::AirSink(p) => {
-            push_air_primary(&mut layers, p);
-            Attachment::Lumped { r_total: p.r_convec, c_total: p.c_convec }
-        }
-        Package::OilSilicon(p) => Attachment::OilFilm(oil_spec_for(p, die)),
-    };
-    (layers, si_index, top, bottom)
-}
-
-fn push_secondary(layers: &mut Vec<LayerDef>, sec: &SecondaryPath) {
-    layers.push(LayerDef {
-        name: "pcb",
-        material: sec.pcb.material,
-        thickness: sec.pcb.thickness,
-        side: Some(sec.pcb.side),
-    });
-    // Solder balls sit under the whole substrate, so the solder layer
-    // inherits the substrate's extent to keep the ring chain connected.
-    layers.push(LayerDef {
-        name: "solder",
-        material: sec.solder_material,
-        thickness: sec.solder_thickness,
-        side: Some(sec.substrate.side),
-    });
-    layers.push(LayerDef {
-        name: "substrate",
-        material: sec.substrate.material,
-        thickness: sec.substrate.thickness,
-        side: Some(sec.substrate.side),
-    });
-    layers.push(LayerDef {
-        name: "c4",
-        material: sec.c4_material,
-        thickness: sec.c4_thickness,
-        side: None,
-    });
-    layers.push(LayerDef {
-        name: "interconnect",
-        material: sec.interconnect_material,
-        thickness: sec.interconnect_thickness,
-        side: None,
-    });
-}
-
-fn push_air_primary(layers: &mut Vec<LayerDef>, p: &AirSinkPackage) {
-    layers.push(LayerDef {
-        name: "interface",
-        material: p.interface_material,
-        thickness: p.interface_thickness,
-        side: None,
-    });
-    layers.push(LayerDef {
-        name: "spreader",
-        material: p.spreader.material,
-        thickness: p.spreader.thickness,
-        side: Some(p.spreader.side),
-    });
-    layers.push(LayerDef {
-        name: "sink",
-        material: p.sink.material,
-        thickness: p.sink.thickness,
-        side: Some(p.sink.side),
-    });
-}
-
-fn oil_spec_for(p: &OilSiliconPackage, die: DieGeometry) -> OilFilmSpec {
-    let mut velocity = p.velocity;
-    if let Some(target) = p.target_r_convec {
-        // Solve Eqn 1–2 for the velocity that yields the requested overall
-        // Rconv over the die (R ∝ 1/√u).
-        let length = p.direction.flow_length(die.width, die.height);
-        let flow = LaminarFlow::new(p.oil, p.velocity, length);
-        velocity = flow.velocity_for_resistance(target, die.width * die.height);
-    }
-    OilFilmSpec {
-        fluid: p.oil,
-        velocity,
-        direction: p.direction,
-        local_h: p.local_h,
-        local_boundary_layer: p.local_boundary_layer,
-    }
-}
-
-fn assemble(
+/// Any [`StackError`] from lowering or validation (e.g.
+/// `PcbCooling::Oil` on an AIR-SINK package, or an oversized plate smaller
+/// than the die), naming the offending layer or boundary.
+pub fn build_circuit(
     mapping: &GridMapping,
     die: DieGeometry,
-    layers: &[LayerDef],
-    si_index: usize,
-    top: &Attachment,
-    bottom: &Attachment,
-) -> ThermalCircuit {
+    package: &Package,
+) -> Result<ThermalCircuit, StackError> {
+    let stack = package.to_stack(die)?;
+    build_circuit_from_stack(mapping, die, &stack)
+}
+
+/// Builds the RC network directly from a [`LayerStack`].
+///
+/// # Errors
+///
+/// Any [`StackError`] from [`LayerStack::validate`].
+pub fn build_circuit_from_stack(
+    mapping: &GridMapping,
+    die: DieGeometry,
+    stack: &LayerStack,
+) -> Result<ThermalCircuit, StackError> {
+    stack.validate(die)?;
+    Ok(assemble(mapping, die, stack))
+}
+
+/// Process-wide circuit cache: stack content hash + die geometry + grid
+/// resolution → weakly held assembled circuit. Entries die with their last
+/// [`Arc`]; the map only holds [`Weak`] handles, so caching never extends a
+/// circuit's lifetime.
+static CIRCUIT_CACHE: OnceLock<Mutex<HashMap<u64, Weak<ThermalCircuit>>>> = OnceLock::new();
+
+/// Cache key: everything [`assemble`] reads. The grid mapping contributes
+/// only its resolution and cell geometry, both derived from `die` and
+/// `rows`/`cols`, so two floorplans over the same die share circuits.
+fn circuit_cache_key(die: DieGeometry, rows: usize, cols: usize, stack: &LayerStack) -> u64 {
+    let mut h = Fnv::new();
+    h.f64(die.width);
+    h.f64(die.height);
+    h.f64(die.thickness);
+    h.usize(rows);
+    h.usize(cols);
+    h.u64(stack.content_hash());
+    h.finish()
+}
+
+/// Like [`build_circuit_from_stack`], but returns a shared handle from the
+/// process-wide cache when an identical (stack, die, grid) circuit is
+/// already alive. Repeated solves over the same stack across experiments
+/// then reuse one circuit — including its lazily built multigrid hierarchy —
+/// instead of re-assembling it. Assembly is deterministic, so a cache hit is
+/// observationally identical to a rebuild.
+///
+/// # Errors
+///
+/// Any [`StackError`] from [`LayerStack::validate`].
+pub fn build_circuit_cached(
+    mapping: &GridMapping,
+    die: DieGeometry,
+    stack: &LayerStack,
+) -> Result<Arc<ThermalCircuit>, StackError> {
+    stack.validate(die)?;
+    let key = circuit_cache_key(die, mapping.rows(), mapping.cols(), stack);
+    let cache = CIRCUIT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) =
+        cache.lock().expect("circuit cache poisoned").get(&key).and_then(Weak::upgrade)
+    {
+        return Ok(hit);
+    }
+    // Assemble outside the lock so concurrent builds of *different* circuits
+    // don't serialize; a lost race on the same key just builds one
+    // bit-identical circuit twice and keeps the first inserted.
+    let built = Arc::new(assemble(mapping, die, stack));
+    let mut map = cache.lock().expect("circuit cache poisoned");
+    if let Some(existing) = map.get(&key).and_then(Weak::upgrade) {
+        return Ok(existing);
+    }
+    map.retain(|_, w| w.strong_count() > 0);
+    map.insert(key, Arc::downgrade(&built));
+    Ok(built)
+}
+
+/// Assembles a validated stack. Callers must run [`LayerStack::validate`]
+/// first; this function assumes a well-formed stack.
+fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> ThermalCircuit {
+    let layers = &stack.layers;
+    let si_index = stack.si_index;
     let (rows, cols) = (mapping.rows(), mapping.cols());
     let n_cells = rows * cols;
     let (dx, dy) = (mapping.cell_width(), mapping.cell_height());
@@ -403,11 +311,10 @@ fn assemble(
     let mut next = nl * n_cells;
     for (l, def) in layers.iter().enumerate() {
         if let Some(side) = def.side {
-            assert!(
+            debug_assert!(
                 side >= die.width.max(die.height),
-                "plate `{}` ({} m) smaller than die",
-                def.name,
-                side
+                "validate() admits no plate smaller than the die (`{}`)",
+                def.name
             );
             ring_of[l] = Some(next);
             next += 1;
@@ -504,7 +411,7 @@ fn assemble(
 
     // ---- boundary attachments ----
     let mut next_node = next;
-    let stamp_boundary = |att: &Attachment,
+    let stamp_boundary = |att: &Boundary,
                           layer: usize,
                           stamps: &mut Vec<(usize, usize, f64)>,
                           grounded: &mut Vec<(usize, f64)>,
@@ -512,9 +419,9 @@ fn assemble(
                           kinds: &mut Vec<NodeKind>,
                           next_node: &mut usize| {
         match att {
-            Attachment::Insulated => {}
-            Attachment::Lumped { r_total, c_total } => {
-                assert!(*r_total > 0.0, "lumped convection resistance must be positive");
+            Boundary::Insulated => {}
+            Boundary::Lumped { r_total, c_total } => {
+                debug_assert!(*r_total > 0.0, "validate() admits only positive lumped resistance");
                 let def = &layers[layer];
                 let plate_area = def.side.map_or(die_area, |s| s * s);
                 let coolant = *next_node;
@@ -533,7 +440,7 @@ fn assemble(
                 }
                 grounded.push((coolant, g_half_total));
             }
-            Attachment::OilFilm(spec) => {
+            Boundary::OilFilm(spec) => {
                 let def = &layers[layer];
                 let (plate_w, plate_h) = match def.side {
                     Some(s) => (s, s),
@@ -584,7 +491,7 @@ fn assemble(
     };
 
     stamp_boundary(
-        top,
+        &stack.top,
         nl - 1,
         &mut stamps,
         &mut grounded,
@@ -593,7 +500,7 @@ fn assemble(
         &mut next_node,
     );
     stamp_boundary(
-        bottom,
+        &stack.bottom,
         0,
         &mut stamps,
         &mut grounded,
@@ -620,7 +527,7 @@ fn assemble(
     let g = t.to_csr();
     debug_assert!(g.is_symmetric(1e-9), "conductance matrix must be symmetric");
 
-    let layer_names = layers.iter().map(|l| l.name).collect();
+    let layer_names = layers.iter().map(|l| l.name.clone()).collect();
     ThermalCircuit {
         g,
         cap,
@@ -638,7 +545,8 @@ fn assemble(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::package::{OilSiliconPackage, SecondaryPath};
+    use crate::package::{AirSinkPackage, OilSiliconPackage, Package, SecondaryPath};
+    use crate::stack::{Layer, OilFilm};
     use hotiron_floorplan::library;
 
     fn die20() -> DieGeometry {
@@ -653,7 +561,8 @@ mod tests {
     fn oil_circuit_structure() {
         let m = mapping(8, 8);
         let c =
-            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()))
+                .unwrap();
         // 1 silicon layer (64 cells) + 64 oil nodes.
         assert_eq!(c.node_count(), 128);
         assert_eq!(c.si_offset(), 0);
@@ -679,7 +588,7 @@ mod tests {
             local_boundary_layer: false,
             ..OilSiliconPackage::paper_default()
         };
-        let c = build_circuit(&m, die20(), &Package::OilSilicon(pkg));
+        let c = build_circuit(&m, die20(), &Package::OilSilicon(pkg)).unwrap();
         let flow = LaminarFlow::new(crate::fluid::MINERAL_OIL, 10.0, 0.02);
         let expected = 1.0 / flow.overall_resistance(4e-4);
         // Ambient side of every oil pair sums to 2·h·A; the series pair from
@@ -693,7 +602,8 @@ mod tests {
     fn local_h_makes_leading_edge_cells_better_cooled() {
         let m = mapping(8, 8);
         let c =
-            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()))
+                .unwrap();
         // Oil nodes are appended after the silicon cells in row-major order;
         // the first row's first (left) cell is upstream for LeftToRight.
         let oil_start = 64;
@@ -706,7 +616,7 @@ mod tests {
     fn air_circuit_structure() {
         let m = mapping(8, 8);
         let pkg = Package::AirSink(AirSinkPackage::paper_default());
-        let c = build_circuit(&m, die20(), &pkg);
+        let c = build_circuit(&m, die20(), &pkg).unwrap();
         // Layers: silicon, interface, spreader, sink = 4x64 cells,
         // + 2 rings + 1 coolant.
         assert_eq!(c.node_count(), 4 * 64 + 2 + 1);
@@ -727,7 +637,7 @@ mod tests {
             AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_air_system()),
         );
         let m = mapping(4, 4);
-        let c = build_circuit(&m, die20(), &pkg);
+        let c = build_circuit(&m, die20(), &pkg).unwrap();
         assert_eq!(
             c.layer_names(),
             &[
@@ -755,7 +665,7 @@ mod tests {
             OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
         );
         let m = mapping(4, 4);
-        let c = build_circuit(&m, die20(), &pkg);
+        let c = build_circuit(&m, die20(), &pkg).unwrap();
         assert_eq!(
             c.layer_names(),
             &["pcb", "solder", "substrate", "c4", "interconnect", "silicon"]
@@ -769,7 +679,8 @@ mod tests {
     fn rhs_injects_power_and_ambient() {
         let m = mapping(4, 4);
         let c =
-            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()))
+                .unwrap();
         let mut p = vec![0.0; 16];
         p[5] = 2.5;
         let b = c.rhs(&p, 318.15);
@@ -789,7 +700,7 @@ mod tests {
             ..OilSiliconPackage::paper_default()
         }
         .with_target_r_convec(0.3);
-        let c = build_circuit(&m, die20(), &Package::OilSilicon(pkg));
+        let c = build_circuit(&m, die20(), &Package::OilSilicon(pkg)).unwrap();
         // Total ambient conductance should be 2 / 0.3.
         let total = c.total_ambient_conductance();
         assert!((total - 2.0 / 0.3).abs() / (2.0 / 0.3) < 1e-6, "total {total}");
@@ -806,7 +717,7 @@ mod tests {
                 AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_air_system()),
             ),
         ] {
-            let c = build_circuit(&m, die20(), &pkg);
+            let c = build_circuit(&m, die20(), &pkg).unwrap();
             for (i, cv) in c.capacitance().iter().enumerate() {
                 assert!(*cv > 0.0, "node {i} of {} has cap {cv}", pkg.label());
             }
@@ -817,19 +728,116 @@ mod tests {
     fn silicon_capacitance_matches_hand_calculation() {
         let m = mapping(8, 8);
         let c =
-            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()));
+            build_circuit(&m, die20(), &Package::OilSilicon(OilSiliconPackage::paper_default()))
+                .unwrap();
         let si_total: f64 = c.capacitance()[..64].iter().sum();
         // 1.75e6 J/m³K x 4e-4 m² x 0.5e-3 m = 0.35 J/K.
         assert!((si_total - 0.35).abs() < 1e-9, "{si_total}");
     }
 
     #[test]
-    #[should_panic(expected = "requires an OilSilicon package")]
     fn oil_pcb_cooling_needs_oil_package() {
         let m = mapping(2, 2);
         let pkg = Package::AirSink(
             AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
         );
-        let _ = build_circuit(&m, die20(), &pkg);
+        let err = build_circuit(&m, die20(), &pkg).unwrap_err();
+        assert!(matches!(err, StackError::IncompatibleCooling { .. }));
+        assert!(err.to_string().contains("OilSilicon"), "{err}");
+    }
+
+    #[test]
+    fn undersized_plate_is_a_typed_error() {
+        let m = mapping(2, 2);
+        let mut pkg = AirSinkPackage::paper_default();
+        pkg.spreader.side = 0.01; // smaller than the 20 mm die
+        let err = build_circuit(&m, die20(), &Package::AirSink(pkg)).unwrap_err();
+        match &err {
+            StackError::PlateSmallerThanDie { layer, .. } => assert_eq!(layer, "spreader"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_route_matches_package_route() {
+        // build_circuit is exactly to_stack + build_circuit_from_stack.
+        let m = mapping(8, 8);
+        for pkg in [
+            Package::OilSilicon(OilSiliconPackage::paper_default()),
+            Package::AirSink(AirSinkPackage::paper_default()),
+        ] {
+            let direct = build_circuit(&m, die20(), &pkg).unwrap();
+            let stack = pkg.to_stack(die20()).unwrap();
+            let via_stack = build_circuit_from_stack(&m, die20(), &stack).unwrap();
+            assert_eq!(direct.node_count(), via_stack.node_count());
+            assert_eq!(direct.layer_names(), via_stack.layer_names());
+            assert_eq!(direct.capacitance(), via_stack.capacitance());
+            assert_eq!(direct.ambient_conductance(), via_stack.ambient_conductance());
+        }
+    }
+
+    #[test]
+    fn bare_die_lumped_stack_assembles() {
+        // A configuration the closed Package enum cannot express: bare die
+        // cooled by a lumped (forced-air) path, no spreader or sink.
+        let m = mapping(8, 8);
+        let stack =
+            LayerStack::new(vec![Layer::new("silicon", crate::materials::SILICON, 0.5e-3)], 0)
+                .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        let c = build_circuit_from_stack(&m, die20(), &stack).unwrap();
+        assert_eq!(c.layer_names(), &["silicon"]);
+        assert_eq!(c.node_count(), 64 + 1);
+        let coolant = c.node_kinds().iter().position(|k| *k == NodeKind::Coolant).unwrap();
+        assert!((c.ambient_conductance()[coolant] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oil_washed_spreader_stack_assembles() {
+        // Oil washing the spreader top — also inexpressible under the enum.
+        let m = mapping(8, 8);
+        let air = AirSinkPackage::paper_default();
+        let stack = LayerStack::new(
+            vec![
+                Layer::new("silicon", crate::materials::SILICON, 0.5e-3),
+                Layer::new("interface", air.interface_material, air.interface_thickness),
+                Layer::plate("spreader", air.spreader.material, air.spreader.thickness, 0.03),
+            ],
+            0,
+        )
+        .with_top(Boundary::OilFilm(OilFilm {
+            fluid: crate::fluid::MINERAL_OIL,
+            velocity: 10.0,
+            direction: crate::convection::FlowDirection::LeftToRight,
+            local_h: true,
+            local_boundary_layer: true,
+        }));
+        let c = build_circuit_from_stack(&m, die20(), &stack).unwrap();
+        assert_eq!(c.layer_names(), &["silicon", "interface", "spreader"]);
+        // 3 layers x 64 cells + 1 spreader ring + 64 cell oil + 1 ring oil.
+        assert_eq!(c.node_count(), 3 * 64 + 1 + 64 + 1);
+        assert!(c.conductance().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn cached_builds_share_one_circuit() {
+        let m = mapping(8, 8);
+        let stack =
+            Package::OilSilicon(OilSiliconPackage::paper_default()).to_stack(die20()).unwrap();
+        let a = build_circuit_cached(&m, die20(), &stack).unwrap();
+        let b = build_circuit_cached(&m, die20(), &stack).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical stacks must share one circuit");
+        // A physically different stack gets its own circuit.
+        let other = Package::OilSilicon(
+            OilSiliconPackage::paper_default()
+                .with_direction(crate::convection::FlowDirection::TopToBottom),
+        )
+        .to_stack(die20())
+        .unwrap();
+        let c = build_circuit_cached(&m, die20(), &other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Same stack at a different grid too.
+        let m2 = mapping(4, 4);
+        let d = build_circuit_cached(&m2, die20(), &stack).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
     }
 }

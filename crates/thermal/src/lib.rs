@@ -48,6 +48,7 @@ pub mod pool;
 pub mod power;
 pub mod solve;
 pub mod sparse;
+pub mod stack;
 pub mod units;
 
 pub use blockmodel::BlockModel;
@@ -60,3 +61,4 @@ pub use multigrid::{MgOptions, MgStats, Multigrid};
 pub use package::{AirSinkPackage, OilSiliconPackage, Package, SecondaryPath};
 pub use power::PowerMap;
 pub use solve::SolverChoice;
+pub use stack::{Boundary, DieGeometry, Layer, LayerStack, OilFilm, StackError};

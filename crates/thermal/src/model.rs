@@ -4,17 +4,18 @@
 //! steady-state solves, transient simulation, and per-block temperature
 //! read-out — the modified HotSpot of the paper's §3.
 
-use crate::circuit::{build_circuit, DieGeometry, ThermalCircuit};
+use crate::circuit::{build_circuit_cached, DieGeometry, ThermalCircuit};
 use crate::package::Package;
 use crate::pool;
 use crate::power::PowerMap;
 use crate::solve::{solve_steady, BackwardEuler, SolveError};
 use crate::sparse::SolveStats;
+use crate::stack::{LayerStack, StackError};
 use crate::units::{celsius_to_kelvin, kelvin_to_celsius};
 use hotiron_floorplan::{Floorplan, GridMapping};
 use std::error::Error;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Errors from model construction or solving.
 #[derive(Debug)]
@@ -22,6 +23,8 @@ use std::sync::Mutex;
 pub enum ThermalError {
     /// Invalid model configuration.
     Config(String),
+    /// An invalid layer stack (bad lowering or failed validation).
+    Stack(StackError),
     /// A solver failed to converge.
     Solve(SolveError),
 }
@@ -30,6 +33,7 @@ impl fmt::Display for ThermalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Config(m) => write!(f, "invalid model configuration: {m}"),
+            Self::Stack(e) => write!(f, "invalid layer stack: {e}"),
             Self::Solve(e) => write!(f, "solve failed: {e}"),
         }
     }
@@ -39,6 +43,7 @@ impl Error for ThermalError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Solve(e) => Some(e),
+            Self::Stack(e) => Some(e),
             Self::Config(_) => None,
         }
     }
@@ -47,6 +52,12 @@ impl Error for ThermalError {
 impl From<SolveError> for ThermalError {
     fn from(e: SolveError) -> Self {
         Self::Solve(e)
+    }
+}
+
+impl From<StackError> for ThermalError {
+    fn from(e: StackError) -> Self {
+        Self::Stack(e)
     }
 }
 
@@ -134,9 +145,18 @@ impl Default for ModelConfig {
 pub struct ThermalModel {
     plan: Floorplan,
     mapping: GridMapping,
-    circuit: ThermalCircuit,
+    /// Shared handle from the process-wide circuit cache: models built over
+    /// identical (stack, die, grid) triples reuse one assembled circuit and
+    /// its lazily built multigrid hierarchy.
+    circuit: Arc<ThermalCircuit>,
     config: ModelConfig,
-    package: Package,
+    /// The package this model was lowered from, when it was built through
+    /// [`ThermalModel::new`]; models built from a raw stack have none.
+    package: Option<Package>,
+    /// The layer stack the circuit was assembled from.
+    stack: LayerStack,
+    /// Content hash of `stack` (see [`LayerStack::content_hash`]).
+    stack_hash: u64,
     /// Warm-start cache: the most recent steady solution (or an explicitly
     /// seeded state), used as the next steady solve's initial guess. Keyed
     /// to *this* model by construction — solutions never leak across models,
@@ -147,30 +167,71 @@ pub struct ThermalModel {
 }
 
 impl ThermalModel {
-    /// Builds the model (assembles the RC network once).
+    /// Builds the model (assembles the RC network, or fetches it from the
+    /// process-wide circuit cache when an identical stack/die/grid circuit
+    /// is already alive).
     ///
     /// # Errors
     ///
-    /// [`ThermalError::Config`] for invalid configuration.
+    /// [`ThermalError::Config`] for invalid configuration;
+    /// [`ThermalError::Stack`] when the package does not lower to a valid
+    /// stack (e.g. `PcbCooling::Oil` on an AIR-SINK package).
     pub fn new(
         plan: Floorplan,
         package: Package,
         config: ModelConfig,
     ) -> Result<Self, ThermalError> {
         config.validate()?;
-        let mapping = GridMapping::new(&plan, config.rows, config.cols);
         let die = DieGeometry {
             width: plan.width(),
             height: plan.height(),
             thickness: config.die_thickness,
         };
-        let circuit = build_circuit(&mapping, die, &package);
+        let stack = package.to_stack(die)?;
+        Self::build(plan, stack, Some(package), config)
+    }
+
+    /// Builds the model directly from a [`LayerStack`] — the open route for
+    /// configurations the [`Package`] enum cannot express. The die thickness
+    /// comes from the stack's silicon layer (`config.die_thickness` is
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::Config`] for invalid configuration;
+    /// [`ThermalError::Stack`] when the stack fails validation.
+    pub fn from_stack(
+        plan: Floorplan,
+        stack: LayerStack,
+        config: ModelConfig,
+    ) -> Result<Self, ThermalError> {
+        config.validate()?;
+        Self::build(plan, stack, None, config)
+    }
+
+    fn build(
+        plan: Floorplan,
+        stack: LayerStack,
+        package: Option<Package>,
+        config: ModelConfig,
+    ) -> Result<Self, ThermalError> {
+        let mapping = GridMapping::new(&plan, config.rows, config.cols);
+        // Validation (inside build_circuit_cached) rejects an out-of-range
+        // silicon index; the fallback thickness only keeps this pre-check
+        // panic-free until then.
+        let thickness =
+            stack.layers.get(stack.si_index).map_or(config.die_thickness, |l| l.thickness);
+        let die = DieGeometry { width: plan.width(), height: plan.height(), thickness };
+        let circuit = build_circuit_cached(&mapping, die, &stack)?;
+        let stack_hash = stack.content_hash();
         Ok(Self {
             plan,
             mapping,
             circuit,
             config,
             package,
+            stack,
+            stack_hash,
             warm: Mutex::new(None),
             last_stats: Mutex::new(None),
         })
@@ -191,9 +252,21 @@ impl ThermalModel {
         &self.circuit
     }
 
-    /// The package.
-    pub fn package(&self) -> &Package {
-        &self.package
+    /// The package this model was lowered from, if it was built via
+    /// [`ThermalModel::new`] rather than [`ThermalModel::from_stack`].
+    pub fn package(&self) -> Option<&Package> {
+        self.package.as_ref()
+    }
+
+    /// The layer stack the circuit was assembled from.
+    pub fn stack(&self) -> &LayerStack {
+        &self.stack
+    }
+
+    /// Content hash of the lowered stack — the identity the circuit cache
+    /// keys on (together with die geometry and grid resolution).
+    pub fn stack_hash(&self) -> u64 {
+        self.stack_hash
     }
 
     /// The configuration.
@@ -675,6 +748,56 @@ mod tests {
         let a = sim.solution().block("IntReg");
         let b = model.steady_state(&power).unwrap().block("IntReg");
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_models_share_one_cached_circuit() {
+        let plan = library::ev6();
+        let mk = || {
+            ThermalModel::new(
+                plan.clone(),
+                Package::AirSink(AirSinkPackage::paper_default()),
+                small_cfg(),
+            )
+            .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert!(
+            std::ptr::eq(a.circuit(), b.circuit()),
+            "same stack + die + grid must reuse one assembled circuit"
+        );
+        assert_eq!(a.stack_hash(), b.stack_hash());
+        // Warm-start caches stay per-model even when the circuit is shared.
+        a.seed_warm_start(a.initial_state());
+        assert!(b.last_solve_stats().is_none());
+    }
+
+    #[test]
+    fn from_stack_builds_inexpressible_configuration() {
+        // Bare die under a lumped forced-air path: no spreader, no sink —
+        // not representable as either Package variant.
+        let plan = library::ev6();
+        let stack = crate::stack::LayerStack::new(
+            vec![crate::stack::Layer::new("silicon", crate::materials::SILICON, 0.5e-3)],
+            0,
+        )
+        .with_top(crate::stack::Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        let model = ThermalModel::from_stack(plan.clone(), stack, small_cfg()).unwrap();
+        assert!(model.package().is_none());
+        let power = PowerMap::from_pairs(&plan, [("IntReg", 2.0)]).unwrap();
+        let sol = model.steady_state(&power).unwrap();
+        assert_eq!(sol.hottest_block().0, "IntReg");
+    }
+
+    #[test]
+    fn invalid_stack_is_a_typed_error() {
+        let plan = library::ev6();
+        let mut pkg = AirSinkPackage::paper_default();
+        pkg.spreader.side = 1e-3; // smaller than the die
+        let err = ThermalModel::new(plan, Package::AirSink(pkg), small_cfg()).unwrap_err();
+        assert!(matches!(err, ThermalError::Stack(_)), "{err:?}");
+        assert!(err.to_string().contains("spreader"), "{err}");
     }
 
     #[test]

@@ -929,7 +929,7 @@ mod tests {
 
     fn circuit(rows: usize, pkg: Package) -> ThermalCircuit {
         let m = GridMapping::new(&library::uniform_die(0.02, 0.02), rows, rows);
-        build_circuit(&m, die20(), &pkg)
+        build_circuit(&m, die20(), &pkg).unwrap()
     }
 
     fn oil(rows: usize) -> ThermalCircuit {

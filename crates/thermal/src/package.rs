@@ -5,11 +5,12 @@
 //! builder (`crate::circuit`) turns a die floorplan plus a package into an
 //! RC network.
 
-use crate::convection::FlowDirection;
+use crate::convection::{FlowDirection, LaminarFlow};
 use crate::fluid::{Fluid, MINERAL_OIL};
 use crate::materials::{
     Material, C4_UNDERFILL, COPPER, INTERCONNECT, INTERFACE, PCB, SOLDER_BALLS, SUBSTRATE,
 };
+use crate::stack::{Boundary, DieGeometry, Layer, LayerStack, OilFilm, StackError};
 
 /// A square package component larger than the die (spreader, heatsink,
 /// substrate, PCB).
@@ -226,6 +227,26 @@ impl OilSiliconPackage {
         self.local_h = false;
         self
     }
+
+    /// The oil film this package puts over the die, with `target_r_convec`
+    /// (if set) resolved to a velocity: from Eqns 1–2, `R ∝ 1/√u`, so the
+    /// velocity that yields the requested overall resistance is solved at
+    /// lowering time and baked into the film.
+    pub fn film_over(&self, die: DieGeometry) -> OilFilm {
+        let mut velocity = self.velocity;
+        if let Some(target) = self.target_r_convec {
+            let length = self.direction.flow_length(die.width, die.height);
+            let flow = LaminarFlow::new(self.oil, self.velocity, length);
+            velocity = flow.velocity_for_resistance(target, die.width * die.height);
+        }
+        OilFilm {
+            fluid: self.oil,
+            velocity,
+            direction: self.direction,
+            local_h: self.local_h,
+            local_boundary_layer: self.local_boundary_layer,
+        }
+    }
 }
 
 impl Default for OilSiliconPackage {
@@ -258,6 +279,89 @@ impl Package {
             Package::AirSink(p) => p.secondary.as_ref(),
             Package::OilSilicon(p) => p.secondary.as_ref(),
         }
+    }
+
+    /// Lowers the package into the open [`LayerStack`] IR for a given die.
+    ///
+    /// This is the *only* place the closed enum is interpreted; every
+    /// assembler (grid circuit, block model) consumes the resulting stack.
+    /// A package's `target_r_convec` is resolved to a concrete oil velocity
+    /// here, so the stack is self-contained.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::IncompatibleCooling`] when the secondary path requests
+    /// [`PcbCooling::Oil`] on an AIR-SINK package (no oil flow exists to
+    /// wash the PCB with).
+    pub fn to_stack(&self, die: DieGeometry) -> Result<LayerStack, StackError> {
+        use crate::materials::SILICON;
+        let mut layers = Vec::new();
+        let mut bottom = Boundary::Insulated;
+
+        // Secondary path below the die, bottom-first.
+        if let Some(sec) = self.secondary() {
+            bottom = match sec.pcb_cooling {
+                PcbCooling::Oil => match self {
+                    Package::OilSilicon(p) => Boundary::OilFilm(OilFilm {
+                        fluid: p.oil,
+                        velocity: p.velocity,
+                        direction: p.direction,
+                        local_h: p.local_h,
+                        local_boundary_layer: p.local_boundary_layer,
+                    }),
+                    Package::AirSink(_) => {
+                        return Err(StackError::IncompatibleCooling {
+                            reason: "PcbCooling::Oil requires an OilSilicon package \
+                                     (an AIR-SINK system has no oil flow to wash the PCB)"
+                                .into(),
+                        })
+                    }
+                },
+                PcbCooling::Fixed { r, c } => Boundary::Lumped { r_total: r, c_total: c },
+                PcbCooling::Insulated => Boundary::Insulated,
+            };
+            // Solder balls sit under the whole substrate, so the solder
+            // layer inherits the substrate's extent to keep the ring chain
+            // connected.
+            layers.push(Layer::plate("pcb", sec.pcb.material, sec.pcb.thickness, sec.pcb.side));
+            layers.push(Layer::plate(
+                "solder",
+                sec.solder_material,
+                sec.solder_thickness,
+                sec.substrate.side,
+            ));
+            layers.push(Layer::plate(
+                "substrate",
+                sec.substrate.material,
+                sec.substrate.thickness,
+                sec.substrate.side,
+            ));
+            layers.push(Layer::new("c4", sec.c4_material, sec.c4_thickness));
+            layers.push(Layer::new(
+                "interconnect",
+                sec.interconnect_material,
+                sec.interconnect_thickness,
+            ));
+        }
+
+        let si_index = layers.len();
+        layers.push(Layer::new("silicon", SILICON, die.thickness));
+
+        let top = match self {
+            Package::AirSink(p) => {
+                layers.push(Layer::new("interface", p.interface_material, p.interface_thickness));
+                layers.push(Layer::plate(
+                    "spreader",
+                    p.spreader.material,
+                    p.spreader.thickness,
+                    p.spreader.side,
+                ));
+                layers.push(Layer::plate("sink", p.sink.material, p.sink.thickness, p.sink.side));
+                Boundary::Lumped { r_total: p.r_convec, c_total: p.c_convec }
+            }
+            Package::OilSilicon(p) => Boundary::OilFilm(p.film_over(die)),
+        };
+        Ok(LayerStack { layers, si_index, bottom, top })
     }
 }
 

@@ -263,13 +263,13 @@ fn relative_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
 /// let plan = library::uniform_die(0.02, 0.02);
 /// let map = GridMapping::new(&plan, 4, 4);
 /// let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
-/// let circuit = build_circuit(&map, die, &Package::OilSilicon(OilSiliconPackage::paper_default()));
+/// let circuit = build_circuit(&map, die, &Package::OilSilicon(OilSiliconPackage::paper_default()))?;
 /// let mut stepper = BackwardEuler::new(&circuit, 1e-3);
 /// let mut state = vec![318.15; circuit.node_count()];
 /// let power = vec![200.0 / 16.0; 16];
 /// stepper.step(&mut state, &power, 318.15)?;
 /// assert!(state[0] > 318.15); // the die started heating
-/// # Ok::<(), hotiron_thermal::solve::SolveError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct BackwardEuler<'c> {
@@ -623,14 +623,14 @@ mod tests {
         let plan = library::uniform_die(0.02, 0.02);
         let map = GridMapping::new(&plan, rows, rows);
         let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
-        build_circuit(&map, die, &Package::OilSilicon(OilSiliconPackage::paper_default()))
+        build_circuit(&map, die, &Package::OilSilicon(OilSiliconPackage::paper_default())).unwrap()
     }
 
     fn air_circuit(rows: usize) -> ThermalCircuit {
         let plan = library::uniform_die(0.02, 0.02);
         let map = GridMapping::new(&plan, rows, rows);
         let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
-        build_circuit(&map, die, &Package::AirSink(AirSinkPackage::paper_default()))
+        build_circuit(&map, die, &Package::AirSink(AirSinkPackage::paper_default())).unwrap()
     }
 
     #[test]

@@ -147,7 +147,7 @@ fn transient_100_steps_bitwise_identical_across_thread_counts() {
     let die = DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 };
     for (label, pkg) in packages() {
         let mapping = GridMapping::new(&plan, grid, grid);
-        let circuit = build_circuit(&mapping, die, &pkg);
+        let circuit = build_circuit(&mapping, die, &pkg).unwrap();
         let p = vec![40.0 / (grid * grid) as f64; grid * grid];
 
         // CG is the parallel path; the LDLt sweeps are serial by design.
@@ -184,7 +184,8 @@ fn direct_transient_matches_regardless_of_pool() {
     let die = DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 };
     let mapping = GridMapping::new(&plan, grid, grid);
     let circuit =
-        build_circuit(&mapping, die, &Package::OilSilicon(OilSiliconPackage::paper_default()));
+        build_circuit(&mapping, die, &Package::OilSilicon(OilSiliconPackage::paper_default()))
+            .unwrap();
     let p = vec![40.0 / (grid * grid) as f64; grid * grid];
 
     let run = |threads: usize| {

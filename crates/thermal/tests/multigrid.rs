@@ -26,6 +26,7 @@ fn circuit(grid: usize, pkg: &Package) -> ThermalCircuit {
     let plan = library::ev6();
     let mapping = GridMapping::new(&plan, grid, grid);
     build_circuit(&mapping, DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 }, pkg)
+        .unwrap()
 }
 
 /// A non-uniform power map so the solve exercises every stencil direction.

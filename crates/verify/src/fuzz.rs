@@ -1,8 +1,12 @@
 //! Seeded differential fuzzing of the solver stack.
 //!
-//! Each case draws a random die, guillotine floorplan, package and power
-//! map from the deterministic `compat` PRNG (no wall clock, no global
-//! state), then:
+//! Each case draws a random die, guillotine floorplan, layer stack and
+//! power map from the deterministic `compat` PRNG (no wall clock, no global
+//! state). Stacks are drawn through the open [`LayerStack`] IR: most cases
+//! lower a randomized paper package via `Package::to_stack`, and a fixed
+//! fraction draw configurations the closed enum could not express (bare-die
+//! forced air, oil washing the spreader top), so the oracle battery covers
+//! arbitrary stacks. Then each case:
 //!
 //! 1. solves steady state with Direct LDLᵀ, Jacobi-PCG and (when a
 //!    hierarchy exists) multigrid-PCG, and fails on any cross-backend
@@ -22,11 +26,13 @@
 use crate::{oracle, tol};
 use hotiron_floorplan::{library, Block, Floorplan, GridMapping};
 use hotiron_refsim::{OilModel, RefSim, RefSimConfig};
-use hotiron_thermal::circuit::{build_circuit, DieGeometry, ThermalCircuit};
+use hotiron_thermal::circuit::{build_circuit_from_stack, DieGeometry, ThermalCircuit};
 use hotiron_thermal::convection::FlowDirection;
+use hotiron_thermal::materials;
 use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, Rk4Adaptive, SolverChoice};
 use hotiron_thermal::{
-    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, SecondaryPath, ThermalModel,
+    AirSinkPackage, Boundary, Layer, LayerStack, ModelConfig, OilFilm, OilSiliconPackage, Package,
+    PowerMap, SecondaryPath, ThermalModel,
 };
 use rand::{Rng, SeedableRng, StdRng};
 use std::fmt::Write as _;
@@ -117,12 +123,13 @@ impl FuzzReport {
     }
 }
 
-/// One drawn case.
+/// One drawn case. The stack is the single source of truth — packages are
+/// lowered through the IR at draw time.
 struct Case {
     grid: usize,
     die: DieGeometry,
     plan: Floorplan,
-    package: Package,
+    stack: LayerStack,
     block_power: Vec<f64>,
     label: String,
 }
@@ -168,36 +175,78 @@ fn draw_case(index: usize, seed: u64) -> Case {
     let plan = Floorplan::new(blocks).expect("guillotine partitions never overlap");
 
     let secondary = rng.gen_bool(1.0 / 3.0);
-    let package = if rng.gen_bool(0.5) {
-        let mut p = AirSinkPackage::paper_default().with_r_convec(rng.gen_range(0.3..2.0));
-        if secondary {
-            p = p.with_secondary(SecondaryPath::for_air_system());
+    // 2-in-8 cases draw a stack the closed Package enum cannot express;
+    // the rest lower a randomized paper package through the IR.
+    let (stack, head) = match rng.gen_range(0u32..8) {
+        0 => {
+            // Bare-die forced air: lumped R/C directly on the silicon.
+            let stack =
+                LayerStack::new(vec![Layer::new("silicon", materials::SILICON, die.thickness)], 0)
+                    .with_top(Boundary::Lumped {
+                        r_total: rng.gen_range(0.5..4.0),
+                        c_total: rng.gen_range(5.0..50.0),
+                    });
+            (stack, "BARE-DIE-AIR".to_string())
         }
-        Package::AirSink(p)
-    } else {
-        let mut p = OilSiliconPackage {
-            velocity: rng.gen_range(2.0..20.0),
-            direction: *pick(&mut rng, &FlowDirection::ALL),
-            local_h: rng.gen_bool(0.5),
-            local_boundary_layer: rng.gen_bool(0.5),
-            ..OilSiliconPackage::paper_default()
-        };
-        if secondary {
-            p = p.with_secondary(SecondaryPath::for_oil_rig());
+        1 => {
+            // Oil washing the spreader top instead of the bare die.
+            let air = AirSinkPackage::paper_default();
+            let stack = LayerStack::new(
+                vec![
+                    Layer::new("silicon", materials::SILICON, die.thickness),
+                    Layer::new("interface", air.interface_material, air.interface_thickness),
+                    Layer::plate(
+                        "spreader",
+                        air.spreader.material,
+                        air.spreader.thickness,
+                        air.spreader.side.max(side),
+                    ),
+                ],
+                0,
+            )
+            .with_top(Boundary::OilFilm(OilFilm {
+                fluid: hotiron_thermal::fluid::MINERAL_OIL,
+                velocity: rng.gen_range(2.0..20.0),
+                direction: *pick(&mut rng, &FlowDirection::ALL),
+                local_h: rng.gen_bool(0.5),
+                local_boundary_layer: rng.gen_bool(0.5),
+            }));
+            (stack, "OIL-SPREADER".to_string())
         }
-        Package::OilSilicon(p)
+        _ => {
+            let package = if rng.gen_bool(0.5) {
+                let mut p = AirSinkPackage::paper_default().with_r_convec(rng.gen_range(0.3..2.0));
+                if secondary {
+                    p = p.with_secondary(SecondaryPath::for_air_system());
+                }
+                Package::AirSink(p)
+            } else {
+                let mut p = OilSiliconPackage {
+                    velocity: rng.gen_range(2.0..20.0),
+                    direction: *pick(&mut rng, &FlowDirection::ALL),
+                    local_h: rng.gen_bool(0.5),
+                    local_boundary_layer: rng.gen_bool(0.5),
+                    ..OilSiliconPackage::paper_default()
+                };
+                if secondary {
+                    p = p.with_secondary(SecondaryPath::for_oil_rig());
+                }
+                Package::OilSilicon(p)
+            };
+            let head = format!("{}{}", package.label(), if secondary { "+2nd" } else { "" });
+            let stack = package.to_stack(die).expect("paper packages always lower cleanly");
+            (stack, head)
+        }
     };
 
     let block_power: Vec<f64> = (0..plan.len()).map(|_| rng.gen_range(0.0..6.0)).collect();
     let label = format!(
-        "{}{} {grid}x{grid} {:.1}mm {} blocks, {:.1} W",
-        package.label(),
-        if secondary { "+2nd" } else { "" },
+        "{head} {grid}x{grid} {:.1}mm {} blocks, {:.1} W",
         side * 1e3,
         plan.len(),
         block_power.iter().sum::<f64>()
     );
-    Case { grid, die, plan, package, block_power, label }
+    Case { grid, die, plan, stack, block_power, label }
 }
 
 fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
@@ -219,7 +268,18 @@ fn steady(circuit: &ThermalCircuit, p: &[f64], choice: SolverChoice) -> Result<V
 fn run_case(case: &Case, index: usize) -> CaseOutcome {
     let mut failures = Vec::new();
     let mapping = GridMapping::new(&case.plan, case.grid, case.grid);
-    let circuit = build_circuit(&mapping, case.die, &case.package);
+    let circuit = match build_circuit_from_stack(&mapping, case.die, &case.stack) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("drawn stack rejected: {e}"));
+            return CaseOutcome {
+                index,
+                summary: case.label.clone(),
+                steady_divergence: 0.0,
+                failures,
+            };
+        }
+    };
     let cell_power = mapping.spread_block_values(&case.block_power);
 
     // Block→cell transfers must conserve power before anything is solved.
@@ -275,7 +335,8 @@ fn run_case(case: &Case, index: usize) -> CaseOutcome {
 /// BE-vs-RK4 differential transient with a Richardson-extrapolation bound.
 fn transient_check(case: &Case) -> Result<(), String> {
     let mapping = GridMapping::new(&case.plan, case.grid, case.grid);
-    let circuit = build_circuit(&mapping, case.die, &case.package);
+    let circuit = build_circuit_from_stack(&mapping, case.die, &case.stack)
+        .map_err(|e| format!("drawn stack rejected: {e}"))?;
     let cell_power = mapping.spread_block_values(&case.block_power);
     let (dt, steps) = (1e-3, 20);
 
@@ -411,6 +472,17 @@ mod tests {
         assert_eq!(a.failures(), 0, "{}", a.render());
         let b = run(&cfg);
         assert_eq!(a, b, "same seed, same report");
+    }
+
+    #[test]
+    fn fuzzer_draws_inexpressible_stacks() {
+        // The quick tier must exercise at least one configuration the closed
+        // Package enum could not express.
+        let seed = FuzzConfig::quick().seed;
+        let bare = (0..64).any(|i| draw_case(i, seed).label.starts_with("BARE-DIE-AIR"));
+        let washed = (0..64).any(|i| draw_case(i, seed).label.starts_with("OIL-SPREADER"));
+        assert!(bare, "no bare-die forced-air case in 64 draws");
+        assert!(washed, "no oil-washed-spreader case in 64 draws");
     }
 
     #[test]

@@ -31,29 +31,65 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Oracle battery on the stock configurations the experiments actually use.
+/// Oracle battery on the stock configurations the experiments actually use,
+/// plus IR-only stacks the closed package enum could not express.
 fn run_oracles() -> bool {
     use hotiron_floorplan::{library, GridMapping};
-    use hotiron_thermal::circuit::{build_circuit, DieGeometry};
+    use hotiron_thermal::circuit::{build_circuit_from_stack, DieGeometry};
     use hotiron_thermal::solve::{solve_steady_with, SolverChoice};
-    use hotiron_thermal::{AirSinkPackage, OilSiliconPackage, Package, SecondaryPath};
+    use hotiron_thermal::{
+        AirSinkPackage, Boundary, Layer, LayerStack, OilFilm, OilSiliconPackage, Package,
+        SecondaryPath,
+    };
 
     let ambient = 318.15;
     let plan = library::ev6();
-    let packages: [(&str, Package); 4] = [
-        ("oil", Package::OilSilicon(OilSiliconPackage::paper_default())),
-        ("air", Package::AirSink(AirSinkPackage::paper_default())),
+    let die = DieGeometry { width: plan.width(), height: plan.height(), thickness: 0.5e-3 };
+    let air = AirSinkPackage::paper_default();
+    let stacks: Vec<(&str, Result<LayerStack, hotiron_thermal::StackError>)> = vec![
+        ("oil", Package::OilSilicon(OilSiliconPackage::paper_default()).to_stack(die)),
+        ("air", Package::AirSink(air).to_stack(die)),
         (
             "oil+secondary",
             Package::OilSilicon(
                 OilSiliconPackage::paper_default().with_secondary(SecondaryPath::for_oil_rig()),
-            ),
+            )
+            .to_stack(die),
         ),
         (
             "air+secondary",
-            Package::AirSink(
-                AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_air_system()),
-            ),
+            Package::AirSink(air.with_secondary(SecondaryPath::for_air_system())).to_stack(die),
+        ),
+        (
+            "bare-die-air",
+            Ok(LayerStack::new(
+                vec![Layer::new("silicon", hotiron_thermal::materials::SILICON, die.thickness)],
+                0,
+            )
+            .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 })),
+        ),
+        (
+            "oil-washed-spreader",
+            Ok(LayerStack::new(
+                vec![
+                    Layer::new("silicon", hotiron_thermal::materials::SILICON, die.thickness),
+                    Layer::new("interface", air.interface_material, air.interface_thickness),
+                    Layer::plate(
+                        "spreader",
+                        air.spreader.material,
+                        air.spreader.thickness,
+                        air.spreader.side,
+                    ),
+                ],
+                0,
+            )
+            .with_top(Boundary::OilFilm(OilFilm {
+                fluid: hotiron_thermal::fluid::MINERAL_OIL,
+                velocity: 10.0,
+                direction: hotiron_thermal::FlowDirection::LeftToRight,
+                local_h: true,
+                local_boundary_layer: true,
+            }))),
         ),
     ];
     let block_power: Vec<f64> = (0..plan.len()).map(|i| 1.0 + 0.35 * i as f64).collect();
@@ -63,10 +99,19 @@ fn run_oracles() -> bool {
         eprintln!("oracle FAIL: {what}");
         ok = false;
     };
-    for (label, package) in &packages {
+    for (label, stack) in &stacks {
         let mapping = GridMapping::new(&plan, 32, 32);
-        let die = DieGeometry { width: plan.width(), height: plan.height(), thickness: 0.5e-3 };
-        let circuit = build_circuit(&mapping, die, package);
+        let circuit = match stack
+            .as_ref()
+            .map_err(|e| e.to_string())
+            .and_then(|s| build_circuit_from_stack(&mapping, die, s).map_err(|e| e.to_string()))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                fail(format!("{label}: invalid stack: {e}"));
+                continue;
+            }
+        };
         let cell_power = mapping.spread_block_values(&block_power);
         let mut state = vec![ambient; circuit.node_count()];
         if let Err(e) =

@@ -273,7 +273,8 @@ pub fn analytic_point_source_agreement(grid: usize, power: f64) -> AnalyticAgree
         &mapping,
         DieGeometry { width, height, thickness },
         &Package::OilSilicon(pkg),
-    );
+    )
+    .expect("paper package lowers to a valid stack");
 
     // Off-center source so no symmetry hides an indexing bug.
     let (src_r, src_c) = (grid / 3, (2 * grid) / 3);
@@ -335,7 +336,8 @@ mod tests {
             &mapping,
             DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 },
             &pkg,
-        );
+        )
+        .expect("paper package lowers to a valid stack");
         let block_power: Vec<f64> = (0..plan.len()).map(|i| 1.0 + 0.5 * i as f64).collect();
         let cell_power = mapping.spread_block_values(&block_power);
         let mut state = vec![AMBIENT; circuit.node_count()];
