@@ -30,8 +30,9 @@
 use crate::common::{self, Fidelity};
 use crate::report::{Row, Table};
 use hotiron_floorplan::{library, Floorplan, GridMapping};
-use hotiron_thermal::circuit::{build_circuit_cached, DieGeometry};
+use hotiron_thermal::circuit::{CircuitCache, DieGeometry};
 use hotiron_thermal::solve::{solve_steady, solve_steady_with, SolverChoice};
+use hotiron_thermal::sparse::SolveStats;
 use hotiron_thermal::units::{celsius_to_kelvin, kelvin_to_celsius};
 use hotiron_thermal::{fluid, materials, Boundary, FlowDirection, Layer, LayerStack, OilFilm};
 use hotiron_thermal::{Fluid, Material, PowerMap};
@@ -611,6 +612,15 @@ pub struct Solution {
     pub global_min_c: f64,
     /// Relative energy-balance residual of the steady solution.
     pub energy_rel: f64,
+    /// Whether the circuit came out of the cache (`true`) or was assembled
+    /// by this run (`false`).
+    pub cache_hit: bool,
+    /// Area-weighted average temperature of every floorplan block
+    /// (name, °C), floorplan order — the per-block report a serving layer
+    /// returns to clients.
+    pub blocks: Vec<(String, f64)>,
+    /// Telemetry of the steady solve (method, iterations, residual, …).
+    pub solve_stats: SolveStats,
 }
 
 /// Runs one scenario end-to-end: lower the stack, assemble (through the
@@ -624,6 +634,21 @@ pub struct Solution {
 /// Returns a [`ScenarioError`] for invalid stacks (naming the offending
 /// layer), solver failures, or a violated physics invariant.
 pub fn run(sc: &Scenario, fidelity: Fidelity) -> Result<Solution, ScenarioError> {
+    run_in(sc, fidelity, CircuitCache::process())
+}
+
+/// [`run`] through a caller-owned [`CircuitCache`]: the serving route, where
+/// the cache bound, hit/miss counters and eviction behavior belong to the
+/// daemon rather than the process.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_in(
+    sc: &Scenario,
+    fidelity: Fidelity,
+    cache: &CircuitCache,
+) -> Result<Solution, ScenarioError> {
     let plan = sc.floorplan();
     let stack = sc.stack()?;
     let die = DieGeometry {
@@ -636,7 +661,8 @@ pub fn run(sc: &Scenario, fidelity: Fidelity) -> Result<Solution, ScenarioError>
         Fidelity::Paper => (sc.rows, sc.cols),
     };
     let mapping = GridMapping::new(&plan, rows, cols);
-    let circuit = build_circuit_cached(&mapping, die, &stack)
+    let (circuit, cache_hit) = cache
+        .get_or_build(&mapping, die, &stack)
         .map_err(|e| err(0, format!("invalid stack: {e}")))?;
 
     let power = sc.block_power(&plan)?;
@@ -655,7 +681,7 @@ pub fn run(sc: &Scenario, fidelity: Fidelity) -> Result<Solution, ScenarioError>
             solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Multigrid)
         }
     };
-    solved.map_err(|e| err(0, format!("steady solve failed: {e:?}")))?;
+    let solve_stats = solved.map_err(|e| err(0, format!("steady solve failed: {e:?}")))?;
 
     // Inline physics oracles: every scenario run is also a correctness
     // check, so `figures --scenario` doubles as a fast fidelity gate.
@@ -690,6 +716,21 @@ pub fn run(sc: &Scenario, fidelity: Fidelity) -> Result<Solution, ScenarioError>
         ));
     }
     let si_mean = si.iter().sum::<f64>() / n_cells as f64;
+    let blocks: Vec<(String, f64)> = plan
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(b, block)| {
+            let mut acc = 0.0;
+            let mut wsum = 0.0;
+            for &(ci, frac) in mapping.cells_of_block(b) {
+                acc += si[ci] * frac;
+                wsum += frac;
+            }
+            let t = if wsum > 0.0 { kelvin_to_celsius(acc / wsum) } else { sc.ambient_c };
+            (block.name().to_owned(), t)
+        })
+        .collect();
 
     let silicon_max_c = kelvin_to_celsius(si_max);
     let silicon_mean_c = kelvin_to_celsius(si_mean);
@@ -731,6 +772,9 @@ pub fn run(sc: &Scenario, fidelity: Fidelity) -> Result<Solution, ScenarioError>
         global_max_c,
         global_min_c,
         energy_rel,
+        cache_hit,
+        blocks,
+        solve_stats,
         table,
     })
 }
@@ -891,6 +935,27 @@ mod tests {
             assert!(row.values[0] > common::AMBIENT_C, "{name} heats up");
             assert!(row.values[3] <= ENERGY_REL_TOL, "{name} balances energy");
         }
+    }
+
+    #[test]
+    fn run_in_reports_cache_disposition_and_block_temperatures() {
+        let (_, text) = SHIPPED.iter().find(|(n, _)| *n == "athlon-hotspot").unwrap();
+        let sc = parse(text).expect("parses");
+        let cache = CircuitCache::new(4);
+        let first = run_in(&sc, Fidelity::Fast, &cache).expect("runs");
+        assert!(!first.cache_hit, "fresh cache must assemble");
+        let second = run_in(&sc, Fidelity::Fast, &cache).expect("runs");
+        assert!(second.cache_hit, "second run reuses the circuit");
+        assert_eq!(cache.counters().misses, 1);
+        // Per-block report: every floorplan block present, the powered
+        // scheduler hotter than the unpowered DDR interface.
+        let temp = |sol: &Solution, name: &str| {
+            sol.blocks.iter().find(|(n, _)| n == name).map(|(_, t)| *t).unwrap()
+        };
+        assert_eq!(first.blocks.len(), sc.floorplan().blocks().len());
+        assert!(temp(&first, "sched") > temp(&first, "mem_ctl") + 1.0);
+        assert!(first.solve_stats.converged);
+        assert_eq!(first.blocks, second.blocks, "cache hit is observationally identical");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! End-to-end daemon throughput: spawn the server in-process, offer a
+//! seeded open-loop load at fast fidelity, and report service time and tail
+//! latency.
+//!
+//! Unlike the solver benches this is not a `criterion` harness — the gate
+//! needs the tail as well as the center, so the bench writes its own
+//! `HOTIRON_BENCH_JSON` entry carrying both `median_ns` (nanoseconds per
+//! completed request, i.e. `1e9 / throughput`) and `p99_ns` (99th-percentile
+//! end-to-end latency). `scripts/bench_gate.sh` regresses both against
+//! `scripts/BENCH_solvers.baseline.json`.
+//!
+//! The acceptance floors — ≥200 scenarios/sec at p99 < 100 ms — are
+//! enforced here (tunable via `HOTIRON_SERVE_MIN_RPS` /
+//! `HOTIRON_SERVE_MAX_P99_MS`), so `cargo bench -p hotiron-serve` failing
+//! *is* the load-test gate.
+
+use hotiron_serve::{run_load, spawn, LoadConfig, ServerConfig};
+use std::process::ExitCode;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let handle = match spawn(ServerConfig::default()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_throughput: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr().to_string();
+
+    // Warmup: populate the gcc power-map memoization and the circuit cache
+    // so the measured window sees steady-state behavior.
+    let warm =
+        LoadConfig { addr: addr.clone(), rate: 100.0, seconds: 1.0, ..LoadConfig::default() };
+    if let Err(e) = run_load(&warm) {
+        eprintln!("serve_throughput: warmup failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = LoadConfig {
+        addr,
+        rate: env_f64("HOTIRON_SERVE_RATE", 400.0),
+        seconds: env_f64("HOTIRON_SERVE_SECONDS", 3.0),
+        ..LoadConfig::default()
+    };
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_throughput: load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    handle.shutdown_and_join();
+
+    let rps = report.achieved_rps();
+    let p99_ns = report.percentile_ns(0.99);
+    let per_request_ns = if rps > 0.0 { 1e9 / rps } else { f64::INFINITY };
+    println!(
+        "bench serve/throughput: {rps:.1} req/s ({per_request_ns:.0} ns/req), \
+         p50 {:.2} ms, p99 {:.2} ms over {} ok / {} sent ({} shed, {} errors)",
+        report.percentile_ns(0.50) as f64 / 1e6,
+        p99_ns as f64 / 1e6,
+        report.ok,
+        report.sent,
+        report.shed,
+        report.protocol_errors + report.transport_errors,
+    );
+
+    if let Ok(path) = std::env::var("HOTIRON_BENCH_JSON") {
+        if !path.is_empty() {
+            let json = format!(
+                "[\n{{\"name\": \"serve/throughput\", \"median_ns\": {per_request_ns:.1}, \
+                 \"p99_ns\": {:.1}}}\n]\n",
+                p99_ns as f64
+            );
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write bench JSON to {path}: {e}");
+            } else {
+                println!("bench medians written to {path}");
+            }
+        }
+    }
+
+    let mut failed = false;
+    if report.protocol_errors > 0 || report.transport_errors > 0 {
+        eprintln!(
+            "serve_throughput: FAIL: {} protocol / {} transport errors",
+            report.protocol_errors, report.transport_errors
+        );
+        failed = true;
+    }
+    let min_rps = env_f64("HOTIRON_SERVE_MIN_RPS", 200.0);
+    if rps < min_rps {
+        eprintln!("serve_throughput: FAIL: {rps:.1} req/s under the {min_rps:.0} req/s floor");
+        failed = true;
+    }
+    let max_p99_ms = env_f64("HOTIRON_SERVE_MAX_P99_MS", 100.0);
+    if p99_ns as f64 / 1e6 >= max_p99_ms {
+        eprintln!(
+            "serve_throughput: FAIL: p99 {:.2} ms breaches the {max_p99_ms:.0} ms ceiling",
+            p99_ns as f64 / 1e6
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

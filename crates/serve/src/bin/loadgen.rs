@@ -1,0 +1,145 @@
+//! Seeded open-loop load generator for the serve daemon.
+//!
+//! Drives a deterministic request mix over the shipped scenarios, prints a
+//! human summary to stderr and the latency-histogram JSON to stdout (or
+//! `--out`). Exit code 0 means every exchange was protocol-clean; 2 means
+//! protocol or transport errors were observed; 1 is a usage/connect error.
+
+use hotiron_serve::json::{obj, Json};
+use hotiron_serve::protocol::Request;
+use hotiron_serve::{run_load, Client, LoadConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: loadgen --addr HOST:PORT [--rate RPS] [--seconds S] \
+                     [--connections N] [--seed N] [--paper-share F] [--scale-share F] \
+                     [--inline-share F] [--out FILE] [--stats] [--shutdown]";
+
+struct Args {
+    cfg: LoadConfig,
+    out: Option<String>,
+    stats: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args { cfg: LoadConfig::default(), out: None, stats: false, shutdown: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        fn num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--addr" => parsed.cfg.addr = value("--addr")?,
+            "--rate" => parsed.cfg.rate = num("--rate", value("--rate")?)?,
+            "--seconds" => parsed.cfg.seconds = num("--seconds", value("--seconds")?)?,
+            "--connections" => {
+                parsed.cfg.connections = num("--connections", value("--connections")?)?;
+            }
+            "--seed" => parsed.cfg.seed = num("--seed", value("--seed")?)?,
+            "--paper-share" => {
+                parsed.cfg.paper_share = num("--paper-share", value("--paper-share")?)?;
+            }
+            "--scale-share" => {
+                parsed.cfg.scale_share = num("--scale-share", value("--scale-share")?)?;
+            }
+            "--inline-share" => {
+                parsed.cfg.inline_share = num("--inline-share", value("--inline-share")?)?;
+            }
+            "--out" => parsed.out = Some(value("--out")?),
+            "--stats" => parsed.stats = true,
+            "--shutdown" => parsed.shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if parsed.cfg.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    if !positive(parsed.cfg.rate) || !positive(parsed.cfg.seconds) {
+        return Err("--rate and --seconds must be positive".to_owned());
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run_load(&args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: cannot reach {}: {e}", args.cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut document = report.to_json();
+
+    if args.stats {
+        match Client::connect(&args.cfg.addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.request(&Request::Stats).map_err(|e| e.to_string()))
+        {
+            Ok(stats) => {
+                if let Json::Obj(members) = &mut document {
+                    members.push(("server".to_owned(), stats));
+                }
+            }
+            Err(e) => eprintln!("loadgen: stats fetch failed: {e}"),
+        }
+    }
+
+    let mut drained = true;
+    if args.shutdown {
+        drained = Client::connect(&args.cfg.addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.request(&Request::Shutdown).map_err(|e| e.to_string()))
+            .map(|resp| resp.get("ok").and_then(Json::as_bool) == Some(true))
+            .unwrap_or(false);
+        if !drained {
+            eprintln!("loadgen: shutdown request was not acknowledged");
+        }
+        if let Json::Obj(members) = &mut document {
+            members.push(("shutdown_ack".to_owned(), Json::Bool(drained)));
+        }
+    }
+
+    let rendered = obj([("loadgen", document)]).render();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{rendered}"),
+    }
+    eprintln!(
+        "loadgen: sent={} ok={} shed={} protocol_errors={} transport_errors={} \
+         hit={} miss={} coalesced={} achieved={:.1} rps p50={:.2} ms p99={:.2} ms",
+        report.sent,
+        report.ok,
+        report.shed,
+        report.protocol_errors,
+        report.transport_errors,
+        report.cache_hits,
+        report.cache_misses,
+        report.coalesced,
+        report.achieved_rps(),
+        report.percentile_ns(0.50) as f64 / 1e6,
+        report.percentile_ns(0.99) as f64 / 1e6,
+    );
+    if report.protocol_errors > 0 || report.transport_errors > 0 || !drained {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

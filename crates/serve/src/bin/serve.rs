@@ -1,0 +1,71 @@
+//! The daemon binary: bind, print the bound address, serve until a
+//! `shutdown` request drains the process.
+
+use hotiron_serve::{spawn, ServerConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--deadline-ms N]";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+                    .max(1);
+            }
+            "--queue" => {
+                config.queue_capacity =
+                    value("--queue")?.parse::<usize>().map_err(|e| format!("--queue: {e}"))?.max(1);
+            }
+            "--cache" => {
+                config.cache_capacity =
+                    value("--cache")?.parse::<usize>().map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = value("--deadline-ms")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = format!(
+        "workers={} queue={} cache={} deadline={}ms",
+        config.workers, config.queue_capacity, config.cache_capacity, config.default_deadline_ms
+    );
+    let handle = match spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The address line is machine-read by scripts waiting for readiness;
+    // flush so it is visible before the first request arrives.
+    println!("hotiron-serve listening on {} ({summary})", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("hotiron-serve drained");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,368 @@
+//! Load driving: a blocking client, a seeded open-loop request generator,
+//! and the latency report both the `loadgen` binary and the
+//! `serve_throughput` bench print.
+//!
+//! The generator is *open-loop*: arrival times are fixed up front at
+//! `i / rate` and each connection sends at its scheduled instants whether or
+//! not earlier responses have returned — a slow server accumulates queueing
+//! delay in the measured latencies instead of silently throttling the
+//! offered load (the usual coordinated-omission trap).
+
+use crate::json::{obj, Json};
+use crate::protocol::{
+    read_frame, write_frame, FidelityTier, FrameError, Request, ScenarioSource, SolveRequest,
+    MAX_FRAME_BYTES,
+};
+use hotiron_bench::scenario::SHIPPED;
+use rand::{Rng, SeedableRng, StdRng};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A blocking request/response client over one connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A failed exchange, split by blame: transport failures versus responses
+/// that were not valid protocol JSON.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect, framing or I/O failure.
+    Transport(FrameError),
+    /// The response frame was not a JSON object.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "transport: {e}"),
+            Self::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a non-JSON response.
+    pub fn request(&mut self, req: &Request) -> Result<Json, ClientError> {
+        let payload = req.to_json().render();
+        write_frame(&mut self.stream, payload.as_bytes())
+            .map_err(|e| ClientError::Transport(FrameError::Io(e)))?;
+        let frame =
+            read_frame(&mut self.stream, MAX_FRAME_BYTES).map_err(ClientError::Transport)?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| ClientError::BadResponse(format!("not utf-8: {e}")))?;
+        Json::parse(text).map_err(|e| ClientError::BadResponse(e.to_string()))
+    }
+}
+
+/// Open-loop run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Offered load, requests per second.
+    pub rate: f64,
+    /// Run length, seconds.
+    pub seconds: f64,
+    /// Client connections (arrivals are dealt round-robin).
+    pub connections: usize,
+    /// Mix seed; equal seeds replay the identical request sequence.
+    pub seed: u64,
+    /// Fraction of solves requesting `paper` fidelity (default 0: the
+    /// serving tier under test is `fast`).
+    pub paper_share: f64,
+    /// Fraction of solves carrying a `power_scale` override.
+    pub scale_share: f64,
+    /// Fraction of solves shipping the scenario inline instead of by name.
+    pub inline_share: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            rate: 400.0,
+            seconds: 5.0,
+            connections: 8,
+            seed: 0x0100_5EED,
+            paper_share: 0.0,
+            scale_share: 0.25,
+            inline_share: 0.10,
+        }
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// `200` solve responses.
+    pub ok: u64,
+    /// `503` shed responses (still clean protocol exchanges).
+    pub shed: u64,
+    /// Non-200/503 responses or undecodable response documents.
+    pub protocol_errors: u64,
+    /// Connect/framing/I-O failures.
+    pub transport_errors: u64,
+    /// Responses whose circuit came from the cache.
+    pub cache_hits: u64,
+    /// Responses whose circuit was assembled for them.
+    pub cache_misses: u64,
+    /// Responses that joined another request's in-flight solve.
+    pub coalesced: u64,
+    /// Per-request latencies, sorted ascending, nanoseconds (200s only).
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock of the whole run, seconds.
+    pub elapsed_s: f64,
+}
+
+/// Histogram bucket upper bounds, milliseconds (the last is open-ended).
+pub const BUCKET_BOUNDS_MS: [f64; 10] =
+    [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, f64::INFINITY];
+
+impl LoadReport {
+    /// Completed-OK throughput, requests per second.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.ok as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency percentile in nanoseconds (0 when no samples).
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies_ns[idx.min(self.latencies_ns.len() - 1)]
+    }
+
+    /// Renders the report (with the latency histogram) as JSON.
+    pub fn to_json(&self) -> Json {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut counts = [0u64; BUCKET_BOUNDS_MS.len()];
+        for &ns in &self.latencies_ns {
+            let v = ms(ns);
+            let slot = BUCKET_BOUNDS_MS.iter().position(|&b| v <= b).unwrap_or(counts.len() - 1);
+            counts[slot] += 1;
+        }
+        let buckets = BUCKET_BOUNDS_MS
+            .iter()
+            .zip(counts)
+            .map(|(&bound, n)| {
+                obj([
+                    (
+                        "le_ms",
+                        if bound.is_finite() { Json::Num(bound) } else { Json::Str("inf".into()) },
+                    ),
+                    ("count", Json::Num(n as f64)),
+                ])
+            })
+            .collect();
+        obj([
+            ("sent", Json::Num(self.sent as f64)),
+            ("ok", Json::Num(self.ok as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            ("protocol_errors", Json::Num(self.protocol_errors as f64)),
+            ("transport_errors", Json::Num(self.transport_errors as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("coalesced", Json::Num(self.coalesced as f64)),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("achieved_rps", Json::Num(self.achieved_rps())),
+            (
+                "latency_ms",
+                obj([
+                    ("count", Json::Num(self.latencies_ns.len() as f64)),
+                    ("p50", Json::Num(ms(self.percentile_ns(0.50)))),
+                    ("p90", Json::Num(ms(self.percentile_ns(0.90)))),
+                    ("p99", Json::Num(ms(self.percentile_ns(0.99)))),
+                    ("max", Json::Num(ms(self.latencies_ns.last().copied().unwrap_or(0)))),
+                ]),
+            ),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Draws one solve request from the seeded mix.
+fn draw_request(rng: &mut StdRng, cfg: &LoadConfig) -> Request {
+    let (name, text) = SHIPPED[rng.gen_range(0..SHIPPED.len())];
+    let scenario = if rng.gen_bool(cfg.inline_share.clamp(0.0, 1.0)) {
+        ScenarioSource::Inline(text.to_owned())
+    } else {
+        ScenarioSource::Named(name.to_owned())
+    };
+    let fidelity = if rng.gen_bool(cfg.paper_share.clamp(0.0, 1.0)) {
+        FidelityTier::Paper
+    } else {
+        FidelityTier::Fast
+    };
+    let power_scale = rng
+        .gen_bool(cfg.scale_share.clamp(0.0, 1.0))
+        // A small palette, not a continuous draw: repeated scales keep the
+        // effective-scenario space small enough for the cache and the
+        // coalescer to see duplicates.
+        .then(|| [0.5, 0.8, 1.0, 1.25, 1.5, 2.0][rng.gen_range(0..6usize)]);
+    Request::Solve(SolveRequest {
+        scenario,
+        fidelity,
+        power_scale,
+        power_w: None,
+        deadline_ms: None,
+        blocks: rng.gen_bool(0.5),
+    })
+}
+
+/// Runs the open-loop load and merges every connection's tallies.
+///
+/// # Errors
+///
+/// Fails only when no connection could be established at all; per-request
+/// failures are tallied in the report instead.
+pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    // Probe once so a wrong address fails fast with a real error.
+    drop(Client::connect(&cfg.addr)?);
+    let total = (cfg.rate * cfg.seconds).round().max(1.0) as u64;
+    let connections = cfg.connections.max(1);
+    let report = Arc::new(Mutex::new(LoadReport::default()));
+    let sent = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for conn in 0..connections {
+        let cfg = cfg.clone();
+        let report = Arc::clone(&report);
+        let sent = Arc::clone(&sent);
+        threads.push(thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (conn as u64).wrapping_mul(0x9E37));
+            let mut client = match Client::connect(&cfg.addr) {
+                Ok(c) => c,
+                Err(_) => {
+                    report.lock().expect("report lock").transport_errors += 1;
+                    return;
+                }
+            };
+            let mut local = LoadReport::default();
+            // This connection owns arrivals conn, conn+C, conn+2C, …
+            let mut i = conn as u64;
+            while i < total {
+                let due = start + Duration::from_secs_f64(i as f64 / cfg.rate);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    thread::sleep(wait);
+                }
+                let req = draw_request(&mut rng, &cfg);
+                local.sent += 1;
+                sent.fetch_add(1, Ordering::Relaxed);
+                let sent_at = Instant::now();
+                match client.request(&req) {
+                    Ok(resp) => {
+                        let code = resp.get("code").and_then(Json::as_u64);
+                        match code {
+                            Some(200) => {
+                                local.ok += 1;
+                                local
+                                    .latencies_ns
+                                    .push(sent_at.elapsed().as_nanos().min(u128::from(u64::MAX))
+                                        as u64);
+                                match resp.get("cache").and_then(Json::as_str) {
+                                    Some("hit") => local.cache_hits += 1,
+                                    Some("miss") => local.cache_misses += 1,
+                                    Some("coalesced") => local.coalesced += 1,
+                                    _ => {}
+                                }
+                            }
+                            Some(503) => local.shed += 1,
+                            _ => local.protocol_errors += 1,
+                        }
+                    }
+                    Err(ClientError::BadResponse(_)) => local.protocol_errors += 1,
+                    Err(ClientError::Transport(_)) => {
+                        local.transport_errors += 1;
+                        // The stream may be out of frame alignment; start a
+                        // fresh connection for the remaining arrivals.
+                        match Client::connect(&cfg.addr) {
+                            Ok(c) => client = c,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                i += connections as u64;
+            }
+            let mut merged = report.lock().expect("report lock");
+            merged.sent += local.sent;
+            merged.ok += local.ok;
+            merged.shed += local.shed;
+            merged.protocol_errors += local.protocol_errors;
+            merged.transport_errors += local.transport_errors;
+            merged.cache_hits += local.cache_hits;
+            merged.cache_misses += local.cache_misses;
+            merged.coalesced += local.coalesced;
+            merged.latencies_ns.extend(local.latencies_ns);
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let mut merged =
+        Arc::try_unwrap(report).map(|m| m.into_inner().expect("report lock")).unwrap_or_default();
+    merged.elapsed_s = start.elapsed().as_secs_f64();
+    merged.latencies_ns.sort_unstable();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_percentiles_and_histogram() {
+        let r = LoadReport {
+            latencies_ns: (1..=100u64).map(|i| i * 1_000_000).collect(),
+            ok: 100,
+            elapsed_s: 2.0,
+            ..LoadReport::default()
+        };
+        // Index round((n-1)*p) = 50 → the 51st sample.
+        assert_eq!(r.percentile_ns(0.5), 51_000_000);
+        assert_eq!(r.percentile_ns(0.99), 99_000_000);
+        assert!((r.achieved_rps() - 50.0).abs() < 1e-9);
+        let json = r.to_json().render();
+        assert!(json.contains("\"p99\":99"), "{json}");
+        assert!(json.contains("\"le_ms\":1,\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn mix_is_deterministic_per_seed() {
+        let cfg = LoadConfig { seed: 7, ..LoadConfig::default() };
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(draw_request(&mut a, &cfg), draw_request(&mut b, &cfg));
+        }
+    }
+}

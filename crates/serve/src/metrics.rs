@@ -1,0 +1,156 @@
+//! Daemon telemetry: lock-free counters plus a bounded latency ring.
+//!
+//! The ring keeps the most recent [`RING_CAPACITY`] solve latencies;
+//! percentiles are computed over that window on demand, so `/stats` costs
+//! one sort of ≤4096 samples and the hot path costs one atomic store.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency samples retained for percentile estimation.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Most recent latency samples, overwritten oldest-first.
+struct Ring {
+    samples_ns: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+/// Counters and latency telemetry shared by every connection and worker.
+pub struct Metrics {
+    started: Instant,
+    /// Frames decoded into a request (any kind).
+    pub requests: AtomicU64,
+    /// Solves answered `200` after running (or joining) a solve.
+    pub solved: AtomicU64,
+    /// Solves answered by joining another request's in-flight solve.
+    pub coalesced: AtomicU64,
+    /// Requests shed because the solve queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Requests shed because their deadline elapsed while queued.
+    pub shed_deadline: AtomicU64,
+    /// Frames rejected before reaching the engine (framing, JSON, fields).
+    pub protocol_errors: AtomicU64,
+    /// Solves that named an unknown shipped scenario.
+    pub not_found: AtomicU64,
+    /// Solves that reached the engine and failed (parse, stack, solver).
+    pub failed: AtomicU64,
+    /// Workers currently inside a solve.
+    pub busy_workers: AtomicUsize,
+    ring: Mutex<Ring>,
+}
+
+/// Point-in-time percentile summary of the latency ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples in the window.
+    pub count: usize,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Worst sample in the window, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh telemetry with an empty ring.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            solved: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            busy_workers: AtomicUsize::new(0),
+            ring: Mutex::new(Ring { samples_ns: vec![0; RING_CAPACITY], next: 0, filled: 0 }),
+        }
+    }
+
+    /// Milliseconds since the metrics (and so the daemon) started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Records one end-to-end solve latency.
+    pub fn record_latency_ns(&self, ns: u64) {
+        let mut ring = self.ring.lock().expect("latency ring poisoned");
+        let at = ring.next;
+        ring.samples_ns[at] = ns;
+        ring.next = (at + 1) % RING_CAPACITY;
+        ring.filled = (ring.filled + 1).min(RING_CAPACITY);
+    }
+
+    /// Percentiles over the current window (zeros when empty).
+    pub fn latency(&self) -> LatencySummary {
+        let ring = self.ring.lock().expect("latency ring poisoned");
+        if ring.filled == 0 {
+            return LatencySummary { count: 0, p50_ns: 0, p99_ns: 0, max_ns: 0 };
+        }
+        let mut window: Vec<u64> = ring.samples_ns[..ring.filled].to_vec();
+        drop(ring);
+        window.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((window.len() as f64 - 1.0) * p).round() as usize;
+            window[idx.min(window.len() - 1)]
+        };
+        LatencySummary {
+            count: window.len(),
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+            max_ns: *window.last().expect("non-empty window"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_reports_zeros() {
+        let m = Metrics::new();
+        assert_eq!(m.latency(), LatencySummary { count: 0, p50_ns: 0, p99_ns: 0, max_ns: 0 });
+    }
+
+    #[test]
+    fn percentiles_track_the_window() {
+        let m = Metrics::new();
+        for ns in 1..=100u64 {
+            m.record_latency_ns(ns * 1_000);
+        }
+        let l = m.latency();
+        assert_eq!(l.count, 100);
+        // Index round((n-1)*p) = 50 → the 51st sample.
+        assert_eq!(l.p50_ns, 51_000);
+        assert_eq!(l.p99_ns, 99_000);
+        assert_eq!(l.max_ns, 100_000);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_overwrites_oldest() {
+        let m = Metrics::new();
+        for _ in 0..RING_CAPACITY {
+            m.record_latency_ns(1);
+        }
+        // A full window of fresh samples displaces every old one.
+        for _ in 0..RING_CAPACITY {
+            m.record_latency_ns(7);
+        }
+        let l = m.latency();
+        assert_eq!(l.count, RING_CAPACITY);
+        assert_eq!((l.p50_ns, l.p99_ns, l.max_ns), (7, 7, 7));
+    }
+}

@@ -1,0 +1,506 @@
+//! The TCP daemon: acceptor, per-connection framing threads, a bounded solve
+//! queue, and a fixed worker pool.
+//!
+//! ```text
+//! accept ──► connection thread ──► bounded queue ──► worker pool ──► engine
+//!                   │   (full? shed 503 queue-full)      │
+//!                   ◄──────────── reply channel ◄────────┘
+//! ```
+//!
+//! Overload policy: the queue bound sheds at admission, the per-request
+//! deadline sheds at dispatch (a request that waited past its deadline is
+//! answered `503 deadline` instead of being served late). Both paths always
+//! answer — a shed client gets an explicit response, never a dropped
+//! connection.
+//!
+//! Drain: a `shutdown` request flips the drain flag, wakes the acceptor with
+//! a self-connection, and lets every layer finish what it holds — queued
+//! solves complete, connection threads answer their in-flight request and
+//! close, workers exit when the queue is empty. [`ServerHandle::join`]
+//! returns once all of that has happened.
+
+use crate::engine::{solution_response, Engine};
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    error_response, shed_response, write_frame, FrameError, Request, SolveRequest, MAX_FRAME_BYTES,
+};
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Solve-queue bound; admission past this sheds `503 queue-full`.
+    pub queue_capacity: usize,
+    /// Circuit-cache bound (circuits, not bytes).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request carries none, milliseconds.
+    pub default_deadline_ms: u64,
+    /// Largest accepted frame payload, bytes.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: workers.clamp(2, 8),
+            queue_capacity: 128,
+            cache_capacity: 32,
+            default_deadline_ms: 1_000,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// One admitted solve awaiting a worker.
+struct Job {
+    req: SolveRequest,
+    enqueued: Instant,
+    deadline: Duration,
+    reply: mpsc::SyncSender<Json>,
+}
+
+/// State shared by the acceptor, connections and workers.
+struct Shared {
+    engine: Engine,
+    metrics: Metrics,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon; dropping the handle does NOT stop it — send a
+/// `shutdown` request or call [`ServerHandle::shutdown_and_join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for white-box assertions in tests.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Blocks until the daemon has fully drained (acceptor, workers and
+    /// every connection thread exited).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Sends a `shutdown` request as a client, then [`join`](Self::join)s.
+    pub fn shutdown_and_join(self) {
+        if let Ok(mut stream) = TcpStream::connect(self.addr) {
+            let payload = Request::Shutdown.to_json().render();
+            let _ = write_frame(&mut stream, payload.as_bytes());
+            let _ = crate::protocol::read_frame(&mut stream, self.shared.config.max_frame_bytes);
+        }
+        self.join();
+    }
+}
+
+/// Binds and spawns the daemon.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine: Engine::new(config.cache_capacity),
+        metrics: Metrics::new(),
+        local_addr,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(0),
+        conns_cv: Condvar::new(),
+        config,
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("serve-acceptor".to_owned())
+            .spawn(move || acceptor_loop(&listener, &shared, workers))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle { addr: local_addr, shared, acceptor: Some(acceptor) })
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>, workers: Vec<JoinHandle<()>>) {
+    loop {
+        if shared.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining() {
+                    // The drain wake-up connection (or a late client): the
+                    // accept loop is over either way.
+                    break;
+                }
+                *shared.conns.lock().expect("conn count poisoned") += 1;
+                let conn_shared = Arc::clone(shared);
+                let spawned =
+                    thread::Builder::new().name("serve-conn".to_owned()).spawn(move || {
+                        connection_loop(stream, &conn_shared);
+                        let mut conns = conn_shared.conns.lock().expect("conn count poisoned");
+                        *conns -= 1;
+                        conn_shared.conns_cv.notify_all();
+                    });
+                if spawned.is_err() {
+                    *shared.conns.lock().expect("conn count poisoned") -= 1;
+                }
+            }
+            Err(_) => {
+                if shared.draining() {
+                    break;
+                }
+            }
+        }
+    }
+    // Drain: wait for every connection to answer its in-flight request and
+    // close, then let the workers run the queue dry and exit.
+    let mut conns = shared.conns.lock().expect("conn count poisoned");
+    while *conns > 0 {
+        conns = shared.conns_cv.wait(conns).expect("conn count poisoned");
+    }
+    drop(conns);
+    shared.queue_cv.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("solve queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                // Exit only once no connection thread can enqueue anymore:
+                // a connection may pass its admission check just as the
+                // drain flag flips, so "draining + empty queue" alone would
+                // strand that job (and deadlock its connection).
+                if shared.draining() && *shared.conns.lock().expect("conn count poisoned") == 0 {
+                    return;
+                }
+                // Timed wait: the last connection closing is signalled on
+                // conns_cv, not this condvar, so re-check periodically.
+                queue =
+                    shared.queue_cv.wait_timeout(queue, IDLE_POLL).expect("solve queue poisoned").0;
+            }
+        };
+        let response = if job.enqueued.elapsed() > job.deadline {
+            shared.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            shed_response("deadline")
+        } else {
+            shared.metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
+            let response = run_solve(shared, &job.req);
+            shared.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+            response
+        };
+        // A closed reply channel means the client vanished mid-queue; the
+        // solve still happened (and warmed the caches), nothing to report.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn run_solve(shared: &Shared, req: &SolveRequest) -> Json {
+    match shared.engine.solve(req) {
+        Ok((solution, disposition)) => {
+            shared.metrics.solved.fetch_add(1, Ordering::Relaxed);
+            if disposition == crate::engine::Disposition::Coalesced {
+                shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            let name = match &req.scenario {
+                crate::protocol::ScenarioSource::Named(n) => n.clone(),
+                crate::protocol::ScenarioSource::Inline(_) => "inline".to_owned(),
+            };
+            solution_response(&name, req.fidelity, &solution, disposition, req.blocks)
+        }
+        Err(e) => {
+            let counter = match e.code {
+                404 => &shared.metrics.not_found,
+                _ => &shared.metrics.failed,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            error_response(e.code, &e.message)
+        }
+    }
+}
+
+/// Poll interval for idle reads; bounds how long a quiet connection takes to
+/// notice a drain.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Idle polls tolerated mid-frame during a drain before the connection is
+/// abandoned as stalled.
+const DRAIN_GRACE_POLLS: u32 = 40;
+
+/// [`crate::protocol::read_frame`] with drain awareness: timeouts outside a
+/// frame are idle polls (close when `stop`), timeouts inside a frame wait
+/// for the peer to finish sending (bounded once draining).
+fn read_frame_idle(
+    stream: &mut TcpStream,
+    max: usize,
+    stop: impl Fn() -> bool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut stale_polls = 0u32;
+    let mut poll = |buf: &mut [u8], mid_frame: bool| -> Result<Option<usize>, FrameError> {
+        loop {
+            match stream.read(buf) {
+                Ok(n) => return Ok(Some(n)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if stop() {
+                        stale_polls += 1;
+                        if !mid_frame || stale_polls > DRAIN_GRACE_POLLS {
+                            return Ok(None);
+                        }
+                    }
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    };
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match poll(&mut prefix[got..], got > 0)? {
+            None => return Ok(None),
+            Some(0) if got == 0 => return Ok(None),
+            Some(0) => return Err(FrameError::Truncated),
+            Some(n) => got += n,
+        }
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(FrameError::Oversized { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    let mut filled = 0;
+    while filled < declared {
+        match poll(&mut payload[filled..], true)? {
+            None => return Ok(None),
+            Some(0) => return Err(FrameError::Truncated),
+            Some(n) => filled += n,
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn respond(stream: &mut TcpStream, json: &Json) -> bool {
+    write_frame(stream, json.render().as_bytes()).is_ok()
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload =
+            match read_frame_idle(&mut stream, shared.config.max_frame_bytes, || shared.draining())
+            {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return,
+                Err(e @ (FrameError::Oversized { .. } | FrameError::Truncated)) => {
+                    // The stream is no longer frame-aligned: answer, close.
+                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let code = if matches!(e, FrameError::Oversized { .. }) { 413 } else { 400 };
+                    respond(&mut stream, &error_response(code, &e.to_string()));
+                    return;
+                }
+                Err(_) => return,
+            };
+        let received = Instant::now();
+        let request = std::str::from_utf8(&payload)
+            .map_err(|e| format!("payload is not utf-8: {e}"))
+            .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+            .and_then(|json| Request::from_json(&json));
+        let request = match request {
+            Ok(request) => request,
+            Err(message) => {
+                // Frame boundaries are intact, so a bad document only costs
+                // this request; the connection stays usable.
+                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if !respond(&mut stream, &error_response(400, &message)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Stats => {
+                if !respond(&mut stream, &stats_response(shared)) {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.queue_cv.notify_all();
+                // Unblock the acceptor so it can start the drain.
+                let _ = TcpStream::connect(shared.local_addr);
+                respond(
+                    &mut stream,
+                    &obj([
+                        ("ok", Json::Bool(true)),
+                        ("code", Json::Num(200.0)),
+                        ("kind", Json::Str("shutdown".into())),
+                        ("draining", Json::Bool(true)),
+                    ]),
+                );
+                return;
+            }
+            Request::Solve(req) => {
+                let response = admit_solve(shared, req);
+                let ok = response.get("code").and_then(Json::as_u64) == Some(200);
+                if ok {
+                    shared.metrics.record_latency_ns(
+                        received.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    );
+                }
+                if !respond(&mut stream, &response) {
+                    return;
+                }
+            }
+        }
+        if shared.draining() {
+            return;
+        }
+    }
+}
+
+/// Admission control: shed while draining or when the queue is at capacity,
+/// otherwise enqueue and wait for the worker's reply.
+fn admit_solve(shared: &Shared, req: SolveRequest) -> Json {
+    if shared.draining() {
+        shared.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        return shed_response("draining");
+    }
+    let deadline =
+        Duration::from_millis(req.deadline_ms.unwrap_or(shared.config.default_deadline_ms));
+    let (tx, rx) = mpsc::sync_channel(1);
+    {
+        let mut queue = shared.queue.lock().expect("solve queue poisoned");
+        if queue.len() >= shared.config.queue_capacity {
+            shared.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return shed_response("queue-full");
+        }
+        queue.push_back(Job { req, enqueued: Instant::now(), deadline, reply: tx });
+    }
+    shared.queue_cv.notify_one();
+    rx.recv().unwrap_or_else(|_| error_response(500, "worker exited before replying"))
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let m = &shared.metrics;
+    let l = m.latency();
+    let c = shared.engine.cache().counters();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let count = |a: &std::sync::atomic::AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+    obj([
+        ("ok", Json::Bool(true)),
+        ("code", Json::Num(200.0)),
+        ("kind", Json::Str("stats".into())),
+        ("uptime_ms", Json::Num(m.uptime_ms() as f64)),
+        ("draining", Json::Bool(shared.draining())),
+        (
+            "requests",
+            obj([
+                ("total", count(&m.requests)),
+                ("solved", count(&m.solved)),
+                ("coalesced", count(&m.coalesced)),
+                ("shed_queue_full", count(&m.shed_queue_full)),
+                ("shed_deadline", count(&m.shed_deadline)),
+                ("protocol_errors", count(&m.protocol_errors)),
+                ("not_found", count(&m.not_found)),
+                ("failed", count(&m.failed)),
+            ]),
+        ),
+        (
+            "latency_ms",
+            obj([
+                ("count", Json::Num(l.count as f64)),
+                ("p50", Json::Num(ms(l.p50_ns))),
+                ("p99", Json::Num(ms(l.p99_ns))),
+                ("max", Json::Num(ms(l.max_ns))),
+            ]),
+        ),
+        (
+            "cache",
+            obj([
+                ("hits", Json::Num(c.hits as f64)),
+                ("misses", Json::Num(c.misses as f64)),
+                ("evictions", Json::Num(c.evictions as f64)),
+                ("len", Json::Num(c.len as f64)),
+                ("capacity", Json::Num(c.capacity as f64)),
+            ]),
+        ),
+        (
+            "pool",
+            obj([
+                ("workers", Json::Num(shared.config.workers as f64)),
+                ("busy", Json::Num(m.busy_workers.load(Ordering::Relaxed) as f64)),
+                (
+                    "queue_depth",
+                    Json::Num(shared.queue.lock().expect("solve queue poisoned").len() as f64),
+                ),
+                ("queue_capacity", Json::Num(shared.config.queue_capacity as f64)),
+                (
+                    "connections",
+                    Json::Num(*shared.conns.lock().expect("conn count poisoned") as f64),
+                ),
+                ("inflight", Json::Num(shared.engine.inflight_len() as f64)),
+            ]),
+        ),
+    ])
+}

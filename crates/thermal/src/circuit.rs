@@ -38,8 +38,10 @@
 //!   per-cell structure is what makes the flow direction matter.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::cholesky::LdlFactor;
 use crate::convection::LaminarFlow;
 use crate::multigrid::{MgOptions, Multigrid};
 use crate::package::Package;
@@ -85,6 +87,12 @@ pub struct ThermalCircuit {
     /// building is serial and deterministic, so the cached hierarchy is
     /// identical regardless of which solve triggered it.
     mg: OnceLock<Option<Multigrid>>,
+    /// Lazily built LDLᵀ factorization of `G` for direct steady solves.
+    /// `None` inside the cell means factorization hit a non-positive pivot
+    /// (operator not SPD). `G` never changes after assembly, so circuits
+    /// shared through the [`CircuitCache`] amortize one factorization over
+    /// every request that solves them directly.
+    ldlt: OnceLock<Option<LdlFactor>>,
 }
 
 impl ThermalCircuit {
@@ -155,6 +163,21 @@ impl ThermalCircuit {
         let built_now = self.mg.get().is_none();
         let slot = self.mg.get_or_init(|| Multigrid::from_circuit(self, MgOptions::default()));
         slot.as_ref().map(|mg| (mg, if built_now { mg.setup_seconds() } else { 0.0 }))
+    }
+
+    /// The memoized LDLᵀ factorization of `G` for direct steady solves,
+    /// plus the factorization time in seconds — nonzero only for the call
+    /// that actually factored, so callers charge it to their [`SolveStats`]
+    /// exactly once (mirroring [`multigrid_with_setup`]). `None` means the
+    /// operator is not SPD (e.g. a floating node) and the caller should fall
+    /// back to an iterative method.
+    ///
+    /// [`SolveStats`]: crate::sparse::SolveStats
+    /// [`multigrid_with_setup`]: Self::multigrid_with_setup
+    pub fn steady_factor_with_setup(&self) -> Option<(&LdlFactor, f64)> {
+        let built_now = self.ldlt.get().is_none();
+        let slot = self.ldlt.get_or_init(|| LdlFactor::factor(&self.g).ok());
+        slot.as_ref().map(|f| (f, if built_now { f.factor_seconds() } else { 0.0 }))
     }
 
     /// Builds the full right-hand side `P + G_amb·T_amb` from per-cell
@@ -235,12 +258,6 @@ pub fn build_circuit_from_stack(
     Ok(assemble(mapping, die, stack))
 }
 
-/// Process-wide circuit cache: stack content hash + die geometry + grid
-/// resolution → weakly held assembled circuit. Entries die with their last
-/// [`Arc`]; the map only holds [`Weak`] handles, so caching never extends a
-/// circuit's lifetime.
-static CIRCUIT_CACHE: OnceLock<Mutex<HashMap<u64, Weak<ThermalCircuit>>>> = OnceLock::new();
-
 /// Cache key: everything [`assemble`] reads. The grid mapping contributes
 /// only its resolution and cell geometry, both derived from `die` and
 /// `rows`/`cols`, so two floorplans over the same die share circuits.
@@ -255,12 +272,194 @@ fn circuit_cache_key(die: DieGeometry, rows: usize, cols: usize, stack: &LayerSt
     h.finish()
 }
 
+/// Point-in-time view of a [`CircuitCache`]'s counters and occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that had to assemble a circuit.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Circuits currently held.
+    pub len: usize,
+    /// Maximum circuits held at once.
+    pub capacity: usize,
+}
+
+struct LruEntry {
+    circuit: Arc<ThermalCircuit>,
+    /// Monotone access stamp; the entry with the smallest stamp is the
+    /// least recently used and the next to be evicted.
+    last_used: u64,
+}
+
+struct LruState {
+    map: HashMap<u64, LruEntry>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of assembled circuits, keyed by stack content hash +
+/// die geometry + grid resolution.
+///
+/// The cache holds strong [`Arc`]s, so at most `capacity` circuits (plus
+/// whatever callers still reference) are alive at once; inserting into a
+/// full cache evicts the least recently used entry. All operations are
+/// `Send + Sync` — a server can own one instance per process, per tenant, or
+/// per worker group, with no ambient global state. The process-wide default
+/// used by [`build_circuit_cached`] is just one instance
+/// ([`CircuitCache::process`]).
+///
+/// Assembly is deterministic, so a cache hit is observationally identical to
+/// a rebuild; hit/miss/eviction counts are exposed for telemetry
+/// ([`CircuitCache::counters`]).
+pub struct CircuitCache {
+    inner: Mutex<LruState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CircuitCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counters();
+        f.debug_struct("CircuitCache")
+            .field("capacity", &c.capacity)
+            .field("len", &c.len)
+            .field("hits", &c.hits)
+            .field("misses", &c.misses)
+            .field("evictions", &c.evictions)
+            .finish()
+    }
+}
+
+/// Capacity of the process-wide default cache. Generous enough that every
+/// distinct stack of a full experiment sweep stays resident; servers that
+/// need a tighter bound construct their own [`CircuitCache`].
+const PROCESS_CACHE_CAPACITY: usize = 64;
+
+impl CircuitCache {
+    /// Creates a cache bounded to `capacity` circuits (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LruState { map: HashMap::new(), tick: 0 }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide default instance backing [`build_circuit_cached`].
+    pub fn process() -> &'static CircuitCache {
+        static PROCESS: OnceLock<CircuitCache> = OnceLock::new();
+        PROCESS.get_or_init(|| CircuitCache::new(PROCESS_CACHE_CAPACITY))
+    }
+
+    /// Returns the cached circuit for (stack, die, grid), assembling and
+    /// inserting it on a miss. The boolean reports the disposition: `true`
+    /// for a cache hit, `false` when this call assembled the circuit.
+    ///
+    /// Assembly runs outside the cache lock so concurrent builds of
+    /// *different* circuits don't serialize; a lost race on the same key
+    /// builds one bit-identical circuit twice, keeps the first inserted and
+    /// reports a hit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StackError`] from [`LayerStack::validate`].
+    pub fn get_or_build(
+        &self,
+        mapping: &GridMapping,
+        die: DieGeometry,
+        stack: &LayerStack,
+    ) -> Result<(Arc<ThermalCircuit>, bool), StackError> {
+        stack.validate(die)?;
+        let key = circuit_cache_key(die, mapping.rows(), mapping.cols(), stack);
+        if let Some(hit) = self.touch(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, true));
+        }
+        let built = Arc::new(assemble(mapping, die, stack));
+        let mut state = self.inner.lock().expect("circuit cache poisoned");
+        let stamp = state.tick;
+        if let Some(entry) = state.map.get_mut(&key) {
+            // Lost the assembly race; the earlier insert wins.
+            entry.last_used = stamp;
+            let existing = entry.circuit.clone();
+            state.tick += 1;
+            drop(state);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((existing, true));
+        }
+        if state.map.len() >= self.capacity {
+            let lru = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map at capacity");
+            state.map.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let stamp = state.tick;
+        state.tick += 1;
+        state.map.insert(key, LruEntry { circuit: built.clone(), last_used: stamp });
+        drop(state);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((built, false))
+    }
+
+    /// Looks up `key`, refreshing its LRU stamp on a hit.
+    fn touch(&self, key: u64) -> Option<Arc<ThermalCircuit>> {
+        let mut state = self.inner.lock().expect("circuit cache poisoned");
+        let tick = state.tick;
+        let entry = state.map.get_mut(&key)?;
+        entry.last_used = tick;
+        let circuit = entry.circuit.clone();
+        state.tick += 1;
+        Some(circuit)
+    }
+
+    /// A snapshot of the hit/miss/eviction counters and current occupancy.
+    pub fn counters(&self) -> CacheCounters {
+        let len = self.inner.lock().expect("circuit cache poisoned").map.len();
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of circuits currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("circuit cache poisoned").map.len()
+    }
+
+    /// Whether the cache currently holds no circuits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of circuits held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every cached circuit (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().expect("circuit cache poisoned").map.clear();
+    }
+}
+
 /// Like [`build_circuit_from_stack`], but returns a shared handle from the
-/// process-wide cache when an identical (stack, die, grid) circuit is
-/// already alive. Repeated solves over the same stack across experiments
+/// process-wide [`CircuitCache`] when an identical (stack, die, grid)
+/// circuit is cached. Repeated solves over the same stack across experiments
 /// then reuse one circuit — including its lazily built multigrid hierarchy —
-/// instead of re-assembling it. Assembly is deterministic, so a cache hit is
-/// observationally identical to a rebuild.
+/// instead of re-assembling it.
 ///
 /// # Errors
 ///
@@ -270,25 +469,7 @@ pub fn build_circuit_cached(
     die: DieGeometry,
     stack: &LayerStack,
 ) -> Result<Arc<ThermalCircuit>, StackError> {
-    stack.validate(die)?;
-    let key = circuit_cache_key(die, mapping.rows(), mapping.cols(), stack);
-    let cache = CIRCUIT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) =
-        cache.lock().expect("circuit cache poisoned").get(&key).and_then(Weak::upgrade)
-    {
-        return Ok(hit);
-    }
-    // Assemble outside the lock so concurrent builds of *different* circuits
-    // don't serialize; a lost race on the same key just builds one
-    // bit-identical circuit twice and keeps the first inserted.
-    let built = Arc::new(assemble(mapping, die, stack));
-    let mut map = cache.lock().expect("circuit cache poisoned");
-    if let Some(existing) = map.get(&key).and_then(Weak::upgrade) {
-        return Ok(existing);
-    }
-    map.retain(|_, w| w.strong_count() > 0);
-    map.insert(key, Arc::downgrade(&built));
-    Ok(built)
+    CircuitCache::process().get_or_build(mapping, die, stack).map(|(c, _)| c)
 }
 
 /// Assembles a validated stack. Callers must run [`LayerStack::validate`]
@@ -539,6 +720,7 @@ fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> Ther
         rows,
         cols,
         mg: OnceLock::new(),
+        ldlt: OnceLock::new(),
     }
 }
 
@@ -816,6 +998,68 @@ mod tests {
         // 3 layers x 64 cells + 1 spreader ring + 64 cell oil + 1 ring oil.
         assert_eq!(c.node_count(), 3 * 64 + 1 + 64 + 1);
         assert!(c.conductance().is_symmetric(1e-9));
+    }
+
+    /// A family of physically distinct stacks (varying die thickness) for
+    /// exercising the LRU bound with cheap 2×2 assemblies.
+    fn stack_nr(i: usize) -> LayerStack {
+        LayerStack::new(
+            vec![Layer::new("silicon", crate::materials::SILICON, 0.1e-3 * (i + 1) as f64)],
+            0,
+        )
+        .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 })
+    }
+
+    #[test]
+    fn lru_cache_respects_capacity_and_counts_evictions() {
+        let m = mapping(2, 2);
+        let cache = CircuitCache::new(3);
+        for i in 0..5 {
+            let (_, hit) = cache.get_or_build(&m, die20(), &stack_nr(i)).unwrap();
+            assert!(!hit, "stack {i} is new");
+        }
+        let c = cache.counters();
+        assert_eq!(c.len, 3, "capacity bounds occupancy");
+        assert_eq!(c.capacity, 3);
+        assert_eq!(c.misses, 5);
+        assert_eq!(c.evictions, 2, "two inserts displaced the LRU entry");
+        assert_eq!(c.hits, 0);
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let m = mapping(2, 2);
+        let cache = CircuitCache::new(2);
+        let (a0, _) = cache.get_or_build(&m, die20(), &stack_nr(0)).unwrap();
+        cache.get_or_build(&m, die20(), &stack_nr(1)).unwrap();
+        // Touch 0 so 1 becomes the LRU entry, then insert 2.
+        let (a0_again, hit) = cache.get_or_build(&m, die20(), &stack_nr(0)).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a0, &a0_again));
+        cache.get_or_build(&m, die20(), &stack_nr(2)).unwrap();
+        // 0 survived (recently used), 1 was evicted.
+        let (_, hit0) = cache.get_or_build(&m, die20(), &stack_nr(0)).unwrap();
+        assert!(hit0, "recently used entry survives eviction");
+        let (_, hit1) = cache.get_or_build(&m, die20(), &stack_nr(1)).unwrap();
+        assert!(!hit1, "LRU entry was evicted and must rebuild");
+        let c = cache.counters();
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.evictions, 2);
+    }
+
+    #[test]
+    fn lru_cache_hit_returns_shared_arc_and_clear_preserves_counters() {
+        let m = mapping(4, 4);
+        let cache = CircuitCache::new(4);
+        let (a, first_hit) = cache.get_or_build(&m, die20(), &stack_nr(0)).unwrap();
+        assert!(!first_hit);
+        let (b, hit) = cache.get_or_build(&m, die20(), &stack_nr(0)).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        cache.clear();
+        assert!(cache.is_empty());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 1), "clear drops circuits, not telemetry");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod units;
 
 pub use blockmodel::BlockModel;
 pub use cholesky::{FactorError, LdlFactor};
+pub use circuit::{CacheCounters, CircuitCache};
 pub use convection::{FlowDirection, LaminarFlow};
 pub use fluid::Fluid;
 pub use materials::Material;

@@ -4,7 +4,7 @@
 //! steady-state solves, transient simulation, and per-block temperature
 //! read-out — the modified HotSpot of the paper's §3.
 
-use crate::circuit::{build_circuit_cached, DieGeometry, ThermalCircuit};
+use crate::circuit::{CircuitCache, DieGeometry, ThermalCircuit};
 use crate::package::Package;
 use crate::pool;
 use crate::power::PowerMap;
@@ -181,6 +181,23 @@ impl ThermalModel {
         package: Package,
         config: ModelConfig,
     ) -> Result<Self, ThermalError> {
+        Self::new_in(plan, package, config, CircuitCache::process())
+    }
+
+    /// Like [`new`](Self::new), but fetching/inserting the assembled circuit
+    /// through a caller-owned [`CircuitCache`] instead of the process-wide
+    /// default — the route servers take so their cache bound and telemetry
+    /// cover every circuit they build.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn new_in(
+        plan: Floorplan,
+        package: Package,
+        config: ModelConfig,
+        cache: &CircuitCache,
+    ) -> Result<Self, ThermalError> {
         config.validate()?;
         let die = DieGeometry {
             width: plan.width(),
@@ -188,7 +205,7 @@ impl ThermalModel {
             thickness: config.die_thickness,
         };
         let stack = package.to_stack(die)?;
-        Self::build(plan, stack, Some(package), config)
+        Self::build(plan, stack, Some(package), config, cache)
     }
 
     /// Builds the model directly from a [`LayerStack`] — the open route for
@@ -205,8 +222,23 @@ impl ThermalModel {
         stack: LayerStack,
         config: ModelConfig,
     ) -> Result<Self, ThermalError> {
+        Self::from_stack_in(plan, stack, config, CircuitCache::process())
+    }
+
+    /// Like [`from_stack`](Self::from_stack), through a caller-owned
+    /// [`CircuitCache`].
+    ///
+    /// # Errors
+    ///
+    /// As [`from_stack`](Self::from_stack).
+    pub fn from_stack_in(
+        plan: Floorplan,
+        stack: LayerStack,
+        config: ModelConfig,
+        cache: &CircuitCache,
+    ) -> Result<Self, ThermalError> {
         config.validate()?;
-        Self::build(plan, stack, None, config)
+        Self::build(plan, stack, None, config, cache)
     }
 
     fn build(
@@ -214,15 +246,16 @@ impl ThermalModel {
         stack: LayerStack,
         package: Option<Package>,
         config: ModelConfig,
+        cache: &CircuitCache,
     ) -> Result<Self, ThermalError> {
         let mapping = GridMapping::new(&plan, config.rows, config.cols);
-        // Validation (inside build_circuit_cached) rejects an out-of-range
+        // Validation (inside the cache's build) rejects an out-of-range
         // silicon index; the fallback thickness only keeps this pre-check
         // panic-free until then.
         let thickness =
             stack.layers.get(stack.si_index).map_or(config.die_thickness, |l| l.thickness);
         let die = DieGeometry { width: plan.width(), height: plan.height(), thickness };
-        let circuit = build_circuit_cached(&mapping, die, &stack)?;
+        let (circuit, _) = cache.get_or_build(&mapping, die, &stack)?;
         let stack_hash = stack.content_hash();
         Ok(Self {
             plan,
@@ -771,6 +804,28 @@ mod tests {
         // Warm-start caches stay per-model even when the circuit is shared.
         a.seed_warm_start(a.initial_state());
         assert!(b.last_solve_stats().is_none());
+    }
+
+    #[test]
+    fn caller_owned_cache_tracks_its_own_models() {
+        let plan = library::ev6();
+        let cache = crate::circuit::CircuitCache::new(4);
+        let mk = || {
+            ThermalModel::new_in(
+                plan.clone(),
+                Package::OilSilicon(OilSiliconPackage::paper_default()),
+                // A grid no other test uses, so the shared process cache
+                // cannot satisfy it behind our back.
+                ModelConfig::paper_default().with_grid(7, 9),
+                &cache,
+            )
+            .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert!(std::ptr::eq(a.circuit(), b.circuit()));
+        let c = cache.counters();
+        assert_eq!((c.misses, c.hits, c.len), (1, 1, 1));
     }
 
     #[test]

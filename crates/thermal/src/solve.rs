@@ -142,11 +142,14 @@ pub fn solve_steady(
 ///
 /// With [`SolverChoice::Direct`] the conductance matrix is factored
 /// (LDLᵀ, RCM-ordered), solved, and the residual verified against
-/// [`DEFAULT_TOL`]; the returned stats carry factorization telemetry
-/// (`factor_seconds`, `factor_nnz`). A non-positive pivot — the operator is
-/// not SPD, e.g. a floating node — falls back to CG, whose diagnostics
-/// (panic on non-positive diagonal, [`SolveError::NotConverged`]) localize
-/// the problem.
+/// [`DEFAULT_TOL`]. The factorization is memoized on the circuit
+/// ([`ThermalCircuit::steady_factor_with_setup`]) so repeated solves of a
+/// shared circuit pay it once; the returned stats carry factorization
+/// telemetry (`factor_seconds` — zero when the cached factor was reused —
+/// and `factor_nnz`). A non-positive pivot — the operator is not SPD,
+/// e.g. a floating node — falls back to CG, whose diagnostics (panic on
+/// non-positive diagonal, [`SolveError::NotConverged`]) localize the
+/// problem.
 ///
 /// # Errors
 ///
@@ -164,8 +167,8 @@ pub fn solve_steady_with(
     let n = circuit.node_count();
     let cg_cap = 40 * n + 1000;
     let (stats, cap) = match solver {
-        SolverChoice::Direct => match LdlFactor::factor(circuit.conductance()) {
-            Ok(factor) => {
+        SolverChoice::Direct => match circuit.steady_factor_with_setup() {
+            Some((factor, setup_seconds)) => {
                 factor.solve_into(&b, state);
                 let residual = relative_residual(circuit.conductance(), &b, state);
                 let stats = SolveStats {
@@ -173,7 +176,9 @@ pub fn solve_steady_with(
                     iterations: 0,
                     relative_residual: residual,
                     converged: residual <= DEFAULT_TOL,
-                    factor_seconds: factor.factor_seconds(),
+                    // Charged only to the solve that built the factor; later
+                    // solves reuse it and report 0.0.
+                    factor_seconds: setup_seconds,
                     factor_nnz: factor.nnz_l(),
                     solve_count: 1,
                     // The triangular sweeps are inherently serial.
@@ -183,7 +188,7 @@ pub fn solve_steady_with(
                 };
                 (stats, usize::MAX)
             }
-            Err(_) => {
+            None => {
                 (conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, cg_cap), cg_cap)
             }
         },

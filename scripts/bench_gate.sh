@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Perf-regression gate over the solver benchmarks.
+# Perf-regression gate over the solver and serving benchmarks.
 #
-# Runs `cargo bench -p hotiron-bench --bench solvers` with HOTIRON_BENCH_JSON
-# set, which makes the compat-criterion harness dump each benchmark's median
-# (ns/iter) as JSON, then compares every benchmark against the checked-in
-# baseline (scripts/BENCH_solvers.baseline.json). The gate fails when any
-# benchmark is more than BENCH_GATE_THRESHOLD percent (default 20) slower
-# than its baseline median, or when a baseline benchmark is missing from the
-# new results. New benchmarks absent from the baseline only warn.
+# Runs `cargo bench -p hotiron-bench --bench solvers` and
+# `cargo bench -p hotiron-serve --bench serve_throughput` with
+# HOTIRON_BENCH_JSON set, which makes each harness dump its benchmark
+# medians (ns/iter) as JSON; the two files are merged into one array and
+# every benchmark is compared against the checked-in baseline
+# (scripts/BENCH_solvers.baseline.json). Benchmarks that also report a
+# `p99_ns` tail latency (the serve bench does) are gated on it too, as a
+# synthetic "<name> [p99]" row. The gate fails when any gated metric is
+# more than BENCH_GATE_THRESHOLD percent (default 20) slower than its
+# baseline, or when a baseline benchmark is missing from the new results.
+# New benchmarks absent from the baseline only warn. `--update` refreshes
+# median and p99 columns alike (it rewrites the merged raw JSON).
 #
 # Usage:
 #   bash scripts/bench_gate.sh              # run benches, compare vs baseline
@@ -26,9 +31,16 @@ BASELINE=scripts/BENCH_solvers.baseline.json
 THRESHOLD="${BENCH_GATE_THRESHOLD:-20}"
 
 # Prints "name<TAB>median_ns" lines from a results JSON (one object per line,
-# as written by compat-criterion's finalize()).
+# as written by compat-criterion's finalize()). Objects that carry a
+# "p99_ns" field additionally emit a "name [p99]<TAB>p99_ns" row, so tail
+# latency is gated by the same comparison as the median. The two sed
+# expressions are mutually exclusive per line: once the first (with p99)
+# rewrites the pattern space, the second no longer matches it.
 parse() {
-  sed -n 's/.*"name": *"\([^"]*\)".*"median_ns": *\([0-9.][0-9.]*\).*/\1\t\2/p' "$1"
+  sed -n \
+    -e 's/.*"name": *"\([^"]*\)".*"median_ns": *\([0-9.][0-9.]*\).*"p99_ns": *\([0-9.][0-9.]*\).*/\1\t\2\n\1 [p99]\t\3/p' \
+    -e 's/.*"name": *"\([^"]*\)".*"median_ns": *\([0-9.][0-9.]*\).*/\1\t\2/p' \
+    "$1"
 }
 
 # compare BASELINE_FILE NEW_FILE -> exit 0 iff no benchmark regressed.
@@ -112,18 +124,34 @@ speedup_table() {
   fi
 }
 
+# Strips the surrounding [ ] and trailing commas, leaving one bare JSON
+# object per line — the common denominator for merging result files.
+strip_array() {
+  sed -e '/^\[[[:space:]]*$/d' -e '/^\][[:space:]]*$/d' -e 's/,[[:space:]]*$//' "$1"
+}
+
 run_benches() {
-  local out
-  # Absolute path: cargo runs the bench binary from the package directory.
+  local out solvers serve
+  # Absolute path: cargo runs the bench binaries from the package directory.
   case "$1" in
     /*) out=$1 ;;
     *) out="$(pwd)/$1" ;;
   esac
-  HOTIRON_BENCH_JSON="$out" cargo bench -p hotiron-bench --bench solvers
-  if ! [ -s "$out" ]; then
-    echo "bench_gate: bench run produced no JSON at $out" >&2
+  solvers=$(mktemp /tmp/BENCH_part_solvers.XXXXXX.json)
+  serve=$(mktemp /tmp/BENCH_part_serve.XXXXXX.json)
+  HOTIRON_BENCH_JSON="$solvers" cargo bench -p hotiron-bench --bench solvers
+  HOTIRON_BENCH_JSON="$serve" cargo bench -p hotiron-serve --bench serve_throughput
+  if ! [ -s "$solvers" ] || ! [ -s "$serve" ]; then
+    echo "bench_gate: a bench run produced no JSON ($solvers / $serve)" >&2
     exit 1
   fi
+  # Merge the two arrays into one, re-adding commas on all but the last line.
+  {
+    echo "["
+    { strip_array "$solvers"; strip_array "$serve"; } | sed '$!s/$/,/'
+    echo "]"
+  } > "$out"
+  rm -f "$solvers" "$serve"
 }
 
 self_test() {
@@ -162,6 +190,32 @@ EOF
 EOF
   if compare "$base" "$new" > /dev/null; then
     echo "self-test FAILED: missing benchmark passed the gate" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  # A p99_ns column must be parsed into its own gated "[p99]" row.
+  cat > "$base" <<'EOF'
+[
+{"name": "serve/throughput", "median_ns": 2500000.0, "p99_ns": 4000000.0}
+]
+EOF
+  if [ "$(parse "$base" | wc -l)" -ne 2 ]; then
+    echo "self-test FAILED: p99_ns row not split out by parse" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  # Steady median but a 50% worse tail must fail: p99 is gated too.
+  cat > "$new" <<'EOF'
+[
+{"name": "serve/throughput", "median_ns": 2500000.0, "p99_ns": 6000000.0}
+]
+EOF
+  if compare "$base" "$new" > /dev/null; then
+    echo "self-test FAILED: 50% p99 regression passed the gate" >&2
+    rm -rf "$tmp"; exit 1
+  fi
+  # Identical median and p99 must pass.
+  cp "$base" "$new"
+  if ! compare "$base" "$new" > /dev/null; then
+    echo "self-test FAILED: identical p99 results did not pass" >&2
     rm -rf "$tmp"; exit 1
   fi
   # The speedup table must pair each mg bench with its cg comparator and

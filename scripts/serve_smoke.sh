@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving daemon: build release, start
+# hotiron-serve on an ephemeral port, drive it with loadgen for a few
+# seconds, then assert the run was clean:
+#
+#   - zero protocol errors (loadgen exits 2 otherwise; re-checked from the
+#     report JSON),
+#   - non-zero circuit-cache hits (the request mix repeats scenarios, so a
+#     cold cache must warm up),
+#   - a clean drain (the --shutdown ack reports draining and the daemon
+#     process exits by itself, printing its "drained" line).
+#
+# The latency-histogram report lands at $SERVE_SMOKE_OUT/latency-histogram.json
+# (default target/serve-smoke), which CI uploads as an artifact.
+#
+# Environment:
+#   SERVE_SMOKE_SECONDS  loadgen run length in seconds (default 5)
+#   SERVE_SMOKE_RATE     open-loop arrival rate in req/s (default 200)
+#   SERVE_SMOKE_OUT      output directory (default target/serve-smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${SERVE_SMOKE_OUT:-target/serve-smoke}"
+SECS="${SERVE_SMOKE_SECONDS:-5}"
+RATE="${SERVE_SMOKE_RATE:-200}"
+REPORT="$OUT/latency-histogram.json"
+
+mkdir -p "$OUT"
+echo "==> build (release)"
+cargo build --release -p hotiron-serve
+
+echo "==> start daemon"
+target/release/serve --addr 127.0.0.1:0 > "$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# The daemon prints one readiness line once the listener is bound; the OS
+# picked the port, so read the line back to learn the address.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^hotiron-serve listening on \([0-9.:]*\).*/\1/p' "$OUT/serve.log" 2>/dev/null || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "serve_smoke: daemon never printed its readiness line" >&2
+  cat "$OUT/serve.log" >&2
+  exit 1
+fi
+echo "==> daemon ready on $ADDR"
+
+# loadgen exits 0 only when every frame round-tripped cleanly and the
+# --shutdown ack confirmed the drain; --stats embeds the daemon's own
+# counters in the report for the assertions below.
+echo "==> loadgen ${SECS}s @ ${RATE} req/s"
+target/release/loadgen --addr "$ADDR" --rate "$RATE" --seconds "$SECS" \
+  --stats --shutdown --out "$REPORT"
+
+# Clean drain: the daemon must exit on its own after the shutdown ack.
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "serve_smoke: daemon still running after drain" >&2
+  exit 1
+fi
+trap - EXIT
+if ! grep -q "hotiron-serve drained" "$OUT/serve.log"; then
+  echo "serve_smoke: daemon exited without its drained line" >&2
+  cat "$OUT/serve.log" >&2
+  exit 1
+fi
+
+# Report assertions. The loadgen section renders before the server section,
+# so the first match of each key is the client-side count.
+field() {
+  sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p" "$REPORT" | head -n1
+}
+PROTOCOL_ERRORS=$(field protocol_errors)
+TRANSPORT_ERRORS=$(field transport_errors)
+CACHE_HITS=$(field cache_hits)
+SENT=$(field sent)
+OK=$(field ok)
+echo "==> report: sent=$SENT ok=$OK protocol_errors=$PROTOCOL_ERRORS transport_errors=$TRANSPORT_ERRORS cache_hits=$CACHE_HITS"
+if [ -z "$PROTOCOL_ERRORS" ] || [ "$PROTOCOL_ERRORS" -ne 0 ]; then
+  echo "serve_smoke: protocol errors in report ($PROTOCOL_ERRORS)" >&2
+  exit 1
+fi
+if [ -z "$TRANSPORT_ERRORS" ] || [ "$TRANSPORT_ERRORS" -ne 0 ]; then
+  echo "serve_smoke: transport errors in report ($TRANSPORT_ERRORS)" >&2
+  exit 1
+fi
+if [ -z "$CACHE_HITS" ] || [ "$CACHE_HITS" -eq 0 ]; then
+  echo "serve_smoke: no circuit-cache hits — coalescing/caching broken" >&2
+  exit 1
+fi
+echo "serve_smoke: PASS ($OK/$SENT ok, $CACHE_HITS cache hits, clean drain)"
