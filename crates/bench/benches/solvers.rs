@@ -8,7 +8,8 @@ use hotiron_thermal::multigrid::mg_pcg;
 use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, SolverChoice};
 use hotiron_thermal::sparse::conjugate_gradient;
 use hotiron_thermal::{
-    AirSinkPackage, ModelConfig, OilSiliconPackage, Package, PowerMap, ThermalModel,
+    materials, AirSinkPackage, Boundary, Layer, LayerStack, ModelConfig, OilSiliconPackage,
+    Package, PowerMap, ThermalModel,
 };
 use std::hint::black_box;
 
@@ -160,6 +161,36 @@ fn bench_steady_large(c: &mut Criterion) {
     g.finish();
 }
 
+/// The spectral Green's-function path at IR-camera resolution: a 256×256
+/// qualifying bare-die stack, unit-source response precomputed once outside
+/// the loop (as the process-wide response LRU does in production), each
+/// iteration one O(n log n) evaluation with reused scratch. The point of the
+/// backend: the same steady map `steady_mg_256x256_oil` takes ~70 ms of
+/// multigrid lands in well under a millisecond here.
+fn bench_steady_spectral_256x256(c: &mut Criterion) {
+    let grid = 256usize;
+    let plan = library::uniform_die(0.016, 0.016);
+    let mapping = GridMapping::new(&plan, grid, grid);
+    let stack =
+        LayerStack::new(vec![Layer::new("silicon", materials::SILICON, die().thickness)], 0)
+            .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+    let circuit = build_circuit_from_stack(&mapping, die(), &stack).unwrap();
+    let resp = circuit.spectral().expect("bare-die stack qualifies").clone();
+    let p = vec![40.0 / (grid * grid) as f64; grid * grid];
+    let mut scratch = resp.scratch();
+    let mut state = vec![318.15; circuit.node_count()];
+    let mut g = c.benchmark_group("steady_spectral_256x256");
+    g.sample_size(20);
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let residual = resp.solve_into(black_box(&p), 318.15, &mut state, &mut scratch);
+            assert!(residual <= 1e-5, "energy residual {residual}");
+            residual
+        })
+    });
+    g.finish();
+}
+
 fn bench_transient_step(c: &mut Criterion) {
     let plan = library::ev6();
     let mut g = c.benchmark_group("transient_step");
@@ -296,6 +327,7 @@ criterion_group!(
     bench_steady,
     bench_steady_cg_64x64,
     bench_steady_large,
+    bench_steady_spectral_256x256,
     bench_transient_step,
     bench_transient_1000_steps,
     bench_refsim,

@@ -31,7 +31,7 @@ use crate::common::{self, Fidelity};
 use crate::report::{Row, Table};
 use hotiron_floorplan::{library, Floorplan, GridMapping};
 use hotiron_thermal::circuit::{CircuitCache, DieGeometry};
-use hotiron_thermal::solve::{solve_steady, solve_steady_with, SolverChoice};
+use hotiron_thermal::solve::{solve_steady, solve_steady_with, SolveError, SolverChoice};
 use hotiron_thermal::sparse::SolveStats;
 use hotiron_thermal::units::{celsius_to_kelvin, kelvin_to_celsius};
 use hotiron_thermal::{fluid, materials, Boundary, FlowDirection, Layer, LayerStack, OilFilm};
@@ -123,16 +123,35 @@ pub enum SolverSpec {
     Cg,
     /// Multigrid-preconditioned CG.
     Multigrid,
+    /// Green's-function spectral fast path (laterally uniform stacks on
+    /// power-of-two grids only; the solve fails with
+    /// `SolveError::SpectralIneligible` otherwise).
+    Spectral,
 }
 
 impl SolverSpec {
-    fn token(self) -> &'static str {
+    /// The scenario-file token for this solver, also used by the serve
+    /// protocol's per-request `solver` field.
+    pub fn token(self) -> &'static str {
         match self {
             SolverSpec::Auto => "auto",
             SolverSpec::Direct => "direct",
             SolverSpec::Cg => "cg",
             SolverSpec::Multigrid => "multigrid",
+            SolverSpec::Spectral => "spectral",
         }
+    }
+
+    /// Parses a scenario-file / serve-protocol solver token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        Some(match s {
+            "auto" => SolverSpec::Auto,
+            "direct" => SolverSpec::Direct,
+            "cg" => SolverSpec::Cg,
+            "multigrid" => SolverSpec::Multigrid,
+            "spectral" => SolverSpec::Spectral,
+            _ => return None,
+        })
     }
 }
 
@@ -395,13 +414,10 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                 blocks_line = ln;
             }
             ("solve", "solver") => {
-                solver = Some(match value {
-                    "auto" => SolverSpec::Auto,
-                    "direct" => SolverSpec::Direct,
-                    "cg" => SolverSpec::Cg,
-                    "multigrid" => SolverSpec::Multigrid,
-                    other => return Err(err(ln, format!("unknown solver `{other}`"))),
-                });
+                solver = Some(
+                    SolverSpec::from_token(value)
+                        .ok_or_else(|| err(ln, format!("unknown solver `{value}`")))?,
+                );
             }
             ("solve", "ambient") => ambient_c = Some(parse_f64(ln, key, value)?),
             ("output", "field") => {
@@ -680,8 +696,20 @@ pub fn run_in(
         SolverSpec::Multigrid => {
             solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Multigrid)
         }
+        SolverSpec::Spectral => {
+            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Spectral)
+        }
     };
-    let solve_stats = solved.map_err(|e| err(0, format!("steady solve failed: {e:?}")))?;
+    // An ineligible spectral request is a client-side configuration error
+    // (the scenario's stack cannot run spectral), not a solver failure —
+    // keep the messages distinct so serving layers can map them to 422 vs
+    // 500.
+    let solve_stats = solved.map_err(|e| match e {
+        SolveError::SpectralIneligible { reason } => {
+            err(0, format!("spectral solver ineligible: {reason}"))
+        }
+        other => err(0, format!("steady solve failed: {other:?}")),
+    })?;
 
     // Inline physics oracles: every scenario run is also a correctness
     // check, so `figures --scenario` doubles as a fast fidelity gate.

@@ -34,6 +34,7 @@ fn solver_telemetry(sim: &TransientSim<'_>) -> SolverTelemetry {
         SolverChoice::Direct => "ldlt",
         SolverChoice::Cg => "cg",
         SolverChoice::Multigrid => "mg-cg",
+        SolverChoice::Spectral => "spectral",
     };
     SolverTelemetry {
         solver,

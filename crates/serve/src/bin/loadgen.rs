@@ -12,7 +12,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--rate RPS] [--seconds S] \
                      [--connections N] [--seed N] [--paper-share F] [--scale-share F] \
-                     [--inline-share F] [--out FILE] [--stats] [--shutdown]";
+                     [--inline-share F] [--spectral-share F] [--out FILE] [--stats] \
+                     [--shutdown]";
 
 struct Args {
     cfg: LoadConfig,
@@ -49,6 +50,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--inline-share" => {
                 parsed.cfg.inline_share = num("--inline-share", value("--inline-share")?)?;
+            }
+            "--spectral-share" => {
+                parsed.cfg.spectral_share = num("--spectral-share", value("--spectral-share")?)?;
             }
             "--out" => parsed.out = Some(value("--out")?),
             "--stats" => parsed.stats = true,
@@ -125,7 +129,7 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "loadgen: sent={} ok={} shed={} protocol_errors={} transport_errors={} \
-         hit={} miss={} coalesced={} achieved={:.1} rps p50={:.2} ms p99={:.2} ms",
+         hit={} miss={} coalesced={} spectral={} achieved={:.1} rps p50={:.2} ms p99={:.2} ms",
         report.sent,
         report.ok,
         report.shed,
@@ -134,6 +138,7 @@ fn main() -> ExitCode {
         report.cache_hits,
         report.cache_misses,
         report.coalesced,
+        report.spectral,
         report.achieved_rps(),
         report.percentile_ns(0.50) as f64 / 1e6,
         report.percentile_ns(0.99) as f64 / 1e6,

@@ -14,7 +14,7 @@
 use crate::json::{obj, Json};
 use crate::protocol::{FidelityTier, ScenarioSource, SolveRequest};
 use hotiron_bench::common::{self, Fidelity};
-use hotiron_bench::scenario::{self, PlanKind, PowerSpec, Scenario, Solution};
+use hotiron_bench::scenario::{self, PlanKind, PowerSpec, Scenario, Solution, SolverSpec};
 use hotiron_thermal::{CircuitCache, LayerStack};
 use std::collections::HashMap;
 use std::fmt;
@@ -76,6 +76,9 @@ struct Inflight {
 pub struct Engine {
     cache: CircuitCache,
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
+    /// Process-wide solver default (`HOTIRON_SOLVER`); per-request `solver`
+    /// still wins over it.
+    process_solver: Option<SolverSpec>,
 }
 
 impl fmt::Debug for Engine {
@@ -107,8 +110,22 @@ fn coalesce_key(stack: &LayerStack, sc: &Scenario, fidelity: Fidelity) -> u64 {
 
 impl Engine {
     /// An engine whose circuit cache holds at most `cache_capacity` circuits.
+    /// The process-wide solver default is read from `HOTIRON_SOLVER`
+    /// (unknown tokens are ignored rather than refusing to start).
     pub fn new(cache_capacity: usize) -> Self {
-        Self { cache: CircuitCache::new(cache_capacity), inflight: Mutex::new(HashMap::new()) }
+        let process_solver =
+            std::env::var("HOTIRON_SOLVER").ok().and_then(|tok| SolverSpec::from_token(tok.trim()));
+        Self::with_process_solver(cache_capacity, process_solver)
+    }
+
+    /// An engine with an explicit process-wide solver default (tests; `new`
+    /// reads it from the environment).
+    pub fn with_process_solver(cache_capacity: usize, process_solver: Option<SolverSpec>) -> Self {
+        Self {
+            cache: CircuitCache::new(cache_capacity),
+            inflight: Mutex::new(HashMap::new()),
+            process_solver,
+        }
     }
 
     /// The engine-owned circuit cache (for `/stats` and tests).
@@ -123,7 +140,11 @@ impl Engine {
 
     /// Resolves a request to the effective scenario it will run: looks up or
     /// parses the scenario, then applies the power overrides (`power_w`
-    /// replaces the source, `power_scale` multiplies whatever is left).
+    /// replaces the source, `power_scale` multiplies whatever is left) and
+    /// the solver override (request `solver` wins over `HOTIRON_SOLVER`,
+    /// which wins over the scenario's own choice). The override lands before
+    /// the coalesce key is computed, so requests for different solvers never
+    /// share a solve.
     ///
     /// # Errors
     ///
@@ -157,6 +178,9 @@ impl Engine {
         }
         if let Some(scale) = req.power_scale {
             sc.power = scale_power(&sc, scale);
+        }
+        if let Some(spec) = req.solver.or(self.process_solver) {
+            sc.solver = spec;
         }
         let fidelity = match req.fidelity {
             FidelityTier::Fast => Fidelity::Fast,
@@ -303,6 +327,7 @@ mod tests {
             power_w: None,
             deadline_ms: None,
             blocks: true,
+            solver: None,
         }
     }
 
@@ -391,6 +416,28 @@ mod tests {
         assert_eq!(count(Disposition::Hit) + count(Disposition::Coalesced), N - 1);
         assert_eq!(c.hits as usize, count(Disposition::Hit));
         assert_eq!(engine.inflight_len(), 0, "in-flight table drains");
+    }
+
+    #[test]
+    fn requested_solver_overrides_the_process_default() {
+        let engine = Engine::with_process_solver(8, Some(SolverSpec::Cg));
+        let (sol, _) = engine.solve(&named("bare-die-forced-air")).unwrap();
+        assert_eq!(sol.solve_stats.method.label(), "cg", "process default applies");
+        let mut req = named("bare-die-forced-air");
+        req.solver = Some(SolverSpec::Spectral);
+        let (sol, _) = engine.solve(&req).unwrap();
+        assert_eq!(sol.solve_stats.method.label(), "spectral", "request wins");
+        assert!(sol.solve_stats.converged);
+    }
+
+    #[test]
+    fn spectral_on_an_ineligible_stack_is_422() {
+        let engine = Engine::new(8);
+        let mut req = named("paper-oil");
+        req.solver = Some(SolverSpec::Spectral);
+        let e = engine.solve(&req).unwrap_err();
+        assert_eq!(e.code, 422, "{e}");
+        assert!(e.message.contains("spectral solver ineligible"), "{e}");
     }
 
     #[test]

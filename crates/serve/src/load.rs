@@ -13,7 +13,7 @@ use crate::protocol::{
     read_frame, write_frame, FidelityTier, FrameError, Request, ScenarioSource, SolveRequest,
     MAX_FRAME_BYTES,
 };
-use hotiron_bench::scenario::SHIPPED;
+use hotiron_bench::scenario::{SolverSpec, SHIPPED};
 use rand::{Rng, SeedableRng, StdRng};
 use std::io;
 use std::net::TcpStream;
@@ -97,6 +97,10 @@ pub struct LoadConfig {
     pub scale_share: f64,
     /// Fraction of solves shipping the scenario inline instead of by name.
     pub inline_share: f64,
+    /// Fraction of solves pinned to the spectral backend. These target the
+    /// qualifying `bare-die-forced-air` scenario (a spectral request against
+    /// an ineligible stack is a `422`, which would read as load-mix noise).
+    pub spectral_share: f64,
 }
 
 impl Default for LoadConfig {
@@ -110,6 +114,7 @@ impl Default for LoadConfig {
             paper_share: 0.0,
             scale_share: 0.25,
             inline_share: 0.10,
+            spectral_share: 0.0,
         }
     }
 }
@@ -133,11 +138,19 @@ pub struct LoadReport {
     pub cache_misses: u64,
     /// Responses that joined another request's in-flight solve.
     pub coalesced: u64,
+    /// Responses solved by the spectral backend.
+    pub spectral: u64,
     /// Per-request latencies, sorted ascending, nanoseconds (200s only).
     pub latencies_ns: Vec<u64>,
+    /// Latencies split by service path, each sorted ascending, nanoseconds;
+    /// indexed in [`PATH_TOKENS`] order (hit, miss, coalesced, spectral).
+    pub path_latencies_ns: [Vec<u64>; 4],
     /// Wall-clock of the whole run, seconds.
     pub elapsed_s: f64,
 }
+
+/// Service-path labels for [`LoadReport::path_latencies_ns`], in index order.
+pub const PATH_TOKENS: [&str; 4] = ["hit", "miss", "coalesced", "spectral"];
 
 /// Histogram bucket upper bounds, milliseconds (the last is open-ended).
 pub const BUCKET_BOUNDS_MS: [f64; 10] =
@@ -155,11 +168,7 @@ impl LoadReport {
 
     /// Latency percentile in nanoseconds (0 when no samples).
     pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.latencies_ns.is_empty() {
-            return 0;
-        }
-        let idx = ((self.latencies_ns.len() as f64 - 1.0) * p).round() as usize;
-        self.latencies_ns[idx.min(self.latencies_ns.len() - 1)]
+        percentile_of(&self.latencies_ns, p)
     }
 
     /// Renders the report (with the latency histogram) as JSON.
@@ -193,6 +202,7 @@ impl LoadReport {
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
             ("coalesced", Json::Num(self.coalesced as f64)),
+            ("spectral", Json::Num(self.spectral as f64)),
             ("elapsed_s", Json::Num(self.elapsed_s)),
             ("achieved_rps", Json::Num(self.achieved_rps())),
             (
@@ -205,13 +215,55 @@ impl LoadReport {
                     ("max", Json::Num(ms(self.latencies_ns.last().copied().unwrap_or(0)))),
                 ]),
             ),
+            (
+                "latency_by_path_ms",
+                Json::Obj(
+                    PATH_TOKENS
+                        .iter()
+                        .zip(&self.path_latencies_ns)
+                        .map(|(&token, samples)| {
+                            (
+                                token.to_owned(),
+                                obj([
+                                    ("count", Json::Num(samples.len() as f64)),
+                                    ("p50", Json::Num(ms(percentile_of(samples, 0.50)))),
+                                    ("p99", Json::Num(ms(percentile_of(samples, 0.99)))),
+                                    ("max", Json::Num(ms(samples.last().copied().unwrap_or(0)))),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
             ("buckets", Json::Arr(buckets)),
         ])
     }
 }
 
+/// Percentile over an ascending-sorted sample slice (0 when empty).
+fn percentile_of(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
 /// Draws one solve request from the seeded mix.
 fn draw_request(rng: &mut StdRng, cfg: &LoadConfig) -> Request {
+    if rng.gen_bool(cfg.spectral_share.clamp(0.0, 1.0)) {
+        // Spectral requests pin the one shipped scenario whose fast-tier
+        // stack qualifies; mixing in ineligible stacks would only tally 422s.
+        return Request::Solve(SolveRequest {
+            scenario: ScenarioSource::Named("bare-die-forced-air".to_owned()),
+            fidelity: FidelityTier::Fast,
+            power_scale: None,
+            power_w: None,
+            deadline_ms: None,
+            blocks: rng.gen_bool(0.5),
+            solver: Some(SolverSpec::Spectral),
+        });
+    }
     let (name, text) = SHIPPED[rng.gen_range(0..SHIPPED.len())];
     let scenario = if rng.gen_bool(cfg.inline_share.clamp(0.0, 1.0)) {
         ScenarioSource::Inline(text.to_owned())
@@ -236,6 +288,7 @@ fn draw_request(rng: &mut StdRng, cfg: &LoadConfig) -> Request {
         power_w: None,
         deadline_ms: None,
         blocks: rng.gen_bool(0.5),
+        solver: None,
     })
 }
 
@@ -285,16 +338,33 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
                         match code {
                             Some(200) => {
                                 local.ok += 1;
-                                local
-                                    .latencies_ns
-                                    .push(sent_at.elapsed().as_nanos().min(u128::from(u64::MAX))
-                                        as u64);
-                                match resp.get("cache").and_then(Json::as_str) {
+                                let ns =
+                                    sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                                local.latencies_ns.push(ns);
+                                let spectral = resp
+                                    .get("solver")
+                                    .and_then(|s| s.get("method"))
+                                    .and_then(Json::as_str)
+                                    == Some("spectral");
+                                if spectral {
+                                    local.spectral += 1;
+                                }
+                                let cache = resp.get("cache").and_then(Json::as_str);
+                                match cache {
                                     Some("hit") => local.cache_hits += 1,
                                     Some("miss") => local.cache_misses += 1,
                                     Some("coalesced") => local.coalesced += 1,
                                     _ => {}
                                 }
+                                // Latency-path order mirrors PATH_TOKENS;
+                                // spectral wins over the cache disposition.
+                                let path = match cache {
+                                    _ if spectral => 3,
+                                    Some("hit") => 0,
+                                    Some("coalesced") => 2,
+                                    _ => 1,
+                                };
+                                local.path_latencies_ns[path].push(ns);
                             }
                             Some(503) => local.shed += 1,
                             _ => local.protocol_errors += 1,
@@ -322,7 +392,11 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
             merged.cache_hits += local.cache_hits;
             merged.cache_misses += local.cache_misses;
             merged.coalesced += local.coalesced;
+            merged.spectral += local.spectral;
             merged.latencies_ns.extend(local.latencies_ns);
+            for (into, from) in merged.path_latencies_ns.iter_mut().zip(local.path_latencies_ns) {
+                into.extend(from);
+            }
         }));
     }
     for t in threads {
@@ -332,6 +406,9 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         Arc::try_unwrap(report).map(|m| m.into_inner().expect("report lock")).unwrap_or_default();
     merged.elapsed_s = start.elapsed().as_secs_f64();
     merged.latencies_ns.sort_unstable();
+    for samples in &mut merged.path_latencies_ns {
+        samples.sort_unstable();
+    }
     Ok(merged)
 }
 
@@ -354,6 +431,29 @@ mod tests {
         let json = r.to_json().render();
         assert!(json.contains("\"p99\":99"), "{json}");
         assert!(json.contains("\"le_ms\":1,\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn spectral_share_pins_the_qualifying_scenario() {
+        let cfg = LoadConfig { spectral_share: 1.0, ..LoadConfig::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let Request::Solve(req) = draw_request(&mut rng, &cfg) else {
+                panic!("draw_request yields solves")
+            };
+            assert_eq!(req.scenario, ScenarioSource::Named("bare-die-forced-air".into()));
+            assert_eq!(req.solver, Some(SolverSpec::Spectral));
+        }
+    }
+
+    #[test]
+    fn report_json_carries_per_path_latencies() {
+        let mut r = LoadReport::default();
+        r.path_latencies_ns[3] = vec![1_000_000, 2_000_000];
+        r.spectral = 2;
+        let json = r.to_json().render();
+        assert!(json.contains("\"latency_by_path_ms\""), "{json}");
+        assert!(json.contains("\"spectral\":{\"count\":2"), "{json}");
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! `deadline_ms` bounds queue wait — a request that cannot start solving in
 //! time is shed with a `503` response instead of being served late.
 //!
+//! `solver` (`"auto"`, `"direct"`, `"cg"`, `"multigrid"`, `"spectral"`)
+//! overrides the scenario's solver choice for this request; it also
+//! overrides the process-wide `HOTIRON_SOLVER` default. Requesting
+//! `"spectral"` against a stack that does not qualify answers `422` naming
+//! the disqualifying layer.
+//!
 //! # Responses
 //!
 //! Every response carries `ok` and `code` (HTTP-flavored). Solve reports add
@@ -38,6 +44,7 @@
 //! `code = 503` and a `shed` reason (`"queue-full"` or `"deadline"`).
 
 use crate::json::{obj, Json};
+use hotiron_bench::scenario::SolverSpec;
 use std::io::{self, Read, Write};
 
 /// Default maximum frame payload: 1 MiB.
@@ -165,6 +172,9 @@ pub struct SolveRequest {
     pub deadline_ms: Option<u64>,
     /// Include the per-block temperature report (default true).
     pub blocks: bool,
+    /// Per-request solver override; `None` falls back to the process-wide
+    /// `HOTIRON_SOLVER` default and then the scenario's own choice.
+    pub solver: Option<SolverSpec>,
 }
 
 /// A decoded request frame.
@@ -229,6 +239,13 @@ impl Request {
                     Some(j) => Some(j.as_u64().ok_or_else(|| "bad `deadline_ms`".to_owned())?),
                 };
                 let blocks = v.get("blocks").and_then(Json::as_bool).unwrap_or(true);
+                let solver = match v.get("solver").and_then(Json::as_str) {
+                    None => None,
+                    Some(tok) => Some(
+                        SolverSpec::from_token(tok)
+                            .ok_or_else(|| format!("unknown solver `{tok}`"))?,
+                    ),
+                };
                 Ok(Request::Solve(SolveRequest {
                     scenario,
                     fidelity,
@@ -236,6 +253,7 @@ impl Request {
                     power_w,
                     deadline_ms,
                     blocks,
+                    solver,
                 }))
             }
             other => Err(format!("unknown request kind `{other}`")),
@@ -269,6 +287,9 @@ impl Request {
                 }
                 if !s.blocks {
                     members.push(("blocks".to_owned(), Json::Bool(false)));
+                }
+                if let Some(spec) = s.solver {
+                    members.push(("solver".to_owned(), Json::Str(spec.token().into())));
                 }
                 Json::Obj(members)
             }
@@ -351,6 +372,7 @@ mod tests {
                 power_w: None,
                 deadline_ms: Some(50),
                 blocks: true,
+                solver: None,
             }),
             Request::Solve(SolveRequest {
                 scenario: ScenarioSource::Inline("[scenario]\nname = x\n".into()),
@@ -359,6 +381,7 @@ mod tests {
                 power_w: Some(40.0),
                 deadline_ms: None,
                 blocks: false,
+                solver: Some(SolverSpec::Spectral),
             }),
         ];
         for req in reqs {
@@ -378,5 +401,10 @@ mod tests {
         assert!(e.contains("deadline_ms"), "{e}");
         let e = Request::from_json(&Json::parse(r#"{"kind":"dance"}"#).unwrap()).unwrap_err();
         assert!(e.contains("dance"), "{e}");
+        let e = Request::from_json(
+            &Json::parse(r#"{"kind":"solve","scenario":"x","solver":"quantum"}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("quantum"), "{e}");
     }
 }

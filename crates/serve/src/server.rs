@@ -21,7 +21,7 @@
 
 use crate::engine::{solution_response, Engine};
 use crate::json::{obj, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{LatencyPath, Metrics};
 use crate::protocol::{
     error_response, shed_response, write_frame, FrameError, Request, SolveRequest, MAX_FRAME_BYTES,
 };
@@ -258,6 +258,9 @@ fn run_solve(shared: &Shared, req: &SolveRequest) -> Json {
             if disposition == crate::engine::Disposition::Coalesced {
                 shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
             }
+            if solution.solve_stats.method.label() == "spectral" {
+                shared.metrics.solved_spectral.fetch_add(1, Ordering::Relaxed);
+            }
             let name = match &req.scenario {
                 crate::protocol::ScenarioSource::Named(n) => n.clone(),
                 crate::protocol::ScenarioSource::Inline(_) => "inline".to_owned(),
@@ -404,9 +407,8 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 let response = admit_solve(shared, req);
                 let ok = response.get("code").and_then(Json::as_u64) == Some(200);
                 if ok {
-                    shared.metrics.record_latency_ns(
-                        received.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
-                    );
+                    let ns = received.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    shared.metrics.record_path_latency_ns(response_path(&response), ns);
                 }
                 if !respond(&mut stream, &response) {
                     return;
@@ -416,6 +418,22 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         if shared.draining() {
             return;
         }
+    }
+}
+
+/// Classifies a `200` solve response into its latency path. Spectral solves
+/// get their own bucket regardless of cache disposition — their cost profile
+/// (O(n log n) evaluation against a prebuilt response) matches neither a hit
+/// nor a cold iterative solve.
+fn response_path(response: &Json) -> LatencyPath {
+    let method = response.get("solver").and_then(|s| s.get("method")).and_then(Json::as_str);
+    if method == Some("spectral") {
+        return LatencyPath::Spectral;
+    }
+    match response.get("cache").and_then(Json::as_str) {
+        Some("hit") => LatencyPath::Hit,
+        Some("coalesced") => LatencyPath::Coalesced,
+        _ => LatencyPath::Miss,
     }
 }
 
@@ -459,6 +477,7 @@ fn stats_response(shared: &Shared) -> Json {
                 ("total", count(&m.requests)),
                 ("solved", count(&m.solved)),
                 ("coalesced", count(&m.coalesced)),
+                ("solved_spectral", count(&m.solved_spectral)),
                 ("shed_queue_full", count(&m.shed_queue_full)),
                 ("shed_deadline", count(&m.shed_deadline)),
                 ("protocol_errors", count(&m.protocol_errors)),
@@ -476,6 +495,26 @@ fn stats_response(shared: &Shared) -> Json {
             ]),
         ),
         (
+            "latency_by_path_ms",
+            Json::Obj(
+                LatencyPath::ALL
+                    .iter()
+                    .map(|&path| {
+                        let s = m.path_latency(path);
+                        (
+                            path.token().to_owned(),
+                            obj([
+                                ("count", Json::Num(s.count as f64)),
+                                ("p50", Json::Num(ms(s.p50_ns))),
+                                ("p99", Json::Num(ms(s.p99_ns))),
+                                ("max", Json::Num(ms(s.max_ns))),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "cache",
             obj([
                 ("hits", Json::Num(c.hits as f64)),
@@ -485,6 +524,16 @@ fn stats_response(shared: &Shared) -> Json {
                 ("capacity", Json::Num(c.capacity as f64)),
             ]),
         ),
+        ("response_cache", {
+            let rc = hotiron_thermal::greens::ResponseCache::process().counters();
+            obj([
+                ("hits", Json::Num(rc.hits as f64)),
+                ("misses", Json::Num(rc.misses as f64)),
+                ("evictions", Json::Num(rc.evictions as f64)),
+                ("len", Json::Num(rc.len as f64)),
+                ("capacity", Json::Num(rc.capacity as f64)),
+            ])
+        }),
         (
             "pool",
             obj([

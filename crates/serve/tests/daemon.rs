@@ -22,6 +22,7 @@ fn solve(name: &str) -> Request {
         power_w: None,
         deadline_ms: None,
         blocks: true,
+        solver: None,
     })
 }
 
@@ -43,6 +44,7 @@ fn slow_inline() -> Request {
         power_w: None,
         deadline_ms: None,
         blocks: false,
+        solver: None,
     })
 }
 
@@ -79,6 +81,53 @@ fn daemon_answers_solves_with_block_reports_and_stats() {
         stats.get("latency_ms").and_then(|l| l.get("count")).and_then(Json::as_u64),
         Some(2)
     );
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn spectral_solves_are_served_counted_and_binned_separately() {
+    let handle = spawn(ServerConfig::default()).expect("bind");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let mut req = solve("bare-die-forced-air");
+    if let Request::Solve(s) = &mut req {
+        s.solver = Some(hotiron_bench::scenario::SolverSpec::Spectral);
+    }
+    for _ in 0..2 {
+        let resp = client.request(&req).expect("solve");
+        assert_eq!(code(&resp), 200, "{}", resp.render());
+        assert_eq!(
+            resp.get("solver").and_then(|s| s.get("method")).and_then(Json::as_str),
+            Some("spectral"),
+            "{}",
+            resp.render()
+        );
+    }
+
+    // Spectral against an ineligible stack: 422 naming the reason, not 500.
+    let mut bad = solve("paper-oil");
+    if let Request::Solve(s) = &mut bad {
+        s.solver = Some(hotiron_bench::scenario::SolverSpec::Spectral);
+    }
+    let resp = client.request(&bad).expect("answered");
+    assert_eq!(code(&resp), 422, "{}", resp.render());
+    let msg = resp.get("error").and_then(Json::as_str).expect("error message");
+    assert!(msg.contains("spectral solver ineligible"), "{msg}");
+
+    let stats = client.request(&Request::Stats).expect("stats");
+    let req_section = stats.get("requests").expect("requests section");
+    assert_eq!(req_section.get("solved_spectral").and_then(Json::as_u64), Some(2));
+    let by_path = stats.get("latency_by_path_ms").expect("per-path latency section");
+    assert_eq!(
+        by_path.get("spectral").and_then(|p| p.get("count")).and_then(Json::as_u64),
+        Some(2),
+        "{}",
+        stats.render()
+    );
+    let rc = stats.get("response_cache").expect("spectral response cache section");
+    assert!(rc.get("misses").and_then(Json::as_u64).unwrap_or(0) >= 1, "{}", stats.render());
 
     handle.shutdown_and_join();
 }
@@ -133,6 +182,7 @@ fn overload_sheds_queue_full_and_deadline_but_always_answers() {
         power_w: None,
         deadline_ms: Some(1),
         blocks: false,
+        solver: None,
     });
     write_frame(&mut conn_d, deadline_req.to_json().render().as_bytes()).expect("send D");
     thread::sleep(Duration::from_millis(50));

@@ -43,6 +43,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::cholesky::LdlFactor;
 use crate::convection::LaminarFlow;
+use crate::greens;
 use crate::multigrid::{MgOptions, Multigrid};
 use crate::package::Package;
 use crate::sparse::{CsrMatrix, TripletMatrix};
@@ -93,6 +94,12 @@ pub struct ThermalCircuit {
     /// shared through the [`CircuitCache`] amortize one factorization over
     /// every request that solves them directly.
     ldlt: OnceLock<Option<LdlFactor>>,
+    /// Lazily resolved spectral backend for this circuit: the shared
+    /// [`greens::ResponseCache`] entry when the circuit qualifies, or the
+    /// [`greens::Ineligible`] reason when it does not. The `f64` is the
+    /// response build time charged to the solve that triggered it (0.0 on a
+    /// cache hit), mirroring `multigrid_with_setup`.
+    spectral: OnceLock<Result<(Arc<greens::SpectralResponse>, f64), greens::Ineligible>>,
 }
 
 impl ThermalCircuit {
@@ -178,6 +185,39 @@ impl ThermalCircuit {
         let built_now = self.ldlt.get().is_none();
         let slot = self.ldlt.get_or_init(|| LdlFactor::factor(&self.g).ok());
         slot.as_ref().map(|f| (f, if built_now { f.factor_seconds() } else { 0.0 }))
+    }
+
+    /// The spectral (Green's-function) backend for this circuit, when it
+    /// qualifies. The response is fetched from the process-wide
+    /// [`greens::ResponseCache`] on first use and pinned here, so repeated
+    /// solves of a shared circuit skip even the cache lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`greens::Ineligible`] explaining why this circuit cannot use the
+    /// spectral path (also memoized — the qualification walk runs once).
+    pub fn spectral(&self) -> Result<&Arc<greens::SpectralResponse>, &greens::Ineligible> {
+        self.spectral_with_setup().map(|(resp, _)| resp)
+    }
+
+    /// Like [`spectral`](Self::spectral), additionally reporting the
+    /// response build time in seconds — nonzero only when this call caused
+    /// the response to be precomputed (a [`greens::ResponseCache`] miss), so
+    /// callers charge it to their `SolveStats` exactly once.
+    pub fn spectral_with_setup(
+        &self,
+    ) -> Result<(&Arc<greens::SpectralResponse>, f64), &greens::Ineligible> {
+        let built_now = self.spectral.get().is_none();
+        let slot = self.spectral.get_or_init(|| {
+            let params = greens::SpectralParams::from_circuit(self)?;
+            let (resp, hit) = greens::ResponseCache::process().get_or_build(params);
+            let setup = if hit { 0.0 } else { resp.build_seconds() };
+            Ok((resp, setup))
+        });
+        match slot {
+            Ok((resp, setup)) => Ok((resp, if built_now { *setup } else { 0.0 })),
+            Err(e) => Err(e),
+        }
     }
 
     /// Builds the full right-hand side `P + G_amb·T_amb` from per-cell
@@ -721,6 +761,7 @@ fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> Ther
         cols,
         mg: OnceLock::new(),
         ldlt: OnceLock::new(),
+        spectral: OnceLock::new(),
     }
 }
 

@@ -1,0 +1,1214 @@
+//! Dependency-free iterative FFT and fast cosine transforms.
+//!
+//! The spectral steady-state backend ([`crate::greens`]) needs unnormalized
+//! DCT-II / inverse pairs along both axes of a row-major grid: the DCT-II
+//! basis `cos(πk(2n+1)/(2N))` diagonalizes the half-sample-mirrored Neumann
+//! Laplacian that [`crate::circuit`] stamps for adiabatic lateral edges.
+//! Everything here is plain `f64` slices — no complex type, no external
+//! crates, and no allocation after plan construction ([`FftPlan::new`] /
+//! [`Dct2::new`] precompute twiddle, bit-reversal and reorder tables; the
+//! per-call buffers live in a caller-owned [`Dct2Scratch`]).
+//!
+//! The cosine transforms run through one complex FFT of the *same* length
+//! via the Makhoul even/odd reordering, and two real rows share each
+//! complex transform (packed as real/imaginary parts, separated afterwards
+//! by Hermitian symmetry), so a 2-D pass over `R` rows costs `R/2` complex
+//! FFTs. Row pairs are independent, and the pool partition is fixed by row
+//! index (never by thread count), so results are bitwise identical at any
+//! `HOTIRON_THREADS` — same convention as the kernels in [`crate::pool`].
+//!
+//! The butterfly core is mixed-radix: a multiply-free radix-4 leaf covers
+//! the first two stages, and on x86-64 with AVX2+FMA (one cached runtime
+//! probe; the scalar path is the fallback and the reference) the remaining
+//! stages run four modes per vector, pairwise-fused into radix-4 passes.
+//! The Makhoul pack/unpack, quarter-wave twiddle passes, and the 2-D
+//! transpose have matching vector kernels.
+
+use crate::pool;
+use std::sync::Arc;
+
+/// Row pairs handled per pool task in the 2-D passes: big enough to
+/// amortize dispatch, small enough to load-balance a 1-thread pool's
+/// cooperating caller against worker threads.
+const PAIRS_PER_TASK: usize = 8;
+
+/// Precomputed tables for one transform length (a power of two).
+///
+/// Holds the radix-2 twiddles (per-stage, contiguous in access order), the
+/// bit-reversal permutation, and the quarter-wave twiddles `e^{±iπk/(2N)}`
+/// used by the DCT-II post-pass / DCT-III pre-pass.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation as its transposition list (`i < r` pairs
+    /// only), so the permute pass touches exactly the elements that move.
+    swaps: Vec<(u32, u32)>,
+    /// Stage-concatenated forward twiddles `e^{-iπj/half}`: for the stage
+    /// with half-block `h`, entries `h-1 .. 2h-1` hold `j = 0..h`.
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+    /// `cos(πk/(2n))`, `sin(πk/(2n))` for `k in 0..n`.
+    ct: Vec<f64>,
+    st: Vec<f64>,
+}
+
+impl FftPlan {
+    /// Builds tables for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two (including `1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        if n > 1 {
+            for i in 0..n {
+                let r = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+                if i < r {
+                    swaps.push((i as u32, r as u32));
+                }
+            }
+        }
+        // One entry per butterfly column across all stages: n - 1 total.
+        let mut tw_re = Vec::with_capacity(n.saturating_sub(1));
+        let mut tw_im = Vec::with_capacity(n.saturating_sub(1));
+        let mut half = 1;
+        while half < n {
+            for j in 0..half {
+                let angle = -std::f64::consts::PI * j as f64 / half as f64;
+                tw_re.push(angle.cos());
+                tw_im.push(angle.sin());
+            }
+            half *= 2;
+        }
+        let (ct, st) = (0..n)
+            .map(|k| {
+                let a = std::f64::consts::PI * k as f64 / (2.0 * n as f64);
+                (a.cos(), a.sin())
+            })
+            .unzip();
+        Self { n, swaps, tw_re, tw_im, ct, st }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    fn permute(&self, re: &mut [f64], im: &mut [f64]) {
+        for &(i, r) in &self.swaps {
+            re.swap(i as usize, r as usize);
+            im.swap(i as usize, r as usize);
+        }
+    }
+
+    /// In-place forward DFT `X[k] = Σ x[j]·e^{-2πijk/n}` over split
+    /// real/imaginary slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan length.
+    pub fn forward(&self, re: &mut [f64], im: &mut [f64]) {
+        assert_eq!(re.len(), self.n);
+        assert_eq!(im.len(), self.n);
+        self.permute(re, im);
+        self.stages::<false>(re, im);
+    }
+
+    /// In-place inverse DFT with `1/n` scaling: `inverse(forward(x)) = x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan length.
+    pub fn inverse(&self, re: &mut [f64], im: &mut [f64]) {
+        assert_eq!(re.len(), self.n);
+        assert_eq!(im.len(), self.n);
+        self.inverse_unscaled(re, im);
+        let scale = 1.0 / self.n as f64;
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+            *r *= scale;
+            *i *= scale;
+        }
+    }
+
+    /// Inverse DFT without the `1/n` normalization: [`idct2_pair`] folds the
+    /// scale into its interleaving pass instead of paying a separate sweep.
+    ///
+    /// [`idct2_pair`]: FftPlan::idct2_pair
+    fn inverse_unscaled(&self, re: &mut [f64], im: &mut [f64]) {
+        self.permute(re, im);
+        self.stages::<true>(re, im);
+    }
+
+    /// Butterfly stages after the bit-reversal permute. `CONJ` selects the
+    /// conjugated (inverse) twiddles. The first two stages have trivial
+    /// twiddles `{1, ∓i}` and fuse into one multiply-free radix-4 leaf;
+    /// stages with `half ≥ 4` run the AVX2+FMA kernel when the CPU has it
+    /// (one runtime check, cached) and a scalar loop otherwise.
+    fn stages<const CONJ: bool>(&self, re: &mut [f64], im: &mut [f64]) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        if n == 2 {
+            let (r0, r1) = (re[0], re[1]);
+            let (i0, i1) = (im[0], im[1]);
+            re[0] = r0 + r1;
+            re[1] = r0 - r1;
+            im[0] = i0 + i1;
+            im[1] = i0 - i1;
+            return;
+        }
+        radix4_leaf::<CONJ>(re, im);
+        let mut half = 4;
+        let mut toff = 3;
+        let wide = avx2_fma_available();
+        while half < n {
+            #[cfg(target_arch = "x86_64")]
+            if wide {
+                // Safety: gated on the cached runtime AVX2+FMA probe.
+                if half * 2 < n {
+                    // Fuse two consecutive radix-2 stages (`half`, `2·half`)
+                    // into one radix-4 pass: the `2·half` stage only needs
+                    // its first `half` twiddles (the rest are `-i` rotations
+                    // applied in-register).
+                    let q = half;
+                    unsafe {
+                        x86::stage4::<CONJ>(
+                            re,
+                            im,
+                            q,
+                            &self.tw_re[q - 1..2 * q - 1],
+                            &self.tw_im[q - 1..2 * q - 1],
+                            &self.tw_re[2 * q - 1..3 * q - 1],
+                            &self.tw_im[2 * q - 1..3 * q - 1],
+                        )
+                    };
+                    half *= 4;
+                    toff = half - 1;
+                } else {
+                    let twr = &self.tw_re[toff..toff + half];
+                    let twi = &self.tw_im[toff..toff + half];
+                    unsafe { x86::stage::<CONJ>(re, im, half, twr, twi) };
+                    toff += half;
+                    half *= 2;
+                }
+                continue;
+            }
+            let _ = wide;
+            let twr = &self.tw_re[toff..toff + half];
+            let twi = &self.tw_im[toff..toff + half];
+            stage_scalar::<CONJ>(re, im, half, twr, twi);
+            toff += half;
+            half *= 2;
+        }
+    }
+
+    /// Unnormalized DCT-II of two rows at once:
+    /// `X[k] = Σ_j x[j]·cos(πk(2j+1)/(2n))`, written back over `a` and `b`.
+    ///
+    /// `cr`/`ci` are length-`n` work buffers (the packed complex transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the plan length.
+    pub fn dct2_pair(&self, a: &mut [f64], b: &mut [f64], cr: &mut [f64], ci: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(a.len(), n);
+        assert_eq!(b.len(), n);
+        if n == 1 {
+            return; // X[0] = x[0]
+        }
+        let wide = n >= 8 && avx2_fma_available();
+        // Makhoul reordering: evens ascending, odds descending.
+        #[cfg(target_arch = "x86_64")]
+        if wide {
+            // Safety: gated on the cached runtime AVX2+FMA probe; n ≥ 8.
+            unsafe {
+                x86::makhoul_pack(a, b, cr, ci);
+                self.forward(cr, ci);
+                x86::dct2_post(a, b, cr, ci, &self.ct, &self.st);
+            }
+            return;
+        }
+        let _ = wide;
+        for j in 0..n / 2 {
+            cr[j] = a[2 * j];
+            ci[j] = b[2 * j];
+            cr[n - 1 - j] = a[2 * j + 1];
+            ci[n - 1 - j] = b[2 * j + 1];
+        }
+        self.forward(cr, ci);
+        // Split the packed spectrum by Hermitian symmetry and apply the
+        // quarter-wave post-twiddle; k and n-k come from the same V[k].
+        dct2_post_scalar(a, b, cr, ci, &self.ct, &self.st);
+    }
+
+    /// Exact inverse of [`dct2_pair`] (a scaled DCT-III), two spectra at
+    /// once, written back over `a` and `b`:
+    /// `x[j] = X[0]/n + (2/n)·Σ_{k≥1} X[k]·cos(πk(2j+1)/(2n))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the plan length.
+    ///
+    /// [`dct2_pair`]: FftPlan::dct2_pair
+    pub fn idct2_pair(&self, a: &mut [f64], b: &mut [f64], cr: &mut [f64], ci: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(a.len(), n);
+        assert_eq!(b.len(), n);
+        if n == 1 {
+            return;
+        }
+        // Rebuild the packed spectrum: V[k] = (X[k] - i·X[n-k])·e^{iπk/(2n)},
+        // U = V_a + i·V_b.
+        cr[0] = a[0];
+        ci[0] = b[0];
+        let scale = 1.0 / n as f64;
+        let wide = n >= 8 && avx2_fma_available();
+        #[cfg(target_arch = "x86_64")]
+        if wide {
+            // Safety: gated on the cached runtime AVX2+FMA probe; n ≥ 8.
+            unsafe {
+                x86::idct2_pre(a, b, cr, ci, &self.ct, &self.st);
+                self.inverse_unscaled(cr, ci);
+                x86::makhoul_unpack_scaled(cr, ci, a, b, scale);
+            }
+            return;
+        }
+        let _ = wide;
+        idct2_pre_scalar(a, b, cr, ci, &self.ct, &self.st);
+        self.inverse_unscaled(cr, ci);
+        for j in 0..n / 2 {
+            a[2 * j] = scale * cr[j];
+            b[2 * j] = scale * ci[j];
+            a[2 * j + 1] = scale * cr[n - 1 - j];
+            b[2 * j + 1] = scale * ci[n - 1 - j];
+        }
+    }
+}
+
+/// Fused first two butterfly stages (`half = 1` and `half = 2`) over
+/// bit-reversed data: every twiddle is `1` or `∓i`, so a 4-point DFT per
+/// block needs no multiplies at all.
+fn radix4_leaf<const CONJ: bool>(re: &mut [f64], im: &mut [f64]) {
+    for (r, i) in re.chunks_exact_mut(4).zip(im.chunks_exact_mut(4)) {
+        let (r0, r1) = (r[0] + r[1], r[0] - r[1]);
+        let (i0, i1) = (i[0] + i[1], i[0] - i[1]);
+        let (r2, r3) = (r[2] + r[3], r[2] - r[3]);
+        let (i2, i3) = (i[2] + i[3], i[2] - i[3]);
+        r[0] = r0 + r2;
+        i[0] = i0 + i2;
+        r[2] = r0 - r2;
+        i[2] = i0 - i2;
+        if CONJ {
+            r[1] = r1 - i3;
+            i[1] = i1 + r3;
+            r[3] = r1 + i3;
+            i[3] = i1 - r3;
+        } else {
+            r[1] = r1 + i3;
+            i[1] = i1 - r3;
+            r[3] = r1 - i3;
+            i[3] = i1 + r3;
+        }
+    }
+}
+
+/// Portable butterfly stage for `half ≥ 4`: the fallback when the CPU lacks
+/// AVX2/FMA (and the reference the SIMD kernel is tested against).
+fn stage_scalar<const CONJ: bool>(
+    re: &mut [f64],
+    im: &mut [f64],
+    half: usize,
+    twr: &[f64],
+    twi: &[f64],
+) {
+    let len = half * 2;
+    for (br, bi) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
+        let (ar, cr) = br.split_at_mut(half);
+        let (ai, ci) = bi.split_at_mut(half);
+        for j in 0..half {
+            let (wr, wi) = if CONJ { (twr[j], -twi[j]) } else { (twr[j], twi[j]) };
+            let xr = cr[j] * wr - ci[j] * wi;
+            let xi = cr[j] * wi + ci[j] * wr;
+            cr[j] = ar[j] - xr;
+            ci[j] = ai[j] - xi;
+            ar[j] += xr;
+            ai[j] += xi;
+        }
+    }
+}
+
+/// DCT-II post-pass: splits the packed length-`n` spectrum `cr + i·ci` by
+/// Hermitian symmetry and applies the quarter-wave twiddle, writing the two
+/// real spectra over `a` and `b`. `k` and `n-k` come from the same `V[k]`.
+fn dct2_post_scalar(a: &mut [f64], b: &mut [f64], cr: &[f64], ci: &[f64], ct: &[f64], st: &[f64]) {
+    let n = a.len();
+    let h = n / 2;
+    a[0] = cr[0];
+    b[0] = ci[0];
+    a[h] = ct[h] * cr[h];
+    b[h] = ct[h] * ci[h];
+    for k in 1..h {
+        let nk = n - k;
+        let va_re = 0.5 * (cr[k] + cr[nk]);
+        let va_im = 0.5 * (ci[k] - ci[nk]);
+        let vb_re = 0.5 * (ci[k] + ci[nk]);
+        let vb_im = 0.5 * (cr[nk] - cr[k]);
+        a[k] = ct[k] * va_re + st[k] * va_im;
+        b[k] = ct[k] * vb_re + st[k] * vb_im;
+        a[nk] = ct[nk] * va_re - st[nk] * va_im;
+        b[nk] = ct[nk] * vb_re - st[nk] * vb_im;
+    }
+}
+
+/// DCT-III pre-pass (`k in 1..n`; the caller seeds `k = 0`): rebuilds the
+/// packed spectrum from the two real spectra in `a` and `b`.
+fn idct2_pre_scalar(a: &[f64], b: &[f64], cr: &mut [f64], ci: &mut [f64], ct: &[f64], st: &[f64]) {
+    let n = a.len();
+    for k in 1..n {
+        let nk = n - k;
+        let va_re = a[k] * ct[k] + a[nk] * st[k];
+        let va_im = a[k] * st[k] - a[nk] * ct[k];
+        let vb_re = b[k] * ct[k] + b[nk] * st[k];
+        let vb_im = b[k] * st[k] - b[nk] * ct[k];
+        cr[k] = va_re - vb_im;
+        ci[k] = va_im + vb_re;
+    }
+}
+
+/// Cached runtime probe for the AVX2+FMA butterfly kernel. The choice is
+/// per-process and identical on every thread, so thread-count determinism
+/// is unaffected.
+fn avx2_fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static PROBE: OnceLock<bool> = OnceLock::new();
+        *PROBE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2+FMA butterfly stage: four modes per vector, contiguous loads
+    //! (`half ≥ 4` keeps every lane in-bounds with no remainder loop).
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 and FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn stage<const CONJ: bool>(
+        re: &mut [f64],
+        im: &mut [f64],
+        half: usize,
+        twr: &[f64],
+        twi: &[f64],
+    ) {
+        debug_assert!(half >= 4 && half.is_multiple_of(4));
+        debug_assert_eq!(twr.len(), half);
+        debug_assert_eq!(twi.len(), half);
+        let len = half * 2;
+        let blocks = re.len() / len;
+        for b in 0..blocks {
+            let base = b * len;
+            let mut j = 0;
+            while j < half {
+                let ar = _mm256_loadu_pd(re.as_ptr().add(base + j));
+                let ai = _mm256_loadu_pd(im.as_ptr().add(base + j));
+                let cr = _mm256_loadu_pd(re.as_ptr().add(base + half + j));
+                let ci = _mm256_loadu_pd(im.as_ptr().add(base + half + j));
+                let wr = _mm256_loadu_pd(twr.as_ptr().add(j));
+                let wi = _mm256_loadu_pd(twi.as_ptr().add(j));
+                // x = c·w (w conjugated on the inverse path).
+                let (xr, xi) = if CONJ {
+                    (
+                        _mm256_fmadd_pd(ci, wi, _mm256_mul_pd(cr, wr)),
+                        _mm256_fmsub_pd(ci, wr, _mm256_mul_pd(cr, wi)),
+                    )
+                } else {
+                    (
+                        _mm256_fmsub_pd(cr, wr, _mm256_mul_pd(ci, wi)),
+                        _mm256_fmadd_pd(cr, wi, _mm256_mul_pd(ci, wr)),
+                    )
+                };
+                _mm256_storeu_pd(re.as_mut_ptr().add(base + half + j), _mm256_sub_pd(ar, xr));
+                _mm256_storeu_pd(im.as_mut_ptr().add(base + half + j), _mm256_sub_pd(ai, xi));
+                _mm256_storeu_pd(re.as_mut_ptr().add(base + j), _mm256_add_pd(ar, xr));
+                _mm256_storeu_pd(im.as_mut_ptr().add(base + j), _mm256_add_pd(ai, xi));
+                j += 4;
+            }
+        }
+    }
+
+    /// Reverses the four lanes of a vector.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rev(v: __m256d) -> __m256d {
+        _mm256_permute4x64_pd(v, 0x1B)
+    }
+
+    /// Complex multiply `x·w` (four lanes); `CONJ` conjugates `w`.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn cmul<const CONJ: bool>(
+        xr: __m256d,
+        xi: __m256d,
+        wr: __m256d,
+        wi: __m256d,
+    ) -> (__m256d, __m256d) {
+        if CONJ {
+            (
+                _mm256_fmadd_pd(xi, wi, _mm256_mul_pd(xr, wr)),
+                _mm256_fmsub_pd(xi, wr, _mm256_mul_pd(xr, wi)),
+            )
+        } else {
+            (
+                _mm256_fmsub_pd(xr, wr, _mm256_mul_pd(xi, wi)),
+                _mm256_fmadd_pd(xr, wi, _mm256_mul_pd(xi, wr)),
+            )
+        }
+    }
+
+    /// Fused pair of radix-2 stages (`half = q` then `half = 2q`) over
+    /// blocks of `4q`: one pass over the data instead of two. Writing
+    /// `W1[j] = e^{∓iπj/q}`, `W2[j] = e^{∓iπj/(2q)}`, the `2q`-stage twiddle
+    /// for the upper half is `W2[q+j] = ∓i·W2[j]`, folded into a lane swap.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA verified at runtime; `q ≥ 4` and a multiple of 4; twiddle
+    /// slices hold `q` entries each.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn stage4<const CONJ: bool>(
+        re: &mut [f64],
+        im: &mut [f64],
+        q: usize,
+        tw1r: &[f64],
+        tw1i: &[f64],
+        tw2r: &[f64],
+        tw2i: &[f64],
+    ) {
+        debug_assert!(q >= 4 && q.is_multiple_of(4));
+        debug_assert!(tw1r.len() == q && tw2r.len() == q);
+        let len = 4 * q;
+        let blocks = re.len() / len;
+        for blk in 0..blocks {
+            let base = blk * len;
+            let mut j = 0;
+            while j < q {
+                let w1r = _mm256_loadu_pd(tw1r.as_ptr().add(j));
+                let w1i = _mm256_loadu_pd(tw1i.as_ptr().add(j));
+                let w2r = _mm256_loadu_pd(tw2r.as_ptr().add(j));
+                let w2i = _mm256_loadu_pd(tw2i.as_ptr().add(j));
+                let ar = _mm256_loadu_pd(re.as_ptr().add(base + j));
+                let ai = _mm256_loadu_pd(im.as_ptr().add(base + j));
+                let br = _mm256_loadu_pd(re.as_ptr().add(base + q + j));
+                let bi = _mm256_loadu_pd(im.as_ptr().add(base + q + j));
+                let cr = _mm256_loadu_pd(re.as_ptr().add(base + 2 * q + j));
+                let ci = _mm256_loadu_pd(im.as_ptr().add(base + 2 * q + j));
+                let dr = _mm256_loadu_pd(re.as_ptr().add(base + 3 * q + j));
+                let di = _mm256_loadu_pd(im.as_ptr().add(base + 3 * q + j));
+                // First stage: butterflies (A, B) and (C, D) with W1.
+                let (tbr, tbi) = cmul::<CONJ>(br, bi, w1r, w1i);
+                let (tdr, tdi) = cmul::<CONJ>(dr, di, w1r, w1i);
+                let a1r = _mm256_add_pd(ar, tbr);
+                let a1i = _mm256_add_pd(ai, tbi);
+                let b1r = _mm256_sub_pd(ar, tbr);
+                let b1i = _mm256_sub_pd(ai, tbi);
+                let c1r = _mm256_add_pd(cr, tdr);
+                let c1i = _mm256_add_pd(ci, tdi);
+                let d1r = _mm256_sub_pd(cr, tdr);
+                let d1i = _mm256_sub_pd(ci, tdi);
+                // Second stage: (A1, C1) with W2[j], (B1, D1) with ∓i·W2[j].
+                let (ur, ui) = cmul::<CONJ>(c1r, c1i, w2r, w2i);
+                let (sr, si) = cmul::<CONJ>(d1r, d1i, w2r, w2i);
+                let (vr, vi) = if CONJ {
+                    (_mm256_sub_pd(_mm256_setzero_pd(), si), sr)
+                } else {
+                    (si, _mm256_sub_pd(_mm256_setzero_pd(), sr))
+                };
+                _mm256_storeu_pd(re.as_mut_ptr().add(base + j), _mm256_add_pd(a1r, ur));
+                _mm256_storeu_pd(im.as_mut_ptr().add(base + j), _mm256_add_pd(a1i, ui));
+                _mm256_storeu_pd(re.as_mut_ptr().add(base + q + j), _mm256_add_pd(b1r, vr));
+                _mm256_storeu_pd(im.as_mut_ptr().add(base + q + j), _mm256_add_pd(b1i, vi));
+                _mm256_storeu_pd(re.as_mut_ptr().add(base + 2 * q + j), _mm256_sub_pd(a1r, ur));
+                _mm256_storeu_pd(im.as_mut_ptr().add(base + 2 * q + j), _mm256_sub_pd(a1i, ui));
+                _mm256_storeu_pd(re.as_mut_ptr().add(base + 3 * q + j), _mm256_sub_pd(b1r, vr));
+                _mm256_storeu_pd(im.as_mut_ptr().add(base + 3 * q + j), _mm256_sub_pd(b1i, vi));
+                j += 4;
+            }
+        }
+    }
+
+    /// Makhoul reordering of two real rows into one packed complex row:
+    /// evens ascending at the front, odds descending at the back.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA verified at runtime; `n = a.len()` must be ≥ 8 (so `n/2` is
+    /// a multiple of 4).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn makhoul_pack(a: &[f64], b: &[f64], cr: &mut [f64], ci: &mut [f64]) {
+        let n = a.len();
+        debug_assert!(n >= 8 && n.is_multiple_of(8));
+        let h = n / 2;
+        let mut j = 0;
+        while j < h {
+            for (src, dst) in [(a.as_ptr(), cr.as_mut_ptr()), (b.as_ptr(), ci.as_mut_ptr())] {
+                let v0 = _mm256_loadu_pd(src.add(2 * j));
+                let v1 = _mm256_loadu_pd(src.add(2 * j + 4));
+                let t0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+                let t1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+                let evens = _mm256_unpacklo_pd(t0, t1);
+                let odds = _mm256_unpackhi_pd(t0, t1);
+                _mm256_storeu_pd(dst.add(j), evens);
+                _mm256_storeu_pd(dst.add(n - 4 - j), rev(odds));
+            }
+            j += 4;
+        }
+    }
+
+    /// Inverse of [`makhoul_pack`]: interleaves the packed complex row back
+    /// into two real rows, folding in the deferred `1/n` FFT normalization.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`makhoul_pack`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn makhoul_unpack_scaled(
+        cr: &[f64],
+        ci: &[f64],
+        a: &mut [f64],
+        b: &mut [f64],
+        scale: f64,
+    ) {
+        let n = a.len();
+        debug_assert!(n >= 8 && n.is_multiple_of(8));
+        let h = n / 2;
+        let sc = _mm256_set1_pd(scale);
+        let mut j = 0;
+        while j < h {
+            for (src, dst) in [(cr.as_ptr(), a.as_mut_ptr()), (ci.as_ptr(), b.as_mut_ptr())] {
+                let evens = _mm256_mul_pd(sc, _mm256_loadu_pd(src.add(j)));
+                let odds = rev(_mm256_mul_pd(sc, _mm256_loadu_pd(src.add(n - 4 - j))));
+                let lo = _mm256_unpacklo_pd(evens, odds);
+                let hi = _mm256_unpackhi_pd(evens, odds);
+                _mm256_storeu_pd(dst.add(2 * j), _mm256_permute2f128_pd(lo, hi, 0x20));
+                _mm256_storeu_pd(dst.add(2 * j + 4), _mm256_permute2f128_pd(lo, hi, 0x31));
+            }
+            j += 4;
+        }
+    }
+
+    /// Vector form of [`super::dct2_post_scalar`]: the `k`-side runs forward
+    /// loads, the `n-k` side reversed loads/stores; the two never overlap
+    /// because `k < n/2 < n-k`.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA verified at runtime; all six slices share `a.len() = n ≥ 8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dct2_post(
+        a: &mut [f64],
+        b: &mut [f64],
+        cr: &[f64],
+        ci: &[f64],
+        ct: &[f64],
+        st: &[f64],
+    ) {
+        let n = a.len();
+        let h = n / 2;
+        a[0] = cr[0];
+        b[0] = ci[0];
+        a[h] = ct[h] * cr[h];
+        b[h] = ct[h] * ci[h];
+        let half_v = _mm256_set1_pd(0.5);
+        let mut k = 1;
+        while k < h.min(4) {
+            let nk = n - k;
+            let va_re = 0.5 * (cr[k] + cr[nk]);
+            let va_im = 0.5 * (ci[k] - ci[nk]);
+            let vb_re = 0.5 * (ci[k] + ci[nk]);
+            let vb_im = 0.5 * (cr[nk] - cr[k]);
+            a[k] = ct[k] * va_re + st[k] * va_im;
+            b[k] = ct[k] * vb_re + st[k] * vb_im;
+            a[nk] = ct[nk] * va_re - st[nk] * va_im;
+            b[nk] = ct[nk] * vb_re - st[nk] * vb_im;
+            k += 1;
+        }
+        k = 4;
+        while k + 4 <= h {
+            let rk = _mm256_loadu_pd(cr.as_ptr().add(k));
+            let ik = _mm256_loadu_pd(ci.as_ptr().add(k));
+            let rn = rev(_mm256_loadu_pd(cr.as_ptr().add(n - k - 3)));
+            let i_n = rev(_mm256_loadu_pd(ci.as_ptr().add(n - k - 3)));
+            let va_re = _mm256_mul_pd(half_v, _mm256_add_pd(rk, rn));
+            let va_im = _mm256_mul_pd(half_v, _mm256_sub_pd(ik, i_n));
+            let vb_re = _mm256_mul_pd(half_v, _mm256_add_pd(ik, i_n));
+            let vb_im = _mm256_mul_pd(half_v, _mm256_sub_pd(rn, rk));
+            let ctk = _mm256_loadu_pd(ct.as_ptr().add(k));
+            let stk = _mm256_loadu_pd(st.as_ptr().add(k));
+            let ctn = rev(_mm256_loadu_pd(ct.as_ptr().add(n - k - 3)));
+            let stn = rev(_mm256_loadu_pd(st.as_ptr().add(n - k - 3)));
+            _mm256_storeu_pd(
+                a.as_mut_ptr().add(k),
+                _mm256_fmadd_pd(ctk, va_re, _mm256_mul_pd(stk, va_im)),
+            );
+            _mm256_storeu_pd(
+                b.as_mut_ptr().add(k),
+                _mm256_fmadd_pd(ctk, vb_re, _mm256_mul_pd(stk, vb_im)),
+            );
+            _mm256_storeu_pd(
+                a.as_mut_ptr().add(n - k - 3),
+                rev(_mm256_fmsub_pd(ctn, va_re, _mm256_mul_pd(stn, va_im))),
+            );
+            _mm256_storeu_pd(
+                b.as_mut_ptr().add(n - k - 3),
+                rev(_mm256_fmsub_pd(ctn, vb_re, _mm256_mul_pd(stn, vb_im))),
+            );
+            k += 4;
+        }
+    }
+
+    /// Vector form of [`super::idct2_pre_scalar`] (`k in 1..n`; caller seeds
+    /// `k = 0`). Reads `a`/`b` at `k` and `n-k`, writes only `cr[k]`/`ci[k]`
+    /// — distinct buffers, so the overlapping read window is harmless.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA verified at runtime; all six slices share `a.len() = n ≥ 8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn idct2_pre(
+        a: &[f64],
+        b: &[f64],
+        cr: &mut [f64],
+        ci: &mut [f64],
+        ct: &[f64],
+        st: &[f64],
+    ) {
+        let n = a.len();
+        let mut k = 1;
+        while k < 4 {
+            let nk = n - k;
+            let va_re = a[k] * ct[k] + a[nk] * st[k];
+            let va_im = a[k] * st[k] - a[nk] * ct[k];
+            let vb_re = b[k] * ct[k] + b[nk] * st[k];
+            let vb_im = b[k] * st[k] - b[nk] * ct[k];
+            cr[k] = va_re - vb_im;
+            ci[k] = va_im + vb_re;
+            k += 1;
+        }
+        k = 4;
+        while k + 4 <= n {
+            let ak = _mm256_loadu_pd(a.as_ptr().add(k));
+            let bk = _mm256_loadu_pd(b.as_ptr().add(k));
+            let an = rev(_mm256_loadu_pd(a.as_ptr().add(n - k - 3)));
+            let bn = rev(_mm256_loadu_pd(b.as_ptr().add(n - k - 3)));
+            let ctk = _mm256_loadu_pd(ct.as_ptr().add(k));
+            let stk = _mm256_loadu_pd(st.as_ptr().add(k));
+            let va_re = _mm256_fmadd_pd(ak, ctk, _mm256_mul_pd(an, stk));
+            let va_im = _mm256_fmsub_pd(ak, stk, _mm256_mul_pd(an, ctk));
+            let vb_re = _mm256_fmadd_pd(bk, ctk, _mm256_mul_pd(bn, stk));
+            let vb_im = _mm256_fmsub_pd(bk, stk, _mm256_mul_pd(bn, ctk));
+            _mm256_storeu_pd(cr.as_mut_ptr().add(k), _mm256_sub_pd(va_re, vb_im));
+            _mm256_storeu_pd(ci.as_mut_ptr().add(k), _mm256_add_pd(va_im, vb_re));
+            k += 4;
+        }
+    }
+
+    /// Cache-blocked transpose built from a 4×4 register micro-kernel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 verified at runtime; `rows` and `cols` multiples of 4 with
+    /// `src.len() = dst.len() = rows·cols`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn transpose4(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
+        const TILE: usize = 32;
+        debug_assert!(rows.is_multiple_of(4) && cols.is_multiple_of(4));
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + TILE).min(rows);
+            let mut c0 = 0;
+            while c0 < cols {
+                let c1 = (c0 + TILE).min(cols);
+                let mut r = r0;
+                while r < r1 {
+                    let mut c = c0;
+                    while c < c1 {
+                        let a0 = _mm256_loadu_pd(sp.add(r * cols + c));
+                        let a1 = _mm256_loadu_pd(sp.add((r + 1) * cols + c));
+                        let a2 = _mm256_loadu_pd(sp.add((r + 2) * cols + c));
+                        let a3 = _mm256_loadu_pd(sp.add((r + 3) * cols + c));
+                        let t0 = _mm256_unpacklo_pd(a0, a1);
+                        let t1 = _mm256_unpackhi_pd(a0, a1);
+                        let t2 = _mm256_unpacklo_pd(a2, a3);
+                        let t3 = _mm256_unpackhi_pd(a2, a3);
+                        _mm256_storeu_pd(
+                            dp.add(c * rows + r),
+                            _mm256_permute2f128_pd(t0, t2, 0x20),
+                        );
+                        _mm256_storeu_pd(
+                            dp.add((c + 1) * rows + r),
+                            _mm256_permute2f128_pd(t1, t3, 0x20),
+                        );
+                        _mm256_storeu_pd(
+                            dp.add((c + 2) * rows + r),
+                            _mm256_permute2f128_pd(t0, t2, 0x31),
+                        );
+                        _mm256_storeu_pd(
+                            dp.add((c + 3) * rows + r),
+                            _mm256_permute2f128_pd(t1, t3, 0x31),
+                        );
+                        c += 4;
+                    }
+                    r += 4;
+                }
+                c0 = c1;
+            }
+            r0 = r1;
+        }
+    }
+}
+
+/// Reusable buffers for the 2-D passes: one complex work pair per pool
+/// task plus a zero row for pairing an odd row count.
+#[derive(Debug)]
+pub struct Dct2Scratch {
+    /// Task-indexed complex work arena, `2·dim` per task.
+    arena: Vec<f64>,
+    /// Zero row used as the silent partner of an unpaired last row.
+    zero: Vec<f64>,
+    dim: usize,
+    tasks: usize,
+}
+
+/// 2-D separable DCT-II/inverse over a row-major `rows × cols` grid.
+///
+/// The forward transform leaves the spectrum *transposed* —
+/// `spec[kc·rows + kr]` where `kc` indexes frequency along x (columns) and
+/// `kr` along y (rows) — which is exactly the layout the per-mode solves in
+/// [`crate::greens`] consume; the inverse accepts that layout and restores
+/// row-major spatial data.
+#[derive(Debug, Clone)]
+pub struct Dct2 {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+/// Raw pointer wrapper marking the disjoint-slice hand-out below as safe to
+/// share across pool tasks (same pattern as `pool::SliceParts`).
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// wrapper, keeping the `Sync` impl in effect under RFC 2229 capture.
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+impl Dct2 {
+    /// Builds plans for a `rows × cols` grid (both powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are powers of two.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_plan: FftPlan::new(cols), col_plan: FftPlan::new(rows) }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Allocates scratch sized for this plan (reusable across calls).
+    pub fn scratch(&self) -> Dct2Scratch {
+        let dim = self.rows.max(self.cols);
+        let pairs = self.rows.max(self.cols).div_ceil(2);
+        let tasks = pairs.div_ceil(PAIRS_PER_TASK).max(1);
+        Dct2Scratch { arena: vec![0.0; 2 * dim * tasks], zero: vec![0.0; dim], dim, tasks }
+    }
+
+    /// One DCT pass along every length-`width` row of `data`
+    /// (`height × width`, row-major), parallel over row pairs.
+    fn pass(
+        &self,
+        plan: &FftPlan,
+        data: &mut [f64],
+        height: usize,
+        width: usize,
+        scratch: &mut Dct2Scratch,
+        inverse: bool,
+    ) {
+        debug_assert_eq!(data.len(), height * width);
+        debug_assert!(width <= scratch.dim);
+        let pairs = height.div_ceil(2);
+        let tasks = pairs.div_ceil(PAIRS_PER_TASK);
+        debug_assert!(tasks <= scratch.tasks);
+        let pool = pool::current();
+        let data_ptr = SendPtr(data.as_mut_ptr());
+        let arena_ptr = SendPtr(scratch.arena.as_mut_ptr());
+        let zero_ptr = SendPtr(scratch.zero.as_mut_ptr());
+        let arena_stride = 2 * scratch.dim;
+        pool.for_each_task(tasks, |t| {
+            // Safety: task `t` touches only rows `2·t·PAIRS_PER_TASK ..`
+            // of `data`, arena slot `t`, and (for the final odd row) the
+            // zero row — regions disjoint across tasks; the zero row is
+            // only reached by the last pair of the last task.
+            let (cr, ci) = unsafe {
+                let base = arena_ptr.get().add(t * arena_stride);
+                (
+                    std::slice::from_raw_parts_mut(base, width),
+                    std::slice::from_raw_parts_mut(base.add(scratch.dim), width),
+                )
+            };
+            let first = t * PAIRS_PER_TASK;
+            let last = ((t + 1) * PAIRS_PER_TASK).min(pairs);
+            for p in first..last {
+                let (a, b) = unsafe {
+                    let a =
+                        std::slice::from_raw_parts_mut(data_ptr.get().add(2 * p * width), width);
+                    let b = if 2 * p + 1 < height {
+                        std::slice::from_raw_parts_mut(
+                            data_ptr.get().add((2 * p + 1) * width),
+                            width,
+                        )
+                    } else {
+                        std::slice::from_raw_parts_mut(zero_ptr.get(), width)
+                    };
+                    (a, b)
+                };
+                if inverse {
+                    plan.idct2_pair(a, b, cr, ci);
+                } else {
+                    plan.dct2_pair(a, b, cr, ci);
+                }
+            }
+        });
+        if height % 2 == 1 {
+            // The zero row absorbed half a transform; re-zero for reuse.
+            scratch.zero[..width].fill(0.0);
+        }
+    }
+
+    /// Forward 2-D DCT-II: consumes row-major `src` (clobbered by the row
+    /// pass) and writes the transposed spectrum into `dst`
+    /// (`cols × rows`, `dst[kc·rows + kr]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `rows·cols`.
+    pub fn forward_into(&self, src: &mut [f64], dst: &mut [f64], scratch: &mut Dct2Scratch) {
+        let (r, c) = (self.rows, self.cols);
+        assert_eq!(src.len(), r * c);
+        assert_eq!(dst.len(), r * c);
+        self.pass(&self.row_plan, src, r, c, scratch, false);
+        transpose(src, dst, r, c);
+        self.pass(&self.col_plan, dst, c, r, scratch, false);
+    }
+
+    /// Inverse of [`forward_into`]: consumes the transposed spectrum in
+    /// `spec` (clobbered) and writes row-major spatial data into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `rows·cols`.
+    ///
+    /// [`forward_into`]: Dct2::forward_into
+    pub fn inverse_into(&self, spec: &mut [f64], dst: &mut [f64], scratch: &mut Dct2Scratch) {
+        let (r, c) = (self.rows, self.cols);
+        assert_eq!(spec.len(), r * c);
+        assert_eq!(dst.len(), r * c);
+        self.pass(&self.col_plan, spec, c, r, scratch, true);
+        transpose(spec, dst, c, r);
+        self.pass(&self.row_plan, dst, r, c, scratch, true);
+    }
+}
+
+/// Cache-blocked out-of-place transpose: `src` is `rows × cols`, `dst`
+/// becomes `cols × rows`. Dispatches to a 4×4 AVX micro-kernel when both
+/// dimensions allow it.
+fn transpose(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
+    const TILE: usize = 32;
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    #[cfg(target_arch = "x86_64")]
+    if rows.is_multiple_of(4) && cols.is_multiple_of(4) && avx2_fma_available() {
+        // Safety: gated on the cached runtime AVX2+FMA probe; both
+        // dimensions are multiples of 4.
+        unsafe { x86::transpose4(src, dst, rows, cols) };
+        return;
+    }
+    for r0 in (0..rows).step_by(TILE) {
+        for c0 in (0..cols).step_by(TILE) {
+            for r in r0..(r0 + TILE).min(rows) {
+                for c in c0..(c0 + TILE).min(cols) {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// Convenience used by tests and oracles: pool used for the 2-D passes.
+pub fn pool_threads() -> usize {
+    pool::current().threads()
+}
+
+/// Reference O(N²) DCT-II, the ground truth the fast path is tested
+/// against: `X[k] = Σ_j x[j]·cos(πk(2j+1)/(2N))`.
+pub fn naive_dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            x.iter()
+                .enumerate()
+                .map(|(j, &v)| {
+                    v * (std::f64::consts::PI * k as f64 * (2 * j + 1) as f64 / (2.0 * n as f64))
+                        .cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Deterministic test-signal generator (xorshift; no `rand` dependency in
+/// the hot crate).
+pub fn test_signal(n: usize, mut seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+#[allow(dead_code)]
+fn _assert_send_sync(p: Arc<Dct2>) -> impl Send + Sync {
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{with_pool, WorkerPool};
+    use std::sync::Arc;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let scale = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * scale, "mismatch at {i}: {x} vs {y} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let xr = test_signal(n, 0xABCD ^ n as u64);
+            let xi = test_signal(n, 0x1234 ^ n as u64);
+            let mut re = xr.clone();
+            let mut im = xi.clone();
+            FftPlan::new(n).forward(&mut re, &mut im);
+            for k in 0..n {
+                let (mut sr, mut si) = (0.0, 0.0);
+                for j in 0..n {
+                    let a = -2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                    sr += xr[j] * a.cos() - xi[j] * a.sin();
+                    si += xr[j] * a.sin() + xi[j] * a.cos();
+                }
+                assert!((re[k] - sr).abs() < 1e-9 && (im[k] - si).abs() < 1e-9, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_is_identity() {
+        for n in [2usize, 16, 64, 256] {
+            let xr = test_signal(n, 7);
+            let xi = test_signal(n, 11);
+            let mut re = xr.clone();
+            let mut im = xi.clone();
+            let plan = FftPlan::new(n);
+            plan.forward(&mut re, &mut im);
+            plan.inverse(&mut re, &mut im);
+            close(&re, &xr, 1e-13);
+            close(&im, &xi, 1e-13);
+        }
+    }
+
+    #[test]
+    fn dct_pair_matches_naive_dct() {
+        for n in [2usize, 4, 8, 64, 128] {
+            let a0 = test_signal(n, 3 * n as u64 + 1);
+            let b0 = test_signal(n, 5 * n as u64 + 2);
+            let plan = FftPlan::new(n);
+            let (mut a, mut b) = (a0.clone(), b0.clone());
+            let (mut cr, mut ci) = (vec![0.0; n], vec![0.0; n]);
+            plan.dct2_pair(&mut a, &mut b, &mut cr, &mut ci);
+            close(&a, &naive_dct2(&a0), 1e-12);
+            close(&b, &naive_dct2(&b0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_round_trip_is_identity() {
+        for n in [2usize, 8, 32, 256] {
+            let a0 = test_signal(n, 21);
+            let b0 = test_signal(n, 23);
+            let plan = FftPlan::new(n);
+            let (mut a, mut b) = (a0.clone(), b0.clone());
+            let (mut cr, mut ci) = (vec![0.0; n], vec![0.0; n]);
+            plan.dct2_pair(&mut a, &mut b, &mut cr, &mut ci);
+            plan.idct2_pair(&mut a, &mut b, &mut cr, &mut ci);
+            close(&a, &a0, 1e-13);
+            close(&b, &b0, 1e-13);
+        }
+    }
+
+    #[test]
+    fn dct_parseval_identity_holds() {
+        // Orthogonality of the DCT-II basis:
+        // Σ x² = X[0]²/N + (2/N)·Σ_{k≥1} X[k]².
+        let n = 64;
+        let x = test_signal(n, 99);
+        let spatial: f64 = x.iter().map(|v| v * v).sum();
+        let mut a = x.clone();
+        let mut b = vec![0.0; n];
+        let (mut cr, mut ci) = (vec![0.0; n], vec![0.0; n]);
+        FftPlan::new(n).dct2_pair(&mut a, &mut b, &mut cr, &mut ci);
+        let spectral =
+            a[0] * a[0] / n as f64 + 2.0 / n as f64 * a[1..].iter().map(|v| v * v).sum::<f64>();
+        assert!(
+            (spatial - spectral).abs() <= 1e-12 * spatial.abs(),
+            "Parseval violated: {spatial} vs {spectral}"
+        );
+    }
+
+    #[test]
+    fn dct_impulse_gives_sampled_cosine() {
+        // A delta at position j transforms to cos(πk(2j+1)/(2N)) exactly.
+        let n = 32;
+        let j = 5;
+        let mut a = vec![0.0; n];
+        a[j] = 1.0;
+        let mut b = vec![0.0; n];
+        let (mut cr, mut ci) = (vec![0.0; n], vec![0.0; n]);
+        FftPlan::new(n).dct2_pair(&mut a, &mut b, &mut cr, &mut ci);
+        for (k, &got) in a.iter().enumerate() {
+            let want =
+                (std::f64::consts::PI * k as f64 * (2 * j + 1) as f64 / (2.0 * n as f64)).cos();
+            assert!((got - want).abs() < 1e-13, "k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dct_is_linear() {
+        let n = 64;
+        let x = test_signal(n, 41);
+        let y = test_signal(n, 43);
+        let plan = FftPlan::new(n);
+        let (mut cr, mut ci) = (vec![0.0; n], vec![0.0; n]);
+        let (alpha, beta) = (2.5, -0.75);
+        let mut combo: Vec<f64> = x.iter().zip(&y).map(|(xv, yv)| alpha * xv + beta * yv).collect();
+        let mut z = vec![0.0; n];
+        plan.dct2_pair(&mut combo, &mut z, &mut cr, &mut ci);
+        let (mut fx, mut fy) = (x.clone(), y.clone());
+        plan.dct2_pair(&mut fx, &mut fy, &mut cr, &mut ci);
+        let expect: Vec<f64> = fx.iter().zip(&fy).map(|(xv, yv)| alpha * xv + beta * yv).collect();
+        close(&combo, &expect, 1e-12);
+    }
+
+    #[test]
+    fn dct2d_round_trip_and_naive_agreement() {
+        for (r, c) in [(4usize, 8usize), (8, 8), (16, 4), (1, 8), (8, 1)] {
+            let plan = Dct2::new(r, c);
+            let mut scratch = plan.scratch();
+            let src0 = test_signal(r * c, (r * 31 + c) as u64);
+            let mut src = src0.clone();
+            let mut spec = vec![0.0; r * c];
+            plan.forward_into(&mut src, &mut spec, &mut scratch);
+            // Separable naive check: DCT rows then columns.
+            let mut rows_done = vec![0.0; r * c];
+            for row in 0..r {
+                let t = naive_dct2(&src0[row * c..(row + 1) * c]);
+                rows_done[row * c..(row + 1) * c].copy_from_slice(&t);
+            }
+            for kc in 0..c {
+                let col: Vec<f64> = (0..r).map(|row| rows_done[row * c + kc]).collect();
+                let t = naive_dct2(&col);
+                for (kr, v) in t.iter().enumerate() {
+                    let got = spec[kc * r + kr];
+                    assert!((got - v).abs() < 1e-11, "({r}x{c}) mode ({kc},{kr})");
+                }
+            }
+            let mut back = vec![0.0; r * c];
+            plan.inverse_into(&mut spec, &mut back, &mut scratch);
+            close(&back, &src0, 1e-13);
+        }
+    }
+
+    #[test]
+    fn dct2d_bitwise_deterministic_across_thread_counts() {
+        // Same convention as the pool kernels: the row-pair partition is
+        // fixed by index, so 1 thread and N threads must agree *bitwise*.
+        let (r, c) = (32, 64);
+        let plan = Dct2::new(r, c);
+        let src0 = test_signal(r * c, 0xDE7E_2141);
+        let run = |threads: usize| {
+            let pool = Arc::new(WorkerPool::new(threads));
+            with_pool(&pool, || {
+                let mut scratch = plan.scratch();
+                let mut src = src0.clone();
+                let mut spec = vec![0.0; r * c];
+                plan.forward_into(&mut src, &mut spec, &mut scratch);
+                let mut back = vec![0.0; r * c];
+                plan.inverse_into(&mut spec, &mut back, &mut scratch);
+                (spec, back)
+            })
+        };
+        let (spec1, back1) = run(1);
+        for threads in [2usize, 4] {
+            let (spec_n, back_n) = run(threads);
+            assert!(
+                spec1.iter().zip(&spec_n).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forward spectrum differs at {threads} threads"
+            );
+            assert!(
+                back1.iter().zip(&back_n).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "round trip differs at {threads} threads"
+            );
+        }
+    }
+}

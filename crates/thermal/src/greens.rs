@@ -1,0 +1,982 @@
+//! Spectral steady-state backend: precomputed Green's-function response of
+//! a laterally uniform [`crate::stack::LayerStack`], evaluated per power
+//! map in O(n log n) by fast cosine transforms.
+//!
+//! # Method
+//!
+//! For a qualifying stack the assembled cell-block operator is *laterally
+//! shift-invariant* with adiabatic (mirror / method-of-images) edges: every
+//! cell of a layer has the same x-, y- and vertical conductances and the
+//! same boundary-film load. The DCT-II basis `cos(πk(2j+1)/(2N))` — the
+//! discrete even extension that the continuous method of images performs
+//! with mirrored sources — diagonalizes that operator exactly, so one
+//! steady solve becomes:
+//!
+//! 1. forward 2-D DCT of the power map (rise variables `u = T − T_amb`
+//!    make the right-hand side *only* the silicon-layer power, because the
+//!    conductance rows sum to the ambient conductances);
+//! 2. for each lateral mode `(kc, kr)`, an `L×L` tridiagonal solve across
+//!    the layers with precomputed LU factors (`L = 1` for bare-die stacks:
+//!    a single multiply by the precomputed unit-source response);
+//! 3. inverse 2-D DCT per layer, then exact back-substitution of the
+//!    eliminated per-cell oil nodes and the Schur-complemented lumped
+//!    coolant nodes.
+//!
+//! Per-cell oil nodes with a globally uniform film coefficient are
+//! eliminated exactly (`g·g_amb/(g+g_amb)` onto the cell diagonal); lumped
+//! coolant plates are handled exactly through a dense Schur complement of
+//! size = number of coolant nodes. The result matches the direct solver to
+//! FFT roundoff (~1e-12 K), far inside the cross-backend fuzz tolerance.
+//!
+//! # Qualification
+//!
+//! [`SpectralParams::from_circuit`] walks the assembled CSR matrix (not the
+//! stack description) and rejects, naming the offending layer:
+//!
+//! * oversized plates (ring nodes perturb edge-cell rows → not
+//!   shift-invariant);
+//! * position-dependent oil films (`local_h`: per-cell diagonal varies);
+//! * grids whose dimensions are not powers of two (radix-2 transforms);
+//! * any structure the walk cannot classify (defense against future
+//!   stamping changes — the row-sum identity is re-checked per cell).
+//!
+//! Responses are cached in the bounded [`ResponseCache`] LRU beside the
+//! circuit cache, keyed by a digest of the extracted spectral parameters
+//! (which the stack `content_hash()` and grid determine), so repeated
+//! solves against the same (stack, grid) pay the plan once.
+
+use crate::circuit::{CacheCounters, NodeKind, ThermalCircuit};
+use crate::fft::{Dct2, Dct2Scratch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Process-wide response cache capacity (distinct (stack, grid) responses).
+pub const RESPONSE_CACHE_CAPACITY: usize = 16;
+
+/// Relative slack when checking that a conductance family is uniform: the
+/// assembler computes each family from identical inputs, so bit-identical
+/// values are expected and this only absorbs benign last-bit noise.
+const UNIFORM_REL_TOL: f64 = 1e-9;
+
+/// Why a circuit does not qualify for the spectral backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ineligible {
+    /// Human-readable disqualification, naming the offending layer.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Ineligible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for Ineligible {}
+
+fn bail(reason: impl Into<String>) -> Ineligible {
+    Ineligible { reason: reason.into() }
+}
+
+/// One eliminated per-cell oil node: exact back-substitution data.
+#[derive(Debug, Clone, PartialEq)]
+struct OilNode {
+    /// Index in the full state vector.
+    node: usize,
+    /// The cell it loads (full node index, `< nl·n`).
+    cell: usize,
+    /// Cell↔oil conductance, W/K.
+    g: f64,
+    /// Oil↔ambient conductance, W/K.
+    g_amb: f64,
+}
+
+/// One lumped coolant node, kept exactly via a Schur complement.
+#[derive(Debug, Clone, PartialEq)]
+struct CoolantNode {
+    /// Index in the full state vector.
+    node: usize,
+    /// Coolant↔ambient conductance, W/K.
+    g_amb: f64,
+    /// Per-layer uniform cell↔coolant conductance, W/K per cell.
+    couplings: Vec<(usize, f64)>,
+}
+
+/// Spectral description of a qualifying circuit, extracted by walking the
+/// assembled matrix. Two circuits with equal [`digest`] have identical
+/// operators (and identical node numbering, which is deterministic in the
+/// grid and layer count), so they can share one [`SpectralResponse`].
+///
+/// [`digest`]: SpectralParams::digest
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralParams {
+    rows: usize,
+    cols: usize,
+    /// Conduction layers.
+    nl: usize,
+    /// Layer receiving the power map.
+    si_layer: usize,
+    /// Per-layer lateral conductances, W/K (0 when the dimension is 1).
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    /// Inter-layer conductances, W/K (`nl − 1` entries).
+    vert: Vec<f64>,
+    /// Per-layer uniform extra diagonal: eliminated oil films plus coolant
+    /// couplings, W/K per cell.
+    diag_extra: Vec<f64>,
+    oil: Vec<OilNode>,
+    coolants: Vec<CoolantNode>,
+    /// Full state-vector length of the source circuit.
+    node_count: usize,
+}
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 { 0xcbf2_9ce4_8422_2325 } else { seed };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn mix_usize(h: u64, v: usize) -> u64 {
+    fnv1a(h, &(v as u64).to_le_bytes())
+}
+
+fn mix_f64(h: u64, v: f64) -> u64 {
+    fnv1a(h, &v.to_bits().to_le_bytes())
+}
+
+/// `|a − b| ≤ tol·max(|a|,|b|)`.
+fn close_rel(a: f64, b: f64) -> bool {
+    (a - b).abs() <= UNIFORM_REL_TOL * a.abs().max(b.abs())
+}
+
+/// Records `v` into a uniform-family slot, failing with `what` on mismatch.
+fn set_uniform(
+    slot: &mut Option<f64>,
+    v: f64,
+    what: impl Fn() -> String,
+) -> Result<(), Ineligible> {
+    match slot {
+        None => {
+            *slot = Some(v);
+            Ok(())
+        }
+        Some(prev) if close_rel(*prev, v) => Ok(()),
+        Some(prev) => Err(bail(format!("{} ({prev} W/K vs {v} W/K)", what()))),
+    }
+}
+
+impl SpectralParams {
+    /// Extracts the spectral description of `circuit`, or explains why the
+    /// circuit does not qualify.
+    ///
+    /// # Errors
+    ///
+    /// [`Ineligible`] naming the disqualifying layer or structure.
+    pub fn from_circuit(circuit: &ThermalCircuit) -> Result<Self, Ineligible> {
+        let rows = circuit.grid_rows();
+        let cols = circuit.grid_cols();
+        let n = rows * cols;
+        if !rows.is_power_of_two() || !cols.is_power_of_two() {
+            return Err(bail(format!(
+                "grid {rows}×{cols} is not a power of two in both dimensions \
+                 (radix-2 spectral transforms)"
+            )));
+        }
+        let kinds = circuit.node_kinds();
+        let names = circuit.layer_names();
+        let g = circuit.conductance();
+        let amb = circuit.ambient_conductance();
+        let layer_name =
+            |l: usize| names.get(l).map(String::as_str).unwrap_or("<unknown>").to_owned();
+
+        if let Some(l) = kinds.iter().find_map(|k| match k {
+            NodeKind::Ring { layer } => Some(*layer),
+            _ => None,
+        }) {
+            return Err(bail(format!(
+                "layer `{}` is an oversized plate: its peripheral ring nodes break lateral \
+                 shift-invariance",
+                layer_name(l)
+            )));
+        }
+
+        let cells = kinds.iter().filter(|k| matches!(k, NodeKind::Cell { .. })).count();
+        if n == 0 || !cells.is_multiple_of(n) {
+            return Err(bail(format!("cannot tile {cells} cell nodes into {rows}×{cols} layers")));
+        }
+        let nl = cells / n;
+
+        // Boundary nodes: per-cell oil films and lumped coolants.
+        let mut oil = Vec::new();
+        let mut coolants = Vec::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            match kind {
+                NodeKind::Oil => {
+                    let mut neighbors = g.row(i).filter(|&(j, _)| j != i);
+                    let (cell, val) =
+                        neighbors.next().ok_or_else(|| bail("oil node with no cell coupling"))?;
+                    if neighbors.next().is_some() || !matches!(kinds[cell], NodeKind::Cell { .. }) {
+                        return Err(bail(
+                            "oil node coupled to more than one cell: unrecognized stamping",
+                        ));
+                    }
+                    if amb[i] <= 0.0 || -val <= 0.0 {
+                        return Err(bail("oil node with non-positive conductance"));
+                    }
+                    oil.push(OilNode { node: i, cell, g: -val, g_amb: amb[i] });
+                }
+                NodeKind::Coolant => {
+                    let mut per_layer: HashMap<usize, (f64, usize)> = HashMap::new();
+                    for (j, val) in g.row(i).filter(|&(j, _)| j != i) {
+                        let NodeKind::Cell { layer } = kinds[j] else {
+                            return Err(bail(
+                                "coolant coupled to a non-cell node: unrecognized stamping",
+                            ));
+                        };
+                        let gv = -val;
+                        let entry = per_layer.entry(layer).or_insert((gv, 0));
+                        if !close_rel(entry.0, gv) {
+                            return Err(bail(format!(
+                                "coolant plate over layer `{}` couples non-uniformly \
+                                 ({} W/K vs {gv} W/K per cell)",
+                                layer_name(layer),
+                                entry.0
+                            )));
+                        }
+                        entry.1 += 1;
+                    }
+                    let mut couplings = Vec::new();
+                    for (layer, (gv, count)) in per_layer {
+                        if count != n {
+                            return Err(bail(format!(
+                                "coolant plate covers {count} of {n} cells of layer `{}`",
+                                layer_name(layer)
+                            )));
+                        }
+                        couplings.push((layer, gv));
+                    }
+                    couplings.sort_by_key(|&(l, _)| l);
+                    coolants.push(CoolantNode { node: i, g_amb: amb[i], couplings });
+                }
+                NodeKind::Cell { .. } | NodeKind::Ring { .. } => {}
+            }
+        }
+
+        // Cell blocks: extract the uniform lateral / vertical families and
+        // re-check the row-sum identity per cell.
+        let mut gx: Vec<Option<f64>> = vec![None; nl];
+        let mut gy: Vec<Option<f64>> = vec![None; nl];
+        let mut vert: Vec<Option<f64>> = vec![None; nl.saturating_sub(1)];
+        for l in 0..nl {
+            for r in 0..rows {
+                for c in 0..cols {
+                    let i = l * n + r * cols + c;
+                    if !matches!(kinds[i], NodeKind::Cell { layer } if layer == l) {
+                        return Err(bail("cell nodes are not layer-major: unrecognized layout"));
+                    }
+                    if amb[i] != 0.0 {
+                        return Err(bail(format!(
+                            "cell of layer `{}` is grounded directly: unrecognized stamping",
+                            layer_name(l)
+                        )));
+                    }
+                    let mut offsum = 0.0;
+                    for (j, val) in g.row(i).filter(|&(j, _)| j != i) {
+                        let gv = -val;
+                        offsum += gv;
+                        let lateral = |axis: &str| {
+                            format!(
+                                "layer `{}` {axis}-conductance varies across the grid",
+                                layer_name(l)
+                            )
+                        };
+                        if c + 1 < cols && j == i + 1 {
+                            set_uniform(&mut gx[l], gv, || lateral("x"))?;
+                        } else if c > 0 && j == i - 1 {
+                            set_uniform(&mut gx[l], gv, || lateral("x"))?;
+                        } else if r + 1 < rows && j == i + cols {
+                            set_uniform(&mut gy[l], gv, || lateral("y"))?;
+                        } else if r > 0 && j == i - cols {
+                            set_uniform(&mut gy[l], gv, || lateral("y"))?;
+                        } else if l + 1 < nl && j == i + n {
+                            set_uniform(&mut vert[l], gv, || {
+                                format!(
+                                    "vertical conductance `{}`↔`{}` varies across the grid",
+                                    layer_name(l),
+                                    layer_name(l + 1)
+                                )
+                            })?;
+                        } else if l > 0 && j == i - n {
+                            set_uniform(&mut vert[l - 1], gv, || {
+                                format!(
+                                    "vertical conductance `{}`↔`{}` varies across the grid",
+                                    layer_name(l - 1),
+                                    layer_name(l)
+                                )
+                            })?;
+                        } else if matches!(kinds[j], NodeKind::Oil | NodeKind::Coolant) {
+                            // Captured by the boundary pass (symmetric matrix).
+                        } else {
+                            return Err(bail(format!(
+                                "unclassifiable coupling at cell {i} of layer `{}`",
+                                layer_name(l)
+                            )));
+                        }
+                    }
+                    let diag = g.diagonal(i);
+                    if !close_rel(diag, offsum) {
+                        return Err(bail(format!(
+                            "cell {i} of layer `{}` breaks the row-sum identity \
+                             (diag {diag} vs couplings {offsum})",
+                            layer_name(l)
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Fold the eliminated oil films into per-layer diagonals; a film
+        // whose contribution varies per cell (local h) disqualifies.
+        let mut oil_diag = vec![0.0f64; nl * n];
+        for o in &oil {
+            oil_diag[o.cell] += o.g * o.g_amb / (o.g + o.g_amb);
+        }
+        let mut diag_extra = vec![0.0f64; nl];
+        for l in 0..nl {
+            let plane = &oil_diag[l * n..(l + 1) * n];
+            let first = plane[0];
+            if plane.iter().any(|&v| !close_rel(v, first)) {
+                return Err(bail(format!(
+                    "boundary film on layer `{}` varies per cell (position-dependent h); \
+                     the spectral path needs laterally uniform properties",
+                    layer_name(l)
+                )));
+            }
+            diag_extra[l] = first;
+        }
+        for cool in &coolants {
+            for &(layer, gv) in &cool.couplings {
+                diag_extra[layer] += gv;
+            }
+        }
+
+        let si_layer = circuit.si_offset() / n;
+        Ok(Self {
+            rows,
+            cols,
+            nl,
+            si_layer,
+            gx: gx.into_iter().map(|v| v.unwrap_or(0.0)).collect(),
+            gy: gy.into_iter().map(|v| v.unwrap_or(0.0)).collect(),
+            vert: vert
+                .into_iter()
+                .collect::<Option<Vec<f64>>>()
+                .ok_or_else(|| bail("adjacent layers without a vertical coupling"))?,
+            diag_extra,
+            oil,
+            coolants,
+            node_count: circuit.node_count(),
+        })
+    }
+
+    /// Content digest: equal digests ⇒ interchangeable responses.
+    pub fn digest(&self) -> u64 {
+        let mut h = mix_usize(0, self.rows);
+        h = mix_usize(h, self.cols);
+        h = mix_usize(h, self.nl);
+        h = mix_usize(h, self.si_layer);
+        for v in self.gx.iter().chain(&self.gy).chain(&self.vert).chain(&self.diag_extra) {
+            h = mix_f64(h, *v);
+        }
+        for o in &self.oil {
+            h = mix_usize(h, o.node);
+            h = mix_usize(h, o.cell);
+            h = mix_f64(h, o.g);
+            h = mix_f64(h, o.g_amb);
+        }
+        for c in &self.coolants {
+            h = mix_usize(h, c.node);
+            h = mix_f64(h, c.g_amb);
+            for &(l, gv) in &c.couplings {
+                h = mix_usize(h, l);
+                h = mix_f64(h, gv);
+            }
+        }
+        mix_usize(h, self.node_count)
+    }
+
+    /// Grid cells per layer.
+    fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Small dense LU with partial pivoting for the coolant Schur complement
+/// (dimension = number of coolant nodes, typically 0–2).
+#[derive(Debug, Clone)]
+struct SmallLu {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl SmallLu {
+    fn factor(mut a: Vec<f64>, n: usize) -> Self {
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let p = (k..n)
+                .max_by(|&i, &j| a[i * n + k].abs().total_cmp(&a[j * n + k].abs()))
+                .expect("non-empty pivot column");
+            if p != k {
+                piv.swap(k, p);
+                for c in 0..n {
+                    a.swap(k * n + c, p * n + c);
+                }
+            }
+            let pivot = a[k * n + k];
+            for i in k + 1..n {
+                let m = a[i * n + k] / pivot;
+                a[i * n + k] = m;
+                for c in k + 1..n {
+                    a[i * n + c] -= m * a[k * n + c];
+                }
+            }
+        }
+        Self { n, lu: a, piv }
+    }
+
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+        x
+    }
+}
+
+/// Reusable buffers for [`SpectralResponse::solve_into`]: nothing is
+/// allocated on the solve path once this exists.
+#[derive(Debug)]
+pub struct SpectralScratch {
+    /// Spatial planes, layer-major, `nl·n`.
+    planes: Vec<f64>,
+    /// Spectral planes (transposed mode layout), `nl·n`.
+    spec: Vec<f64>,
+    dct: Dct2Scratch,
+}
+
+/// The precomputed unit-source response of one qualifying (stack, grid):
+/// transform plans, per-mode tridiagonal LU factors across layers, and the
+/// coolant Schur complement. Build once (cached in [`ResponseCache`]),
+/// solve any power map in O(n log n).
+#[derive(Debug)]
+pub struct SpectralResponse {
+    params: SpectralParams,
+    dct: Dct2,
+    /// Thomas multipliers, `(nl−1)·n`, mode-major within each layer plane.
+    factor_m: Vec<f64>,
+    /// Reciprocal pivots, `nl·n`.
+    factor_invd: Vec<f64>,
+    /// Per-coolant spatial correction columns `W = A⁻¹B`, each `nl·n`.
+    w_planes: Vec<Vec<f64>>,
+    /// LU of the Schur complement `S = D − BᵀW`.
+    schur: Option<SmallLu>,
+    build_seconds: f64,
+}
+
+impl SpectralResponse {
+    /// Precomputes the response for `params`.
+    pub fn build(params: SpectralParams) -> Self {
+        let start = Instant::now();
+        let n = params.cells();
+        let (rows, cols, nl) = (params.rows, params.cols, params.nl);
+        let dct = Dct2::new(rows, cols);
+        let lambda = |k: usize, dim: usize| {
+            let s = (std::f64::consts::PI * k as f64 / (2.0 * dim as f64)).sin();
+            4.0 * s * s
+        };
+        // Mode layout matches Dct2::forward_into: m = kc·rows + kr.
+        let mut factor_m = vec![0.0; nl.saturating_sub(1) * n];
+        let mut factor_invd = vec![0.0; nl * n];
+        for kc in 0..cols {
+            let lx = lambda(kc, cols);
+            for kr in 0..rows {
+                let m = kc * rows + kr;
+                let ly = lambda(kr, rows);
+                let a = |l: usize| {
+                    params.gx[l] * lx
+                        + params.gy[l] * ly
+                        + params.diag_extra[l]
+                        + if l > 0 { params.vert[l - 1] } else { 0.0 }
+                        + if l + 1 < nl { params.vert[l] } else { 0.0 }
+                };
+                let mut d = a(0);
+                factor_invd[m] = 1.0 / d;
+                for l in 1..nl {
+                    let mult = params.vert[l - 1] / d;
+                    factor_m[(l - 1) * n + m] = mult;
+                    d = a(l) - params.vert[l - 1] * mult;
+                    factor_invd[l * n + m] = 1.0 / d;
+                }
+            }
+        }
+        let mut resp = Self {
+            params,
+            dct,
+            factor_m,
+            factor_invd,
+            w_planes: Vec::new(),
+            schur: None,
+            build_seconds: 0.0,
+        };
+        // Coolant Schur complement: W = A⁻¹B column per coolant,
+        // S = D − BᵀW (coolants never inter-couple, so D is diagonal).
+        let m = resp.params.coolants.len();
+        if m > 0 {
+            let mut scratch = resp.scratch();
+            let mut w_planes = Vec::with_capacity(m);
+            for cool in resp.params.coolants.clone() {
+                scratch.planes.fill(0.0);
+                for &(layer, gv) in &cool.couplings {
+                    scratch.planes[layer * n..(layer + 1) * n].fill(-gv);
+                }
+                let SpectralScratch { planes, spec, dct } = &mut scratch;
+                resp.solve_planes(planes, spec, dct);
+                w_planes.push(planes.clone());
+            }
+            let mut s = vec![0.0; m * m];
+            for (jj, cool_j) in resp.params.coolants.iter().enumerate() {
+                let d_jj: f64 = cool_j.g_amb
+                    + cool_j.couplings.iter().map(|&(_, gv)| gv * n as f64).sum::<f64>();
+                for kk in 0..m {
+                    let mut bt_w = 0.0;
+                    for &(layer, gv) in &cool_j.couplings {
+                        let plane = &w_planes[kk][layer * n..(layer + 1) * n];
+                        bt_w += -gv * plane.iter().sum::<f64>();
+                    }
+                    s[jj * m + kk] = if jj == kk { d_jj } else { 0.0 } - bt_w;
+                }
+            }
+            resp.w_planes = w_planes;
+            resp.schur = Some(SmallLu::factor(s, m));
+        }
+        resp.build_seconds = start.elapsed().as_secs_f64();
+        resp
+    }
+
+    /// Parameters this response was built from.
+    pub fn params(&self) -> &SpectralParams {
+        &self.params
+    }
+
+    /// Wall-clock seconds the precomputation took.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    /// Allocates solve scratch sized for this response.
+    pub fn scratch(&self) -> SpectralScratch {
+        let sz = self.params.nl * self.params.cells();
+        SpectralScratch { planes: vec![0.0; sz], spec: vec![0.0; sz], dct: self.dct.scratch() }
+    }
+
+    /// Solves `A·u = b` over the cell block: `planes` holds the layer-major
+    /// spatial right-hand side on entry and the spatial solution on return.
+    fn solve_planes(&self, planes: &mut [f64], spec: &mut [f64], dct: &mut Dct2Scratch) {
+        let n = self.params.cells();
+        let nl = self.params.nl;
+        for l in 0..nl {
+            let plane = &mut planes[l * n..(l + 1) * n];
+            // A zero plane transforms to zero: skip the pass (typical case:
+            // power only enters the silicon layer).
+            if plane.iter().all(|&v| v == 0.0) {
+                spec[l * n..(l + 1) * n].fill(0.0);
+            } else {
+                self.dct.forward_into(plane, &mut spec[l * n..(l + 1) * n], dct);
+            }
+        }
+        // Thomas sweeps across layers, vectorized over modes.
+        for l in 1..nl {
+            let (prev, cur) = spec.split_at_mut(l * n);
+            let prev = &prev[(l - 1) * n..];
+            let mult = &self.factor_m[(l - 1) * n..l * n];
+            for ((z, &zp), &mu) in cur[..n].iter_mut().zip(prev.iter()).zip(mult.iter()) {
+                *z += mu * zp;
+            }
+        }
+        {
+            let last = &mut spec[(nl - 1) * n..nl * n];
+            let invd = &self.factor_invd[(nl - 1) * n..nl * n];
+            for (z, &d) in last.iter_mut().zip(invd.iter()) {
+                *z *= d;
+            }
+        }
+        for l in (0..nl.saturating_sub(1)).rev() {
+            let v = self.params.vert[l];
+            let (cur, next) = spec.split_at_mut((l + 1) * n);
+            let cur = &mut cur[l * n..];
+            let next = &next[..n];
+            let invd = &self.factor_invd[l * n..(l + 1) * n];
+            for ((z, &zn), &d) in cur.iter_mut().zip(next.iter()).zip(invd.iter()) {
+                *z = (*z + v * zn) * d;
+            }
+        }
+        for l in 0..nl {
+            self.dct.inverse_into(
+                &mut spec[l * n..(l + 1) * n],
+                &mut planes[l * n..(l + 1) * n],
+                dct,
+            );
+        }
+    }
+
+    /// Steady solve: fills `state` (full node vector, kelvin) for the given
+    /// silicon-layer cell powers (W) and ambient (K). Returns the relative
+    /// energy-balance residual `|ΣP − Σ g_amb·(T − T_amb)| / ΣP`, which for
+    /// this exact method sits at FFT roundoff and doubles as the reported
+    /// solver residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si_cell_power` is not `rows·cols` long or `state` is not
+    /// the source circuit's node count.
+    pub fn solve_into(
+        &self,
+        si_cell_power: &[f64],
+        ambient: f64,
+        state: &mut [f64],
+        scratch: &mut SpectralScratch,
+    ) -> f64 {
+        let n = self.params.cells();
+        let nl = self.params.nl;
+        assert_eq!(si_cell_power.len(), n, "power map must cover the grid");
+        assert_eq!(state.len(), self.params.node_count, "state must cover every node");
+        let SpectralScratch { planes, spec, dct } = scratch;
+        // Rise variables u = T − T_amb: the RHS is the power map alone
+        // (zero everywhere except the silicon plane, which is overwritten).
+        let si = self.params.si_layer;
+        planes[..si * n].fill(0.0);
+        planes[(si + 1) * n..].fill(0.0);
+        planes[si * n..(si + 1) * n].copy_from_slice(si_cell_power);
+        self.solve_planes(planes, spec, dct);
+        // Coolant correction: y = S⁻¹(−Bᵀt), u = t − W·y.
+        let mut y = Vec::new();
+        if let Some(schur) = &self.schur {
+            let mut bt = Vec::with_capacity(self.params.coolants.len());
+            for cool in &self.params.coolants {
+                let mut acc = 0.0;
+                for &(layer, gv) in &cool.couplings {
+                    acc += -gv * planes[layer * n..(layer + 1) * n].iter().sum::<f64>();
+                }
+                bt.push(-acc);
+            }
+            y = schur.solve(&bt);
+            for (w, &yj) in self.w_planes.iter().zip(&y) {
+                for (p, &wv) in planes.iter_mut().zip(w.iter()) {
+                    *p -= yj * wv;
+                }
+            }
+        }
+        for (s, &u) in state[..nl * n].iter_mut().zip(planes.iter()) {
+            *s = ambient + u;
+        }
+        for o in &self.params.oil {
+            state[o.node] = ambient + o.g / (o.g + o.g_amb) * planes[o.cell];
+        }
+        let mut heat_out = 0.0;
+        for (cool, &yj) in self.params.coolants.iter().zip(&y) {
+            state[cool.node] = ambient + yj;
+            heat_out += cool.g_amb * yj;
+        }
+        for o in &self.params.oil {
+            heat_out += o.g_amb * (state[o.node] - ambient);
+        }
+        let p_in: f64 = si_cell_power.iter().sum();
+        (p_in - heat_out).abs() / p_in.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Convenience wrapper that allocates scratch per call (tests, oracles).
+    pub fn solve(&self, si_cell_power: &[f64], ambient: f64, state: &mut [f64]) -> f64 {
+        let mut scratch = self.scratch();
+        self.solve_into(si_cell_power, ambient, state, &mut scratch)
+    }
+}
+
+struct LruEntry {
+    response: Arc<SpectralResponse>,
+    last_used: u64,
+}
+
+struct LruState {
+    map: HashMap<u64, LruEntry>,
+    tick: u64,
+}
+
+/// Bounded LRU of precomputed spectral responses, keyed by
+/// [`SpectralParams::digest`]. Lives beside [`crate::circuit::CircuitCache`]
+/// with the same discipline: builds run outside the lock, a lost race keeps
+/// the first insert, and hit/miss/eviction counters feed the serve stats.
+pub struct ResponseCache {
+    inner: Mutex<LruState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResponseCache {
+    /// An empty cache holding at most `capacity` responses.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            inner: Mutex::new(LruState { map: HashMap::new(), tick: 0 }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared cache.
+    pub fn process() -> &'static ResponseCache {
+        static PROCESS: OnceLock<ResponseCache> = OnceLock::new();
+        PROCESS.get_or_init(|| ResponseCache::new(RESPONSE_CACHE_CAPACITY))
+    }
+
+    /// Returns the cached response for `params`, building and inserting on
+    /// a miss. The boolean reports a cache hit.
+    pub fn get_or_build(&self, params: SpectralParams) -> (Arc<SpectralResponse>, bool) {
+        let key = params.digest();
+        if let Some(hit) = self.touch(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
+        }
+        let built = Arc::new(SpectralResponse::build(params));
+        let mut state = self.inner.lock().expect("response cache poisoned");
+        let stamp = state.tick;
+        if let Some(entry) = state.map.get_mut(&key) {
+            entry.last_used = stamp;
+            let existing = entry.response.clone();
+            state.tick += 1;
+            drop(state);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (existing, true);
+        }
+        if state.map.len() >= self.capacity {
+            let lru = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map at capacity");
+            state.map.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let stamp = state.tick;
+        state.tick += 1;
+        state.map.insert(key, LruEntry { response: built.clone(), last_used: stamp });
+        drop(state);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (built, false)
+    }
+
+    fn touch(&self, key: u64) -> Option<Arc<SpectralResponse>> {
+        let mut state = self.inner.lock().expect("response cache poisoned");
+        let tick = state.tick;
+        let entry = state.map.get_mut(&key)?;
+        entry.last_used = tick;
+        let response = entry.response.clone();
+        state.tick += 1;
+        Some(response)
+    }
+
+    /// Hit/miss/eviction counters and occupancy (shape shared with the
+    /// circuit cache so both render identically in `stats`).
+    pub fn counters(&self) -> CacheCounters {
+        let len = self.inner.lock().expect("response cache poisoned").map.len();
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached response (counters keep accumulating).
+    pub fn clear(&self) {
+        self.inner.lock().expect("response cache poisoned").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{build_circuit_from_stack, DieGeometry};
+    use crate::materials::{INTERFACE, SILICON};
+    use crate::package::{AirSinkPackage, OilSiliconPackage, Package};
+    use crate::solve::{solve_steady_with, SolverChoice};
+    use crate::stack::{Boundary, Layer, LayerStack};
+    use hotiron_floorplan::{library, GridMapping};
+
+    const AMBIENT: f64 = 318.15;
+
+    fn die() -> DieGeometry {
+        let plan = library::ev6();
+        DieGeometry { width: plan.width(), height: plan.height(), thickness: 0.5e-3 }
+    }
+
+    fn bare_die_stack() -> LayerStack {
+        LayerStack::new(vec![Layer::new("silicon", SILICON, die().thickness)], 0)
+            .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 })
+    }
+
+    fn ramp_power(n: usize, total: f64) -> Vec<f64> {
+        let weight: f64 = (0..n).map(|i| 1.0 + i as f64).sum();
+        (0..n).map(|i| total * (1.0 + i as f64) / weight).collect()
+    }
+
+    fn spectral_vs_direct(stack: &LayerStack, grid: (usize, usize), tol: f64) {
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, grid.0, grid.1);
+        let circuit = build_circuit_from_stack(&mapping, die(), stack).expect("circuit");
+        let params = SpectralParams::from_circuit(&circuit).expect("eligible");
+        let resp = SpectralResponse::build(params);
+        let p = ramp_power(grid.0 * grid.1, 40.0);
+        let mut spectral = vec![0.0; circuit.node_count()];
+        let energy_rel = resp.solve(&p, AMBIENT, &mut spectral);
+        assert!(energy_rel < 1e-10, "energy residual {energy_rel}");
+        let mut direct = vec![AMBIENT; circuit.node_count()];
+        solve_steady_with(&circuit, &p, AMBIENT, &mut direct, SolverChoice::Direct)
+            .expect("direct solve");
+        let worst = spectral.iter().zip(&direct).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert!(worst <= tol, "spectral vs direct diverge by {worst} K");
+    }
+
+    #[test]
+    fn bare_die_matches_direct() {
+        spectral_vs_direct(&bare_die_stack(), (16, 16), 1e-9);
+    }
+
+    #[test]
+    fn non_square_grid_matches_direct() {
+        spectral_vs_direct(&bare_die_stack(), (8, 32), 1e-9);
+    }
+
+    #[test]
+    fn multi_layer_stack_matches_direct() {
+        // Two full-size conduction layers: exercises the cross-layer
+        // tridiagonal path (no plates, so still shift-invariant).
+        let d = die();
+        let stack = LayerStack::new(
+            vec![
+                Layer::new("silicon", SILICON, d.thickness),
+                Layer::new("interface", INTERFACE, 2.0e-5),
+            ],
+            0,
+        )
+        .with_top(Boundary::Lumped { r_total: 1.0, c_total: 40.0 });
+        spectral_vs_direct(&stack, (16, 16), 1e-9);
+    }
+
+    #[test]
+    fn uniform_oil_package_matches_direct() {
+        // Global-h oil: per-cell oil nodes eliminated exactly and
+        // back-substituted into the full state.
+        let stack = Package::OilSilicon(OilSiliconPackage::paper_default().with_uniform_h())
+            .to_stack(die())
+            .expect("stack");
+        spectral_vs_direct(&stack, (16, 16), 1e-9);
+    }
+
+    #[test]
+    fn plates_are_ineligible_and_named() {
+        let stack =
+            Package::AirSink(AirSinkPackage::paper_default()).to_stack(die()).expect("stack");
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, 16, 16);
+        let circuit = build_circuit_from_stack(&mapping, die(), &stack).expect("circuit");
+        let err = SpectralParams::from_circuit(&circuit).expect_err("plates disqualify");
+        assert!(err.reason.contains("oversized plate"), "got: {}", err.reason);
+    }
+
+    #[test]
+    fn local_h_oil_is_ineligible_and_named() {
+        let stack =
+            Package::OilSilicon(OilSiliconPackage::paper_default()).to_stack(die()).expect("stack");
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, 16, 16);
+        let circuit = build_circuit_from_stack(&mapping, die(), &stack).expect("circuit");
+        let err = SpectralParams::from_circuit(&circuit).expect_err("local h disqualifies");
+        assert!(
+            err.reason.contains("silicon") && err.reason.contains("varies per cell"),
+            "got: {}",
+            err.reason
+        );
+    }
+
+    #[test]
+    fn non_pow2_grid_is_ineligible() {
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, 12, 12);
+        let circuit =
+            build_circuit_from_stack(&mapping, die(), &bare_die_stack()).expect("circuit");
+        let err = SpectralParams::from_circuit(&circuit).expect_err("non-pow2 disqualifies");
+        assert!(err.reason.contains("power of two"), "got: {}", err.reason);
+    }
+
+    #[test]
+    fn response_cache_hits_and_evicts() {
+        let cache = ResponseCache::new(2);
+        let plan = library::ev6();
+        let build = |grid: usize| {
+            let mapping = GridMapping::new(&plan, grid, grid);
+            let circuit =
+                build_circuit_from_stack(&mapping, die(), &bare_die_stack()).expect("circuit");
+            SpectralParams::from_circuit(&circuit).expect("eligible")
+        };
+        let (_, hit) = cache.get_or_build(build(8));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(build(8));
+        assert!(hit, "same params must hit");
+        cache.get_or_build(build(16));
+        cache.get_or_build(build(32)); // evicts the LRU entry (grid 8)
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions, c.len), (1, 3, 1, 2));
+    }
+
+    #[test]
+    fn solve_is_linear_in_power() {
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, 16, 16);
+        let circuit =
+            build_circuit_from_stack(&mapping, die(), &bare_die_stack()).expect("circuit");
+        let resp =
+            SpectralResponse::build(SpectralParams::from_circuit(&circuit).expect("eligible"));
+        let n = circuit.node_count();
+        let pa = ramp_power(256, 20.0);
+        let pb: Vec<f64> = (0..256).map(|i| if i == 37 { 15.0 } else { 0.25 }).collect();
+        let combo: Vec<f64> = pa.iter().zip(&pb).map(|(a, b)| 2.0 * a + 0.5 * b).collect();
+        let (mut ua, mut ub, mut uc) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        resp.solve(&pa, AMBIENT, &mut ua);
+        resp.solve(&pb, AMBIENT, &mut ub);
+        resp.solve(&combo, AMBIENT, &mut uc);
+        for i in 0..n {
+            let lin = AMBIENT + 2.0 * (ua[i] - AMBIENT) + 0.5 * (ub[i] - AMBIENT);
+            assert!((uc[i] - lin).abs() < 1e-9, "superposition broken at node {i}");
+        }
+    }
+}

@@ -39,7 +39,9 @@ pub mod blockmodel;
 pub mod cholesky;
 pub mod circuit;
 pub mod convection;
+pub mod fft;
 pub mod fluid;
+pub mod greens;
 pub mod materials;
 pub mod model;
 pub mod multigrid;

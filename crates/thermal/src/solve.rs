@@ -56,6 +56,12 @@ pub enum SolverChoice {
     /// ([`crate::multigrid::Multigrid`]), with the hierarchy built once per
     /// circuit and cached.
     Multigrid,
+    /// Green's-function spectral evaluation ([`crate::greens`]): fast cosine
+    /// transforms against a precomputed unit-source response, O(n log n) per
+    /// solve and exact to FFT roundoff. Only laterally uniform stacks on
+    /// power-of-two grids qualify; an ineligible circuit fails the solve
+    /// with [`SolveError::SpectralIneligible`] naming the offending layer.
+    Spectral,
 }
 
 /// Error from a thermal solve.
@@ -74,6 +80,13 @@ pub enum SolveError {
     MaxIters {
         /// The relative residual when the cap was reached.
         achieved_residual: f64,
+    },
+    /// [`SolverChoice::Spectral`] was requested for a circuit that does not
+    /// qualify for the spectral backend (non-uniform lateral properties,
+    /// oversized plates, or a non-power-of-two grid).
+    SpectralIneligible {
+        /// Human-readable disqualification, naming the offending layer.
+        reason: String,
     },
     /// An explicit integrator's adapted step underflowed while the local
     /// error still exceeded the tolerance: the network is too stiff for the
@@ -99,6 +112,9 @@ impl fmt::Display for SolveError {
                 "iterative solve hit its iteration cap with residual {achieved_residual:.3e} \
                  still above tolerance"
             ),
+            Self::SpectralIneligible { reason } => {
+                write!(f, "spectral solver ineligible: {reason}")
+            }
             Self::StepUnderflow { step, error } => write!(
                 f,
                 "explicit step underflow: h = {step:.3e} s with local error {error:.3e} K \
@@ -131,7 +147,13 @@ pub fn solve_steady(
     state: &mut [f64],
 ) -> Result<SolveStats, SolveError> {
     let solver = if circuit.cell_count() >= MG_AUTO_MIN_CELLS {
-        SolverChoice::Multigrid
+        // At IR-camera resolution the spectral path beats multigrid by two
+        // orders of magnitude; take it whenever the circuit qualifies.
+        if circuit.spectral().is_ok() {
+            SolverChoice::Spectral
+        } else {
+            SolverChoice::Multigrid
+        }
     } else {
         SolverChoice::Cg
     };
@@ -163,6 +185,9 @@ pub fn solve_steady_with(
     state: &mut [f64],
     solver: SolverChoice,
 ) -> Result<SolveStats, SolveError> {
+    if solver == SolverChoice::Spectral {
+        return solve_steady_spectral(circuit, si_cell_power, ambient, state);
+    }
     let b = circuit.rhs(si_cell_power, ambient);
     let n = circuit.node_count();
     let cg_cap = 40 * n + 1000;
@@ -208,8 +233,42 @@ pub fn solve_steady_with(
                 (conjugate_gradient(circuit.conductance(), &b, state, DEFAULT_TOL, cg_cap), cg_cap)
             }
         },
+        SolverChoice::Spectral => unreachable!("handled above"),
     };
     finish_iterative(stats, cap)
+}
+
+/// The [`SolverChoice::Spectral`] steady path: evaluates the precomputed
+/// Green's-function response ([`ThermalCircuit::spectral_with_setup`]). The
+/// reported `relative_residual` is the O(n) energy-balance residual the
+/// evaluation returns (total power in vs. heat leaving to ambient), which
+/// for this exact method sits at FFT roundoff; the response precompute time
+/// is charged as `factor_seconds` to the solve that triggered it, like the
+/// direct path's factorization.
+fn solve_steady_spectral(
+    circuit: &ThermalCircuit,
+    si_cell_power: &[f64],
+    ambient: f64,
+    state: &mut [f64],
+) -> Result<SolveStats, SolveError> {
+    let (resp, setup_seconds) = match circuit.spectral_with_setup() {
+        Ok(v) => v,
+        Err(e) => return Err(SolveError::SpectralIneligible { reason: e.reason.clone() }),
+    };
+    let residual = resp.solve(si_cell_power, ambient, state);
+    let stats = SolveStats {
+        method: SolveMethod::Spectral,
+        iterations: 0,
+        relative_residual: residual,
+        converged: residual <= DEFAULT_TOL.sqrt(),
+        factor_seconds: setup_seconds,
+        factor_nnz: 0,
+        solve_count: 1,
+        threads: crate::pool::current().threads(),
+        warm_start: false,
+        multigrid: None,
+    };
+    finish_iterative(stats, usize::MAX)
 }
 
 /// Maps final solve stats to the caller-facing result: converged solves pass
@@ -341,9 +400,10 @@ impl<'c> BackwardEuler<'c> {
         let factor = match solver {
             SolverChoice::Direct => LdlFactor::factor(&a).ok(),
             // The multigrid hierarchy preconditions the steady operator `G`,
-            // not the transient `C/dt + G`; a Multigrid request steps on the
+            // not the transient `C/dt + G`, and the spectral response is
+            // likewise factored for `G` alone; both requests step on the
             // plain CG path.
-            SolverChoice::Cg | SolverChoice::Multigrid => None,
+            SolverChoice::Cg | SolverChoice::Multigrid | SolverChoice::Spectral => None,
         };
         Self {
             circuit,

@@ -238,6 +238,9 @@ pub enum SolveMethod {
     GaussSeidel,
     /// Sparse LDLᵀ direct factorization ([`crate::cholesky::LdlFactor`]).
     Ldlt,
+    /// Green's-function spectral evaluation ([`crate::greens`]): fast cosine
+    /// transforms against a precomputed unit-source response.
+    Spectral,
 }
 
 impl SolveMethod {
@@ -248,6 +251,7 @@ impl SolveMethod {
             Self::MgCg => "mg-cg",
             Self::GaussSeidel => "gauss-seidel",
             Self::Ldlt => "ldlt",
+            Self::Spectral => "spectral",
         }
     }
 }

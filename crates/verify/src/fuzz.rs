@@ -8,9 +8,10 @@
 //! forced air, oil washing the spreader top), so the oracle battery covers
 //! arbitrary stacks. Then each case:
 //!
-//! 1. solves steady state with Direct LDLᵀ, Jacobi-PCG and (when a
-//!    hierarchy exists) multigrid-PCG, and fails on any cross-backend
-//!    divergence beyond [`tol::FUZZ_STEADY_AGREEMENT_K`];
+//! 1. solves steady state with Direct LDLᵀ, Jacobi-PCG, (when a hierarchy
+//!    exists) multigrid-PCG, and (when the stack qualifies) the spectral
+//!    Green's-function backend, and fails on any cross-backend divergence
+//!    beyond [`tol::FUZZ_STEADY_AGREEMENT_K`];
 //! 2. runs the full oracle battery (energy balance, maximum principle,
 //!    operator invariants, spread conservation) on the direct solution;
 //! 3. on a case subsample, integrates a warmup with backward Euler at `dt`
@@ -298,8 +299,11 @@ fn run_case(case: &Case, index: usize) -> CaseOutcome {
         }
     };
     if let Some(direct) = &direct {
-        for choice in [SolverChoice::Cg, SolverChoice::Multigrid] {
+        for choice in [SolverChoice::Cg, SolverChoice::Multigrid, SolverChoice::Spectral] {
             if choice == SolverChoice::Multigrid && circuit.multigrid().is_none() {
+                continue;
+            }
+            if choice == SolverChoice::Spectral && circuit.spectral().is_err() {
                 continue;
             }
             match steady(&circuit, &cell_power, choice) {
@@ -472,6 +476,24 @@ mod tests {
         assert_eq!(a.failures(), 0, "{}", a.render());
         let b = run(&cfg);
         assert_eq!(a, b, "same seed, same report");
+    }
+
+    #[test]
+    fn quick_tier_exercises_the_spectral_leg() {
+        // The differential battery is only as strong as its coverage: at
+        // least one quick-tier draw must qualify for the spectral backend
+        // (bare-die stack on a power-of-two grid).
+        let cfg = FuzzConfig::quick();
+        let spectral_cases = (0..cfg.cases)
+            .filter(|&i| {
+                let case = draw_case(i, cfg.seed);
+                let mapping = GridMapping::new(&case.plan, case.grid, case.grid);
+                build_circuit_from_stack(&mapping, case.die, &case.stack)
+                    .map(|c| c.spectral().is_ok())
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(spectral_cases >= 1, "no spectral-eligible case in the quick tier");
     }
 
     #[test]

@@ -148,6 +148,15 @@ fn run_oracles() -> bool {
         ),
         Err(e) => fail(format!("analytic field: {e}")),
     }
+
+    let s = oracle::spectral_backend_checks(32, 0x0AC1E);
+    match s.check() {
+        Ok(()) => println!(
+            "oracle ok  spectral        direct agreement {:.2e} K, superposition {:.2e} K",
+            s.direct_agreement_k, s.superposition_err_k
+        ),
+        Err(e) => fail(format!("spectral backend: {e}")),
+    }
     ok
 }
 

@@ -14,7 +14,10 @@
 //! * [`step_response_monotonic`] — a constant-power warmup from equilibrium
 //!   rises monotonically at every node;
 //! * [`analytic_point_source_agreement`] — a full grid solve reproduces the
-//!   method-of-images Green's-function field away from a point source.
+//!   method-of-images Green's-function field away from a point source;
+//! * [`spectral_backend_checks`] — the spectral Green's-function backend
+//!   agrees with the direct factorization, is exactly linear in the power
+//!   map, and puts the impulse-response peak at the source cell.
 //!
 //! Oracles return small report structs whose `check()` yields a printable
 //! failure description; `assert_*` wrappers panic for direct use in tests.
@@ -22,10 +25,12 @@
 use crate::tol;
 use hotiron_floorplan::{library, GridMapping};
 use hotiron_thermal::analytic::PointSourceSlab;
-use hotiron_thermal::circuit::{build_circuit, DieGeometry, ThermalCircuit};
+use hotiron_thermal::circuit::{
+    build_circuit, build_circuit_from_stack, DieGeometry, ThermalCircuit,
+};
 use hotiron_thermal::materials::SILICON;
-use hotiron_thermal::solve::{solve_steady, BackwardEuler};
-use hotiron_thermal::{OilSiliconPackage, Package};
+use hotiron_thermal::solve::{solve_steady, solve_steady_with, BackwardEuler, SolverChoice};
+use hotiron_thermal::{Boundary, Layer, LayerStack, OilSiliconPackage, Package};
 use rand::{Rng, SeedableRng, StdRng};
 
 /// Steady-state global energy balance: total power in vs total boundary
@@ -322,6 +327,128 @@ pub fn analytic_point_source_agreement(grid: usize, power: f64) -> AnalyticAgree
     AnalyticAgreement { worst_rel, compared }
 }
 
+/// Report on the spectral Green's-function backend against the direct
+/// factorization on a qualifying bare-die stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralReport {
+    /// Worst |spectral − direct| over the full state, K.
+    pub direct_agreement_k: f64,
+    /// Worst superposition defect |u(p+q) − u(p) − u(q)| over silicon, K.
+    pub superposition_err_k: f64,
+    /// The impulse response peaks at the source cell.
+    pub impulse_peak_at_source: bool,
+    /// Most-negative rise anywhere in the impulse response, K.
+    pub min_rise_k: f64,
+}
+
+impl SpectralReport {
+    /// Fails on divergence from the direct solve beyond
+    /// [`tol::FUZZ_STEADY_AGREEMENT_K`], a superposition defect beyond
+    /// round-off, a mislocated impulse peak, or a below-ambient node.
+    pub fn check(&self) -> Result<(), String> {
+        if self.direct_agreement_k > tol::FUZZ_STEADY_AGREEMENT_K {
+            return Err(format!(
+                "spectral vs direct diverge by {:.3e} K (allowed {:.0e})",
+                self.direct_agreement_k,
+                tol::FUZZ_STEADY_AGREEMENT_K
+            ));
+        }
+        // The backend is a linear map evaluated in one pass: superposition
+        // must hold to FFT round-off, not merely to solver tolerance.
+        if self.superposition_err_k > 1e-9 {
+            return Err(format!(
+                "spectral superposition defect {:.3e} K exceeds round-off",
+                self.superposition_err_k
+            ));
+        }
+        if !self.impulse_peak_at_source {
+            return Err("spectral impulse response does not peak at the source cell".into());
+        }
+        if self.min_rise_k < -tol::MAX_PRINCIPLE_SLACK_K {
+            return Err(format!(
+                "spectral impulse response dips {:.3e} K below ambient",
+                self.min_rise_k
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Exercises the spectral backend on a `grid`×`grid` bare-die stack (the
+/// canonical qualifying configuration): a seeded random power map solved by
+/// both Direct and Spectral, an explicit superposition check, and an
+/// off-center unit impulse.
+///
+/// # Panics
+///
+/// Panics when the bare-die stack fails to build or qualify — that is a
+/// regression in the backend itself, not a solution-quality finding.
+pub fn spectral_backend_checks(grid: usize, seed: u64) -> SpectralReport {
+    assert!(grid.is_power_of_two(), "the spectral backend requires a power-of-two grid");
+    let ambient = 318.15;
+    let die = DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 };
+    let plan = library::uniform_die(die.width, die.height);
+    let mapping = GridMapping::new(&plan, grid, grid);
+    let stack = LayerStack::new(vec![Layer::new("silicon", SILICON, die.thickness)], 0)
+        .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+    let circuit = build_circuit_from_stack(&mapping, die, &stack).expect("bare-die stack builds");
+    let n = circuit.cell_count();
+
+    let solve_with = |p: &[f64], choice: SolverChoice| -> Vec<f64> {
+        let mut state = vec![ambient; circuit.node_count()];
+        solve_steady_with(&circuit, p, ambient, &mut state, choice)
+            .unwrap_or_else(|e| panic!("{choice:?} steady solve failed: {e:?}"));
+        state
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..0.05)).collect();
+    let direct = solve_with(&p, SolverChoice::Direct);
+    let spectral = solve_with(&p, SolverChoice::Spectral);
+    let direct_agreement_k =
+        direct.iter().zip(&spectral).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+
+    // Superposition: split the map into two disjoint halves and compare the
+    // summed rises against the joint solve.
+    let p1: Vec<f64> =
+        p.iter().enumerate().map(|(i, w)| if i % 2 == 0 { *w } else { 0.0 }).collect();
+    let p2: Vec<f64> =
+        p.iter().enumerate().map(|(i, w)| if i % 2 == 1 { *w } else { 0.0 }).collect();
+    let (u1, u2) =
+        (solve_with(&p1, SolverChoice::Spectral), solve_with(&p2, SolverChoice::Spectral));
+    let si = circuit.si_offset();
+    let superposition_err_k = (0..n)
+        .map(|c| {
+            let joint = spectral[si + c] - ambient;
+            let split = (u1[si + c] - ambient) + (u2[si + c] - ambient);
+            (joint - split).abs()
+        })
+        .fold(0.0, f64::max);
+
+    // Off-center unit impulse: the response must peak at the source and stay
+    // at or above ambient everywhere.
+    let (src_r, src_c) = (grid / 3, (2 * grid) / 3);
+    let src = mapping.cell_index(src_r, src_c);
+    let mut impulse = vec![0.0; n];
+    impulse[src] = 1.0;
+    let response = solve_with(&impulse, SolverChoice::Spectral);
+    let silicon = circuit.silicon_slice(&response);
+    let peak = silicon
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty grid");
+    let min_rise_k = response.iter().map(|t| t - ambient).fold(f64::INFINITY, f64::min);
+
+    SpectralReport {
+        direct_agreement_k,
+        superposition_err_k,
+        impulse_peak_at_source: peak == src,
+        min_rise_k,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,5 +552,11 @@ mod tests {
         let agreement = analytic_point_source_agreement(48, 10.0);
         assert!(agreement.compared > 1000, "compared {} cells", agreement.compared);
         agreement.check().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn spectral_backend_passes_its_oracles() {
+        let report = spectral_backend_checks(32, 0x59EC_77A1);
+        report.check().unwrap_or_else(|e| panic!("{e}: {report:?}"));
     }
 }

@@ -7,6 +7,8 @@
 #     report JSON),
 #   - non-zero circuit-cache hits (the request mix repeats scenarios, so a
 #     cold cache must warm up),
+#   - at least one spectral-path solve (the mix pins a share of requests to
+#     the qualifying scenario with solver=spectral),
 #   - a clean drain (the --shutdown ack reports draining and the daemon
 #     process exits by itself, printing its "drained" line).
 #
@@ -54,7 +56,7 @@ echo "==> daemon ready on $ADDR"
 # counters in the report for the assertions below.
 echo "==> loadgen ${SECS}s @ ${RATE} req/s"
 target/release/loadgen --addr "$ADDR" --rate "$RATE" --seconds "$SECS" \
-  --stats --shutdown --out "$REPORT"
+  --spectral-share 0.1 --stats --shutdown --out "$REPORT"
 
 # Clean drain: the daemon must exit on its own after the shutdown ack.
 for _ in $(seq 1 100); do
@@ -82,7 +84,8 @@ TRANSPORT_ERRORS=$(field transport_errors)
 CACHE_HITS=$(field cache_hits)
 SENT=$(field sent)
 OK=$(field ok)
-echo "==> report: sent=$SENT ok=$OK protocol_errors=$PROTOCOL_ERRORS transport_errors=$TRANSPORT_ERRORS cache_hits=$CACHE_HITS"
+SPECTRAL=$(field spectral)
+echo "==> report: sent=$SENT ok=$OK protocol_errors=$PROTOCOL_ERRORS transport_errors=$TRANSPORT_ERRORS cache_hits=$CACHE_HITS spectral=$SPECTRAL"
 if [ -z "$PROTOCOL_ERRORS" ] || [ "$PROTOCOL_ERRORS" -ne 0 ]; then
   echo "serve_smoke: protocol errors in report ($PROTOCOL_ERRORS)" >&2
   exit 1
@@ -95,4 +98,8 @@ if [ -z "$CACHE_HITS" ] || [ "$CACHE_HITS" -eq 0 ]; then
   echo "serve_smoke: no circuit-cache hits — coalescing/caching broken" >&2
   exit 1
 fi
-echo "serve_smoke: PASS ($OK/$SENT ok, $CACHE_HITS cache hits, clean drain)"
+if [ -z "$SPECTRAL" ] || [ "$SPECTRAL" -eq 0 ]; then
+  echo "serve_smoke: no spectral-path solves — solver override broken" >&2
+  exit 1
+fi
+echo "serve_smoke: PASS ($OK/$SENT ok, $CACHE_HITS cache hits, $SPECTRAL spectral, clean drain)"
