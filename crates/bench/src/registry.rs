@@ -28,6 +28,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "translate",
     "dtm",
     "stacks",
+    "movie",
 ];
 
 /// Whether `name` is a known experiment.
@@ -75,6 +76,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity) -> Vec<(String, Artifact)>
         "translate" => tables(vec![("translate", arch::translation_study(fidelity))]),
         "dtm" => tables(vec![("dtm", arch::dtm_study(fidelity))]),
         "stacks" => tables(vec![("stacks", scenario::stacks_table(fidelity))]),
+        "movie" => tables(vec![("movie", transients::movie(fidelity))]),
         other => panic!("unknown experiment `{other}`"),
     };
     artifacts

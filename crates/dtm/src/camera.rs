@@ -98,6 +98,11 @@ impl IrCamera {
     /// into camera frames: each frame is the time-average of the fields in
     /// its exposure window, blurred. Returns `(frame_time, frame)` pairs.
     ///
+    /// Convenience wrapper over [`FrameAccumulator`], which is the streaming
+    /// form for callers (transient steppers) that produce fields one at a
+    /// time and should not buffer a whole movie's worth of instantaneous
+    /// samples.
+    ///
     /// # Panics
     ///
     /// Panics if fields are empty or sizes disagree.
@@ -111,27 +116,8 @@ impl IrCamera {
         cell_h: f64,
     ) -> Vec<(f64, Vec<f64>)> {
         assert!(!fields.is_empty(), "need at least one field");
-        let per_frame = (self.frame_interval / dt).round().max(1.0) as usize;
-        let mut frames = Vec::new();
-        let mut i = 0;
-        while i + per_frame <= fields.len() {
-            let mut acc = vec![0.0; fields[i].len()];
-            for f in &fields[i..i + per_frame] {
-                assert_eq!(f.len(), acc.len(), "field sizes must agree");
-                for (a, v) in acc.iter_mut().zip(f) {
-                    *a += v;
-                }
-            }
-            for a in &mut acc {
-                *a /= per_frame as f64;
-            }
-            frames.push((
-                (i + per_frame) as f64 * dt,
-                self.capture(&acc, rows, cols, cell_w, cell_h),
-            ));
-            i += per_frame;
-        }
-        frames
+        let mut acc = FrameAccumulator::new(*self, dt, rows, cols, cell_w, cell_h);
+        fields.iter().filter_map(|f| acc.push(f)).collect()
     }
 
     /// The worst transient overshoot the camera *misses*: the difference
@@ -153,6 +139,110 @@ impl IrCamera {
             return true_peak;
         }
         true_peak - cam_peak
+    }
+}
+
+/// Streaming camera-cadence batcher: feed instantaneous fields one at a time
+/// and get a finished frame back whenever an exposure window completes.
+///
+/// This is how a transient stepper emits at camera rate without buffering
+/// the whole movie: the stepper advances the model at its own `dt`, pushes
+/// each emitted surface field here, and only the completed (time-averaged,
+/// blurred) frames are kept. The arithmetic is identical to
+/// [`IrCamera::record`] — same accumulation order, same average, same blur —
+/// so batch and streaming recordings of the same samples are bitwise equal.
+///
+/// # Examples
+///
+/// ```
+/// use hotiron_dtm::{FrameAccumulator, IrCamera};
+///
+/// let cam = IrCamera::new(2e-3, 0.0); // 2 ms exposure
+/// let mut acc = FrameAccumulator::new(cam, 1e-3, 1, 1, 1e-3, 1e-3);
+/// assert!(acc.push(&[10.0]).is_none()); // window half full
+/// let (t, frame) = acc.push(&[20.0]).expect("window complete");
+/// assert!((t - 2e-3).abs() < 1e-12);
+/// assert!((frame[0] - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAccumulator {
+    camera: IrCamera,
+    dt: f64,
+    rows: usize,
+    cols: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// Samples per exposure window (≥ 1).
+    per_frame: usize,
+    /// Running sum of the fields in the current window.
+    acc: Vec<f64>,
+    /// Fields accumulated in the current window so far.
+    in_window: usize,
+    /// Total fields consumed since construction (sets frame timestamps).
+    consumed: usize,
+}
+
+impl FrameAccumulator {
+    /// Creates an accumulator for fields sampled every `dt` seconds on a
+    /// `rows`×`cols` grid with the given cell pitches (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn new(
+        camera: IrCamera,
+        dt: f64,
+        rows: usize,
+        cols: usize,
+        cell_w: f64,
+        cell_h: f64,
+    ) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        let per_frame = (camera.frame_interval / dt).round().max(1.0) as usize;
+        Self {
+            camera,
+            dt,
+            rows,
+            cols,
+            cell_w,
+            cell_h,
+            per_frame,
+            acc: vec![0.0; rows * cols],
+            in_window: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Instantaneous samples per camera frame.
+    pub fn samples_per_frame(&self) -> usize {
+        self.per_frame
+    }
+
+    /// Consumes one instantaneous field; returns the finished
+    /// `(frame_time, frame)` when this sample completes an exposure window,
+    /// `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` does not match the grid size.
+    pub fn push(&mut self, field: &[f64]) -> Option<(f64, Vec<f64>)> {
+        assert_eq!(field.len(), self.acc.len(), "field sizes must agree");
+        for (a, v) in self.acc.iter_mut().zip(field) {
+            *a += v;
+        }
+        self.in_window += 1;
+        self.consumed += 1;
+        if self.in_window < self.per_frame {
+            return None;
+        }
+        for a in &mut self.acc {
+            *a /= self.per_frame as f64;
+        }
+        let frame = self.camera.capture(&self.acc, self.rows, self.cols, self.cell_w, self.cell_h);
+        let time = self.consumed as f64 * self.dt;
+        self.acc.iter_mut().for_each(|a| *a = 0.0);
+        self.in_window = 0;
+        Some((time, frame))
     }
 }
 
@@ -197,6 +287,29 @@ mod tests {
         let frames = cam.record(&fields, 1e-3, 1, 1, 1e-3, 1e-3);
         assert_eq!(frames.len(), 2);
         assert!((frames[0].1[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_batch_record_bitwise() {
+        // record() is now a wrapper over FrameAccumulator; this guards the
+        // contract that a stepper streaming fields one at a time produces
+        // exactly the frames a buffered recording would.
+        let cam = IrCamera::new(5e-3, 0.4e-3);
+        let fields: Vec<Vec<f64>> = (0..23)
+            .map(|i| (0..16).map(|j| 40.0 + (i as f64 * 0.7 + j as f64 * 1.3).sin()).collect())
+            .collect();
+        let batch = cam.record(&fields, 1e-3, 4, 4, 0.5e-3, 0.5e-3);
+        let mut acc = FrameAccumulator::new(cam, 1e-3, 4, 4, 0.5e-3, 0.5e-3);
+        let streamed: Vec<(f64, Vec<f64>)> = fields.iter().filter_map(|f| acc.push(f)).collect();
+        assert_eq!(acc.samples_per_frame(), 5);
+        assert_eq!(batch.len(), 4, "23 samples at 5/frame = 4 complete frames");
+        assert_eq!(batch.len(), streamed.len());
+        for ((tb, fb), (ts, fs)) in batch.iter().zip(&streamed) {
+            assert_eq!(tb.to_bits(), ts.to_bits());
+            for (a, b) in fb.iter().zip(fs) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod policy;
 pub mod sensor;
 pub mod translate;
 
-pub use camera::IrCamera;
+pub use camera::{FrameAccumulator, IrCamera};
 pub use closedloop::{ClosedLoop, LoopReport};
 pub use inversion::PowerInverter;
 pub use policy::{DtmPolicy, DtmState, DtmStats, DvfsDtm, ThresholdDtm};

@@ -649,17 +649,29 @@ pub struct Multigrid {
 }
 
 impl Multigrid {
-    /// Builds the hierarchy for a circuit, or `None` when the grid is
-    /// already at (or below) the coarsest dimension — callers fall back to
-    /// plain CG — or the structure defeats the smoother/factorization.
+    /// Builds the hierarchy for a circuit's steady conductance operator, or
+    /// `None` when the grid is already at (or below) the coarsest dimension
+    /// — callers fall back to plain CG — or the structure defeats the
+    /// smoother/factorization.
     pub fn from_circuit(circuit: &ThermalCircuit, opts: MgOptions) -> Option<Self> {
+        Self::from_operator(circuit, circuit.conductance(), opts)
+    }
+
+    /// Builds the hierarchy for an arbitrary SPD operator sharing the
+    /// circuit's node layout — the transient path passes `G + C/dt`, whose
+    /// added diagonal leaves the grid/segment structure (and therefore the
+    /// stencil extraction and coarsening pattern) unchanged.
+    pub fn from_operator(
+        circuit: &ThermalCircuit,
+        fine: &CsrMatrix,
+        opts: MgOptions,
+    ) -> Option<Self> {
         let start = Instant::now();
         let (rows, cols) = (circuit.grid_rows(), circuit.grid_cols());
         if rows.min(cols) <= opts.coarsest_dim {
             return None;
         }
 
-        let fine = circuit.conductance();
         let mut segs = derive_segments(circuit);
         let fine_op = LevelOp::Stencil(StencilOperator::build(fine, &segs, rows, cols));
         let mut levels = vec![MgLevel::new(fine_op, fine, opts, rows, cols)?];

@@ -228,6 +228,16 @@ impl OilSiliconPackage {
         self
     }
 
+    /// Fully position-independent film: uniform average `h` *and* uniform
+    /// overall boundary-layer thickness, so the oil conductances and the
+    /// film's stored-heat capacitance are identical at every cell. This is
+    /// the shape the spectral transient stepper requires.
+    pub fn with_uniform_film(mut self) -> Self {
+        self.local_h = false;
+        self.local_boundary_layer = false;
+        self
+    }
+
     /// The oil film this package puts over the die, with `target_r_convec`
     /// (if set) resolved to a velocity: from Eqns 1–2, `R ∝ 1/√u`, so the
     /// velocity that yields the requested overall resistance is solved at

@@ -14,9 +14,12 @@
 //!    beyond [`tol::FUZZ_STEADY_AGREEMENT_K`];
 //! 2. runs the full oracle battery (energy balance, maximum principle,
 //!    operator invariants, spread conservation) on the direct solution;
-//! 3. on a case subsample, integrates a warmup with backward Euler at `dt`
+//! 3. on a case subsample — plus *every* case qualifying for the spectral
+//!    transient stepper — integrates a warmup with backward Euler at `dt`
 //!    and `dt/2`, Richardson-extrapolates the pair, and requires adaptive
-//!    RK4 to land within the extrapolation's error bound;
+//!    RK4 (and, on qualifying stacks, the spectral exact-exponential
+//!    stepper with its energy ledger) to land within the extrapolation's
+//!    error bound;
 //! 4. on another subsample, cross-checks the compact model against the
 //!    independent `hotiron-refsim` finite-volume solver on a coarse oil
 //!    configuration.
@@ -29,6 +32,7 @@ use hotiron_floorplan::{library, Block, Floorplan, GridMapping};
 use hotiron_refsim::{OilModel, RefSim, RefSimConfig};
 use hotiron_thermal::circuit::{build_circuit_from_stack, DieGeometry, ThermalCircuit};
 use hotiron_thermal::convection::FlowDirection;
+use hotiron_thermal::greens::SpectralTransient;
 use hotiron_thermal::materials;
 use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, Rk4Adaptive, SolverChoice};
 use hotiron_thermal::{
@@ -373,7 +377,47 @@ fn transient_check(case: &Case) -> Result<(), String> {
              (estimate {err_est:.3e} K)"
         ));
     }
+
+    // Third leg, when the stack qualifies: the spectral transient stepper
+    // replays the same warmup with exact per-mode exponentials. It carries
+    // no time-discretization error, so it must sit inside the extrapolated
+    // BE pair's own error bound with a much smaller floor than RK4 needs,
+    // and its energy ledger must balance.
+    if let Ok(spectral) = SpectralTransient::new(&circuit, dt) {
+        let mut ts = spectral.state();
+        let mut scratch = spectral.scratch();
+        for _ in 0..steps {
+            spectral.step(&mut ts, &cell_power, &mut scratch);
+        }
+        let mut full = vec![AMBIENT; circuit.node_count()];
+        spectral.store_into(&ts, AMBIENT, &mut full, &mut scratch);
+        let bound = tol::RICHARDSON_SAFETY * err_est + tol::SPECTRAL_TRANSIENT_FLOOR_K;
+        let d = worst_diff(&full, &richardson);
+        if d > bound {
+            return Err(format!(
+                "spectral-transient vs BE-Richardson divergence {d:.3e} K exceeds \
+                 bound {bound:.3e} K (estimate {err_est:.3e} K)"
+            ));
+        }
+        let residual = ts.ledger().residual_rel();
+        if residual > tol::TRANSIENT_ENERGY_REL {
+            return Err(format!(
+                "spectral-transient energy ledger off by rel {residual:.3e} \
+                 (allowed {:.0e})",
+                tol::TRANSIENT_ENERGY_REL
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Whether a drawn case qualifies for the spectral transient stepper (the
+/// fuzz loop runs the transient battery on *every* such case, not just the
+/// `transient_every` subsample, so the new stepper never goes untested).
+fn spectral_transient_eligible(case: &Case) -> bool {
+    let mapping = GridMapping::new(&case.plan, case.grid, case.grid);
+    build_circuit_from_stack(&mapping, case.die, &case.stack)
+        .is_ok_and(|c| SpectralTransient::new(&c, 1e-3).is_ok())
 }
 
 /// Compact model vs the independent finite-volume reference on a coarse
@@ -429,7 +473,7 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
     for index in 0..cfg.cases {
         let case = draw_case(index, cfg.seed);
         let mut outcome = run_case(&case, index);
-        if index % cfg.transient_every == 0 {
+        if index % cfg.transient_every == 0 || spectral_transient_eligible(&case) {
             if let Err(e) = transient_check(&case) {
                 outcome.failures.push(e);
             }
@@ -494,6 +538,18 @@ mod tests {
             })
             .count();
         assert!(spectral_cases >= 1, "no spectral-eligible case in the quick tier");
+    }
+
+    #[test]
+    fn quick_tier_exercises_the_spectral_transient_leg() {
+        // The spectral-transient differential leg only fires on qualifying
+        // draws; the quick tier must contain at least one (a bare-die stack
+        // on a power-of-two grid always qualifies).
+        let cfg = FuzzConfig::quick();
+        let eligible = (0..cfg.cases)
+            .filter(|&i| spectral_transient_eligible(&draw_case(i, cfg.seed)))
+            .count();
+        assert!(eligible >= 1, "no spectral-transient-eligible case in the quick tier");
     }
 
     #[test]

@@ -140,6 +140,44 @@ fn run_oracles() -> bool {
         println!("oracle ok  {label:<14} energy-balance rel {:.2e}", balance.rel_error());
     }
 
+    // Transient energy accounting, both stepper families: the spectral
+    // stepper's closed-form ledger on a qualifying stack, the BE discrete
+    // identity on the non-qualifying paper oil package.
+    {
+        let mapping = GridMapping::new(&plan, 32, 32);
+        let cell_power = mapping.spread_block_values(&block_power);
+        let bare = LayerStack::new(
+            vec![Layer::new("silicon", hotiron_thermal::materials::SILICON, die.thickness)],
+            0,
+        )
+        .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        match build_circuit_from_stack(&mapping, die, &bare)
+            .map_err(|e| e.to_string())
+            .and_then(|c| oracle::transient_energy_spectral(&c, &cell_power, 1e-2, 50))
+            .and_then(|r| r.check().map(|()| r))
+        {
+            Ok(r) => {
+                println!("oracle ok  transient-spec  energy ledger rel {:.2e}", r.residual_rel())
+            }
+            Err(e) => fail(format!("transient energy (spectral, bare-die): {e}")),
+        }
+        match Package::OilSilicon(OilSiliconPackage::paper_default())
+            .to_stack(die)
+            .map_err(|e| e.to_string())
+            .and_then(|s| build_circuit_from_stack(&mapping, die, &s).map_err(|e| e.to_string()))
+            .and_then(|c| {
+                oracle::transient_energy_backward_euler(&c, &cell_power, ambient, 1e-3, 50)
+            })
+            .and_then(|r| r.check().map(|()| r))
+        {
+            Ok(r) => println!(
+                "oracle ok  transient-be    energy accounting rel {:.2e}",
+                r.residual_rel()
+            ),
+            Err(e) => fail(format!("transient energy (BE, oil): {e}")),
+        }
+    }
+
     let a = oracle::analytic_point_source_agreement(48, 10.0);
     match a.check() {
         Ok(()) => println!(

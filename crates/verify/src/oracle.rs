@@ -13,6 +13,9 @@
 //!   total power;
 //! * [`step_response_monotonic`] — a constant-power warmup from equilibrium
 //!   rises monotonically at every node;
+//! * [`transient_energy_spectral`] / [`transient_energy_backward_euler`] —
+//!   over an integrated trace, every injected joule is either stored in a
+//!   heat capacity or has left through a film (`∫P dt = ΔE + ∫outflow dt`);
 //! * [`analytic_point_source_agreement`] — a full grid solve reproduces the
 //!   method-of-images Green's-function field away from a point source;
 //! * [`spectral_backend_checks`] — the spectral Green's-function backend
@@ -28,6 +31,7 @@ use hotiron_thermal::analytic::PointSourceSlab;
 use hotiron_thermal::circuit::{
     build_circuit, build_circuit_from_stack, DieGeometry, ThermalCircuit,
 };
+use hotiron_thermal::greens::SpectralTransient;
 use hotiron_thermal::materials::SILICON;
 use hotiron_thermal::solve::{solve_steady, solve_steady_with, BackwardEuler, SolverChoice};
 use hotiron_thermal::{Boundary, Layer, LayerStack, OilSiliconPackage, Package};
@@ -229,6 +233,108 @@ pub fn step_response_monotonic(
         prev.copy_from_slice(&state);
     }
     Ok(())
+}
+
+/// Transient energy accounting over an integrated power trace:
+/// `∫P dt = ΔE_stored + ∫(heat to ambient) dt`. Every joule injected during
+/// the trace must either still be stored in a node's heat capacity or have
+/// left through a convective film — a stepper that leaks or invents energy
+/// fails here regardless of how plausible its temperatures look.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientEnergy {
+    /// Total energy injected over the trace, J.
+    pub power_in_j: f64,
+    /// Change in stored energy `Σ C_i (T_end,i − T_start,i)`, J.
+    pub stored_j: f64,
+    /// Integrated boundary outflow, J.
+    pub outflow_j: f64,
+}
+
+impl TransientEnergy {
+    /// Accounting residual relative to the largest term in the books.
+    pub fn residual_rel(&self) -> f64 {
+        let scale = self.power_in_j.abs().max(self.stored_j.abs()).max(self.outflow_j.abs());
+        (self.power_in_j - self.stored_j - self.outflow_j).abs() / scale.max(f64::MIN_POSITIVE)
+    }
+
+    /// Fails when the residual exceeds [`tol::TRANSIENT_ENERGY_REL`].
+    pub fn check(&self) -> Result<(), String> {
+        if self.residual_rel() <= tol::TRANSIENT_ENERGY_REL {
+            Ok(())
+        } else {
+            Err(format!(
+                "transient energy accounting violated: {:.9} J in, {:.9} J stored, \
+                 {:.9} J out (rel {:.3e})",
+                self.power_in_j,
+                self.stored_j,
+                self.outflow_j,
+                self.residual_rel()
+            ))
+        }
+    }
+}
+
+/// Transient energy accounting for the spectral exact-exponential stepper
+/// on a qualifying stack: runs `steps` constant-power steps from ambient
+/// and reads the stepper's own closed-form DC-mode ledger.
+///
+/// # Errors
+///
+/// Returns the ineligibility reason when the circuit does not qualify.
+pub fn transient_energy_spectral(
+    circuit: &ThermalCircuit,
+    cell_power: &[f64],
+    dt: f64,
+    steps: usize,
+) -> Result<TransientEnergy, String> {
+    let stepper = SpectralTransient::new(circuit, dt)
+        .map_err(|e| format!("spectral transient ineligible: {}", e.reason))?;
+    let mut ts = stepper.state();
+    let mut scratch = stepper.scratch();
+    stepper.advance(&mut ts, cell_power, steps, &mut scratch);
+    let ledger = ts.ledger();
+    Ok(TransientEnergy {
+        power_in_j: ledger.power_in_j,
+        stored_j: ledger.stored_j,
+        outflow_j: ledger.outflow_j,
+    })
+}
+
+/// Transient energy accounting for backward Euler on *any* stack, via the
+/// discrete identity each implicit step satisfies exactly (to the linear
+/// solve's residual): `Σ_i C_i·ΔT_i = dt·(Σ P − Σ g_amb,i (T⁺_i − T_amb))`
+/// — summing the stepped system over nodes telescopes interior couplings
+/// through the conductance row-sum identity.
+///
+/// # Errors
+///
+/// Returns the first step failure.
+pub fn transient_energy_backward_euler(
+    circuit: &ThermalCircuit,
+    cell_power: &[f64],
+    ambient: f64,
+    dt: f64,
+    steps: usize,
+) -> Result<TransientEnergy, String> {
+    let be = BackwardEuler::new(circuit, dt);
+    let mut state = vec![ambient; circuit.node_count()];
+    let power_w: f64 = cell_power.iter().sum();
+    let mut outflow_j = 0.0;
+    for step in 0..steps {
+        be.step(&mut state, cell_power, ambient)
+            .map_err(|e| format!("transient step {step} failed: {e:?}"))?;
+        // The implicit step exchanges heat at the *post-step* temperature.
+        outflow_j += dt
+            * circuit
+                .ambient_conductance()
+                .iter()
+                .zip(&state)
+                .map(|(g, t)| g * (t - ambient))
+                .sum::<f64>();
+    }
+    let stored_j: f64 =
+        circuit.capacitance().iter().zip(&state).map(|(c, t)| c * (t - ambient)).sum();
+    Ok(TransientEnergy { power_in_j: power_w * dt * steps as f64, stored_j, outflow_j })
 }
 
 /// Agreement between a grid solve and the method-of-images analytic field.
@@ -558,5 +664,41 @@ mod tests {
     fn spectral_backend_passes_its_oracles() {
         let report = spectral_backend_checks(32, 0x59EC_77A1);
         report.check().unwrap_or_else(|e| panic!("{e}: {report:?}"));
+    }
+
+    #[test]
+    fn transient_energy_balances_on_qualifying_stack() {
+        // Bare die + lumped boundary on a power-of-two grid qualifies for
+        // the spectral stepper; its closed-form ledger must balance.
+        let plan = library::ev6();
+        let mapping = GridMapping::new(&plan, 16, 16);
+        let die = DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 };
+        let stack = LayerStack::new(vec![Layer::new("silicon", SILICON, die.thickness)], 0)
+            .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        let circuit = build_circuit_from_stack(&mapping, die, &stack).expect("valid stack");
+        let cell_power = vec![30.0 / 256.0; 256];
+        let report = transient_energy_spectral(&circuit, &cell_power, 1e-2, 50)
+            .expect("bare-die stack qualifies");
+        report.check().unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.power_in_j > 0.0 && report.stored_j > 0.0 && report.outflow_j > 0.0);
+    }
+
+    #[test]
+    fn transient_energy_balances_on_non_qualifying_stack() {
+        // The paper-default oil film varies per cell, so only the BE
+        // discrete identity is available — and it must balance too.
+        let (circuit, _, cell_power, _) =
+            solved_ev6(Package::OilSilicon(OilSiliconPackage::paper_default()), 16);
+        let report = transient_energy_backward_euler(&circuit, &cell_power, AMBIENT, 1e-3, 50)
+            .expect("BE steps");
+        report.check().unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.power_in_j > 0.0 && report.stored_j > 0.0 && report.outflow_j > 0.0);
+    }
+
+    #[test]
+    fn transient_energy_detects_leaks() {
+        // A cooked ledger (outflow silently dropped) must fail the check.
+        let broken = TransientEnergy { power_in_j: 10.0, stored_j: 6.0, outflow_j: 0.0 };
+        assert!(broken.check().is_err());
     }
 }

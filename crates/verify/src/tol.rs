@@ -81,6 +81,23 @@ pub const RICHARDSON_SAFETY: f64 = 8.0;
 /// Richardson estimate is tiny.
 pub const STEPPER_FLOOR_K: f64 = 2e-3;
 
+/// Absolute floor, in kelvin, on the spectral-transient vs BE-Richardson
+/// agreement bound. The spectral stepper advances each DCT mode with an
+/// exact exponential, so this comparison measures the *extrapolated BE
+/// pair's* residual truncation error plus FFT/eigendecomposition round-off;
+/// it needs no RK4-controller slack, so the floor sits 20x below
+/// [`STEPPER_FLOOR_K`]. Observed quick-tier worst is well under 1e-5 K.
+pub const SPECTRAL_TRANSIENT_FLOOR_K: f64 = 1e-4;
+
+/// Relative error allowed in the transient energy-accounting identity
+/// `∫P dt = ΔE_stored + ∫(heat to ambient) dt` over an integrated trace.
+/// For the spectral stepper the ledger integrates the DC mode *exactly*
+/// (closed-form `∫e^{-λt}`), so only round-off accumulates; for backward
+/// Euler the discrete identity holds to the per-step linear-solve residual
+/// (`DEFAULT_TOL` = 1e-10 relative), which over a thousand steps stays
+/// orders below this bound.
+pub const TRANSIENT_ENERGY_REL: f64 = 1e-6;
+
 /// Relative agreement required between the compact model and the
 /// independent `hotiron-refsim` finite-volume reference on coarse-grid oil
 /// cases (mean and peak silicon rise). The two codes share no discretization
@@ -113,6 +130,8 @@ mod tests {
         assert!(CG_REFERENCE_TOL < MG_POLISH_TOL);
         assert!(BACKEND_AGREEMENT_K < FUZZ_STEADY_AGREEMENT_K);
         assert!(ENERGY_BALANCE_REL < ANALYTIC_FIELD_REL);
+        assert!(SPECTRAL_TRANSIENT_FLOOR_K < STEPPER_FLOOR_K);
+        assert!(TRANSIENT_ENERGY_REL <= ENERGY_BALANCE_REL);
         assert!(cg_iter_cap(1000) > 40_000);
     }
 }
