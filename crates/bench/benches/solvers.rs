@@ -3,19 +3,98 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hotiron_floorplan::{library, GridMapping};
 use hotiron_refsim::{RefSim, RefSimConfig};
-use hotiron_thermal::circuit::{build_circuit, build_circuit_from_stack, DieGeometry};
+use hotiron_thermal::circuit::{
+    build_circuit, build_circuit_from_board, build_circuit_from_stack, DieGeometry,
+};
 use hotiron_thermal::greens::SpectralTransient;
 use hotiron_thermal::multigrid::mg_pcg;
 use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, SolverChoice};
 use hotiron_thermal::sparse::conjugate_gradient;
 use hotiron_thermal::{
-    materials, AirSinkPackage, Boundary, Layer, LayerStack, ModelConfig, OilSiliconPackage,
-    Package, PowerMap, ThermalModel,
+    materials, AirSinkPackage, Board, Boundary, Layer, LayerStack, ModelConfig, OilSiliconPackage,
+    Package, PcbSpec, Placement, PowerMap, Rotation, ThermalModel,
 };
 use std::hint::black_box;
 
 fn die() -> DieGeometry {
     DieGeometry { width: 0.016, height: 0.016, thickness: 0.5e-3 }
+}
+
+/// A two-package PCB board (powered cpu + passive dram) on a shared
+/// `grid`×`grid` plane grid, with the per-placement mappings the assembler
+/// stamps through.
+fn board_2pkg(grid: usize) -> (Board, Vec<GridMapping>) {
+    let pcb = PcbSpec {
+        width: 0.05,
+        height: 0.03,
+        thickness: 1.6e-3,
+        material: materials::PCB,
+        bottom: Boundary::Lumped { r_total: 8.0, c_total: 20.0 },
+    };
+    let place = |name: &str, side: f64, x: f64, y: f64, top: Boundary| Placement {
+        name: name.into(),
+        die: DieGeometry { width: side, height: side, thickness: 0.5e-3 },
+        stack: LayerStack::new(vec![Layer::new("silicon", materials::SILICON, 0.5e-3)], 0)
+            .with_bottom(Boundary::Insulated)
+            .with_top(top),
+        x,
+        y,
+        rotation: Rotation::R0,
+    };
+    let board = Board::new(grid, grid, pcb)
+        .with_placement(place(
+            "cpu",
+            0.016,
+            0.005,
+            0.007,
+            Boundary::Lumped { r_total: 2.0, c_total: 30.0 },
+        ))
+        .with_placement(place("dram", 0.01, 0.035, 0.01, Boundary::Insulated));
+    let mappings = board
+        .placements
+        .iter()
+        .map(|p| GridMapping::new(&library::uniform_die(p.die.width, p.die.height), grid, grid))
+        .collect();
+    (board, mappings)
+}
+
+/// Cost of stamping a multi-die board into one circuit: per-placement stack
+/// lowering plus the shared-PCB coupling stamps, the work the board branch
+/// of the circuit cache amortizes.
+fn bench_board_assembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("board_assembly");
+    for grid in [16usize, 32] {
+        let (board, mappings) = board_2pkg(grid);
+        g.bench_with_input(BenchmarkId::new("2pkg", grid), &grid, |b, _| {
+            b.iter(|| build_circuit_from_board(black_box(&board), &mappings).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Steady solve over an assembled two-package board at the scenario grid:
+/// MG-PCG (the board-scale production path — boards are spectrally
+/// ineligible) against plain Jacobi-PCG on the same operator.
+fn bench_steady_board_2pkg(c: &mut Criterion) {
+    let grid = 32usize;
+    let (board, mappings) = board_2pkg(grid);
+    let circuit = build_circuit_from_board(&board, &mappings).unwrap();
+    let n = circuit.cell_count();
+    let mut p = vec![0.0; board.placements.len() * n];
+    for cell in &mut p[..n] {
+        *cell = 25.0 / n as f64;
+    }
+    let mut g = c.benchmark_group("steady_board_2pkg");
+    g.sample_size(20);
+    for (label, choice) in [("mg", SolverChoice::Multigrid), ("cg", SolverChoice::Cg)] {
+        g.bench_function(format!("{label}_{grid}x{grid}"), |b| {
+            b.iter(|| {
+                let mut s = vec![318.15; circuit.node_count()];
+                solve_steady_with(&circuit, black_box(&p), 318.15, &mut s, choice).unwrap()
+            })
+        });
+    }
+    g.finish();
 }
 
 fn bench_assembly(c: &mut Criterion) {
@@ -423,7 +502,9 @@ fn bench_steady_warm_vs_cold(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_assembly,
+    bench_board_assembly,
     bench_steady,
+    bench_steady_board_2pkg,
     bench_steady_cg_64x64,
     bench_steady_large,
     bench_steady_spectral_256x256,

@@ -1,0 +1,132 @@
+//! The `board` experiment: runs every shipped board scenario through the
+//! shared pipeline and tabulates, per placement, the silicon temperatures,
+//! the PCB temperature under the package, and what a coarse board-back
+//! sensor array actually reads there — the measurement-vs-simulation
+//! comparison of the paper, transplanted from a single die to a populated
+//! PCB. The `sensor max C` column samples the solved PCB plane through
+//! [`hotiron_dtm::SensorArray::read_field`], so the inter-package coupling
+//! signature (an unpowered placement reading above ambient) shows up in the
+//! "measured" column exactly as a contactless board-back characterization
+//! would see it.
+
+use crate::common::Fidelity;
+use crate::report::{Row, Table};
+use crate::scenario::{self, Scenario};
+use hotiron_dtm::SensorArray;
+
+/// Sensors per side of the board-back array (a 4x4 grid — coarse on
+/// purpose, like the fixed sensor budget of §5).
+const SENSOR_GRID: usize = 4;
+
+/// Seed for the (noiseless) board-back array; fixed so goldens are stable.
+const SENSOR_SEED: u64 = 0xB0A2D;
+
+/// The shipped board scenarios, parsed.
+fn shipped_boards() -> Vec<Scenario> {
+    scenario::SHIPPED
+        .iter()
+        .filter(|(name, _)| name.starts_with("board-"))
+        .map(|(name, text)| {
+            scenario::parse(text).unwrap_or_else(|e| panic!("embedded scenario `{name}`: {e}"))
+        })
+        .collect()
+}
+
+/// The `board` experiment table: one row per `scenario/placement`.
+///
+/// # Panics
+///
+/// Panics if an embedded board scenario fails to parse or run — they are
+/// part of the build and covered by the scenario test-suite.
+pub fn boards_table(fidelity: Fidelity) -> Table {
+    let mut table = Table::new(
+        "Multi-die boards: per-placement silicon vs PCB-back readout",
+        "placement",
+        ["silicon max C", "silicon mean C", "pcb under C", "sensor max C"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+    );
+    for sc in shipped_boards() {
+        let sol = scenario::run(&sc, fidelity)
+            .unwrap_or_else(|e| panic!("embedded scenario `{}`: {e}", sc.name));
+        table.set_meta(format!("board_hash.{}", sc.name), format!("{:016x}", sol.stack_hash));
+        let pcb = sol.pcb.as_ref().expect("board scenarios report the PCB plane");
+        // One fresh array per scenario: the readout must not depend on how
+        // many scenarios ran before this one.
+        let mut array = SensorArray::uniform_grid(SENSOR_GRID, pcb.width, pcb.height, SENSOR_SEED);
+        let readings = array.read_field(&pcb.celsius, pcb.rows, pcb.cols, pcb.width, pcb.height);
+        for (place, rep) in sc.places.iter().zip(&sol.placements) {
+            // The sensor a bring-up engineer reads for this package: the
+            // array element nearest the footprint center on the board back.
+            // The coarse fixed grid rarely lands exactly under the die, so
+            // this column systematically underreads `pcb under C` — the
+            // sensor-placement error of §5, at board scale.
+            let (w, h) = (place.width.unwrap_or(0.0), place.height.unwrap_or(0.0));
+            let (fw, fh) = place.rotation.footprint(w, h);
+            let (cx, cy) = (place.x + fw / 2.0, place.y + fh / 2.0);
+            let nearest = array
+                .sensors()
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = (a.x - cx).powi(2) + (a.y - cy).powi(2);
+                    let db = (b.x - cx).powi(2) + (b.y - cy).powi(2);
+                    da.total_cmp(&db)
+                })
+                .map(|(i, _)| i)
+                .expect("array is non-empty");
+            table.push(Row::new(
+                format!("{}/{}", sc.name, rep.name),
+                vec![rep.silicon_max_c, rep.silicon_mean_c, rep.pcb_under_c, readings[nearest]],
+            ));
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_table_covers_every_shipped_board() {
+        let t = boards_table(Fidelity::Fast);
+        let expected: usize = shipped_boards().iter().map(|sc| sc.places.len()).sum();
+        assert_eq!(t.rows.len(), expected);
+        assert!(t.rows.iter().any(|r| r.label == "board-duo/cpu"));
+        assert!(t.rows.iter().any(|r| r.label == "board-duo/dram"));
+        assert!(t.rows.iter().any(|r| r.label == "board-qfn-vias/qfn"));
+        for sc in shipped_boards() {
+            assert!(
+                t.meta.iter().any(|(k, _)| k == &format!("board_hash.{}", sc.name)),
+                "{} hash stamped",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_column_sees_the_coupling_signature() {
+        let t = boards_table(Fidelity::Fast);
+        let row = |label: &str| t.rows.iter().find(|r| r.label == label).unwrap();
+        let dram = row("board-duo/dram");
+        // Column 3 is the board-back sensor readout: even the unpowered
+        // placement's row carries a reading above ambient, because the
+        // array sees the shared PCB the CPU heats.
+        assert!(dram.values[3] > 45.0, "sensor sees PCB heat: {:?}", dram.values);
+        // And the PCB under the powered CPU is hotter than under the DRAM.
+        let cpu = row("board-duo/cpu");
+        assert!(cpu.values[2] > dram.values[2]);
+    }
+
+    #[test]
+    fn boards_table_is_deterministic() {
+        let a = boards_table(Fidelity::Fast);
+        let b = boards_table(Fidelity::Fast);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.label, rb.label);
+            assert_eq!(ra.values, rb.values);
+        }
+    }
+}

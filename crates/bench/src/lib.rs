@@ -25,6 +25,7 @@
 
 pub mod arch;
 pub mod athlon;
+pub mod board;
 pub mod common;
 pub mod registry;
 pub mod report;

@@ -6,7 +6,7 @@
 use crate::report::Table;
 use crate::runner::Artifact;
 use crate::traces::TraceConfig;
-use crate::{arch, athlon, scenario, steady, traces, transients, validation, Fidelity};
+use crate::{arch, athlon, board, scenario, steady, traces, transients, validation, Fidelity};
 
 /// Every runnable experiment name, in canonical (paper) order.
 pub const EXPERIMENTS: &[&str] = &[
@@ -28,6 +28,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "translate",
     "dtm",
     "stacks",
+    "board",
     "movie",
 ];
 
@@ -76,6 +77,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity) -> Vec<(String, Artifact)>
         "translate" => tables(vec![("translate", arch::translation_study(fidelity))]),
         "dtm" => tables(vec![("dtm", arch::dtm_study(fidelity))]),
         "stacks" => tables(vec![("stacks", scenario::stacks_table(fidelity))]),
+        "board" => tables(vec![("board", board::boards_table(fidelity))]),
         "movie" => tables(vec![("movie", transients::movie(fidelity))]),
         other => panic!("unknown experiment `{other}`"),
     };

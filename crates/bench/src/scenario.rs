@@ -15,6 +15,20 @@
 //! [output]    field (true | false)
 //! ```
 //!
+//! A *board* scenario replaces `[die]`/`[stack]`/`[power]` with a shared
+//! PCB substrate and one `[place]` section per package:
+//!
+//! ```text
+//! [board]     width, height, thickness, material, bottom,
+//!             via = <name> <x> <y> <w> <h> <S_per_area> (repeated)
+//! [place]     name, plan, width, height, x, y, rotation (0|90|180|270),
+//!             layer (repeated), silicon, top, source/block
+//! ```
+//!
+//! Every placement bottom is implicitly insulated (heat reaches the PCB
+//! through the solder interface the board assembler stamps); `[grid]` is
+//! shared by every plane of the board, as the multigrid hierarchy requires.
+//!
 //! A `layer` value is `<name> <material> <thickness>` with an optional
 //! `plate <side>` suffix for oversized plates; `top`/`bottom` boundaries are
 //! `insulated`, `lumped <r> <c>`, or `oil <fluid> <velocity> <direction>
@@ -35,6 +49,7 @@ use hotiron_thermal::solve::{solve_steady, solve_steady_with, SolveError, Solver
 use hotiron_thermal::sparse::SolveStats;
 use hotiron_thermal::units::{celsius_to_kelvin, kelvin_to_celsius};
 use hotiron_thermal::{fluid, materials, Boundary, FlowDirection, Layer, LayerStack, OilFilm};
+use hotiron_thermal::{Board, PcbSpec, Placement, Rotation, ViaField};
 use hotiron_thermal::{Fluid, Material, PowerMap};
 use std::fmt;
 
@@ -155,6 +170,68 @@ impl SolverSpec {
     }
 }
 
+/// One `via =` line of a `[board]` section: an anisotropic through-plane
+/// conductance patch, as written in the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViaSpec {
+    /// Field designator.
+    pub name: String,
+    /// Board-frame x of the lower-left corner, m.
+    pub x: f64,
+    /// Board-frame y of the lower-left corner, m.
+    pub y: f64,
+    /// Patch width, m.
+    pub width: f64,
+    /// Patch height, m.
+    pub height: f64,
+    /// Added through-plane conductance per unit area, W/(K·m²).
+    pub sigma: f64,
+}
+
+/// The `[board]` section: the shared PCB substrate of a board scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardSpec {
+    /// Board width, m.
+    pub width: f64,
+    /// Board height, m.
+    pub height: f64,
+    /// Board thickness, m.
+    pub thickness: f64,
+    /// Substrate material (default `pcb`).
+    pub material: Material,
+    /// Boundary on the PCB back side.
+    pub bottom: Boundary,
+    /// Thermal-via fields.
+    pub vias: Vec<ViaSpec>,
+}
+
+/// One `[place]` section: a packaged die placed on the board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceSpec {
+    /// Placement designator (`u1`, `cpu`, …).
+    pub name: String,
+    /// Floorplan choice for this die.
+    pub plan: PlanKind,
+    /// Die width, m (`uniform` plans only).
+    pub width: Option<f64>,
+    /// Die height, m (`uniform` plans only).
+    pub height: Option<f64>,
+    /// Board-frame x of the placement's lower-left corner, m.
+    pub x: f64,
+    /// Board-frame y of the placement's lower-left corner, m.
+    pub y: f64,
+    /// Quarter-turn rotation of the die on the board.
+    pub rotation: Rotation,
+    /// Conduction layers, bottom→top (the bottom is implicitly insulated).
+    pub layers: Vec<LayerSpec>,
+    /// Name of the silicon layer (same defaulting as the `[stack]` marker).
+    pub silicon: Option<String>,
+    /// Boundary over the last layer.
+    pub top: Boundary,
+    /// Power source of this die.
+    pub power: PowerSpec,
+}
+
 /// A fully parsed scenario file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -189,6 +266,12 @@ pub struct Scenario {
     pub ambient_c: f64,
     /// Also emit the raw silicon temperature field as CSV.
     pub field: bool,
+    /// The shared PCB substrate of a board scenario (`None` for the
+    /// single-die form; when `Some`, the single-die fields above hold inert
+    /// placeholders and `places` carries the packages).
+    pub board: Option<BoardSpec>,
+    /// The placed packages of a board scenario, file order.
+    pub places: Vec<PlaceSpec>,
 }
 
 fn material_by_name(s: &str) -> Option<Material> {
@@ -318,6 +401,123 @@ fn parse_layer(ln: usize, value: &str) -> Result<LayerSpec, ScenarioError> {
     })
 }
 
+fn parse_plan(ln: usize, value: &str) -> Result<PlanKind, ScenarioError> {
+    Ok(match value {
+        "uniform" => PlanKind::Uniform,
+        "ev6" => PlanKind::Ev6,
+        "athlon64" => PlanKind::Athlon64,
+        "center-source" => PlanKind::CenterSource,
+        other => return Err(err(ln, format!("unknown plan `{other}`"))),
+    })
+}
+
+fn parse_rotation(ln: usize, value: &str) -> Result<Rotation, ScenarioError> {
+    value
+        .parse::<u32>()
+        .ok()
+        .and_then(Rotation::from_degrees)
+        .ok_or_else(|| err(ln, format!("bad rotation `{value}`: expected 0, 90, 180 or 270")))
+}
+
+fn parse_source(ln: usize, value: &str) -> Result<PowerSpec, ScenarioError> {
+    let words: Vec<&str> = value.split_whitespace().collect();
+    match words.as_slice() {
+        ["uniform", w] => Ok(PowerSpec::Uniform(parse_f64(ln, "source", w)?)),
+        ["gcc"] => Ok(PowerSpec::Gcc),
+        _ => {
+            Err(err(ln, format!("bad power source `{value}`: expected `uniform <watts>` or `gcc`")))
+        }
+    }
+}
+
+fn parse_via(ln: usize, value: &str) -> Result<ViaSpec, ScenarioError> {
+    let words: Vec<&str> = value.split_whitespace().collect();
+    let [name, x, y, w, h, sigma] = words.as_slice() else {
+        return Err(err(
+            ln,
+            format!("bad via `{value}`: expected `<name> <x> <y> <w> <h> <S_per_area>`"),
+        ));
+    };
+    Ok(ViaSpec {
+        name: (*name).to_owned(),
+        x: parse_f64(ln, "via", x)?,
+        y: parse_f64(ln, "via", y)?,
+        width: parse_f64(ln, "via", w)?,
+        height: parse_f64(ln, "via", h)?,
+        sigma: parse_f64(ln, "via", sigma)?,
+    })
+}
+
+/// In-progress `[place]` section; finalized (and validated) once the whole
+/// file is consumed so errors can cite the section's header line.
+#[derive(Default)]
+struct PlaceDraft {
+    header_line: usize,
+    name: Option<String>,
+    plan: Option<PlanKind>,
+    width: Option<f64>,
+    height: Option<f64>,
+    x: Option<f64>,
+    y: Option<f64>,
+    rotation: Option<Rotation>,
+    layers: Vec<LayerSpec>,
+    silicon: Option<String>,
+    top: Option<Boundary>,
+    source: Option<PowerSpec>,
+    blocks: Vec<(String, f64)>,
+    blocks_line: usize,
+}
+
+impl PlaceDraft {
+    fn finish(self, index: usize) -> Result<PlaceSpec, ScenarioError> {
+        let at = self.header_line;
+        let name = self
+            .name
+            .ok_or_else(|| err(at, format!("[place] section #{} is missing `name`", index + 1)))?;
+        let whine = |what: &str| err(at, format!("placement `{name}`: {what}"));
+        let plan = self.plan.unwrap_or(PlanKind::Uniform);
+        if plan == PlanKind::Uniform && (self.width.is_none() || self.height.is_none()) {
+            return Err(whine("plan `uniform` requires `width` and `height`"));
+        }
+        if plan != PlanKind::Uniform && (self.width.is_some() || self.height.is_some()) {
+            return Err(whine("a named plan fixes the die size; drop `width`/`height`"));
+        }
+        let x = self.x.ok_or_else(|| whine("missing key `x`"))?;
+        let y = self.y.ok_or_else(|| whine("missing key `y`"))?;
+        if self.layers.is_empty() {
+            return Err(whine("missing `layer` lines"));
+        }
+        let top = self.top.ok_or_else(|| whine("missing key `top`"))?;
+        let power = match (self.source, self.blocks.is_empty()) {
+            (Some(_), false) => {
+                return Err(err(
+                    self.blocks_line,
+                    format!("placement `{name}`: give either `source` or `block` lines, not both"),
+                ))
+            }
+            (Some(s), true) => s,
+            (None, false) => PowerSpec::Blocks(self.blocks),
+            (None, true) => return Err(whine("missing power: give `source` or `block` lines")),
+        };
+        if power == PowerSpec::Gcc && !matches!(plan, PlanKind::Ev6 | PlanKind::Athlon64) {
+            return Err(whine("power source `gcc` needs plan `ev6` or `athlon64`"));
+        }
+        Ok(PlaceSpec {
+            name,
+            plan,
+            width: self.width,
+            height: self.height,
+            x,
+            y,
+            rotation: self.rotation.unwrap_or(Rotation::R0),
+            layers: self.layers,
+            silicon: self.silicon,
+            top,
+            power,
+        })
+    }
+}
+
 /// Parses a `.scn` scenario file.
 ///
 /// # Errors
@@ -343,6 +543,14 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut solver = None;
     let mut ambient_c = None;
     let mut field = None;
+    let mut board_line: Option<usize> = None;
+    let mut b_width = None;
+    let mut b_height = None;
+    let mut b_thickness = None;
+    let mut b_material = None;
+    let mut b_bottom = None;
+    let mut vias: Vec<ViaSpec> = Vec::new();
+    let mut places: Vec<PlaceDraft> = Vec::new();
 
     for (i, raw) in text.lines().enumerate() {
         let ln = i + 1;
@@ -356,6 +564,21 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
             };
             section = Some(match sec {
                 "scenario" | "die" | "grid" | "stack" | "power" | "solve" | "output" => (sec, ln),
+                "board" => {
+                    if let Some(first) = board_line {
+                        return Err(err(
+                            ln,
+                            format!("duplicate [board] section (first at line {first})"),
+                        ));
+                    }
+                    board_line = Some(ln);
+                    (sec, ln)
+                }
+                // Every `[place]` header opens a fresh placement.
+                "place" => {
+                    places.push(PlaceDraft { header_line: ln, ..PlaceDraft::default() });
+                    (sec, ln)
+                }
                 other => return Err(err(ln, format!("unknown section `[{other}]`"))),
             });
             continue;
@@ -370,15 +593,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         match (sec, key) {
             ("scenario", "name") => name = Some(value.to_owned()),
             ("scenario", "title") => title = Some(value.to_owned()),
-            ("die", "plan") => {
-                plan = Some(match value {
-                    "uniform" => PlanKind::Uniform,
-                    "ev6" => PlanKind::Ev6,
-                    "athlon64" => PlanKind::Athlon64,
-                    "center-source" => PlanKind::CenterSource,
-                    other => return Err(err(ln, format!("unknown plan `{other}`"))),
-                });
-            }
+            ("die", "plan") => plan = Some(parse_plan(ln, value)?),
             ("die", "width") => width = Some(parse_f64(ln, key, value)?),
             ("die", "height") => height = Some(parse_f64(ln, key, value)?),
             ("grid", "rows") => rows = Some(parse_usize(ln, key, value)?),
@@ -387,21 +602,46 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
             ("stack", "silicon") => silicon = Some(value.to_owned()),
             ("stack", "bottom") => bottom = Some(parse_boundary(ln, key, value)?),
             ("stack", "top") => top = Some(parse_boundary(ln, key, value)?),
-            ("power", "source") => {
-                let words: Vec<&str> = value.split_whitespace().collect();
-                source = Some(match words.as_slice() {
-                    ["uniform", w] => PowerSpec::Uniform(parse_f64(ln, key, w)?),
-                    ["gcc"] => PowerSpec::Gcc,
-                    _ => {
-                        return Err(err(
-                            ln,
-                            format!(
-                                "bad power source `{value}`: expected `uniform <watts>` or `gcc`"
-                            ),
-                        ))
-                    }
-                });
+            ("board", "width") => b_width = Some(parse_f64(ln, key, value)?),
+            ("board", "height") => b_height = Some(parse_f64(ln, key, value)?),
+            ("board", "thickness") => b_thickness = Some(parse_f64(ln, key, value)?),
+            ("board", "material") => {
+                b_material = Some(
+                    material_by_name(value)
+                        .ok_or_else(|| err(ln, format!("unknown material `{value}`")))?,
+                );
             }
+            ("board", "bottom") => b_bottom = Some(parse_boundary(ln, key, value)?),
+            ("board", "via") => vias.push(parse_via(ln, value)?),
+            ("place", k) => {
+                let place = places.last_mut().expect("[place] header pushed a draft");
+                match k {
+                    "name" => place.name = Some(value.to_owned()),
+                    "plan" => place.plan = Some(parse_plan(ln, value)?),
+                    "width" => place.width = Some(parse_f64(ln, key, value)?),
+                    "height" => place.height = Some(parse_f64(ln, key, value)?),
+                    "x" => place.x = Some(parse_f64(ln, key, value)?),
+                    "y" => place.y = Some(parse_f64(ln, key, value)?),
+                    "rotation" => place.rotation = Some(parse_rotation(ln, value)?),
+                    "layer" => place.layers.push(parse_layer(ln, value)?),
+                    "silicon" => place.silicon = Some(value.to_owned()),
+                    "top" => place.top = Some(parse_boundary(ln, key, value)?),
+                    "source" => place.source = Some(parse_source(ln, value)?),
+                    "block" => {
+                        let words: Vec<&str> = value.split_whitespace().collect();
+                        let [block, watts] = words.as_slice() else {
+                            return Err(err(
+                                ln,
+                                format!("bad block power `{value}`: expected `<name> <watts>`"),
+                            ));
+                        };
+                        place.blocks.push(((*block).to_owned(), parse_f64(ln, key, watts)?));
+                        place.blocks_line = ln;
+                    }
+                    other => return Err(err(ln, format!("unknown key `{other}` in [place]"))),
+                }
+            }
+            ("power", "source") => source = Some(parse_source(ln, value)?),
             ("power", "block") => {
                 let words: Vec<&str> = value.split_whitespace().collect();
                 let [block, watts] = words.as_slice() else {
@@ -438,6 +678,66 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let cols = cols.ok_or_else(|| err(0, "missing key `cols` in [grid]"))?;
     if rows == 0 || cols == 0 {
         return Err(err(0, "grid rows/cols must be positive"));
+    }
+    if board_line.is_some() || !places.is_empty() {
+        // Board form: the single-die sections must be absent — a file mixing
+        // both would be ambiguous about what actually runs.
+        if plan.is_some()
+            || width.is_some()
+            || height.is_some()
+            || !layers.is_empty()
+            || silicon.is_some()
+            || bottom.is_some()
+            || top.is_some()
+            || source.is_some()
+            || !blocks.is_empty()
+        {
+            return Err(err(
+                0,
+                "a board scenario replaces [die]/[stack]/[power] with [place] sections",
+            ));
+        }
+        if board_line.is_none() {
+            return Err(err(0, "[place] sections require a [board] section"));
+        }
+        if places.is_empty() {
+            return Err(err(0, "a board scenario needs at least one [place] section"));
+        }
+        let miss = |k: &str| err(0, format!("missing key `{k}` in [board]"));
+        let board = BoardSpec {
+            width: b_width.ok_or_else(|| miss("width"))?,
+            height: b_height.ok_or_else(|| miss("height"))?,
+            thickness: b_thickness.ok_or_else(|| miss("thickness"))?,
+            material: b_material.unwrap_or(materials::PCB),
+            bottom: b_bottom.ok_or_else(|| miss("bottom"))?,
+            vias,
+        };
+        let places = places
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| d.finish(i))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Scenario {
+            title: title.unwrap_or_else(|| name.clone()),
+            name,
+            // Inert single-die placeholders: the board pipeline never reads
+            // them, and `to_scn` omits their sections, so they round-trip.
+            plan: PlanKind::Uniform,
+            width: None,
+            height: None,
+            rows,
+            cols,
+            layers: Vec::new(),
+            silicon: None,
+            bottom: Boundary::Insulated,
+            top: Boundary::Insulated,
+            power: PowerSpec::Uniform(0.0),
+            solver: solver.unwrap_or(SolverSpec::Auto),
+            ambient_c: ambient_c.unwrap_or(common::AMBIENT_C),
+            field: field.unwrap_or(false),
+            board: Some(board),
+            places,
+        });
     }
     if layers.is_empty() {
         return Err(err(0, "missing `layer` lines in [stack]"));
@@ -486,6 +786,8 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         solver: solver.unwrap_or(SolverSpec::Auto),
         ambient_c: ambient_c.unwrap_or(common::AMBIENT_C),
         field: field.unwrap_or(false),
+        board: None,
+        places: Vec::new(),
     })
 }
 
@@ -495,6 +797,65 @@ impl Scenario {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "[scenario]\nname = {}\ntitle = {}\n", self.name, self.title);
+        if let Some(b) = &self.board {
+            let _ = writeln!(
+                out,
+                "[board]\nwidth = {}\nheight = {}\nthickness = {}\nmaterial = {}\nbottom = {}",
+                b.width,
+                b.height,
+                b.thickness,
+                b.material.name(),
+                boundary_to_scn(&b.bottom)
+            );
+            for v in &b.vias {
+                let _ = writeln!(
+                    out,
+                    "via = {} {} {} {} {} {}",
+                    v.name, v.x, v.y, v.width, v.height, v.sigma
+                );
+            }
+            let _ = writeln!(out, "\n[grid]\nrows = {}\ncols = {}", self.rows, self.cols);
+            for p in &self.places {
+                let _ = writeln!(out, "\n[place]\nname = {}\nplan = {}", p.name, p.plan.token());
+                if let (Some(w), Some(h)) = (p.width, p.height) {
+                    let _ = writeln!(out, "width = {w}\nheight = {h}");
+                }
+                let _ =
+                    writeln!(out, "x = {}\ny = {}\nrotation = {}", p.x, p.y, p.rotation.degrees());
+                for l in &p.layers {
+                    let _ = write!(out, "layer = {} {} {}", l.name, l.material.name(), l.thickness);
+                    if let Some(side) = l.side {
+                        let _ = write!(out, " plate {side}");
+                    }
+                    let _ = writeln!(out);
+                }
+                if let Some(si) = &p.silicon {
+                    let _ = writeln!(out, "silicon = {si}");
+                }
+                let _ = writeln!(out, "top = {}", boundary_to_scn(&p.top));
+                match &p.power {
+                    PowerSpec::Uniform(w) => {
+                        let _ = writeln!(out, "source = uniform {w}");
+                    }
+                    PowerSpec::Gcc => {
+                        let _ = writeln!(out, "source = gcc");
+                    }
+                    PowerSpec::Blocks(bs) => {
+                        for (b, w) in bs {
+                            let _ = writeln!(out, "block = {b} {w}");
+                        }
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "\n[solve]\nsolver = {}\nambient = {}\n",
+                self.solver.token(),
+                self.ambient_c
+            );
+            let _ = writeln!(out, "[output]\nfield = {}", self.field);
+            return out;
+        }
         let _ = writeln!(out, "[die]\nplan = {}", self.plan.token());
         if let (Some(w), Some(h)) = (self.width, self.height) {
             let _ = writeln!(out, "width = {w}\nheight = {h}");
@@ -539,16 +900,7 @@ impl Scenario {
 
     /// Builds the floorplan this scenario runs on.
     fn floorplan(&self) -> Floorplan {
-        match self.plan {
-            // width/height presence is enforced at parse time.
-            PlanKind::Uniform => library::uniform_die(
-                self.width.expect("uniform plan has width"),
-                self.height.expect("uniform plan has height"),
-            ),
-            PlanKind::Ev6 => library::ev6(),
-            PlanKind::Athlon64 => library::athlon64(),
-            PlanKind::CenterSource => library::center_source_die(),
-        }
+        plan_for(self.plan, self.width, self.height)
     }
 
     /// Lowers the `[stack]` section to the layer-stack IR.
@@ -557,47 +909,79 @@ impl Scenario {
     ///
     /// Fails when the `silicon` marker names no layer.
     pub fn stack(&self) -> Result<LayerStack, ScenarioError> {
-        let si_index = match &self.silicon {
-            Some(marker) => self
-                .layers
-                .iter()
-                .position(|l| l.name == *marker)
-                .ok_or_else(|| err(0, format!("silicon marker `{marker}` names no layer")))?,
-            None => self.layers.iter().position(|l| l.name == "silicon").unwrap_or(0),
-        };
-        let layers = self
-            .layers
-            .iter()
-            .map(|l| match l.side {
-                Some(side) => Layer::plate(l.name.clone(), l.material, l.thickness, side),
-                None => Layer::new(l.name.clone(), l.material, l.thickness),
-            })
-            .collect();
+        let (layers, si_index) = lower_layers(&self.layers, self.silicon.as_deref())?;
         Ok(LayerStack::new(layers, si_index)
             .with_bottom(self.bottom.clone())
             .with_top(self.top.clone()))
     }
 
     fn block_power(&self, plan: &Floorplan) -> Result<PowerMap, ScenarioError> {
-        match &self.power {
-            PowerSpec::Uniform(watts) => {
-                Ok(PowerMap::uniform_density(plan, watts / plan.covered_area()))
-            }
-            PowerSpec::Gcc => Ok(match self.plan {
-                PlanKind::Ev6 => common::ev6_gcc().1,
-                PlanKind::Athlon64 => common::athlon_gcc().1,
-                // Rejected at parse time.
-                _ => unreachable!("gcc power needs a named plan"),
-            }),
-            PowerSpec::Blocks(blocks) => {
-                let mut map = PowerMap::zeros(plan);
-                for (block, watts) in blocks {
-                    map.set(plan, block, *watts)
-                        .map_err(|_| err(0, format!("unknown block `{block}` in [power]")))?;
-                }
-                Ok(map)
-            }
+        block_power_for(&self.power, self.plan, plan)
+    }
+}
+
+/// Lowers `layer` lines to [`Layer`]s and resolves the silicon marker
+/// (shared by the `[stack]` section and each `[place]` section).
+fn lower_layers(
+    specs: &[LayerSpec],
+    silicon: Option<&str>,
+) -> Result<(Vec<Layer>, usize), ScenarioError> {
+    let si_index = match silicon {
+        Some(marker) => specs
+            .iter()
+            .position(|l| l.name == marker)
+            .ok_or_else(|| err(0, format!("silicon marker `{marker}` names no layer")))?,
+        None => specs.iter().position(|l| l.name == "silicon").unwrap_or(0),
+    };
+    let layers = specs
+        .iter()
+        .map(|l| match l.side {
+            Some(side) => Layer::plate(l.name.clone(), l.material, l.thickness, side),
+            None => Layer::new(l.name.clone(), l.material, l.thickness),
+        })
+        .collect();
+    Ok((layers, si_index))
+}
+
+/// Resolves a power spec against a floorplan (shared by the `[power]`
+/// section and each `[place]` section).
+fn block_power_for(
+    power: &PowerSpec,
+    kind: PlanKind,
+    plan: &Floorplan,
+) -> Result<PowerMap, ScenarioError> {
+    match power {
+        PowerSpec::Uniform(watts) => {
+            Ok(PowerMap::uniform_density(plan, watts / plan.covered_area()))
         }
+        PowerSpec::Gcc => Ok(match kind {
+            PlanKind::Ev6 => common::ev6_gcc().1,
+            PlanKind::Athlon64 => common::athlon_gcc().1,
+            // Rejected at parse time.
+            _ => unreachable!("gcc power needs a named plan"),
+        }),
+        PowerSpec::Blocks(blocks) => {
+            let mut map = PowerMap::zeros(plan);
+            for (block, watts) in blocks {
+                map.set(plan, block, *watts)
+                    .map_err(|_| err(0, format!("unknown block `{block}` in [power]")))?;
+            }
+            Ok(map)
+        }
+    }
+}
+
+/// Builds the floorplan a plan choice names (shared by `[die]` and
+/// `[place]`; width/height presence is enforced at parse time).
+fn plan_for(kind: PlanKind, width: Option<f64>, height: Option<f64>) -> Floorplan {
+    match kind {
+        PlanKind::Uniform => library::uniform_die(
+            width.expect("uniform plan has width"),
+            height.expect("uniform plan has height"),
+        ),
+        PlanKind::Ev6 => library::ev6(),
+        PlanKind::Athlon64 => library::athlon64(),
+        PlanKind::CenterSource => library::center_source_die(),
     }
 }
 
@@ -605,6 +989,38 @@ impl Scenario {
 const ENERGY_REL_TOL: f64 = 1e-6;
 /// Below-ambient slack (K) for the inline maximum-principle check.
 const BELOW_AMBIENT_TOL: f64 = 1e-6;
+
+/// Per-placement readout of a solved board scenario: the package's own
+/// silicon temperatures plus the PCB temperature directly under it — the
+/// column pair that exposes inter-package coupling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementReport {
+    /// Placement designator from the `[place]` section.
+    pub name: String,
+    /// Hottest silicon cell of this placement, °C.
+    pub silicon_max_c: f64,
+    /// Mean silicon temperature of this placement, °C.
+    pub silicon_mean_c: f64,
+    /// Mean PCB temperature over the cells under this placement's
+    /// footprint, °C — what a board-back IR camera or sensor array sees.
+    pub pcb_under_c: f64,
+}
+
+/// The shared PCB plane of a solved board scenario, row-major °C — the
+/// raw field a contactless board-back characterization samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcbReadout {
+    /// Grid rows of the PCB plane.
+    pub rows: usize,
+    /// Grid columns of the PCB plane.
+    pub cols: usize,
+    /// PCB width, m (x extent).
+    pub width: f64,
+    /// PCB height, m (y extent).
+    pub height: f64,
+    /// Row-major cell temperatures, °C.
+    pub celsius: Vec<f64>,
+}
 
 /// A solved scenario: the summary table plus the raw numbers it was built
 /// from, for composition into multi-scenario tables.
@@ -637,6 +1053,12 @@ pub struct Solution {
     pub blocks: Vec<(String, f64)>,
     /// Telemetry of the steady solve (method, iterations, residual, …).
     pub solve_stats: SolveStats,
+    /// Per-placement readouts of a board scenario; empty for single-die
+    /// scenarios.
+    pub placements: Vec<PlacementReport>,
+    /// The shared PCB plane of a board scenario; `None` for single-die
+    /// scenarios.
+    pub pcb: Option<PcbReadout>,
 }
 
 /// Runs one scenario end-to-end: lower the stack, assemble (through the
@@ -665,6 +1087,9 @@ pub fn run_in(
     fidelity: Fidelity,
     cache: &CircuitCache,
 ) -> Result<Solution, ScenarioError> {
+    if sc.board.is_some() {
+        return run_board_in(sc, fidelity, cache);
+    }
     let plan = sc.floorplan();
     let stack = sc.stack()?;
     let die = DieGeometry {
@@ -685,31 +1110,7 @@ pub fn run_in(
     let cell_power = mapping.spread_block_values(power.values());
     let ambient = celsius_to_kelvin(sc.ambient_c);
     let mut state = vec![ambient; circuit.node_count()];
-    let solved = match sc.solver {
-        SolverSpec::Auto => solve_steady(&circuit, &cell_power, ambient, &mut state),
-        SolverSpec::Direct => {
-            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Direct)
-        }
-        SolverSpec::Cg => {
-            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Cg)
-        }
-        SolverSpec::Multigrid => {
-            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Multigrid)
-        }
-        SolverSpec::Spectral => {
-            solve_steady_with(&circuit, &cell_power, ambient, &mut state, SolverChoice::Spectral)
-        }
-    };
-    // An ineligible spectral request is a client-side configuration error
-    // (the scenario's stack cannot run spectral), not a solver failure —
-    // keep the messages distinct so serving layers can map them to 422 vs
-    // 500.
-    let solve_stats = solved.map_err(|e| match e {
-        SolveError::SpectralIneligible { reason } => {
-            err(0, format!("spectral solver ineligible: {reason}"))
-        }
-        other => err(0, format!("steady solve failed: {other:?}")),
-    })?;
+    let solve_stats = dispatch_steady(sc, &circuit, &cell_power, ambient, &mut state)?;
 
     // Inline physics oracles: every scenario run is also a correctness
     // check, so `figures --scenario` doubles as a fast fidelity gate.
@@ -803,6 +1204,283 @@ pub fn run_in(
         cache_hit,
         blocks,
         solve_stats,
+        placements: Vec::new(),
+        pcb: None,
+        table,
+    })
+}
+
+/// Dispatches the steady solve per the `[solve]` section's solver choice,
+/// mapping an ineligible spectral request to the client-error message shape
+/// (serving layers key 422 vs 500 off the prefix).
+fn dispatch_steady(
+    sc: &Scenario,
+    circuit: &hotiron_thermal::circuit::ThermalCircuit,
+    cell_power: &[f64],
+    ambient: f64,
+    state: &mut [f64],
+) -> Result<SolveStats, ScenarioError> {
+    let solved = match sc.solver {
+        SolverSpec::Auto => solve_steady(circuit, cell_power, ambient, state),
+        SolverSpec::Direct => {
+            solve_steady_with(circuit, cell_power, ambient, state, SolverChoice::Direct)
+        }
+        SolverSpec::Cg => solve_steady_with(circuit, cell_power, ambient, state, SolverChoice::Cg),
+        SolverSpec::Multigrid => {
+            solve_steady_with(circuit, cell_power, ambient, state, SolverChoice::Multigrid)
+        }
+        SolverSpec::Spectral => {
+            solve_steady_with(circuit, cell_power, ambient, state, SolverChoice::Spectral)
+        }
+    };
+    solved.map_err(|e| match e {
+        SolveError::SpectralIneligible { reason } => {
+            err(0, format!("spectral solver ineligible: {reason}"))
+        }
+        other => err(0, format!("steady solve failed: {other:?}")),
+    })
+}
+
+/// The board-scenario pipeline: lower every `[place]` to a placed stack,
+/// assemble the multi-die circuit through the cache, solve steady state
+/// with the shared solver dispatch, check board-aware physics invariants
+/// inline, and report per-placement silicon plus the PCB-under coupling
+/// column.
+fn run_board_in(
+    sc: &Scenario,
+    fidelity: Fidelity,
+    cache: &CircuitCache,
+) -> Result<Solution, ScenarioError> {
+    let bs = sc.board.as_ref().expect("run_board_in needs a [board] section");
+    let (rows, cols) = match fidelity {
+        Fidelity::Fast => (sc.rows.min(16), sc.cols.min(16)),
+        Fidelity::Paper => (sc.rows, sc.cols),
+    };
+    let mut board = Board::new(
+        rows,
+        cols,
+        PcbSpec {
+            width: bs.width,
+            height: bs.height,
+            thickness: bs.thickness,
+            material: bs.material,
+            bottom: bs.bottom.clone(),
+        },
+    );
+    for v in &bs.vias {
+        board = board.with_via(ViaField {
+            name: v.name.clone(),
+            x: v.x,
+            y: v.y,
+            width: v.width,
+            height: v.height,
+            conductance_per_area: v.sigma,
+        });
+    }
+    let mut plans = Vec::with_capacity(sc.places.len());
+    let mut mappings = Vec::with_capacity(sc.places.len());
+    for p in &sc.places {
+        let plan = plan_for(p.plan, p.width, p.height);
+        let (layers, si_index) = lower_layers(&p.layers, p.silicon.as_deref())
+            .map_err(|e| err(0, format!("placement `{}`: {}", p.name, e.message)))?;
+        let die = DieGeometry {
+            width: plan.width(),
+            height: plan.height(),
+            thickness: layers[si_index.min(layers.len() - 1)].thickness,
+        };
+        let stack = LayerStack::new(layers, si_index)
+            .with_bottom(Boundary::Insulated)
+            .with_top(p.top.clone());
+        board = board.with_placement(Placement {
+            name: p.name.clone(),
+            die,
+            stack,
+            x: p.x,
+            y: p.y,
+            rotation: p.rotation,
+        });
+        mappings.push(GridMapping::new(&plan, rows, cols));
+        plans.push(plan);
+    }
+    let board_hash = board.content_hash();
+    let (circuit, cache_hit) = cache
+        .get_or_build_board(&board, &mappings)
+        .map_err(|e| err(0, format!("invalid board: {e}")))?;
+    let bn = circuit.board_nodes().expect("PCB board circuit carries board metadata");
+
+    let n_cells = rows * cols;
+    let mut cell_power = vec![0.0; sc.places.len() * n_cells];
+    for (pi, p) in sc.places.iter().enumerate() {
+        let power = block_power_for(&p.power, p.plan, &plans[pi])
+            .map_err(|e| err(0, format!("placement `{}`: {}", p.name, e.message)))?;
+        let spread = mappings[pi].spread_block_values(power.values());
+        cell_power[pi * n_cells..(pi + 1) * n_cells].copy_from_slice(&spread);
+    }
+    let ambient = celsius_to_kelvin(sc.ambient_c);
+    let mut state = vec![ambient; circuit.node_count()];
+    let solve_stats = dispatch_steady(sc, &circuit, &cell_power, ambient, &mut state)?;
+
+    // Inline physics oracles, board form: energy balance over the whole
+    // network, no node below ambient, and the hottest node inside the
+    // union of the powered placements' silicon planes.
+    let power_in: f64 = cell_power.iter().sum();
+    let heat_out: f64 =
+        circuit.ambient_conductance().iter().zip(&state).map(|(g, t)| g * (t - ambient)).sum();
+    let energy_rel = (power_in - heat_out).abs() / power_in.abs().max(f64::MIN_POSITIVE);
+    if energy_rel > ENERGY_REL_TOL {
+        return Err(err(
+            0,
+            format!("energy balance violated: {power_in:.6} W in vs {heat_out:.6} W out (rel {energy_rel:.3e})"),
+        ));
+    }
+    let global_max = state.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let global_min = state.iter().copied().fold(f64::INFINITY, f64::min);
+    if global_min < ambient - BELOW_AMBIENT_TOL {
+        return Err(err(
+            0,
+            format!("maximum principle violated: node at {global_min:.4} K below ambient {ambient:.4} K"),
+        ));
+    }
+    let si_union_max = bn
+        .placements
+        .iter()
+        .flat_map(|p| {
+            let lo = p.si_plane * n_cells;
+            state[lo..lo + n_cells].iter().copied()
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    if power_in > 0.0 && si_union_max + BELOW_AMBIENT_TOL < global_max {
+        return Err(err(
+            0,
+            format!(
+                "maximum principle violated: hottest node ({global_max:.4} K) is outside every silicon layer (max {si_union_max:.4} K)"
+            ),
+        ));
+    }
+
+    // Per-placement readouts: silicon stats, PCB-under coupling column,
+    // and block temperatures namespaced `{place}/{block}`.
+    let pcb_lo = bn.pcb_plane * n_cells;
+    let pcb_plane = &state[pcb_lo..pcb_lo + n_cells];
+    let (dx, dy) = (bs.width / cols as f64, bs.height / rows as f64);
+    let mut placements = Vec::with_capacity(sc.places.len());
+    let mut blocks = Vec::new();
+    let mut si_sum = 0.0;
+    let mut si_max = f64::NEG_INFINITY;
+    for (pi, p) in sc.places.iter().enumerate() {
+        let nodes = &bn.placements[pi];
+        let lo = nodes.si_plane * n_cells;
+        let si = &state[lo..lo + n_cells];
+        let p_max = si.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p_mean = si.iter().sum::<f64>() / n_cells as f64;
+        si_sum += si.iter().sum::<f64>();
+        si_max = si_max.max(p_max);
+
+        // PCB cells whose centers fall under the placement footprint; the
+        // footprint-center cell is the fallback when none do (footprint
+        // smaller than one PCB cell).
+        let place = &board.placements[pi];
+        let (fw, fh) = place.footprint();
+        let mut acc = 0.0;
+        let mut cnt = 0usize;
+        for r in 0..rows {
+            let cy = (r as f64 + 0.5) * dy;
+            if cy < place.y || cy > place.y + fh {
+                continue;
+            }
+            for c in 0..cols {
+                let cx = (c as f64 + 0.5) * dx;
+                if cx >= place.x && cx <= place.x + fw {
+                    acc += pcb_plane[r * cols + c];
+                    cnt += 1;
+                }
+            }
+        }
+        let pcb_under = if cnt > 0 {
+            acc / cnt as f64
+        } else {
+            let r = (((place.y + fh / 2.0) / dy) as usize).min(rows - 1);
+            let c = (((place.x + fw / 2.0) / dx) as usize).min(cols - 1);
+            pcb_plane[r * cols + c]
+        };
+        placements.push(PlacementReport {
+            name: p.name.clone(),
+            silicon_max_c: kelvin_to_celsius(p_max),
+            silicon_mean_c: kelvin_to_celsius(p_mean),
+            pcb_under_c: kelvin_to_celsius(pcb_under),
+        });
+        for (b, block) in plans[pi].blocks().iter().enumerate() {
+            let mut bacc = 0.0;
+            let mut wsum = 0.0;
+            for &(ci, frac) in mappings[pi].cells_of_block(b) {
+                bacc += si[ci] * frac;
+                wsum += frac;
+            }
+            let t = if wsum > 0.0 { kelvin_to_celsius(bacc / wsum) } else { sc.ambient_c };
+            blocks.push((format!("{}/{}", p.name, block.name()), t));
+        }
+    }
+    let si_mean = si_sum / (sc.places.len() * n_cells) as f64;
+
+    let silicon_max_c = kelvin_to_celsius(si_max);
+    let silicon_mean_c = kelvin_to_celsius(si_mean);
+    let global_max_c = kelvin_to_celsius(global_max);
+    let global_min_c = kelvin_to_celsius(global_min);
+    let mut table = Table::new(sc.title.clone(), "metric", vec!["value".to_owned()]);
+    table.set_meta("scenario", sc.name.clone());
+    table.set_meta("grid", format!("{rows}x{cols}"));
+    table.set_meta("solver", sc.solver.token());
+    table.set_meta("board_hash", format!("{board_hash:016x}"));
+    table.set_meta("placements", sc.places.len().to_string());
+    table.set_meta("nodes", circuit.node_count().to_string());
+    for (label, v) in [
+        ("total_power_W", power_in),
+        ("ambient_C", sc.ambient_c),
+        ("silicon_max_C", silicon_max_c),
+        ("silicon_mean_C", silicon_mean_c),
+        ("global_max_C", global_max_c),
+        ("global_min_C", global_min_c),
+        ("energy_rel_err", energy_rel),
+    ] {
+        table.push(Row::new(label, vec![v]));
+    }
+    Ok(Solution {
+        field_csv: sc.field.then(|| {
+            // Per-placement silicon fields stacked in placement order, each
+            // introduced by a `# place <name>` comment row.
+            let mut out = String::new();
+            for (pi, p) in sc.places.iter().enumerate() {
+                let lo = bn.placements[pi].si_plane * n_cells;
+                let si = &state[lo..lo + n_cells];
+                out.push_str(&format!("# place {}\n", p.name));
+                for r in 0..rows {
+                    let row: Vec<String> = (0..cols)
+                        .map(|c| format!("{:.6}", kelvin_to_celsius(si[r * cols + c])))
+                        .collect();
+                    out.push_str(&row.join(","));
+                    out.push('\n');
+                }
+            }
+            out
+        }),
+        stack_hash: board_hash,
+        total_power_w: power_in,
+        silicon_max_c,
+        silicon_mean_c,
+        global_max_c,
+        global_min_c,
+        energy_rel,
+        cache_hit,
+        blocks,
+        solve_stats,
+        placements,
+        pcb: Some(PcbReadout {
+            rows,
+            cols,
+            width: bs.width,
+            height: bs.height,
+            celsius: pcb_plane.iter().map(|&t| kelvin_to_celsius(t)).collect(),
+        }),
         table,
     })
 }
@@ -815,6 +1493,8 @@ pub const SHIPPED: &[(&str, &str)] = &[
     ("athlon-hotspot", include_str!("../../../scenarios/athlon-hotspot.scn")),
     ("bare-die-forced-air", include_str!("../../../scenarios/bare-die-forced-air.scn")),
     ("oil-washed-spreader", include_str!("../../../scenarios/oil-washed-spreader.scn")),
+    ("board-duo", include_str!("../../../scenarios/board-duo.scn")),
+    ("board-qfn-vias", include_str!("../../../scenarios/board-qfn-vias.scn")),
 ];
 
 /// The IR-only configurations the closed `Package` enum could not express;
@@ -996,5 +1676,81 @@ mod tests {
         let field = sol.field_csv.expect("field requested");
         assert_eq!(field.lines().count(), 8);
         assert_eq!(field.lines().next().unwrap().split(',').count(), 8);
+    }
+
+    fn shipped(name: &str) -> Scenario {
+        let (_, text) = SHIPPED.iter().find(|(n, _)| *n == name).unwrap();
+        parse(text).expect("shipped scenario parses")
+    }
+
+    #[test]
+    fn board_duo_exposes_inter_package_coupling() {
+        let sc = shipped("board-duo");
+        assert!(sc.board.is_some());
+        assert_eq!(sc.places.len(), 2);
+        assert_eq!(sc.places[1].rotation, Rotation::R90);
+        let sol = run(&sc, Fidelity::Fast).expect("runs");
+        let rep = |n: &str| sol.placements.iter().find(|p| p.name == n).unwrap().clone();
+        let (cpu, dram) = (rep("cpu"), rep("dram"));
+        // The DRAM dissipates nothing — any silicon rise over ambient is
+        // conduction through the shared PCB, the coupling signature.
+        assert!(dram.silicon_mean_c > sc.ambient_c + 0.05, "coupled rise: {dram:?}");
+        assert!(cpu.silicon_max_c > dram.silicon_max_c, "the powered die is hotter");
+        assert!(cpu.pcb_under_c > dram.pcb_under_c, "PCB is hottest under the source");
+        let pcb = sol.pcb.as_ref().expect("board run reports the PCB plane");
+        assert_eq!(pcb.celsius.len(), pcb.rows * pcb.cols);
+        assert!(sol.blocks.iter().all(|(n, _)| n.starts_with("cpu/") || n.starts_with("dram/")));
+        assert!(sol.energy_rel <= ENERGY_REL_TOL);
+    }
+
+    #[test]
+    fn board_qfn_vias_runs_and_reports_board_hash() {
+        let sc = shipped("board-qfn-vias");
+        assert_eq!(sc.board.as_ref().unwrap().vias.len(), 1);
+        let sol = run(&sc, Fidelity::Fast).expect("runs");
+        assert!(sol.silicon_max_c > sc.ambient_c, "die heats above ambient");
+        assert!(sol.table.meta.iter().any(|(k, _)| k == "board_hash"));
+        assert_eq!(sol.placements.len(), 1);
+    }
+
+    #[test]
+    fn board_and_single_die_sections_do_not_mix() {
+        let text = "[scenario]\nname = x\n[grid]\nrows = 8\ncols = 8\n\
+                    [board]\nwidth = 0.03\nheight = 0.03\nthickness = 1.6e-3\nbottom = lumped 6 15\n\
+                    [stack]\nlayer = silicon silicon 5e-4\ntop = lumped 1 10\n\
+                    [place]\nname = u1\nplan = uniform\nwidth = 0.007\nheight = 0.007\n\
+                    x = 0.01\ny = 0.01\nlayer = silicon silicon 3e-4\ntop = insulated\n\
+                    source = uniform 1\n";
+        let e = parse(text).expect_err("mixed forms");
+        assert!(e.message.contains("replaces [die]/[stack]/[power]"), "{e}");
+    }
+
+    #[test]
+    fn place_errors_name_the_offending_placement() {
+        let text = "[scenario]\nname = x\n[grid]\nrows = 8\ncols = 8\n\
+                    [board]\nwidth = 0.03\nheight = 0.03\nthickness = 1.6e-3\nbottom = lumped 6 15\n\
+                    [place]\nname = u7\nplan = uniform\nwidth = 0.007\nheight = 0.007\n\
+                    y = 0.01\nlayer = silicon silicon 3e-4\ntop = insulated\nsource = uniform 1\n";
+        let e = parse(text).expect_err("missing x");
+        assert!(e.message.contains("placement `u7`"), "{e}");
+        assert!(e.message.contains("missing key `x`"), "{e}");
+        assert_eq!(e.line, 11, "cites the [place] header line");
+    }
+
+    #[test]
+    fn spectral_on_a_board_is_a_named_client_error() {
+        let mut sc = shipped("board-duo");
+        sc.solver = SolverSpec::Spectral;
+        let e = run(&sc, Fidelity::Fast).expect_err("boards are spectrally ineligible");
+        assert!(e.message.starts_with("spectral solver ineligible"), "{e}");
+    }
+
+    #[test]
+    fn out_of_bounds_placement_is_an_invalid_board_error() {
+        let mut sc = shipped("board-duo");
+        sc.places[1].x = 0.055; // 12 mm footprint off a 60 mm board edge
+        let e = run(&sc, Fidelity::Fast).expect_err("overhanging placement");
+        assert!(e.message.starts_with("invalid board:"), "{e}");
+        assert!(e.message.contains("dram"), "names the placement: {e}");
     }
 }

@@ -101,11 +101,44 @@ impl SensorArray {
     /// Reads every sensor from a thermal solution, applying offset, noise
     /// and quantization. Returns °C per sensor.
     pub fn read(&mut self, sol: &Solution<'_>) -> Vec<f64> {
+        self.read_with(|s| sol.celsius_at(s.x, s.y))
+    }
+
+    /// Reads every sensor from a raw row-major °C field covering a
+    /// `width x height` plane — the board mode: the field is a PCB
+    /// back-face plane (or any exported grid), so the array models the
+    /// contactless board-back characterization setup without the sensors
+    /// knowing where the field came from. Sampling is nearest-cell;
+    /// sensors outside the plane clamp to the edge cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field.len() != rows * cols` or a dimension is zero.
+    pub fn read_field(
+        &mut self,
+        field: &[f64],
+        rows: usize,
+        cols: usize,
+        width: f64,
+        height: f64,
+    ) -> Vec<f64> {
+        assert!(rows > 0 && cols > 0, "field grid must be positive");
+        assert_eq!(field.len(), rows * cols, "field length must match its grid");
+        self.read_with(|s| {
+            let c = ((s.x / width * cols as f64) as usize).min(cols - 1);
+            let r = ((s.y / height * rows as f64) as usize).min(rows - 1);
+            field[r * cols + c]
+        })
+    }
+
+    /// Shared sensing path: per-sensor truth lookup, then offset, noise
+    /// and quantization.
+    fn read_with(&mut self, truth: impl Fn(&Sensor) -> f64) -> Vec<f64> {
         let q = self.quantization;
         self.sensors
             .iter()
             .map(|s| {
-                let mut t = sol.celsius_at(s.x, s.y) + s.offset;
+                let mut t = truth(s) + s.offset;
                 if s.noise_sigma > 0.0 {
                     // Box–Muller from two uniforms; StdRng is deterministic.
                     let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
@@ -222,6 +255,44 @@ mod tests {
             assert!(s.x > 0.0 && s.x < 0.016);
             assert!(s.y > 0.0 && s.y < 0.016);
         }
+    }
+
+    #[test]
+    fn read_field_samples_nearest_cell() {
+        // 2x3 plane over 3 cm x 2 cm: cell (r=1, c=2) holds 50 °C.
+        let field = vec![20.0, 21.0, 22.0, 30.0, 31.0, 50.0];
+        let mut arr = SensorArray::new(
+            vec![
+                Sensor::ideal("hot", 0.025, 0.015),  // inside cell (1, 2)
+                Sensor::ideal("edge", 0.031, 0.021), // past both extents: clamps to (1, 2)
+                Sensor::ideal("cold", 0.001, 0.001), // cell (0, 0)
+            ],
+            60e-6,
+            0.0,
+            1,
+        );
+        let r = arr.read_field(&field, 2, 3, 0.03, 0.02);
+        assert_eq!(r, vec![50.0, 50.0, 20.0]);
+    }
+
+    #[test]
+    fn read_field_applies_offset_and_quantization() {
+        let field = vec![40.26];
+        let mut arr = SensorArray::new(
+            vec![Sensor::ideal("s", 0.5e-3, 0.5e-3).with_offset(2.0)],
+            60e-6,
+            0.5,
+            1,
+        );
+        let r = arr.read_field(&field, 1, 1, 1e-3, 1e-3)[0];
+        assert!((r - 42.5).abs() < 1e-12, "offset then quantized to 0.5 °C: {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "field length must match its grid")]
+    fn read_field_rejects_mismatched_grid() {
+        let mut arr = SensorArray::uniform_grid(2, 0.01, 0.01, 1);
+        arr.read_field(&[1.0, 2.0, 3.0], 2, 2, 0.01, 0.01);
     }
 
     #[test]

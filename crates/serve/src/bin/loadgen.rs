@@ -5,25 +5,35 @@
 //! `--out`). Exit code 0 means every exchange was protocol-clean; 2 means
 //! protocol or transport errors were observed; 1 is a usage/connect error.
 
+use hotiron_bench::scenario::SolverSpec;
 use hotiron_serve::json::{obj, Json};
-use hotiron_serve::protocol::Request;
+use hotiron_serve::protocol::{FidelityTier, Request, ScenarioSource, SolveRequest};
 use hotiron_serve::{run_load, Client, LoadConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--rate RPS] [--seconds S] \
                      [--connections N] [--seed N] [--paper-share F] [--scale-share F] \
                      [--inline-share F] [--spectral-share F] [--out FILE] [--stats] \
-                     [--shutdown]";
+                     [--shutdown] [--probe SCENARIO [--probe-solver TOKEN]]";
 
 struct Args {
     cfg: LoadConfig,
     out: Option<String>,
     stats: bool,
     shutdown: bool,
+    probe: Option<String>,
+    probe_solver: Option<SolverSpec>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut parsed = Args { cfg: LoadConfig::default(), out: None, stats: false, shutdown: false };
+    let mut parsed = Args {
+        cfg: LoadConfig::default(),
+        out: None,
+        stats: false,
+        shutdown: false,
+        probe: None,
+        probe_solver: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value =
@@ -54,6 +64,14 @@ fn parse_args() -> Result<Args, String> {
             "--spectral-share" => {
                 parsed.cfg.spectral_share = num("--spectral-share", value("--spectral-share")?)?;
             }
+            "--probe" => parsed.probe = Some(value("--probe")?),
+            "--probe-solver" => {
+                let tok = value("--probe-solver")?;
+                parsed.probe_solver = Some(
+                    SolverSpec::from_token(&tok)
+                        .ok_or_else(|| format!("unknown solver `{tok}`"))?,
+                );
+            }
             "--out" => parsed.out = Some(value("--out")?),
             "--stats" => parsed.stats = true,
             "--shutdown" => parsed.shutdown = true,
@@ -71,6 +89,48 @@ fn parse_args() -> Result<Args, String> {
     Ok(parsed)
 }
 
+/// One-shot probe: a single named solve, its headline answer printed to
+/// stdout for scripted assertions. Exit 0 iff the daemon answered 200.
+fn run_probe(addr: &str, scenario: &str, solver: Option<SolverSpec>) -> ExitCode {
+    let req = Request::Solve(SolveRequest {
+        scenario: ScenarioSource::Named(scenario.to_owned()),
+        fidelity: FidelityTier::Fast,
+        power_scale: None,
+        power_w: None,
+        deadline_ms: None,
+        blocks: false,
+        solver,
+    });
+    let resp = match Client::connect(addr)
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| c.request(&req).map_err(|e| e.to_string()))
+    {
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("loadgen: probe `{scenario}` failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let code = resp.get("code").and_then(Json::as_f64).unwrap_or(0.0) as u16;
+    let method = resp
+        .get("solver")
+        .and_then(|s| s.get("method"))
+        .and_then(Json::as_str)
+        .unwrap_or("-")
+        .to_owned();
+    let cache = resp.get("cache").and_then(Json::as_str).unwrap_or("-").to_owned();
+    println!("probe: scenario={scenario} code={code} method={method} cache={cache}");
+    if code == 200 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "loadgen: probe `{scenario}` answered {code}: {}",
+            resp.get("message").and_then(Json::as_str).unwrap_or("(no message)")
+        );
+        ExitCode::from(2)
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -79,6 +139,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(scenario) = &args.probe {
+        return run_probe(&args.cfg.addr, scenario, args.probe_solver);
+    }
     let report = match run_load(&args.cfg) {
         Ok(r) => r,
         Err(e) => {

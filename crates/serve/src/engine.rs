@@ -108,6 +108,17 @@ fn coalesce_key(stack: &LayerStack, sc: &Scenario, fidelity: Fidelity) -> u64 {
     fnv1a(h, fidelity.pick(b"fast".as_slice(), b"paper".as_slice()))
 }
 
+/// The board form of the coalesce key. Board scenarios have no single stack
+/// to hash (and an empty-layer placeholder that must never be lowered); the
+/// canonical `.scn` text alone already pins every placement, via field and
+/// override, so hashing it with a domain tag keeps board and stack keys
+/// disjoint.
+fn coalesce_key_board(sc: &Scenario, fidelity: Fidelity) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, b"board");
+    h = fnv1a(h, sc.to_scn().as_bytes());
+    fnv1a(h, fidelity.pick(b"fast".as_slice(), b"paper".as_slice()))
+}
+
 impl Engine {
     /// An engine whose circuit cache holds at most `cache_capacity` circuits.
     /// The process-wide solver default is read from `HOTIRON_SOLVER`
@@ -174,10 +185,23 @@ impl Engine {
             }
         };
         if let Some(watts) = req.power_w {
+            if sc.board.is_some() {
+                return Err(unprocessable(
+                    "power_w cannot override a board scenario (power is per-[place]; use power_scale)",
+                ));
+            }
             sc.power = PowerSpec::Uniform(watts);
         }
         if let Some(scale) = req.power_scale {
-            sc.power = scale_power(&sc, scale);
+            if sc.board.is_some() {
+                // Boards scale every placement's power together — the
+                // board-level analogue of scaling the single die's source.
+                for place in &mut sc.places {
+                    place.power = scale_power_spec(&place.power, place.plan, scale);
+                }
+            } else {
+                sc.power = scale_power_spec(&sc.power, sc.plan, scale);
+            }
         }
         if let Some(spec) = req.solver.or(self.process_solver) {
             sc.solver = spec;
@@ -197,8 +221,12 @@ impl Engine {
     /// leader's error verbatim.
     pub fn solve(&self, req: &SolveRequest) -> Result<(Arc<Solution>, Disposition), EngineError> {
         let (sc, fidelity) = self.resolve(req)?;
-        let stack = sc.stack().map_err(|e| unprocessable(e.to_string()))?;
-        let key = coalesce_key(&stack, &sc, fidelity);
+        let key = if sc.board.is_some() {
+            coalesce_key_board(&sc, fidelity)
+        } else {
+            let stack = sc.stack().map_err(|e| unprocessable(e.to_string()))?;
+            coalesce_key(&stack, &sc, fidelity)
+        };
 
         let (entry, leader) = {
             let mut inflight = self.inflight.lock().expect("inflight table poisoned");
@@ -241,16 +269,17 @@ impl Engine {
     }
 }
 
-/// Scales a scenario's power spec by `scale`, materializing the gcc map into
-/// explicit per-block watts (the spec itself has no scale knob).
-fn scale_power(sc: &Scenario, scale: f64) -> PowerSpec {
-    match &sc.power {
+/// Scales a power spec by `scale`, materializing the gcc map into explicit
+/// per-block watts (the spec itself has no scale knob). `plan` is whichever
+/// die carries the spec — the scenario's own, or one `[place]`'s.
+fn scale_power_spec(power: &PowerSpec, plan_kind: PlanKind, scale: f64) -> PowerSpec {
+    match power {
         PowerSpec::Uniform(w) => PowerSpec::Uniform(w * scale),
         PowerSpec::Blocks(blocks) => {
             PowerSpec::Blocks(blocks.iter().map(|(b, w)| (b.clone(), w * scale)).collect())
         }
         PowerSpec::Gcc => {
-            let (plan, power) = match sc.plan {
+            let (plan, power) = match plan_kind {
                 PlanKind::Ev6 => common::ev6_gcc(),
                 PlanKind::Athlon64 => common::athlon_gcc(),
                 // `parse` rejects gcc power on other plans.
@@ -438,6 +467,47 @@ mod tests {
         let e = engine.solve(&req).unwrap_err();
         assert_eq!(e.code, 422, "{e}");
         assert!(e.message.contains("spectral solver ineligible"), "{e}");
+    }
+
+    #[test]
+    fn board_scenario_solves_with_multigrid_and_caches() {
+        let engine = Engine::new(8);
+        let mut req = named("board-duo");
+        req.solver = Some(SolverSpec::Multigrid);
+        let (sol, d1) = engine.solve(&req).unwrap();
+        assert_eq!(sol.solve_stats.method.label(), "mg-cg", "boards run the MG path");
+        assert!(sol.solve_stats.converged);
+        assert_eq!(sol.placements.len(), 2, "per-placement report rides along");
+        assert_eq!(d1, Disposition::Miss);
+        let (_, d2) = engine.solve(&req).unwrap();
+        assert_eq!(d2, Disposition::Hit, "board circuits flow through the cache");
+    }
+
+    #[test]
+    fn spectral_on_a_board_is_422_with_named_reason() {
+        let engine = Engine::new(8);
+        let mut req = named("board-qfn-vias");
+        req.solver = Some(SolverSpec::Spectral);
+        let e = engine.solve(&req).unwrap_err();
+        assert_eq!(e.code, 422, "{e}");
+        assert!(e.message.contains("spectral solver ineligible"), "{e}");
+    }
+
+    #[test]
+    fn power_w_on_a_board_is_422_but_power_scale_applies() {
+        let engine = Engine::new(8);
+        let mut req = named("board-duo");
+        req.power_w = Some(10.0);
+        let e = engine.solve(&req).unwrap_err();
+        assert_eq!(e.code, 422, "{e}");
+        assert!(e.message.contains("per-[place]"), "{e}");
+
+        let base = engine.solve(&named("board-duo")).unwrap().0;
+        let mut scaled = named("board-duo");
+        scaled.power_scale = Some(2.0);
+        let (sol, _) = engine.solve(&scaled).unwrap();
+        assert!((sol.total_power_w - 2.0 * base.total_power_w).abs() < 1e-9);
+        assert!(sol.silicon_max_c > base.silicon_max_c + 1.0, "doubled power runs hotter");
     }
 
     #[test]

@@ -41,13 +41,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::board::{Board, BoardError};
 use crate::cholesky::LdlFactor;
 use crate::convection::LaminarFlow;
 use crate::greens;
 use crate::multigrid::{MgOptions, Multigrid};
 use crate::package::Package;
 use crate::sparse::{CsrMatrix, TripletMatrix};
-use crate::stack::{Boundary, Fnv, LayerStack, StackError};
+use crate::stack::{Boundary, Fnv, Layer, LayerStack, StackError};
 use hotiron_floorplan::GridMapping;
 
 pub use crate::stack::DieGeometry;
@@ -71,6 +72,33 @@ pub enum NodeKind {
     Oil,
 }
 
+/// Node-numbering metadata for one placement of an assembled board
+/// circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementNodes {
+    /// Placement designator, copied from [`crate::board::Placement::name`].
+    pub name: String,
+    /// Global index of this placement's first conduction plane; its layer
+    /// `l` cells are nodes `(plane_base + l) * cell_count() ..`.
+    pub plane_base: usize,
+    /// Number of conduction planes this placement contributes.
+    pub n_layers: usize,
+    /// Global plane index of this placement's silicon layer.
+    pub si_plane: usize,
+}
+
+/// Node-numbering metadata of a PCB-coupled board circuit: which planes
+/// belong to which placement and where the shared PCB plane sits. Present
+/// only on circuits assembled from a [`Board`] with a PCB; free-standing
+/// single-placement boards lower to plain stack circuits and carry none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoardNodes {
+    /// Per-placement plane spans, in placement order.
+    pub placements: Vec<PlacementNodes>,
+    /// Global plane index of the shared PCB plane.
+    pub pcb_plane: usize,
+}
+
 /// The assembled RC network.
 #[derive(Debug)]
 pub struct ThermalCircuit {
@@ -83,6 +111,8 @@ pub struct ThermalCircuit {
     n_cells: usize,
     rows: usize,
     cols: usize,
+    /// `Some` when this circuit was assembled from a PCB-coupled board.
+    board: Option<BoardNodes>,
     /// Lazily built geometric multigrid hierarchy for the steady solve.
     /// `None` inside the cell means "grid too small / structure unsuitable";
     /// building is serial and deterministic, so the cached hierarchy is
@@ -142,6 +172,13 @@ impl ThermalCircuit {
     /// Cells per layer.
     pub fn cell_count(&self) -> usize {
         self.n_cells
+    }
+
+    /// Board node-numbering metadata when this circuit was assembled from a
+    /// PCB-coupled [`Board`]; `None` for single-stack circuits (including
+    /// free-standing single-placement boards, which lower identically).
+    pub fn board_nodes(&self) -> Option<&BoardNodes> {
+        self.board.as_ref()
     }
 
     /// Grid rows per layer.
@@ -236,10 +273,30 @@ impl ThermalCircuit {
     /// as needed) — for per-step hot loops that assemble the same-shape
     /// right-hand side thousands of times.
     ///
+    /// For board circuits `si_cell_power` is the concatenation of every
+    /// placement's silicon cell powers, in placement order.
+    ///
     /// # Panics
     ///
-    /// Panics if `si_cell_power` does not have one entry per silicon cell.
+    /// Panics if `si_cell_power` does not have one entry per silicon cell
+    /// (of every placement, for board circuits).
     pub fn rhs_into(&self, si_cell_power: &[f64], ambient: f64, b: &mut Vec<f64>) {
+        if let Some(board) = &self.board {
+            assert_eq!(
+                si_cell_power.len(),
+                board.placements.len() * self.n_cells,
+                "one power entry per silicon cell of every placement"
+            );
+            b.clear();
+            b.extend(self.ambient_g.iter().map(|g| g * ambient));
+            for (pn, chunk) in board.placements.iter().zip(si_cell_power.chunks(self.n_cells)) {
+                let base = pn.si_plane * self.n_cells;
+                for (i, p) in chunk.iter().enumerate() {
+                    b[base + i] += p;
+                }
+            }
+            return;
+        }
         assert_eq!(si_cell_power.len(), self.n_cells, "one power entry per silicon cell");
         b.clear();
         b.extend(self.ambient_g.iter().map(|g| g * ambient));
@@ -256,6 +313,8 @@ impl ThermalCircuit {
     }
 
     /// Extracts the silicon-layer temperatures from a full state vector.
+    /// For board circuits this is the *first* placement's silicon plane;
+    /// use [`board_nodes`](Self::board_nodes) to reach the others.
     ///
     /// # Panics
     ///
@@ -309,6 +368,17 @@ fn circuit_cache_key(die: DieGeometry, rows: usize, cols: usize, stack: &LayerSt
     h.usize(rows);
     h.usize(cols);
     h.u64(stack.content_hash());
+    h.finish()
+}
+
+/// Board cache key: a tagged wrapper over [`Board::content_hash`], which
+/// already covers the shared grid resolution and every placement's die and
+/// stack. The tag keeps board keys disjoint from stack keys sharing one
+/// [`CircuitCache`].
+fn board_circuit_cache_key(board: &Board) -> u64 {
+    let mut h = Fnv::new();
+    h.str("board-circuit");
+    h.u64(board.content_hash());
     h.finish()
 }
 
@@ -422,6 +492,38 @@ impl CircuitCache {
             return Ok((hit, true));
         }
         let built = Arc::new(assemble(mapping, die, stack));
+        Ok(self.insert_or_adopt(key, built))
+    }
+
+    /// Returns the cached circuit for a whole board, assembling and
+    /// inserting it on a miss — the board analogue of
+    /// [`get_or_build`](Self::get_or_build), sharing the same LRU store and
+    /// counters (board and stack keys live in disjoint key spaces).
+    ///
+    /// # Errors
+    ///
+    /// Any [`BoardError`] from [`Board::validate`], or
+    /// `GridMismatch`/`BadGrid` when `mappings` disagrees with the board's
+    /// shared resolution.
+    pub fn get_or_build_board(
+        &self,
+        board: &Board,
+        mappings: &[GridMapping],
+    ) -> Result<(Arc<ThermalCircuit>, bool), BoardError> {
+        board.validate()?;
+        check_board_mappings(board, mappings)?;
+        let key = board_circuit_cache_key(board);
+        if let Some(hit) = self.touch(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, true));
+        }
+        let built = Arc::new(assemble_board(board, mappings));
+        Ok(self.insert_or_adopt(key, built))
+    }
+
+    /// Inserts a freshly assembled circuit, or adopts a racing insert of the
+    /// same key. The boolean reports the disposition (`true` = hit).
+    fn insert_or_adopt(&self, key: u64, built: Arc<ThermalCircuit>) -> (Arc<ThermalCircuit>, bool) {
         let mut state = self.inner.lock().expect("circuit cache poisoned");
         let stamp = state.tick;
         if let Some(entry) = state.map.get_mut(&key) {
@@ -431,7 +533,7 @@ impl CircuitCache {
             state.tick += 1;
             drop(state);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((existing, true));
+            return (existing, true);
         }
         if state.map.len() >= self.capacity {
             let lru = state
@@ -448,7 +550,7 @@ impl CircuitCache {
         state.map.insert(key, LruEntry { circuit: built.clone(), last_used: stamp });
         drop(state);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok((built, false))
+        (built, false)
     }
 
     /// Looks up `key`, refreshing its LRU stamp on a hit.
@@ -512,16 +614,287 @@ pub fn build_circuit_cached(
     CircuitCache::process().get_or_build(mapping, die, stack).map(|(c, _)| c)
 }
 
+/// Per-stack assembly geometry shared by the stamping helpers. One instance
+/// describes one placed stack: its layers, die, grid mapping and the global
+/// plane index its layer 0 starts at (`plane_base` — 0 for a plain stack
+/// circuit). All planes in a circuit share one `rows × cols` resolution, so
+/// layer `l`, cell `c` of this stack is node
+/// `(plane_base + l) * n_cells + c`.
+struct StackGeom<'a> {
+    layers: &'a [Layer],
+    die: DieGeometry,
+    mapping: &'a GridMapping,
+    rows: usize,
+    cols: usize,
+    n_cells: usize,
+    dx: f64,
+    dy: f64,
+    cell_area: f64,
+    die_area: f64,
+    plane_base: usize,
+    /// Global ring-node index per local layer, `None` for die-sized layers.
+    ring_of: &'a [Option<usize>],
+}
+
+impl<'a> StackGeom<'a> {
+    fn new(
+        mapping: &'a GridMapping,
+        die: DieGeometry,
+        layers: &'a [Layer],
+        plane_base: usize,
+        ring_of: &'a [Option<usize>],
+    ) -> Self {
+        let (rows, cols) = (mapping.rows(), mapping.cols());
+        let (dx, dy) = (mapping.cell_width(), mapping.cell_height());
+        Self {
+            layers,
+            die,
+            mapping,
+            rows,
+            cols,
+            n_cells: rows * cols,
+            dx,
+            dy,
+            cell_area: dx * dy,
+            die_area: die.width * die.height,
+            plane_base,
+            ring_of,
+        }
+    }
+
+    /// Global node index of local layer `l`, cell `c`.
+    fn node(&self, l: usize, c: usize) -> usize {
+        (self.plane_base + l) * self.n_cells + c
+    }
+}
+
+/// In-plane conduction of every layer of one stack: the uniform 5-point
+/// lateral couplings, plus edge-cell→ring couplings for oversized plates.
+fn stamp_in_plane(geom: &StackGeom<'_>, stamps: &mut Vec<(usize, usize, f64)>) {
+    for (l, def) in geom.layers.iter().enumerate() {
+        let gx = def.material.conductivity() * geom.dy * def.thickness / geom.dx;
+        let gy = def.material.conductivity() * geom.dx * def.thickness / geom.dy;
+        for r in 0..geom.rows {
+            for c in 0..geom.cols {
+                let n = geom.node(l, r * geom.cols + c);
+                if c + 1 < geom.cols {
+                    stamps.push((n, n + 1, gx));
+                }
+                if r + 1 < geom.rows {
+                    stamps.push((n, n + geom.cols, gy));
+                }
+            }
+        }
+        // Edge cells to ring.
+        if let Some(ring) = geom.ring_of[l] {
+            let side = def.side.expect("ring implies oversized");
+            let k_t = def.material.conductivity() * def.thickness;
+            let overhang_x = (side - geom.die.width) / 2.0;
+            let overhang_y = (side - geom.die.height) / 2.0;
+            for r in 0..geom.rows {
+                for &c in &[0, geom.cols - 1] {
+                    let n = geom.node(l, r * geom.cols + c);
+                    let g = k_t * geom.dy / (geom.dx / 2.0 + (overhang_x / 2.0).max(geom.dx / 2.0));
+                    stamps.push((n, ring, g));
+                }
+            }
+            for c in 0..geom.cols {
+                for &r in &[0, geom.rows - 1] {
+                    let n = geom.node(l, r * geom.cols + c);
+                    let g = k_t * geom.dx / (geom.dy / 2.0 + (overhang_y / 2.0).max(geom.dy / 2.0));
+                    stamps.push((n, ring, g));
+                }
+            }
+        }
+    }
+}
+
+/// Vertical conduction between adjacent layers of one stack (half-thickness
+/// series resistances per cell), plus ring-to-ring where both layers are
+/// oversized.
+fn stamp_vertical(geom: &StackGeom<'_>, stamps: &mut Vec<(usize, usize, f64)>) {
+    for l in 0..geom.layers.len().saturating_sub(1) {
+        let (a, b) = (&geom.layers[l], &geom.layers[l + 1]);
+        let r_pair = a.thickness / (2.0 * a.material.conductivity() * geom.cell_area)
+            + b.thickness / (2.0 * b.material.conductivity() * geom.cell_area);
+        let g = 1.0 / r_pair;
+        for c in 0..geom.n_cells {
+            stamps.push((geom.node(l, c), geom.node(l + 1, c), g));
+        }
+        // Ring-to-ring where both layers are oversized.
+        if let (Some(ra), Some(rb)) = (geom.ring_of[l], geom.ring_of[l + 1]) {
+            let common = a.side.expect("ring").min(b.side.expect("ring"));
+            let annulus = (common * common - geom.die_area).max(0.0);
+            if annulus > 0.0 {
+                let r_pair = a.thickness / (2.0 * a.material.conductivity() * annulus)
+                    + b.thickness / (2.0 * b.material.conductivity() * annulus);
+                stamps.push((ra, rb, 1.0 / r_pair));
+            }
+        }
+    }
+}
+
+/// Cell and ring heat capacities of one stack's layers.
+fn fill_caps(geom: &StackGeom<'_>, cap: &mut [f64]) {
+    for (l, def) in geom.layers.iter().enumerate() {
+        let c_cell = def.material.volumetric_heat_capacity() * geom.cell_area * def.thickness;
+        for c in 0..geom.n_cells {
+            cap[geom.node(l, c)] = c_cell;
+        }
+        if let Some(ring) = geom.ring_of[l] {
+            let side = def.side.expect("ring implies oversized");
+            let vol = (side * side - geom.die_area).max(0.0) * def.thickness;
+            cap[ring] = def.material.volumetric_heat_capacity() * vol;
+        }
+    }
+}
+
+/// Boundary attachment above/below one stack: a lumped coolant node or a
+/// distributed oil film over the surface of local layer `layer`, appending
+/// its boundary nodes at `*next_node`.
+#[allow(clippy::too_many_arguments)]
+fn stamp_boundary(
+    geom: &StackGeom<'_>,
+    att: &Boundary,
+    layer: usize,
+    stamps: &mut Vec<(usize, usize, f64)>,
+    grounded: &mut Vec<(usize, f64)>,
+    extra_caps: &mut Vec<(usize, f64)>,
+    kinds: &mut Vec<NodeKind>,
+    next_node: &mut usize,
+) {
+    match att {
+        Boundary::Insulated => {}
+        Boundary::Lumped { r_total, c_total } => {
+            debug_assert!(*r_total > 0.0, "validate() admits only positive lumped resistance");
+            let def = &geom.layers[layer];
+            let plate_area = def.side.map_or(geom.die_area, |s| s * s);
+            let coolant = *next_node;
+            *next_node += 1;
+            kinds.push(NodeKind::Coolant);
+            // Coolant node must have some mass to avoid a singular C.
+            extra_caps.push((coolant, c_total.max(1e-9)));
+            let g_half_total = 2.0 / r_total;
+            for c in 0..geom.n_cells {
+                let g = g_half_total * (geom.cell_area / plate_area);
+                stamps.push((geom.node(layer, c), coolant, g));
+            }
+            if let Some(ring) = geom.ring_of[layer] {
+                let ring_area = plate_area - geom.die_area;
+                stamps.push((ring, coolant, g_half_total * (ring_area / plate_area)));
+            }
+            grounded.push((coolant, g_half_total));
+        }
+        Boundary::OilFilm(spec) => {
+            let def = &geom.layers[layer];
+            let (plate_w, plate_h) = match def.side {
+                Some(s) => (s, s),
+                None => (geom.die.width, geom.die.height),
+            };
+            let length = spec.direction.flow_length(plate_w, plate_h);
+            let flow = LaminarFlow::new(spec.fluid, spec.velocity, length);
+            // Die grid centered on the plate.
+            let (off_x, off_y) =
+                ((plate_w - geom.die.width) / 2.0, (plate_h - geom.die.height) / 2.0);
+            let delta_overall = flow.boundary_layer_thickness();
+            for r in 0..geom.rows {
+                for cidx in 0..geom.cols {
+                    let (cx, cy) = geom.mapping.cell_center(r, cidx);
+                    let x_flow = spec
+                        .direction
+                        .distance_from_leading_edge(cx + off_x, cy + off_y, plate_w, plate_h)
+                        .max(geom.dx.min(geom.dy) / 4.0);
+                    let h = if spec.local_h { flow.local_h(x_flow) } else { flow.average_h() };
+                    let delta = if spec.local_boundary_layer {
+                        flow.local_boundary_layer_thickness(x_flow)
+                    } else {
+                        delta_overall
+                    };
+                    let oil = *next_node;
+                    *next_node += 1;
+                    kinds.push(NodeKind::Oil);
+                    let c_oil = spec.fluid.volumetric_heat_capacity() * geom.cell_area * delta;
+                    extra_caps.push((oil, c_oil.max(1e-12)));
+                    let g = 2.0 * h * geom.cell_area;
+                    stamps.push((geom.node(layer, r * geom.cols + cidx), oil, g));
+                    grounded.push((oil, g));
+                }
+            }
+            if let Some(ring) = geom.ring_of[layer] {
+                let ring_area = plate_w * plate_h - geom.die_area;
+                let h = flow.average_h();
+                let oil = *next_node;
+                *next_node += 1;
+                kinds.push(NodeKind::Oil);
+                let c_oil = spec.fluid.volumetric_heat_capacity() * ring_area * delta_overall;
+                extra_caps.push((oil, c_oil.max(1e-12)));
+                let g = 2.0 * h * ring_area;
+                stamps.push((ring, oil, g));
+                grounded.push((oil, g));
+            }
+        }
+    }
+}
+
+/// Folds accumulated stamps into the final matrices. Shared tail of the
+/// stack and board assemblers; the stamp *order* is part of the circuit's
+/// identity (triplet insertion order is preserved into the CSR), so both
+/// assemblers feed this with identically ordered streams for identical
+/// configurations.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    n: usize,
+    mut cap: Vec<f64>,
+    extra_caps: Vec<(usize, f64)>,
+    stamps: Vec<(usize, usize, f64)>,
+    grounded: Vec<(usize, f64)>,
+    kinds: Vec<NodeKind>,
+    layer_names: Vec<String>,
+    si_offset: usize,
+    n_cells: usize,
+    rows: usize,
+    cols: usize,
+    board: Option<BoardNodes>,
+) -> ThermalCircuit {
+    cap.resize(n, 0.0);
+    for (node, c) in extra_caps {
+        cap[node] += c;
+    }
+    let mut ambient_g = vec![0.0; n];
+    let mut t = TripletMatrix::new(n);
+    for (a, b, g) in stamps {
+        t.stamp_conductance(a, b, g);
+    }
+    for (node, g) in grounded {
+        t.stamp_grounded_conductance(node, g);
+        ambient_g[node] += g;
+    }
+    let g = t.to_csr();
+    debug_assert!(g.is_symmetric(1e-9), "conductance matrix must be symmetric");
+
+    ThermalCircuit {
+        g,
+        cap,
+        ambient_g,
+        kinds,
+        layer_names,
+        si_offset,
+        n_cells,
+        rows,
+        cols,
+        board,
+        mg: OnceLock::new(),
+        ldlt: OnceLock::new(),
+        spectral: OnceLock::new(),
+    }
+}
+
 /// Assembles a validated stack. Callers must run [`LayerStack::validate`]
 /// first; this function assumes a well-formed stack.
 fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> ThermalCircuit {
     let layers = &stack.layers;
-    let si_index = stack.si_index;
     let (rows, cols) = (mapping.rows(), mapping.cols());
     let n_cells = rows * cols;
-    let (dx, dy) = (mapping.cell_width(), mapping.cell_height());
-    let cell_area = dx * dy;
-    let die_area = die.width * die.height;
     let nl = layers.len();
 
     // ---- node numbering ----
@@ -541,8 +914,6 @@ fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> Ther
             next += 1;
         }
     }
-    // Upper bound on node count: cells + rings + lumped (2) + oil nodes
-    // (cells + ring, twice). Exact count computed as we stamp.
     let mut kinds = vec![NodeKind::Cell { layer: 0 }; next];
     for (l, _) in layers.iter().enumerate() {
         for c in 0..n_cells {
@@ -553,17 +924,140 @@ fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> Ther
         }
     }
 
+    let geom = StackGeom::new(mapping, die, layers, 0, &ring_of);
     let mut extra_caps: Vec<(usize, f64)> = Vec::new();
     let mut stamps: Vec<(usize, usize, f64)> = Vec::new(); // node-node conductances
     let mut grounded: Vec<(usize, f64)> = Vec::new(); // node-ambient conductances
 
-    // ---- in-plane conduction ----
-    for (l, def) in layers.iter().enumerate() {
-        let gx = def.material.conductivity() * dy * def.thickness / dx;
-        let gy = def.material.conductivity() * dx * def.thickness / dy;
+    stamp_in_plane(&geom, &mut stamps);
+    stamp_vertical(&geom, &mut stamps);
+
+    let mut cap = vec![0.0; next];
+    fill_caps(&geom, &mut cap);
+
+    let mut next_node = next;
+    for (att, layer) in [(&stack.top, nl - 1), (&stack.bottom, 0)] {
+        stamp_boundary(
+            &geom,
+            att,
+            layer,
+            &mut stamps,
+            &mut grounded,
+            &mut extra_caps,
+            &mut kinds,
+            &mut next_node,
+        );
+    }
+
+    let layer_names = layers.iter().map(|l| l.name.clone()).collect();
+    finalize(
+        next_node,
+        cap,
+        extra_caps,
+        stamps,
+        grounded,
+        kinds,
+        layer_names,
+        stack.si_index * n_cells,
+        n_cells,
+        rows,
+        cols,
+        None,
+    )
+}
+
+/// Assembles a validated board. Callers must run [`Board::validate`] and the
+/// grid-mapping checks of [`build_circuit_from_board`] first.
+///
+/// Node numbering extends the stack scheme: every placement's cell planes
+/// come first (in placement order, each placement's layers bottom→top), then
+/// the PCB plane, then rings (per placement, per oversized layer, in order),
+/// then boundary nodes in stamping order. All planes share the board's
+/// `rows × cols` resolution, so plane `l` starts at `l * n_cells` — exactly
+/// the uniform-plane layout the multigrid hierarchy coarsens; the
+/// placement→PCB couplings land in its lossless unstructured remainder.
+///
+/// With one placement and no PCB, every pass reduces to the stack
+/// assembler's sequence, so free-standing boards lower bitwise-identically
+/// to [`build_circuit_from_stack`].
+fn assemble_board(board: &Board, mappings: &[GridMapping]) -> ThermalCircuit {
+    let (rows, cols) = (board.rows, board.cols);
+    let n_cells = rows * cols;
+    let pcb = board.pcb.as_ref();
+
+    // ---- plane layout ----
+    let mut plane_bases = Vec::with_capacity(board.placements.len());
+    let mut total_planes = 0usize;
+    for p in &board.placements {
+        plane_bases.push(total_planes);
+        total_planes += p.stack.layers.len();
+    }
+    let pcb_plane = pcb.map(|_| total_planes);
+    let all_planes = total_planes + usize::from(pcb.is_some());
+
+    // ---- rings after all cell planes ----
+    let mut next = all_planes * n_cells;
+    let mut ring_ofs: Vec<Vec<Option<usize>>> = Vec::with_capacity(board.placements.len());
+    for p in &board.placements {
+        let mut ring_of = vec![None; p.stack.layers.len()];
+        for (l, def) in p.stack.layers.iter().enumerate() {
+            if def.side.is_some() {
+                ring_of[l] = Some(next);
+                next += 1;
+            }
+        }
+        ring_ofs.push(ring_of);
+    }
+
+    // ---- node kinds and layer names ----
+    // Free-standing single boards keep bare layer names (they ARE a plain
+    // stack circuit); PCB boards qualify each as "placement/layer".
+    let mut layer_names: Vec<String> = Vec::with_capacity(all_planes);
+    let mut kinds = vec![NodeKind::Cell { layer: 0 }; next];
+    for (pi, p) in board.placements.iter().enumerate() {
+        for (l, def) in p.stack.layers.iter().enumerate() {
+            let plane = plane_bases[pi] + l;
+            layer_names.push(if pcb.is_some() {
+                format!("{}/{}", p.name, def.name)
+            } else {
+                def.name.clone()
+            });
+            for c in 0..n_cells {
+                kinds[plane * n_cells + c] = NodeKind::Cell { layer: plane };
+            }
+            if let Some(r) = ring_ofs[pi][l] {
+                kinds[r] = NodeKind::Ring { layer: plane };
+            }
+        }
+    }
+    if let Some(pp) = pcb_plane {
+        layer_names.push("pcb".into());
+        for c in 0..n_cells {
+            kinds[pp * n_cells + c] = NodeKind::Cell { layer: pp };
+        }
+    }
+
+    let geom_of = |pi: usize| {
+        let p = &board.placements[pi];
+        StackGeom::new(&mappings[pi], p.die, &p.stack.layers, plane_bases[pi], &ring_ofs[pi])
+    };
+
+    let mut extra_caps: Vec<(usize, f64)> = Vec::new();
+    let mut stamps: Vec<(usize, usize, f64)> = Vec::new();
+    let mut grounded: Vec<(usize, f64)> = Vec::new();
+
+    // ---- in-plane conduction: placements, then the PCB plane ----
+    for pi in 0..board.placements.len() {
+        stamp_in_plane(&geom_of(pi), &mut stamps);
+    }
+    // PCB cell geometry (the board spreads over the full grid).
+    let (pdx, pdy) = pcb.map_or((0.0, 0.0), |s| (s.width / cols as f64, s.height / rows as f64));
+    if let (Some(spec), Some(pp)) = (pcb, pcb_plane) {
+        let gx = spec.material.conductivity() * pdy * spec.thickness / pdx;
+        let gy = spec.material.conductivity() * pdx * spec.thickness / pdy;
         for r in 0..rows {
             for c in 0..cols {
-                let n = l * n_cells + r * cols + c;
+                let n = pp * n_cells + r * cols + c;
                 if c + 1 < cols {
                     stamps.push((n, n + 1, gx));
                 }
@@ -572,197 +1066,180 @@ fn assemble(mapping: &GridMapping, die: DieGeometry, stack: &LayerStack) -> Ther
                 }
             }
         }
-        // Edge cells to ring.
-        if let Some(ring) = ring_of[l] {
-            let side = def.side.expect("ring implies oversized");
-            let k_t = def.material.conductivity() * def.thickness;
-            let overhang_x = (side - die.width) / 2.0;
-            let overhang_y = (side - die.height) / 2.0;
-            for r in 0..rows {
-                for &c in &[0, cols - 1] {
-                    let n = l * n_cells + r * cols + c;
-                    let g = k_t * dy / (dx / 2.0 + (overhang_x / 2.0).max(dx / 2.0));
-                    stamps.push((n, ring, g));
-                }
-            }
-            for c in 0..cols {
-                for &r in &[0, rows - 1] {
-                    let n = l * n_cells + r * cols + c;
-                    let g = k_t * dx / (dy / 2.0 + (overhang_y / 2.0).max(dy / 2.0));
-                    stamps.push((n, ring, g));
-                }
-            }
-        }
     }
 
-    // ---- vertical conduction between adjacent layers ----
-    for l in 0..nl.saturating_sub(1) {
-        let (a, b) = (&layers[l], &layers[l + 1]);
-        let r_pair = a.thickness / (2.0 * a.material.conductivity() * cell_area)
-            + b.thickness / (2.0 * b.material.conductivity() * cell_area);
-        let g = 1.0 / r_pair;
-        for c in 0..n_cells {
-            stamps.push((l * n_cells + c, (l + 1) * n_cells + c, g));
-        }
-        // Ring-to-ring where both layers are oversized.
-        if let (Some(ra), Some(rb)) = (ring_of[l], ring_of[l + 1]) {
-            let common = a.side.expect("ring").min(b.side.expect("ring"));
-            let annulus = (common * common - die_area).max(0.0);
-            if annulus > 0.0 {
-                let r_pair = a.thickness / (2.0 * a.material.conductivity() * annulus)
-                    + b.thickness / (2.0 * b.material.conductivity() * annulus);
-                stamps.push((ra, rb, 1.0 / r_pair));
+    // ---- vertical conduction within each placement ----
+    for pi in 0..board.placements.len() {
+        stamp_vertical(&geom_of(pi), &mut stamps);
+    }
+
+    // ---- placement → PCB coupling, with via-field bonuses ----
+    // Each placement bottom cell couples to the PCB cell under its rotated
+    // center through the series of its own lower half-thickness and the
+    // PCB's upper half-thickness over the contact (placement-cell) area.
+    // Via fields add their anisotropic through-plane conductance times the
+    // overlap of the (rotated) cell footprint with the patch — the
+    // exposed-pad via array shunting the board resin.
+    if let (Some(spec), Some(pp)) = (pcb, pcb_plane) {
+        for (pi, p) in board.placements.iter().enumerate() {
+            let geom = geom_of(pi);
+            let bot = &p.stack.layers[0];
+            let r_pair = bot.thickness / (2.0 * bot.material.conductivity() * geom.cell_area)
+                + spec.thickness / (2.0 * spec.material.conductivity() * geom.cell_area);
+            let g_base = 1.0 / r_pair;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let (cx, cy) = geom.mapping.cell_center(r, c);
+                    let (fx, fy) = p.rotation.apply(cx, cy, p.die.width, p.die.height);
+                    let (bx, by) = (p.x + fx, p.y + fy);
+                    let pc = ((bx / pdx) as usize).min(cols - 1);
+                    let pr = ((by / pdy) as usize).min(rows - 1);
+                    let mut g = g_base;
+                    if !board.vias.is_empty() {
+                        // Quarter-turn rotations map the axis-aligned cell
+                        // rect to another axis-aligned rect: rotate two
+                        // opposite corners and re-sort.
+                        let (x0, y0) = (c as f64 * geom.dx, r as f64 * geom.dy);
+                        let (ax, ay) = p.rotation.apply(x0, y0, p.die.width, p.die.height);
+                        let (bx2, by2) =
+                            p.rotation.apply(x0 + geom.dx, y0 + geom.dy, p.die.width, p.die.height);
+                        let (rx0, rx1) = (p.x + ax.min(bx2), p.x + ax.max(bx2));
+                        let (ry0, ry1) = (p.y + ay.min(by2), p.y + ay.max(by2));
+                        for v in &board.vias {
+                            g += v.conductance_per_area * v.overlap_area(rx0, rx1, ry0, ry1);
+                        }
+                    }
+                    stamps.push((geom.node(0, r * cols + c), pp * n_cells + pr * cols + pc, g));
+                }
             }
         }
     }
 
     // ---- capacitances ----
     let mut cap = vec![0.0; next];
-    for (l, def) in layers.iter().enumerate() {
-        let c_cell = def.material.volumetric_heat_capacity() * cell_area * def.thickness;
+    for pi in 0..board.placements.len() {
+        fill_caps(&geom_of(pi), &mut cap);
+    }
+    if let (Some(spec), Some(pp)) = (pcb, pcb_plane) {
+        let c_cell = spec.material.volumetric_heat_capacity() * (pdx * pdy) * spec.thickness;
         for c in 0..n_cells {
-            cap[l * n_cells + c] = c_cell;
-        }
-        if let Some(ring) = ring_of[l] {
-            let side = def.side.expect("ring implies oversized");
-            let vol = (side * side - die_area).max(0.0) * def.thickness;
-            cap[ring] = def.material.volumetric_heat_capacity() * vol;
+            cap[pp * n_cells + c] = c_cell;
         }
     }
 
-    // ---- boundary attachments ----
+    // ---- boundary attachments: per placement top then bottom, then the
+    // PCB back face ----
     let mut next_node = next;
-    let stamp_boundary = |att: &Boundary,
-                          layer: usize,
-                          stamps: &mut Vec<(usize, usize, f64)>,
-                          grounded: &mut Vec<(usize, f64)>,
-                          extra_caps: &mut Vec<(usize, f64)>,
-                          kinds: &mut Vec<NodeKind>,
-                          next_node: &mut usize| {
-        match att {
-            Boundary::Insulated => {}
-            Boundary::Lumped { r_total, c_total } => {
-                debug_assert!(*r_total > 0.0, "validate() admits only positive lumped resistance");
-                let def = &layers[layer];
-                let plate_area = def.side.map_or(die_area, |s| s * s);
-                let coolant = *next_node;
-                *next_node += 1;
-                kinds.push(NodeKind::Coolant);
-                // Coolant node must have some mass to avoid a singular C.
-                extra_caps.push((coolant, c_total.max(1e-9)));
-                let g_half_total = 2.0 / r_total;
-                for c in 0..n_cells {
-                    let g = g_half_total * (cell_area / plate_area);
-                    stamps.push((layer * n_cells + c, coolant, g));
-                }
-                if let Some(ring) = ring_of[layer] {
-                    let ring_area = plate_area - die_area;
-                    stamps.push((ring, coolant, g_half_total * (ring_area / plate_area)));
-                }
-                grounded.push((coolant, g_half_total));
-            }
-            Boundary::OilFilm(spec) => {
-                let def = &layers[layer];
-                let (plate_w, plate_h) = match def.side {
-                    Some(s) => (s, s),
-                    None => (die.width, die.height),
-                };
-                let length = spec.direction.flow_length(plate_w, plate_h);
-                let flow = LaminarFlow::new(spec.fluid, spec.velocity, length);
-                // Die grid centered on the plate.
-                let (off_x, off_y) = ((plate_w - die.width) / 2.0, (plate_h - die.height) / 2.0);
-                let delta_overall = flow.boundary_layer_thickness();
-                for r in 0..rows {
-                    for cidx in 0..cols {
-                        let (cx, cy) = mapping.cell_center(r, cidx);
-                        let x_flow = spec
-                            .direction
-                            .distance_from_leading_edge(cx + off_x, cy + off_y, plate_w, plate_h)
-                            .max(dx.min(dy) / 4.0);
-                        let h = if spec.local_h { flow.local_h(x_flow) } else { flow.average_h() };
-                        let delta = if spec.local_boundary_layer {
-                            flow.local_boundary_layer_thickness(x_flow)
-                        } else {
-                            delta_overall
-                        };
-                        let oil = *next_node;
-                        *next_node += 1;
-                        kinds.push(NodeKind::Oil);
-                        let c_oil = spec.fluid.volumetric_heat_capacity() * cell_area * delta;
-                        extra_caps.push((oil, c_oil.max(1e-12)));
-                        let g = 2.0 * h * cell_area;
-                        stamps.push((layer * n_cells + r * cols + cidx, oil, g));
-                        grounded.push((oil, g));
-                    }
-                }
-                if let Some(ring) = ring_of[layer] {
-                    let ring_area = plate_w * plate_h - die_area;
-                    let h = flow.average_h();
-                    let oil = *next_node;
-                    *next_node += 1;
-                    kinds.push(NodeKind::Oil);
-                    let c_oil = spec.fluid.volumetric_heat_capacity() * ring_area * delta_overall;
-                    extra_caps.push((oil, c_oil.max(1e-12)));
-                    let g = 2.0 * h * ring_area;
-                    stamps.push((ring, oil, g));
-                    grounded.push((oil, g));
-                }
-            }
+    for (pi, p) in board.placements.iter().enumerate() {
+        let geom = geom_of(pi);
+        let nl = p.stack.layers.len();
+        for (att, layer) in [(&p.stack.top, nl - 1), (&p.stack.bottom, 0)] {
+            stamp_boundary(
+                &geom,
+                att,
+                layer,
+                &mut stamps,
+                &mut grounded,
+                &mut extra_caps,
+                &mut kinds,
+                &mut next_node,
+            );
         }
-    };
-
-    stamp_boundary(
-        &stack.top,
-        nl - 1,
-        &mut stamps,
-        &mut grounded,
-        &mut extra_caps,
-        &mut kinds,
-        &mut next_node,
-    );
-    stamp_boundary(
-        &stack.bottom,
-        0,
-        &mut stamps,
-        &mut grounded,
-        &mut extra_caps,
-        &mut kinds,
-        &mut next_node,
-    );
-
-    // ---- final matrices ----
-    let n = next_node;
-    cap.resize(n, 0.0);
-    for (node, c) in extra_caps {
-        cap[node] += c;
     }
-    let mut ambient_g = vec![0.0; n];
-    let mut t = TripletMatrix::new(n);
-    for (a, b, g) in stamps {
-        t.stamp_conductance(a, b, g);
+    if let (Some(spec), Some(pp)) = (pcb, pcb_plane) {
+        if let Boundary::Lumped { r_total, c_total } = &spec.bottom {
+            let coolant = next_node;
+            next_node += 1;
+            kinds.push(NodeKind::Coolant);
+            extra_caps.push((coolant, c_total.max(1e-9)));
+            let g_half_total = 2.0 / r_total;
+            let pcb_area = spec.width * spec.height;
+            let pcb_cell_area = pdx * pdy;
+            for c in 0..n_cells {
+                let g = g_half_total * (pcb_cell_area / pcb_area);
+                stamps.push((pp * n_cells + c, coolant, g));
+            }
+            grounded.push((coolant, g_half_total));
+        }
     }
-    for (node, g) in grounded {
-        t.stamp_grounded_conductance(node, g);
-        ambient_g[node] += g;
-    }
-    let g = t.to_csr();
-    debug_assert!(g.is_symmetric(1e-9), "conductance matrix must be symmetric");
 
-    let layer_names = layers.iter().map(|l| l.name.clone()).collect();
-    ThermalCircuit {
-        g,
+    let board_nodes = pcb_plane.map(|pp| BoardNodes {
+        placements: board
+            .placements
+            .iter()
+            .zip(&plane_bases)
+            .map(|(p, &base)| PlacementNodes {
+                name: p.name.clone(),
+                plane_base: base,
+                n_layers: p.stack.layers.len(),
+                si_plane: base + p.stack.si_index,
+            })
+            .collect(),
+        pcb_plane: pp,
+    });
+    let si_offset = (plane_bases[0] + board.placements[0].stack.si_index) * n_cells;
+    finalize(
+        next_node,
         cap,
-        ambient_g,
+        extra_caps,
+        stamps,
+        grounded,
         kinds,
         layer_names,
-        si_offset: si_index * n_cells,
+        si_offset,
         n_cells,
         rows,
         cols,
-        mg: OnceLock::new(),
-        ldlt: OnceLock::new(),
-        spectral: OnceLock::new(),
+        board_nodes,
+    )
+}
+
+/// Checks that `mappings` matches the board: one mapping per placement, each
+/// at the board's shared grid resolution.
+fn check_board_mappings(board: &Board, mappings: &[GridMapping]) -> Result<(), BoardError> {
+    if mappings.len() != board.placements.len() {
+        return Err(BoardError::BadGrid {
+            reason: format!(
+                "{} grid mappings for {} placements",
+                mappings.len(),
+                board.placements.len()
+            ),
+        });
     }
+    for (p, m) in board.placements.iter().zip(mappings) {
+        if m.rows() != board.rows || m.cols() != board.cols {
+            return Err(BoardError::GridMismatch {
+                placement: p.name.clone(),
+                expected_rows: board.rows,
+                expected_cols: board.cols,
+                rows: m.rows(),
+                cols: m.cols(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds the RC network for a whole [`Board`]: every placement's stack plus
+/// the shared PCB plane, coupled through placement-bottom→PCB conductances
+/// and via fields. `mappings` carries one [`GridMapping`] per placement (its
+/// floorplan spread over the placement's die), all at the board's shared
+/// grid resolution.
+///
+/// Free-standing single-placement boards (no PCB) lower bitwise-identically
+/// to [`build_circuit_from_stack`] over the same stack.
+///
+/// # Errors
+///
+/// Any [`BoardError`] from [`Board::validate`], or `GridMismatch`/`BadGrid`
+/// when `mappings` disagrees with the board's resolution.
+pub fn build_circuit_from_board(
+    board: &Board,
+    mappings: &[GridMapping],
+) -> Result<ThermalCircuit, BoardError> {
+    board.validate()?;
+    check_board_mappings(board, mappings)?;
+    Ok(assemble_board(board, mappings))
 }
 
 #[cfg(test)]
@@ -1101,6 +1578,220 @@ mod tests {
         assert!(cache.is_empty());
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (1, 1), "clear drops circuits, not telemetry");
+    }
+
+    use crate::board::{Board, PcbSpec, Placement, Rotation, ViaField};
+
+    fn pcb_spec() -> PcbSpec {
+        PcbSpec {
+            width: 0.08,
+            height: 0.06,
+            thickness: 1.6e-3,
+            material: crate::materials::PCB,
+            bottom: Boundary::Lumped { r_total: 4.0, c_total: 200.0 },
+        }
+    }
+
+    fn placement(name: &str, stack: LayerStack, x: f64, y: f64) -> Placement {
+        Placement { name: name.into(), die: die20(), stack, x, y, rotation: Rotation::R0 }
+    }
+
+    /// Two-package board over a PCB: a bare lumped-top die and an air-sink
+    /// package, both bottoms insulated (heat leaves through the board).
+    fn two_package_board(rows: usize, cols: usize) -> (Board, Vec<GridMapping>) {
+        let bare =
+            LayerStack::new(vec![Layer::new("silicon", crate::materials::SILICON, 0.5e-3)], 0)
+                .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        let sink = Package::AirSink(AirSinkPackage::paper_default()).to_stack(die20()).unwrap();
+        let board = Board::new(rows, cols, pcb_spec())
+            .with_placement(placement("u1", bare, 0.005, 0.005))
+            .with_placement(placement("u2", sink, 0.045, 0.03));
+        let mappings = vec![mapping(rows, cols), mapping(rows, cols)];
+        (board, mappings)
+    }
+
+    #[test]
+    fn free_standing_board_is_bitwise_identical_to_stack_circuit() {
+        // The acceptance anchor: a single-placement no-PCB board must lower
+        // through the general board assembler to EXACTLY the circuit
+        // `build_circuit_from_stack` produces — same node numbering, same
+        // stamp order, bit-equal floats.
+        let m = mapping(8, 8);
+        for stack in [
+            Package::OilSilicon(OilSiliconPackage::paper_default()).to_stack(die20()).unwrap(),
+            Package::AirSink(
+                AirSinkPackage::paper_default().with_secondary(SecondaryPath::for_air_system()),
+            )
+            .to_stack(die20())
+            .unwrap(),
+            LayerStack::new(vec![Layer::new("silicon", crate::materials::SILICON, 0.5e-3)], 0)
+                .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 }),
+        ] {
+            let via_stack = build_circuit_from_stack(&m, die20(), &stack).unwrap();
+            let board = Board::free_standing(
+                8,
+                8,
+                Placement {
+                    name: "solo".into(),
+                    die: die20(),
+                    stack: stack.clone(),
+                    x: 0.0,
+                    y: 0.0,
+                    rotation: Rotation::R0,
+                },
+            );
+            let via_board = build_circuit_from_board(&board, std::slice::from_ref(&m)).unwrap();
+            assert_eq!(via_board.node_count(), via_stack.node_count());
+            assert_eq!(via_board.layer_names(), via_stack.layer_names());
+            assert_eq!(via_board.node_kinds(), via_stack.node_kinds());
+            assert_eq!(via_board.si_offset(), via_stack.si_offset());
+            // Bitwise: capacitances, ambient couplings and the CSR itself.
+            assert_eq!(via_board.capacitance(), via_stack.capacitance());
+            assert_eq!(via_board.ambient_conductance(), via_stack.ambient_conductance());
+            let (gb, gs) = (via_board.conductance(), via_stack.conductance());
+            assert_eq!(gb.row_offsets(), gs.row_offsets());
+            assert_eq!(gb.col_indices(), gs.col_indices());
+            assert_eq!(gb.values(), gs.values());
+            assert!(via_board.board_nodes().is_none(), "free-standing = plain stack circuit");
+        }
+    }
+
+    #[test]
+    fn board_circuit_structure() {
+        let (board, mappings) = two_package_board(8, 8);
+        let c = build_circuit_from_board(&board, &mappings).unwrap();
+        // Planes: u1 silicon + u2's 4 layers + pcb = 6 × 64 cells,
+        // + 2 rings (u2 spreader/sink) + u1 coolant + u2 coolant + pcb coolant.
+        assert_eq!(c.node_count(), 6 * 64 + 2 + 3);
+        assert_eq!(
+            c.layer_names(),
+            &["u1/silicon", "u2/silicon", "u2/interface", "u2/spreader", "u2/sink", "pcb"]
+        );
+        let nodes = c.board_nodes().expect("PCB board carries metadata");
+        assert_eq!(nodes.pcb_plane, 5);
+        assert_eq!(nodes.placements.len(), 2);
+        assert_eq!((nodes.placements[0].si_plane, nodes.placements[1].si_plane), (0, 1));
+        assert!(c.conductance().is_symmetric(1e-9));
+        // Every PCB cell has positive capacitance and the coolant count is 3.
+        let coolants = c.node_kinds().iter().filter(|k| **k == NodeKind::Coolant).count();
+        assert_eq!(coolants, 3);
+        assert!(c.capacitance().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn board_rhs_injects_each_placement() {
+        let (board, mappings) = two_package_board(4, 4);
+        let c = build_circuit_from_board(&board, &mappings).unwrap();
+        let mut p = vec![0.0; 2 * 16];
+        p[3] = 1.5; // u1 silicon cell 3
+        p[16 + 7] = 2.5; // u2 silicon cell 7
+        let b = c.rhs(&p, 318.15);
+        let nodes = c.board_nodes().unwrap();
+        assert!(
+            (b[nodes.placements[0].si_plane * 16 + 3]
+                - (1.5 + c.ambient_conductance()[3] * 318.15))
+                .abs()
+                < 1e-9
+        );
+        let n2 = nodes.placements[1].si_plane * 16 + 7;
+        assert!((b[n2] - (2.5 + c.ambient_conductance()[n2] * 318.15)).abs() < 1e-9);
+        let b_sum: f64 = b.iter().sum();
+        let amb_sum: f64 = c.ambient_conductance().iter().sum();
+        assert!((b_sum - (4.0 + amb_sum * 318.15)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn via_field_strengthens_board_coupling() {
+        let (board, mappings) = two_package_board(4, 4);
+        let plain = build_circuit_from_board(&board, &mappings).unwrap();
+        let with_via = build_circuit_from_board(
+            &board.clone().with_via(ViaField {
+                name: "pad1".into(),
+                x: 0.005,
+                y: 0.005,
+                width: 0.02,
+                height: 0.02,
+                conductance_per_area: 5e4,
+            }),
+            &mappings,
+        )
+        .unwrap();
+        // Same structure, strictly larger diagonal conductance mass (the
+        // full-matrix sum is stamp-neutral: +g on two diagonals, −g twice
+        // off-diagonal).
+        assert_eq!(plain.node_count(), with_via.node_count());
+        let diag_sum = |c: &ThermalCircuit| {
+            (0..c.node_count()).map(|i| c.conductance().diagonal(i)).sum::<f64>()
+        };
+        assert!(diag_sum(&with_via) > diag_sum(&plain), "via field must add conductance");
+    }
+
+    #[test]
+    fn rotated_placement_changes_coupling_pattern_not_totals() {
+        // Rotating a placement permutes which PCB cells it couples into, but
+        // conserves the total placement→PCB conductance (no vias involved).
+        let die = DieGeometry { width: 0.02, height: 0.01, thickness: 0.5e-3 };
+        let stack =
+            LayerStack::new(vec![Layer::new("silicon", crate::materials::SILICON, 0.5e-3)], 0)
+                .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        let build = |rotation: Rotation| {
+            let plan = hotiron_floorplan::library::uniform_die(die.width, die.height);
+            let m = GridMapping::new(&plan, 4, 4);
+            let board = Board::new(4, 4, pcb_spec()).with_placement(Placement {
+                name: "u1".into(),
+                die,
+                stack: stack.clone(),
+                x: 0.01,
+                y: 0.01,
+                rotation,
+            });
+            build_circuit_from_board(&board, &[m]).unwrap()
+        };
+        let r0 = build(Rotation::R0);
+        let r90 = build(Rotation::R90);
+        let sum = |c: &ThermalCircuit| c.conductance().values().iter().sum::<f64>();
+        assert!((sum(&r0) - sum(&r90)).abs() < 1e-9 * sum(&r0).abs());
+        assert_ne!(
+            r0.conductance().col_indices(),
+            r90.conductance().col_indices(),
+            "rotation must move the PCB coupling pattern"
+        );
+    }
+
+    #[test]
+    fn board_cache_round_trips() {
+        let cache = CircuitCache::new(4);
+        let (board, mappings) = two_package_board(4, 4);
+        let (a, hit_a) = cache.get_or_build_board(&board, &mappings).unwrap();
+        assert!(!hit_a);
+        let (b, hit_b) = cache.get_or_build_board(&board, &mappings).unwrap();
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A moved placement is a different circuit.
+        let mut moved = board.clone();
+        moved.placements[0].x += 1e-3;
+        let (c, hit_c) = cache.get_or_build_board(&moved, &mappings).unwrap();
+        assert!(!hit_c);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Stack and board keys share the store without colliding.
+        let m = mapping(4, 4);
+        let (d, hit_d) = cache.get_or_build(&m, die20(), &stack_nr(0)).unwrap();
+        assert!(!hit_d);
+        assert!(!Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn board_mapping_mismatch_is_typed() {
+        let (board, _) = two_package_board(8, 8);
+        let bad = vec![mapping(4, 4), mapping(8, 8)];
+        let err = build_circuit_from_board(&board, &bad).unwrap_err();
+        match &err {
+            crate::board::BoardError::GridMismatch { placement, .. } => {
+                assert_eq!(placement, "u1");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("u1"), "{err}");
     }
 
     #[test]

@@ -179,6 +179,14 @@ impl SpectralParams {
     ///
     /// [`Ineligible`] naming the disqualifying layer or structure.
     pub fn from_circuit(circuit: &ThermalCircuit) -> Result<Self, Ineligible> {
+        if let Some(board) = circuit.board_nodes() {
+            return Err(bail(format!(
+                "board circuit: {} package(s) couple through the shared PCB plane, which \
+                 breaks the lateral shift-invariance the spectral path requires; use the \
+                 multigrid or CG solver",
+                board.placements.len()
+            )));
+        }
         let rows = circuit.grid_rows();
         let cols = circuit.grid_cols();
         let n = rows * cols;

@@ -36,6 +36,7 @@
 
 pub mod analytic;
 pub mod blockmodel;
+pub mod board;
 pub mod cholesky;
 pub mod circuit;
 pub mod convection;
@@ -54,6 +55,7 @@ pub mod stack;
 pub mod units;
 
 pub use blockmodel::BlockModel;
+pub use board::{Board, BoardError, PcbSpec, Placement, Rotation, ViaField};
 pub use cholesky::{FactorError, LdlFactor};
 pub use circuit::{CacheCounters, CircuitCache};
 pub use convection::{FlowDirection, LaminarFlow};

@@ -1073,6 +1073,87 @@ mod tests {
         assert_eq!(BackwardEuler::auto(&large, 0.01).solver(), SolverChoice::Multigrid);
     }
 
+    /// Two-package PCB board circuit at the board's shared `rows × rows`
+    /// grid: bare lumped-top die + air-sink package, lumped PCB back.
+    fn board_circuit(rows: usize) -> ThermalCircuit {
+        use crate::board::{Board, PcbSpec, Placement, Rotation};
+        use crate::stack::{Boundary, Layer, LayerStack};
+        let die = DieGeometry { width: 0.02, height: 0.02, thickness: 0.5e-3 };
+        let bare =
+            LayerStack::new(vec![Layer::new("silicon", crate::materials::SILICON, 0.5e-3)], 0)
+                .with_top(Boundary::Lumped { r_total: 2.0, c_total: 30.0 });
+        let sink = Package::AirSink(AirSinkPackage::paper_default()).to_stack(die).unwrap();
+        let place = |name: &str, stack, x, y| Placement {
+            name: name.into(),
+            die,
+            stack,
+            x,
+            y,
+            rotation: Rotation::R0,
+        };
+        let board = Board::new(
+            rows,
+            rows,
+            PcbSpec {
+                width: 0.08,
+                height: 0.06,
+                thickness: 1.6e-3,
+                material: crate::materials::PCB,
+                bottom: Boundary::Lumped { r_total: 4.0, c_total: 200.0 },
+            },
+        )
+        .with_placement(place("u1", bare, 0.005, 0.005))
+        .with_placement(place("u2", sink, 0.045, 0.03));
+        let plan = library::uniform_die(0.02, 0.02);
+        let m = GridMapping::new(&plan, rows, rows);
+        crate::circuit::build_circuit_from_board(&board, &[m.clone(), m]).unwrap()
+    }
+
+    #[test]
+    fn board_solvers_agree_and_multigrid_builds() {
+        // The board plane layout (uniform cell planes first, singles after)
+        // must coarsen under the stock multigrid derivation; Direct, CG and
+        // MG-PCG must agree on the coupled two-package steady state.
+        let c = board_circuit(16);
+        let p: Vec<f64> = (0..2 * 256).map(|i| 0.02 + 0.0001 * (i % 37) as f64).collect();
+        let mut direct = vec![AMBIENT; c.node_count()];
+        solve_steady_with(&c, &p, AMBIENT, &mut direct, SolverChoice::Direct).unwrap();
+        let mut cg = vec![AMBIENT; c.node_count()];
+        solve_steady_with(&c, &p, AMBIENT, &mut cg, SolverChoice::Cg).unwrap();
+        let mut mg = vec![AMBIENT; c.node_count()];
+        let stats = solve_steady_with(&c, &p, AMBIENT, &mut mg, SolverChoice::Multigrid).unwrap();
+        assert_eq!(stats.method, crate::sparse::SolveMethod::MgCg, "hierarchy must build");
+        for i in 0..c.node_count() {
+            assert!((direct[i] - cg[i]).abs() < 1e-6, "cg drift at {i}");
+            assert!((direct[i] - mg[i]).abs() < 1e-6, "mg drift at {i}");
+        }
+        // The packages actually couple: heating only u1 warms u2's silicon.
+        let nodes = c.board_nodes().unwrap();
+        let mut p1 = vec![0.0; 2 * 256];
+        p1[..256].iter_mut().for_each(|v| *v = 0.1);
+        let mut state = vec![AMBIENT; c.node_count()];
+        solve_steady_with(&c, &p1, AMBIENT, &mut state, SolverChoice::Direct).unwrap();
+        let u2_si = nodes.placements[1].si_plane * 256;
+        let u2_rise = state[u2_si..u2_si + 256].iter().sum::<f64>() / 256.0 - AMBIENT;
+        assert!(u2_rise > 1e-4, "inter-package coupling must warm the idle die ({u2_rise} K)");
+    }
+
+    #[test]
+    fn board_spectral_is_ineligible_with_named_reason() {
+        let c = board_circuit(16);
+        let p = vec![0.05; 2 * 256];
+        let mut state = vec![AMBIENT; c.node_count()];
+        let err =
+            solve_steady_with(&c, &p, AMBIENT, &mut state, SolverChoice::Spectral).unwrap_err();
+        match err {
+            SolveError::SpectralIneligible { reason } => {
+                assert!(reason.contains("board circuit"), "{reason}");
+                assert!(reason.contains("PCB"), "{reason}");
+            }
+            other => panic!("expected SpectralIneligible, got {other:?}"),
+        }
+    }
+
     #[test]
     fn rk4_reports_stiffness_instead_of_accepting_bad_steps() {
         // Regression: with an unattainable tolerance the old logic accepted

@@ -144,6 +144,21 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Raw CSR row offsets (`dim() + 1` entries).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Raw CSR column indices, row-major.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Raw stored values, parallel to [`col_indices`](Self::col_indices).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// The entries of row `i` as `(column, value)` pairs.
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i] as usize;

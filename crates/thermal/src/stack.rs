@@ -397,7 +397,7 @@ impl LayerStack {
     }
 }
 
-fn hash_boundary(h: &mut Fnv, b: &Boundary) {
+pub(crate) fn hash_boundary(h: &mut Fnv, b: &Boundary) {
     match b {
         Boundary::Insulated => h.u8(0),
         Boundary::Lumped { r_total, c_total } => {

@@ -30,14 +30,16 @@
 use crate::{oracle, tol};
 use hotiron_floorplan::{library, Block, Floorplan, GridMapping};
 use hotiron_refsim::{OilModel, RefSim, RefSimConfig};
-use hotiron_thermal::circuit::{build_circuit_from_stack, DieGeometry, ThermalCircuit};
+use hotiron_thermal::circuit::{
+    build_circuit_from_board, build_circuit_from_stack, DieGeometry, ThermalCircuit,
+};
 use hotiron_thermal::convection::FlowDirection;
 use hotiron_thermal::greens::SpectralTransient;
 use hotiron_thermal::materials;
 use hotiron_thermal::solve::{solve_steady_with, BackwardEuler, Rk4Adaptive, SolverChoice};
 use hotiron_thermal::{
-    AirSinkPackage, Boundary, Layer, LayerStack, ModelConfig, OilFilm, OilSiliconPackage, Package,
-    PowerMap, SecondaryPath, ThermalModel,
+    AirSinkPackage, Board, Boundary, Layer, LayerStack, ModelConfig, OilFilm, OilSiliconPackage,
+    Package, PcbSpec, Placement, PowerMap, Rotation, SecondaryPath, ThermalModel, ViaField,
 };
 use rand::{Rng, SeedableRng, StdRng};
 use std::fmt::Write as _;
@@ -55,17 +57,19 @@ pub struct FuzzConfig {
     pub transient_every: usize,
     /// Run the refsim cross-check every n-th case.
     pub refsim_every: usize,
+    /// Number of multi-die board cases appended after the stack cases.
+    pub board_cases: usize,
 }
 
 impl FuzzConfig {
     /// The quick tier: runs inside `cargo test` on every PR.
     pub fn quick() -> Self {
-        Self { cases: 64, seed: 0x5EED_1507, transient_every: 8, refsim_every: 21 }
+        Self { cases: 64, seed: 0x5EED_1507, transient_every: 8, refsim_every: 21, board_cases: 6 }
     }
 
     /// The deep tier: nightly CI.
     pub fn deep() -> Self {
-        Self { cases: 512, transient_every: 4, refsim_every: 13, ..Self::quick() }
+        Self { cases: 512, transient_every: 4, refsim_every: 13, board_cases: 24, ..Self::quick() }
     }
 
     /// Deep when `HOTIRON_VERIFY_DEEP` is set to anything but `0`.
@@ -467,6 +471,172 @@ fn refsim_check(index: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// One drawn multi-die board case. Placements are square dies in disjoint
+/// column slots, so every draw passes [`Board::validate`] by construction.
+struct BoardCase {
+    grid: usize,
+    board: Board,
+    /// Total watts per placement, spread uniformly over its silicon cells.
+    watts: Vec<f64>,
+    label: String,
+}
+
+/// Draws a 2–3-package PCB board. The seed stream is domain-separated from
+/// [`draw_case`] (extra `0xB0A2D` xor) so appending board cases never
+/// perturbs the stack draws.
+fn draw_board_case(index: usize, seed: u64) -> BoardCase {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ 0xB0A2D ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let grid = *pick(&mut rng, &[16usize, 20, 24]);
+    let packages = rng.gen_range(2usize..4);
+    let margin = 4e-3;
+    let sides: Vec<f64> = (0..packages).map(|_| rng.gen_range(0.006..0.012)).collect();
+    let pcb_height = sides.iter().fold(0.0f64, |a, &b| a.max(b)) + 2.0 * margin;
+    let pcb = PcbSpec {
+        width: sides.iter().sum::<f64>() + margin * (packages + 1) as f64,
+        height: pcb_height,
+        thickness: rng.gen_range(0.8e-3..2.4e-3),
+        material: materials::PCB,
+        bottom: Boundary::Lumped {
+            r_total: rng.gen_range(4.0..12.0),
+            c_total: rng.gen_range(10.0..40.0),
+        },
+    };
+    let mut board = Board::new(grid, grid, pcb);
+    let mut watts = Vec::with_capacity(packages);
+    let (mut x, mut origin0) = (margin, (0.0, 0.0));
+    for (pi, &side) in sides.iter().enumerate() {
+        let slack = pcb_height - side - 2.0 * margin;
+        let y = margin + if slack > 0.0 { rng.gen_range(0.0..slack) } else { 0.0 };
+        if pi == 0 {
+            origin0 = (x, y);
+        }
+        let thickness = rng.gen_range(0.3e-3..0.7e-3);
+        let (layers, si_index) = if rng.gen_bool(0.5) {
+            let attach = Layer::new("attach", materials::INTERFACE, rng.gen_range(0.1e-3..0.3e-3));
+            (vec![attach, Layer::new("silicon", materials::SILICON, thickness)], 1)
+        } else {
+            (vec![Layer::new("silicon", materials::SILICON, thickness)], 0)
+        };
+        // The first placement always dumps real power through a lumped sink;
+        // the rest may be passive and insulated, heated only via the PCB.
+        let top = if pi == 0 || rng.gen_bool(0.5) {
+            Boundary::Lumped { r_total: rng.gen_range(0.5..4.0), c_total: rng.gen_range(5.0..50.0) }
+        } else {
+            Boundary::Insulated
+        };
+        board = board.with_placement(Placement {
+            name: format!("pkg{pi}"),
+            die: DieGeometry { width: side, height: side, thickness },
+            stack: LayerStack::new(layers, si_index).with_bottom(Boundary::Insulated).with_top(top),
+            x,
+            y,
+            rotation: *pick(&mut rng, &[Rotation::R0, Rotation::R90, Rotation::R180]),
+        });
+        watts.push(if pi == 0 { rng.gen_range(5.0..25.0) } else { rng.gen_range(0.0..6.0) });
+        x += side + margin;
+    }
+    let vias = rng.gen_bool(0.5);
+    if vias {
+        let side = sides[0];
+        board = board.with_via(ViaField {
+            name: "pad0".into(),
+            x: origin0.0 + side * 0.25,
+            y: origin0.1 + side * 0.25,
+            width: side * 0.5,
+            height: side * 0.5,
+            conductance_per_area: rng.gen_range(5e3..5e4),
+        });
+    }
+    let label = format!(
+        "BOARD {grid}x{grid} {packages} pkgs, {:.1} W{}",
+        watts.iter().sum::<f64>(),
+        if vias { ", vias" } else { "" }
+    );
+    BoardCase { grid, board, watts, label }
+}
+
+/// Differential steady solves plus the oracle battery on an assembled board
+/// circuit: Direct vs CG vs (when a hierarchy exists) multigrid at the same
+/// agreement bound as the single-stack leg.
+fn run_board_case(case: &BoardCase, index: usize) -> CaseOutcome {
+    let mut failures = Vec::new();
+    let mappings: Vec<GridMapping> = case
+        .board
+        .placements
+        .iter()
+        .map(|p| {
+            GridMapping::new(&library::uniform_die(p.die.width, p.die.height), case.grid, case.grid)
+        })
+        .collect();
+    let circuit = match build_circuit_from_board(&case.board, &mappings) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("drawn board rejected: {e}"));
+            return CaseOutcome {
+                index,
+                summary: case.label.clone(),
+                steady_divergence: 0.0,
+                failures,
+            };
+        }
+    };
+    let n = circuit.cell_count();
+    let mut cell_power = vec![0.0; case.board.placements.len() * n];
+    for (pi, &w) in case.watts.iter().enumerate() {
+        for c in &mut cell_power[pi * n..(pi + 1) * n] {
+            *c = w / n as f64;
+        }
+    }
+
+    let mut steady_divergence = 0.0f64;
+    let direct = match steady(&circuit, &cell_power, SolverChoice::Direct) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            failures.push(e);
+            None
+        }
+    };
+    if let Some(direct) = &direct {
+        for choice in [SolverChoice::Cg, SolverChoice::Multigrid] {
+            if choice == SolverChoice::Multigrid && circuit.multigrid().is_none() {
+                continue;
+            }
+            match steady(&circuit, &cell_power, choice) {
+                Ok(other) => {
+                    let d = worst_diff(direct, &other);
+                    steady_divergence = steady_divergence.max(d);
+                    if d > tol::FUZZ_STEADY_AGREEMENT_K {
+                        failures.push(format!(
+                            "Direct vs {choice:?} diverge by {d:.3e} K (allowed {:.0e})",
+                            tol::FUZZ_STEADY_AGREEMENT_K
+                        ));
+                    }
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+        // Boards are spectrally ineligible by design (per-plane boundary
+        // conditions break the separable eigenbasis); a qualifying board
+        // would mean the eligibility guard regressed.
+        if circuit.spectral().is_ok() {
+            failures.push("board circuit unexpectedly spectral-eligible".to_owned());
+        }
+
+        if let Err(e) = oracle::energy_balance(&circuit, direct, &cell_power, AMBIENT).check() {
+            failures.push(e);
+        }
+        if let Err(e) = oracle::maximum_principle(&circuit, direct, &cell_power, AMBIENT) {
+            failures.push(e);
+        }
+        if let Err(e) = oracle::operator_checks(&circuit, 0xB0A2D ^ index as u64, 2).check() {
+            failures.push(e);
+        }
+    }
+
+    CaseOutcome { index, summary: case.label.clone(), steady_divergence, failures }
+}
+
 /// Runs the fuzzer.
 pub fn run(cfg: &FuzzConfig) -> FuzzReport {
     let mut outcomes = Vec::with_capacity(cfg.cases);
@@ -484,6 +654,10 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
             }
         }
         outcomes.push(outcome);
+    }
+    for bi in 0..cfg.board_cases {
+        let case = draw_board_case(bi, cfg.seed);
+        outcomes.push(run_board_case(&case, cfg.cases + bi));
     }
     FuzzReport { outcomes }
 }
@@ -515,11 +689,40 @@ mod tests {
 
     #[test]
     fn small_fuzz_run_is_clean_and_deterministic() {
-        let cfg = FuzzConfig { cases: 4, seed: 7, transient_every: 4, refsim_every: 100 };
+        let cfg =
+            FuzzConfig { cases: 4, seed: 7, transient_every: 4, refsim_every: 100, board_cases: 2 };
         let a = run(&cfg);
         assert_eq!(a.failures(), 0, "{}", a.render());
+        assert_eq!(a.outcomes.len(), 6, "board cases append after the stack cases");
         let b = run(&cfg);
         assert_eq!(a, b, "same seed, same report");
+    }
+
+    #[test]
+    fn board_case_generation_is_deterministic_and_valid() {
+        let a = draw_board_case(3, 42);
+        let b = draw_board_case(3, 42);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.watts, b.watts);
+        assert_ne!(draw_board_case(4, 42).label, a.label, "different cases differ");
+        for i in 0..FuzzConfig::quick().board_cases {
+            let case = draw_board_case(i, FuzzConfig::quick().seed);
+            case.board.validate().expect("column-slot draws always validate");
+        }
+    }
+
+    #[test]
+    fn quick_tier_board_leg_covers_vias_and_three_packages() {
+        let cfg = FuzzConfig::quick();
+        let cases: Vec<_> = (0..cfg.board_cases).map(|i| draw_board_case(i, cfg.seed)).collect();
+        assert!(
+            cases.iter().any(|c| !c.board.vias.is_empty()),
+            "no via-field board in the quick tier"
+        );
+        assert!(
+            cases.iter().any(|c| c.board.placements.len() == 3),
+            "no three-package board in the quick tier"
+        );
     }
 
     #[test]

@@ -140,6 +140,83 @@ fn run_oracles() -> bool {
         println!("oracle ok  {label:<14} energy-balance rel {:.2e}", balance.rel_error());
     }
 
+    // Board leg: a fixed two-package PCB (powered cpu, passive dram heated
+    // only through the board) assembled into one circuit, checked against
+    // the same steady-state battery as the single-stack configurations.
+    {
+        use hotiron_thermal::circuit::build_circuit_from_board;
+        use hotiron_thermal::{materials, Board, PcbSpec, Placement, Rotation};
+
+        let pcb = PcbSpec {
+            width: 0.05,
+            height: 0.03,
+            thickness: 1.6e-3,
+            material: materials::PCB,
+            bottom: Boundary::Lumped { r_total: 8.0, c_total: 20.0 },
+        };
+        let place = |name: &str, side: f64, x: f64, y: f64, top: Boundary| Placement {
+            name: name.into(),
+            die: DieGeometry { width: side, height: side, thickness: 0.5e-3 },
+            stack: LayerStack::new(vec![Layer::new("silicon", materials::SILICON, 0.5e-3)], 0)
+                .with_bottom(Boundary::Insulated)
+                .with_top(top),
+            x,
+            y,
+            rotation: Rotation::R0,
+        };
+        let board = Board::new(16, 16, pcb)
+            .with_placement(place(
+                "cpu",
+                0.016,
+                0.005,
+                0.007,
+                Boundary::Lumped { r_total: 2.0, c_total: 30.0 },
+            ))
+            .with_placement(place("dram", 0.01, 0.035, 0.01, Boundary::Insulated));
+        let mappings: Vec<GridMapping> = board
+            .placements
+            .iter()
+            .map(|p| GridMapping::new(&library::uniform_die(p.die.width, p.die.height), 16, 16))
+            .collect();
+        match build_circuit_from_board(&board, &mappings) {
+            Ok(circuit) => {
+                let n = circuit.cell_count();
+                let mut cell_power = vec![0.0; board.placements.len() * n];
+                for p in &mut cell_power[..n] {
+                    *p = 20.0 / n as f64;
+                }
+                let mut state = vec![ambient; circuit.node_count()];
+                if let Err(e) = solve_steady_with(
+                    &circuit,
+                    &cell_power,
+                    ambient,
+                    &mut state,
+                    SolverChoice::Direct,
+                ) {
+                    fail(format!("board-2pkg: steady solve failed: {e:?}"));
+                } else {
+                    let balance = oracle::energy_balance(&circuit, &state, &cell_power, ambient);
+                    if let Err(e) = balance.check() {
+                        fail(format!("board-2pkg: {e}"));
+                    }
+                    if let Err(e) =
+                        oracle::maximum_principle(&circuit, &state, &cell_power, ambient)
+                    {
+                        fail(format!("board-2pkg: {e}"));
+                    }
+                    if let Err(e) = oracle::operator_checks(&circuit, 0xB0A2D, 3).check() {
+                        fail(format!("board-2pkg: {e}"));
+                    }
+                    println!(
+                        "oracle ok  board-2pkg      energy-balance rel {:.2e}",
+                        balance.rel_error()
+                    );
+                }
+            }
+            Err(e) => fail(format!("board-2pkg: invalid board: {e}")),
+        }
+    }
+
     // Transient energy accounting, both stepper families: the spectral
     // stepper's closed-form ledger on a qualifying stack, the BE discrete
     // identity on the non-qualifying paper oil package.

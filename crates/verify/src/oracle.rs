@@ -123,11 +123,26 @@ pub fn maximum_principle(
         return Err(format!("node {i} at {t} K sits below ambient {ambient} K"));
     }
     let max_t = state.iter().copied().fold(ambient, f64::max);
-    let si = circuit.si_offset();
-    let hottest_powered = (0..circuit.cell_count())
-        .filter(|c| cell_power[*c] > 0.0)
-        .map(|c| state[si + c])
-        .fold(ambient, f64::max);
+    let n = circuit.cell_count();
+    // On a PCB-coupled board the powered cells live in each placement's own
+    // silicon plane (`cell_power` is placements × cells, placement-major);
+    // a plain stack has one silicon plane at `si_offset`.
+    let hottest_powered = match circuit.board_nodes() {
+        Some(bn) => bn
+            .placements
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, p)| {
+                let plane = p.si_plane * n;
+                (0..n).filter(move |&c| cell_power[pi * n + c] > 0.0).map(move |c| plane + c)
+            })
+            .map(|node| state[node])
+            .fold(ambient, f64::max),
+        None => {
+            let si = circuit.si_offset();
+            (0..n).filter(|c| cell_power[*c] > 0.0).map(|c| state[si + c]).fold(ambient, f64::max)
+        }
+    };
     if max_t > hottest_powered + slack {
         return Err(format!(
             "maximum {max_t} K exceeds hottest powered cell {hottest_powered} K: \
@@ -558,9 +573,78 @@ pub fn spectral_backend_checks(grid: usize, seed: u64) -> SpectralReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hotiron_thermal::{AirSinkPackage, SecondaryPath};
+    use hotiron_thermal::circuit::build_circuit_from_board;
+    use hotiron_thermal::SecondaryPath;
+    use hotiron_thermal::{materials, AirSinkPackage, Board, PcbSpec, Placement, Rotation};
 
     const AMBIENT: f64 = 318.15;
+
+    /// A two-package PCB board (powered "cpu", unpowered "dram"), solved
+    /// directly: the assembled circuit, its placement-major cell powers and
+    /// the steady state.
+    fn solved_board() -> (ThermalCircuit, Vec<f64>, Vec<f64>) {
+        let (rows, cols) = (16, 16);
+        let pcb = PcbSpec {
+            width: 0.05,
+            height: 0.03,
+            thickness: 1.6e-3,
+            material: materials::PCB,
+            bottom: Boundary::Lumped { r_total: 8.0, c_total: 20.0 },
+        };
+        let mk = |name: &str, side: f64, x: f64, y: f64, top: Boundary| Placement {
+            name: name.into(),
+            die: DieGeometry { width: side, height: side, thickness: 0.5e-3 },
+            stack: LayerStack::new(vec![Layer::new("silicon", SILICON, 0.5e-3)], 0).with_top(top),
+            x,
+            y,
+            rotation: Rotation::R0,
+        };
+        let board = Board::new(rows, cols, pcb)
+            .with_placement(mk(
+                "cpu",
+                0.016,
+                0.005,
+                0.007,
+                Boundary::Lumped { r_total: 2.0, c_total: 30.0 },
+            ))
+            .with_placement(mk("dram", 0.01, 0.035, 0.01, Boundary::Insulated));
+        let mappings: Vec<GridMapping> = board
+            .placements
+            .iter()
+            .map(|p| GridMapping::new(&library::uniform_die(p.die.width, p.die.height), rows, cols))
+            .collect();
+        let circuit = build_circuit_from_board(&board, &mappings).expect("board builds");
+        let n = circuit.cell_count();
+        let mut cell_power = vec![0.0; board.placements.len() * n];
+        for p in &mut cell_power[..n] {
+            *p = 20.0 / n as f64; // cpu powered; dram heats only via the PCB
+        }
+        let mut state = vec![AMBIENT; circuit.node_count()];
+        solve_steady(&circuit, &cell_power, AMBIENT, &mut state).expect("steady solve");
+        (circuit, cell_power, state)
+    }
+
+    #[test]
+    fn oracles_hold_on_a_board_circuit() {
+        let (circuit, cell_power, state) = solved_board();
+        assert_energy_balance("board", &circuit, &state, &cell_power, AMBIENT);
+        maximum_principle(&circuit, &state, &cell_power, AMBIENT)
+            .expect("principle holds on a board");
+        operator_checks(&circuit, 11, 3).check().expect("board operator invariants");
+    }
+
+    #[test]
+    fn board_maximum_principle_detects_a_hot_pcb_node() {
+        let (circuit, cell_power, state) = solved_board();
+        let bn = circuit.board_nodes().expect("PCB board carries metadata");
+        // Make a PCB cell the global maximum: heat piling up on the
+        // unpowered substrate must be flagged even though the same node
+        // index inside a placement-major power vector looks powered.
+        let mut peaked = state;
+        let pcb_node = bn.pcb_plane * circuit.cell_count();
+        peaked[pcb_node] = peaked.iter().copied().fold(AMBIENT, f64::max) + 5.0;
+        assert!(maximum_principle(&circuit, &peaked, &cell_power, AMBIENT).is_err());
+    }
 
     fn solved_ev6(pkg: Package, grid: usize) -> (ThermalCircuit, GridMapping, Vec<f64>, Vec<f64>) {
         let plan = library::ev6();

@@ -22,7 +22,13 @@ fn quick_fuzz_tier_is_divergence_free() {
 /// index alone so a nightly failure reproduces locally.
 #[test]
 fn fuzz_is_deterministic_per_seed() {
-    let cfg = FuzzConfig { cases: 3, seed: 0xD1CE, transient_every: 3, refsim_every: 100 };
+    let cfg = FuzzConfig {
+        cases: 3,
+        seed: 0xD1CE,
+        transient_every: 3,
+        refsim_every: 100,
+        board_cases: 1,
+    };
     assert_eq!(fuzz::run(&cfg), fuzz::run(&cfg));
     let other = FuzzConfig { seed: 0xD1CF, ..cfg };
     let (a, b) = (fuzz::run(&cfg), fuzz::run(&other));

@@ -51,6 +51,21 @@ if [ -z "$ADDR" ]; then
 fi
 echo "==> daemon ready on $ADDR"
 
+# Board probe: one multi-die board solve must answer 200 through the
+# multigrid path (boards are spectrally ineligible, so mg-cg is the
+# board-scale solver the daemon is expected to route to). Runs before the
+# main loadgen pass because that pass shuts the daemon down.
+echo "==> board probe (board-duo, solver=multigrid)"
+PROBE=$(target/release/loadgen --addr "$ADDR" --probe board-duo --probe-solver multigrid)
+echo "    $PROBE"
+case "$PROBE" in
+  *"code=200"*"method=mg-cg"*) ;;
+  *)
+    echo "serve_smoke: board probe did not answer 200 via mg-cg: $PROBE" >&2
+    exit 1
+    ;;
+esac
+
 # loadgen exits 0 only when every frame round-tripped cleanly and the
 # --shutdown ack confirmed the drain; --stats embeds the daemon's own
 # counters in the report for the assertions below.
